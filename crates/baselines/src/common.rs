@@ -1,0 +1,135 @@
+//! Shared row collection / projection machinery for the baseline engines.
+
+use amber::{QueryOutcome, QueryStatus};
+use amber_multigraph::RdfGraph;
+use amber_util::FxHashSet;
+use std::time::Duration;
+
+/// Collects complete assignments, counting all of them (bag semantics, like
+/// AMbER's embedding count) while materializing at most `max` projected rows
+/// (deduplicated under DISTINCT).
+pub(crate) struct RowCollector {
+    /// Positions (slots in the assignment vector) of the output variables.
+    output_slots: Vec<usize>,
+    max: Option<usize>,
+    distinct: bool,
+    count_only: bool,
+    count: u128,
+    rows: Vec<Vec<u32>>,
+    seen: FxHashSet<Vec<u32>>,
+}
+
+impl RowCollector {
+    pub fn new(
+        output_slots: Vec<usize>,
+        max: Option<usize>,
+        distinct: bool,
+        count_only: bool,
+    ) -> Self {
+        Self {
+            output_slots,
+            max,
+            distinct,
+            count_only,
+            count: 0,
+            rows: Vec::new(),
+            seen: FxHashSet::default(),
+        }
+    }
+
+    /// Record one complete assignment (slot → vertex id).
+    pub fn record(&mut self, assignment: &[u32]) {
+        self.count = self.count.saturating_add(1);
+        if self.count_only {
+            return;
+        }
+        if self.max.is_some_and(|m| self.rows.len() >= m) {
+            return;
+        }
+        let projected: Vec<u32> = self.output_slots.iter().map(|&s| assignment[s]).collect();
+        if self.distinct && !self.seen.insert(projected.clone()) {
+            return;
+        }
+        self.rows.push(projected);
+    }
+
+    /// Total assignments recorded so far.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn count(&self) -> u128 {
+        self.count
+    }
+
+    /// Assemble the final outcome, resolving vertex ids through `Mv⁻¹`.
+    pub fn into_outcome(
+        self,
+        variables: Vec<Box<str>>,
+        timed_out: bool,
+        elapsed: Duration,
+        rdf: &RdfGraph,
+    ) -> QueryOutcome {
+        let bindings = self
+            .rows
+            .into_iter()
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| rdf.vertex_name(amber_multigraph::VertexId(v)).into())
+                    .collect()
+            })
+            .collect();
+        QueryOutcome {
+            status: if timed_out {
+                QueryStatus::TimedOut
+            } else {
+                QueryStatus::Completed
+            },
+            embedding_count: self.count,
+            variables,
+            bindings,
+            elapsed,
+        }
+    }
+}
+
+/// Sentinel for an unbound slot.
+pub(crate) const UNBOUND: u32 = u32::MAX;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_multigraph::paper::paper_graph;
+
+    #[test]
+    fn counts_all_but_caps_rows() {
+        let mut c = RowCollector::new(vec![0], Some(2), false, false);
+        for v in 0..5 {
+            c.record(&[v, 99]);
+        }
+        assert_eq!(c.count(), 5);
+        let rdf = paper_graph();
+        let out = c.into_outcome(vec!["x".into()], false, Duration::ZERO, &rdf);
+        assert_eq!(out.embedding_count, 5);
+        assert_eq!(out.bindings.len(), 2);
+    }
+
+    #[test]
+    fn distinct_dedups_projection() {
+        let mut c = RowCollector::new(vec![1], None, true, false);
+        c.record(&[0, 7]);
+        c.record(&[1, 7]); // same projection
+        c.record(&[2, 8]);
+        assert_eq!(c.count(), 3);
+        let rdf = paper_graph();
+        let out = c.into_outcome(vec!["x".into()], false, Duration::ZERO, &rdf);
+        assert_eq!(out.bindings.len(), 2);
+    }
+
+    #[test]
+    fn count_only_materializes_nothing() {
+        let mut c = RowCollector::new(vec![0], None, false, true);
+        c.record(&[3]);
+        let rdf = paper_graph();
+        let out = c.into_outcome(vec!["x".into()], false, Duration::ZERO, &rdf);
+        assert_eq!(out.embedding_count, 1);
+        assert!(out.bindings.is_empty());
+    }
+}

@@ -1,0 +1,387 @@
+//! The scan-join baseline: no indexes, no planning.
+//!
+//! Evaluates the query multigraph constraint by constraint, in declaration
+//! order, extending partial assignments depth-first. Every edge constraint
+//! triggers a scan of the *entire* edge list (restricted only by already
+//! bound endpoints through the raw adjacency). This is deliberately the
+//! weakest architecture in the line-up — the role Apache Jena plays in the
+//! paper's figures — and doubles as the correctness oracle for the
+//! cross-engine agreement tests because its code path is trivially
+//! auditable.
+
+use crate::common::{RowCollector, UNBOUND};
+use amber::{EngineError, ExecOptions, QueryOutcome, SparqlEngine};
+use amber_multigraph::{
+    Direction, GroundCheck, MultiEdge, QVertexId, QueryGraph, RdfGraph, VertexId,
+};
+use amber_util::{Deadline, Stopwatch};
+use std::sync::Arc;
+
+/// One evaluation step over the partial assignment.
+#[derive(Debug)]
+enum Step {
+    /// A variable-variable edge `from → to` with required types.
+    Edge {
+        from: QVertexId,
+        to: QVertexId,
+        types: MultiEdge,
+    },
+    /// Attribute constraint on a variable.
+    Attrs { vertex: QVertexId },
+    /// IRI constraint on a variable.
+    Iri { vertex: QVertexId, constraint: usize },
+    /// Self loop on a variable.
+    SelfLoop { vertex: QVertexId },
+}
+
+/// The naive scan + join engine.
+pub struct ScanJoinEngine {
+    rdf: Arc<RdfGraph>,
+}
+
+impl ScanJoinEngine {
+    /// Wrap a loaded graph (no auxiliary structures are built — that is the
+    /// point of this baseline).
+    pub fn new(rdf: Arc<RdfGraph>) -> Self {
+        Self { rdf }
+    }
+
+    fn ground_checks_pass(&self, qg: &QueryGraph) -> bool {
+        let graph = self.rdf.graph();
+        qg.ground_checks().iter().all(|check| match check {
+            GroundCheck::Edge { from, to, types } => {
+                graph.has_multi_edge(*from, *to, types.types())
+            }
+            GroundCheck::Attribute { vertex, attrs } => graph.has_attributes(*vertex, attrs),
+        })
+    }
+
+    /// Depth-first constraint evaluation.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        qg: &QueryGraph,
+        steps: &[Step],
+        depth: usize,
+        assignment: &mut Vec<u32>,
+        collector: &mut RowCollector,
+        deadline: &Deadline,
+        timed_out: &mut bool,
+    ) {
+        if *timed_out || deadline.exceeded() {
+            *timed_out = true;
+            return;
+        }
+        let Some(step) = steps.get(depth) else {
+            collector.record(assignment);
+            return;
+        };
+        let graph = self.rdf.graph();
+        match step {
+            Step::Edge { from, to, types } => {
+                let (bf, bt) = (assignment[from.index()], assignment[to.index()]);
+                match (bf, bt) {
+                    (UNBOUND, UNBOUND) => {
+                        // Full scan of every directed pair.
+                        for v in graph.vertices() {
+                            for entry in graph.out_edges(v) {
+                                if *timed_out || deadline.exceeded() {
+                                    *timed_out = true;
+                                    return;
+                                }
+                                if !entry.types.contains_all(types.types()) {
+                                    continue;
+                                }
+                                // A self-directed data edge can match a
+                                // from≠to query edge (homomorphism), but the
+                                // two slots must then hold the same vertex —
+                                // which the assignment naturally records.
+                                assignment[from.index()] = v.0;
+                                assignment[to.index()] = entry.neighbor.0;
+                                self.recurse(
+                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    timed_out,
+                                );
+                            }
+                        }
+                        assignment[from.index()] = UNBOUND;
+                        assignment[to.index()] = UNBOUND;
+                    }
+                    (v, UNBOUND) if v != UNBOUND => {
+                        for entry in graph.out_edges(VertexId(v)) {
+                            if !entry.types.contains_all(types.types()) {
+                                continue;
+                            }
+                            assignment[to.index()] = entry.neighbor.0;
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                            if *timed_out {
+                                return;
+                            }
+                        }
+                        assignment[to.index()] = UNBOUND;
+                    }
+                    (UNBOUND, v) => {
+                        for entry in graph.in_edges(VertexId(v)) {
+                            if !entry.types.contains_all(types.types()) {
+                                continue;
+                            }
+                            assignment[from.index()] = entry.neighbor.0;
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                            if *timed_out {
+                                return;
+                            }
+                        }
+                        assignment[from.index()] = UNBOUND;
+                    }
+                    (vf, vt) => {
+                        if graph.has_multi_edge(VertexId(vf), VertexId(vt), types.types()) {
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                        }
+                    }
+                }
+            }
+            Step::Attrs { vertex } => {
+                let attrs = &qg.vertex(*vertex).attrs;
+                match assignment[vertex.index()] {
+                    UNBOUND => {
+                        // Full vertex scan.
+                        for v in graph.vertices() {
+                            if *timed_out || deadline.exceeded() {
+                                *timed_out = true;
+                                return;
+                            }
+                            if graph.has_attributes(v, attrs) {
+                                assignment[vertex.index()] = v.0;
+                                self.recurse(
+                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    timed_out,
+                                );
+                            }
+                        }
+                        assignment[vertex.index()] = UNBOUND;
+                    }
+                    v => {
+                        if graph.has_attributes(VertexId(v), attrs) {
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                        }
+                    }
+                }
+            }
+            Step::Iri { vertex, constraint } => {
+                let c = &qg.vertex(*vertex).iri_constraints[*constraint];
+                match assignment[vertex.index()] {
+                    UNBOUND => {
+                        // Scan the adjacency of the IRI's data vertex.
+                        let dir = match c.direction {
+                            // constraint Incoming = edge iri→var: candidates
+                            // are out-neighbours of the IRI vertex.
+                            Direction::Incoming => Direction::Outgoing,
+                            Direction::Outgoing => Direction::Incoming,
+                        };
+                        for entry in graph.edges(c.data_vertex, dir) {
+                            if !entry.types.contains_all(c.types.types()) {
+                                continue;
+                            }
+                            assignment[vertex.index()] = entry.neighbor.0;
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                            if *timed_out {
+                                return;
+                            }
+                        }
+                        assignment[vertex.index()] = UNBOUND;
+                    }
+                    v => {
+                        let ok = match c.direction {
+                            Direction::Incoming => {
+                                graph.has_multi_edge(c.data_vertex, VertexId(v), c.types.types())
+                            }
+                            Direction::Outgoing => {
+                                graph.has_multi_edge(VertexId(v), c.data_vertex, c.types.types())
+                            }
+                        };
+                        if ok {
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                        }
+                    }
+                }
+            }
+            Step::SelfLoop { vertex } => {
+                let types = qg
+                    .vertex(*vertex)
+                    .self_loop
+                    .as_ref()
+                    .expect("self-loop step only for self-loop vertices");
+                match assignment[vertex.index()] {
+                    UNBOUND => {
+                        for v in graph.vertices() {
+                            if graph.has_multi_edge(v, v, types.types()) {
+                                assignment[vertex.index()] = v.0;
+                                self.recurse(
+                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    timed_out,
+                                );
+                                if *timed_out {
+                                    return;
+                                }
+                            }
+                        }
+                        assignment[vertex.index()] = UNBOUND;
+                    }
+                    v => {
+                        if graph.has_multi_edge(VertexId(v), VertexId(v), types.types()) {
+                            self.recurse(
+                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build the step list: edges in declaration order, then per-vertex
+/// constraints (no reordering — this engine does not plan).
+fn steps_of(qg: &QueryGraph) -> Vec<Step> {
+    let mut steps = Vec::new();
+    for edge in qg.edges() {
+        steps.push(Step::Edge {
+            from: edge.from,
+            to: edge.to,
+            types: edge.types.clone(),
+        });
+    }
+    for u in qg.vertex_ids() {
+        let vertex = qg.vertex(u);
+        if !vertex.attrs.is_empty() {
+            steps.push(Step::Attrs { vertex: u });
+        }
+        for (i, _) in vertex.iri_constraints.iter().enumerate() {
+            steps.push(Step::Iri {
+                vertex: u,
+                constraint: i,
+            });
+        }
+        if vertex.self_loop.is_some() {
+            steps.push(Step::SelfLoop { vertex: u });
+        }
+    }
+    steps
+}
+
+impl SparqlEngine for ScanJoinEngine {
+    fn name(&self) -> &'static str {
+        "ScanJoin"
+    }
+
+    fn execute_query(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let sw = Stopwatch::start();
+        let qg = QueryGraph::build(query, &self.rdf)?;
+        let variables: Vec<Box<str>> = qg.output_vars().to_vec();
+        if qg.is_unsatisfiable() || !self.ground_checks_pass(&qg) {
+            return Ok(QueryOutcome::empty(variables, sw.elapsed()));
+        }
+
+        let output_slots: Vec<usize> = qg
+            .output_vars()
+            .iter()
+            .map(|name| qg.vertex_by_name(name).expect("validated projection").index())
+            .collect();
+        let mut collector = RowCollector::new(
+            output_slots,
+            options.max_results,
+            qg.distinct(),
+            options.count_only,
+        );
+
+        let steps = steps_of(&qg);
+        let deadline = Deadline::new(options.timeout);
+        let mut assignment = vec![UNBOUND; qg.vertex_count()];
+        let mut timed_out = false;
+        self.recurse(
+            &qg,
+            &steps,
+            0,
+            &mut assignment,
+            &mut collector,
+            &deadline,
+            &mut timed_out,
+        );
+
+        Ok(collector.into_outcome(variables, timed_out, sw.elapsed(), &self.rdf))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_multigraph::paper::{paper_graph, paper_query_text, PREFIX_X, PREFIX_Y};
+
+    fn engine() -> ScanJoinEngine {
+        ScanJoinEngine::new(Arc::new(paper_graph()))
+    }
+
+    #[test]
+    fn paper_query_counts_two() {
+        let out = engine()
+            .execute_sparql(&paper_query_text(), &ExecOptions::new())
+            .unwrap();
+        assert_eq!(out.embedding_count, 2);
+        assert_eq!(out.bindings.len(), 2);
+    }
+
+    #[test]
+    fn simple_star() {
+        let q = format!(
+            "SELECT * WHERE {{ ?p <{PREFIX_Y}wasBornIn> ?c . ?p <{PREFIX_Y}diedIn> ?c . }}"
+        );
+        let out = engine().execute_sparql(&q, &ExecOptions::new()).unwrap();
+        assert_eq!(out.embedding_count, 1); // only Amy born+died in London
+    }
+
+    #[test]
+    fn iri_constraint_unbound_var() {
+        let q = format!("SELECT ?p WHERE {{ ?p <{PREFIX_Y}livedIn> <{PREFIX_X}United_States> . }}");
+        let out = engine().execute_sparql(&q, &ExecOptions::new()).unwrap();
+        assert_eq!(out.embedding_count, 2); // Amy, Blake
+    }
+
+    #[test]
+    fn timeout_reports_timed_out() {
+        let out = engine()
+            .execute_sparql(
+                &paper_query_text(),
+                &ExecOptions::new().with_timeout(std::time::Duration::ZERO),
+            )
+            .unwrap();
+        assert!(out.timed_out());
+    }
+
+    #[test]
+    fn unsat_query_is_empty_completed() {
+        let out = engine()
+            .execute_sparql(
+                "SELECT * WHERE { ?a <http://nope/p> ?b . }",
+                &ExecOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(out.embedding_count, 0);
+        assert!(!out.timed_out());
+    }
+}

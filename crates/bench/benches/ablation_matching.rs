@@ -1,0 +1,174 @@
+//! Matching-strategy ablations:
+//!
+//! * `decomposition` — AMbER's core–satellite batch resolution (Lemma 2)
+//!   vs the Backtracking baseline that enumerates every degree-1 vertex
+//!   explicitly, on star queries (where the paper's win is largest);
+//! * `ordering` — the `(r1, r2)` heuristic of §5.3 vs a reversed core
+//!   order, holding everything else fixed;
+//! * `parallel` — the §8 future-work extension: 1 vs 4 worker threads.
+
+use amber::matcher::{ComponentMatcher, MatchConfig};
+use amber::{AmberEngine, ExecOptions, SparqlEngine};
+use amber_baselines::BacktrackingEngine;
+use amber_datagen::{Benchmark, QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_index::IndexSet;
+use amber_multigraph::{QueryGraph, RdfGraph};
+use amber_util::Deadline;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn decomposition_ablation(c: &mut Criterion) {
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 2016)));
+    let amber = AmberEngine::from_graph(Arc::clone(&rdf));
+    let backtracking = BacktrackingEngine::new(Arc::clone(&rdf));
+    let queries = WorkloadGenerator::new(&rdf, 5)
+        .generate_many(&WorkloadConfig::new(QueryShape::Star, 12), 5);
+    let options = ExecOptions::benchmark(Duration::from_millis(250));
+
+    let mut group = c.benchmark_group("decomposition_star12");
+    group.sample_size(10);
+    group.bench_function("amber_satellites", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(amber.execute_query(&q.query, &options).unwrap().embedding_count);
+            }
+        })
+    });
+    group.bench_function("backtracking_enumerate", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(
+                    backtracking
+                        .execute_query(&q.query, &options)
+                        .unwrap()
+                        .embedding_count,
+                );
+            }
+        })
+    });
+    group.finish();
+}
+
+fn ordering_ablation(c: &mut Criterion) {
+    let rdf = RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 2016));
+    let index = IndexSet::build(&rdf);
+    let queries = WorkloadGenerator::new(&rdf, 17)
+        .generate_many(&WorkloadConfig::new(QueryShape::Complex, 12), 5);
+
+    let prepared: Vec<QueryGraph> = queries
+        .iter()
+        .map(|q| QueryGraph::build(&q.query, &rdf).unwrap())
+        .filter(|qg| !qg.is_unsatisfiable())
+        .collect();
+
+    let run_with = |reverse: bool| {
+        for qg in &prepared {
+            for component in qg.connected_components() {
+                let matcher = if reverse {
+                    let paper = ComponentMatcher::new(qg, rdf.graph(), &index, &component);
+                    let mut order = paper.core_order().to_vec();
+                    // Reverse, then rotate until the prefix stays connected
+                    // (a worst-ish legal order).
+                    order.reverse();
+                    let connected_order = make_connected(qg, order);
+                    ComponentMatcher::new_with_order(
+                        qg,
+                        rdf.graph(),
+                        &index,
+                        &component,
+                        connected_order,
+                    )
+                } else {
+                    ComponentMatcher::new(qg, rdf.graph(), &index, &component)
+                };
+                let deadline = Deadline::new(Some(Duration::from_millis(250)));
+                let result = matcher.run(&MatchConfig {
+                    deadline: &deadline,
+                    solution_cap: Some(0),
+                });
+                black_box(result.count);
+            }
+        }
+    };
+
+    let mut group = c.benchmark_group("ordering_complex12");
+    group.sample_size(10);
+    group.bench_function("paper_r1_r2", |b| b.iter(|| run_with(false)));
+    group.bench_function("reversed", |b| b.iter(|| run_with(true)));
+    group.finish();
+}
+
+/// Greedily permute `wish` into an order whose every element touches the
+/// prefix (required by the matcher).
+fn make_connected(
+    qg: &QueryGraph,
+    wish: Vec<amber_multigraph::QVertexId>,
+) -> Vec<amber_multigraph::QVertexId> {
+    let mut remaining = wish;
+    let mut order = vec![remaining.remove(0)];
+    while !remaining.is_empty() {
+        let pos = remaining
+            .iter()
+            .position(|&u| {
+                qg.adjacency(u)
+                    .iter()
+                    .any(|a| order.contains(&a.neighbor))
+            })
+            .unwrap_or(0);
+        order.push(remaining.remove(pos));
+    }
+    order
+}
+
+fn parallel_ablation(c: &mut Criterion) {
+    // Parallel matching amortizes its per-query thread-spawn cost only on
+    // heavy queries (sub-millisecond queries get slower — measured and
+    // expected), so this ablation picks the heaviest answerable workload:
+    // complex walks on LUBM, whose embedding counts are large.
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 2016)));
+    let engine = AmberEngine::from_graph(Arc::clone(&rdf));
+    let all = WorkloadGenerator::new(&rdf, 23)
+        .generate_many(&WorkloadConfig::new(QueryShape::Complex, 16), 10);
+    // Keep the queries that take ≥ 5 ms sequentially and still finish.
+    let probe = ExecOptions::benchmark(Duration::from_secs(2));
+    let queries: Vec<_> = all
+        .into_iter()
+        .filter(|q| {
+            let out = engine.execute_parsed(&q.query, &probe).unwrap();
+            !out.timed_out() && out.elapsed.as_millis() >= 5
+        })
+        .take(2)
+        .collect();
+    if queries.is_empty() {
+        return; // nothing heavy enough at this scale
+    }
+
+    let mut group = c.benchmark_group("parallel_heavy_complex16");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let options = ExecOptions::benchmark(Duration::from_secs(2)).with_threads(threads);
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(
+                        engine
+                            .execute_parsed(&q.query, &options)
+                            .unwrap()
+                            .embedding_count,
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    decomposition_ablation,
+    ordering_ablation,
+    parallel_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Offline-stage microbenchmarks (Table 5's quantities): multigraph
+//! database construction and per-index build time for each benchmark.
+
+use amber_datagen::Benchmark;
+use amber_index::{AttributeIndex, IndexSet, NeighborhoodIndex, SignatureIndex};
+use amber_multigraph::RdfGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn offline_stage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline");
+    group.sample_size(10);
+    for bench in Benchmark::ALL {
+        let triples = bench.generate(1, 2016);
+        group.bench_with_input(
+            BenchmarkId::new("database_build", bench.name()),
+            &triples,
+            |b, triples| b.iter(|| black_box(RdfGraph::from_triples(black_box(triples)))),
+        );
+        let rdf = RdfGraph::from_triples(&triples);
+        group.bench_with_input(
+            BenchmarkId::new("index_ensemble_build", bench.name()),
+            &rdf,
+            |b, rdf| b.iter(|| black_box(IndexSet::build(black_box(rdf)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("attribute_index", bench.name()),
+            &rdf,
+            |b, rdf| b.iter(|| black_box(AttributeIndex::build(black_box(rdf)))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("signature_index", bench.name()),
+            &rdf,
+            |b, rdf| b.iter(|| black_box(SignatureIndex::build(black_box(rdf.graph())))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("neighborhood_index", bench.name()),
+            &rdf,
+            |b, rdf| b.iter(|| black_box(NeighborhoodIndex::build(black_box(rdf.graph())))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_stage);
+criterion_main!(benches);

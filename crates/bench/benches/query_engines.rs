@@ -1,0 +1,66 @@
+//! Engine comparison microbenchmarks — the criterion-side counterpart of
+//! Figures 6–11: star and complex workload cells on each benchmark, one
+//! measurement per engine. (The `experiments` binary produces the full
+//! sweeps with timeout/robustness accounting; these benches track the
+//! per-query latency of the *answerable* cells across code changes.)
+
+use amber::ExecOptions;
+use amber_baselines::all_engines;
+use amber_datagen::{Benchmark, GeneratedQuery, QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_multigraph::RdfGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn workload(
+    rdf: &RdfGraph,
+    shape: QueryShape,
+    size: usize,
+    count: usize,
+    seed: u64,
+) -> Vec<GeneratedQuery> {
+    WorkloadGenerator::new(rdf, seed).generate_many(&WorkloadConfig::new(shape, size), count)
+}
+
+fn query_engines(c: &mut Criterion) {
+    // LUBM keeps the baselines answerable at bench sizes.
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 2016)));
+    let engines = all_engines(Arc::clone(&rdf));
+    // A short budget keeps pathological cells bounded inside criterion.
+    let options = ExecOptions::benchmark(Duration::from_millis(250));
+
+    for (shape, size) in [
+        (QueryShape::Star, 10),
+        (QueryShape::Star, 30),
+        (QueryShape::Complex, 10),
+        (QueryShape::Complex, 20),
+    ] {
+        let queries = workload(&rdf, shape, size, 5, 99);
+        if queries.is_empty() {
+            continue;
+        }
+        let mut group = c.benchmark_group(format!("{}_{size}", shape.name()));
+        group.sample_size(10);
+        for engine in &engines {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), size),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        for q in queries {
+                            let out = engine
+                                .execute_query(black_box(&q.query), &options)
+                                .expect("executes");
+                            black_box(out.embedding_count);
+                        }
+                    })
+                },
+            );
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, query_engines);
+criterion_main!(benches);

@@ -1,0 +1,387 @@
+//! The AMbER engine facade: offline stage + online query execution.
+
+use crate::embedding::{materialize_bindings, total_count};
+use crate::error::EngineError;
+use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
+use crate::options::ExecOptions;
+use crate::parallel::run_component;
+use crate::result::{QueryOutcome, QueryStatus, SparqlEngine};
+use amber_index::IndexSet;
+use amber_multigraph::{GroundCheck, QueryGraph, RdfGraph};
+use amber_util::{Deadline, HeapSize, Stopwatch};
+use std::time::Duration;
+
+/// Offline-stage measurements (the quantities of the paper's Table 5).
+#[derive(Debug, Clone, Copy)]
+pub struct OfflineStats {
+    /// Time to transform triples into the multigraph database.
+    pub database_build_time: Duration,
+    /// Heap bytes of the multigraph database (graph + dictionaries).
+    pub database_bytes: usize,
+    /// Time to build the index ensemble `I`.
+    pub index_build_time: Duration,
+    /// Heap bytes of the index ensemble.
+    pub index_bytes: usize,
+}
+
+/// The AMbER query engine (paper §3).
+///
+/// The loaded graph is held behind an [`Arc`](std::sync::Arc) so the
+/// experiment harness can share one multigraph across AMbER and every
+/// baseline engine without duplicating gigabytes of adjacency.
+pub struct AmberEngine {
+    rdf: std::sync::Arc<RdfGraph>,
+    index: IndexSet,
+    offline: OfflineStats,
+}
+
+impl AmberEngine {
+    /// Offline stage from an N-Triples document.
+    pub fn load_ntriples(input: &str) -> Result<Self, EngineError> {
+        let sw = Stopwatch::start();
+        let rdf = RdfGraph::parse_ntriples(input)?;
+        Ok(Self::from_graph_with_build_time(rdf.into(), sw.elapsed()))
+    }
+
+    /// Offline stage from a Turtle document.
+    pub fn load_turtle(input: &str) -> Result<Self, EngineError> {
+        let sw = Stopwatch::start();
+        let triples = rdf_model::parse_turtle(input).map_err(EngineError::Turtle)?;
+        let rdf = RdfGraph::from_triples(&triples);
+        Ok(Self::from_graph_with_build_time(rdf.into(), sw.elapsed()))
+    }
+
+    /// Offline stage from already-parsed triples.
+    pub fn from_triples<'a>(
+        triples: impl IntoIterator<Item = &'a rdf_model::Triple>,
+    ) -> Self {
+        let sw = Stopwatch::start();
+        let rdf = RdfGraph::from_triples(triples);
+        Self::from_graph_with_build_time(rdf.into(), sw.elapsed())
+    }
+
+    /// Offline stage from a (possibly shared) pre-built multigraph; index
+    /// building happens here.
+    pub fn from_graph(rdf: impl Into<std::sync::Arc<RdfGraph>>) -> Self {
+        Self::from_graph_with_build_time(rdf.into(), Duration::ZERO)
+    }
+
+    fn from_graph_with_build_time(
+        rdf: std::sync::Arc<RdfGraph>,
+        database_build_time: Duration,
+    ) -> Self {
+        let database_bytes = rdf.heap_size();
+        let sw = Stopwatch::start();
+        let index = IndexSet::build(&rdf);
+        let index_build_time = sw.elapsed();
+        let index_bytes = index.heap_size();
+        Self {
+            rdf,
+            index,
+            offline: OfflineStats {
+                database_build_time,
+                database_bytes,
+                index_build_time,
+                index_bytes,
+            },
+        }
+    }
+
+    /// The loaded data (multigraph + dictionaries).
+    pub fn rdf(&self) -> &RdfGraph {
+        &self.rdf
+    }
+
+    /// A shared handle to the loaded data (for co-hosted baseline engines).
+    pub fn shared_rdf(&self) -> std::sync::Arc<RdfGraph> {
+        std::sync::Arc::clone(&self.rdf)
+    }
+
+    /// The index ensemble `I`.
+    pub fn index(&self) -> &IndexSet {
+        &self.index
+    }
+
+    /// Offline-stage measurements (Table 5).
+    pub fn offline_stats(&self) -> OfflineStats {
+        self.offline
+    }
+
+    /// Transform a parsed query into its query multigraph (exposed for
+    /// diagnostics and the ablation benchmarks).
+    pub fn prepare(
+        &self,
+        query: &amber_sparql::SelectQuery,
+    ) -> Result<QueryGraph, EngineError> {
+        Ok(QueryGraph::build(query, &self.rdf)?)
+    }
+
+    /// Parse and execute SPARQL text.
+    pub fn execute(&self, sparql: &str, options: &ExecOptions) -> Result<QueryOutcome, EngineError> {
+        let query = amber_sparql::parse_select(sparql)?;
+        self.execute_parsed(&query, options)
+    }
+
+    /// Execute a parsed query (the online stage).
+    pub fn execute_parsed(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let sw = Stopwatch::start();
+        let qg = self.prepare(query)?;
+        let variables: Vec<Box<str>> = qg.output_vars().to_vec();
+
+        if qg.is_unsatisfiable() || !self.ground_checks_pass(&qg) {
+            return Ok(QueryOutcome::empty(variables, sw.elapsed()));
+        }
+
+        let deadline = Deadline::new(options.timeout);
+        // Enough retained solutions to materialize `max_results` rows: every
+        // solution denotes at least one embedding. DISTINCT must keep
+        // everything (deduplication can consume arbitrarily many solutions).
+        let solution_cap = if options.count_only {
+            Some(0)
+        } else if qg.distinct() {
+            None
+        } else {
+            options.max_results
+        };
+        let config = MatchConfig {
+            deadline: &deadline,
+            solution_cap,
+        };
+
+        let mut matches: Vec<ComponentMatch> = Vec::new();
+        let mut timed_out = false;
+        for component in qg.connected_components() {
+            let matcher = ComponentMatcher::new(&qg, self.rdf.graph(), &self.index, &component);
+            let result = run_component(&matcher, options.effective_threads(), &config);
+            timed_out |= result.timed_out;
+            let empty = result.count == 0;
+            matches.push(result);
+            if empty || timed_out {
+                break; // zero answers or blown budget: no need to continue
+            }
+        }
+
+        let embedding_count = if matches.iter().any(|m| m.count == 0) {
+            0
+        } else {
+            total_count(&matches)
+        };
+
+        let bindings = if options.count_only || timed_out || embedding_count == 0 {
+            Vec::new()
+        } else {
+            materialize_bindings(
+                &qg,
+                &self.rdf,
+                &matches,
+                options.max_results,
+                qg.distinct(),
+            )
+        };
+
+        Ok(QueryOutcome {
+            status: if timed_out {
+                QueryStatus::TimedOut
+            } else {
+                QueryStatus::Completed
+            },
+            embedding_count,
+            variables,
+            bindings,
+            elapsed: sw.elapsed(),
+        })
+    }
+
+    /// Evaluate variable-free patterns (boolean guards).
+    fn ground_checks_pass(&self, qg: &QueryGraph) -> bool {
+        let graph = self.rdf.graph();
+        qg.ground_checks().iter().all(|check| match check {
+            GroundCheck::Edge { from, to, types } => {
+                graph.has_multi_edge(*from, *to, types.types())
+            }
+            GroundCheck::Attribute { vertex, attrs } => graph.has_attributes(*vertex, attrs),
+        })
+    }
+}
+
+impl SparqlEngine for AmberEngine {
+    fn name(&self) -> &'static str {
+        "AMbER"
+    }
+
+    fn execute_query(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.execute_parsed(query, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_multigraph::paper::{
+        paper_graph, paper_query_text, PAPER_QUERY_EMBEDDINGS, PREFIX_X, PREFIX_Y,
+    };
+
+    fn engine() -> AmberEngine {
+        AmberEngine::from_graph(paper_graph())
+    }
+
+    #[test]
+    fn paper_query_end_to_end() {
+        let engine = engine();
+        let outcome = engine
+            .execute(&paper_query_text(), &ExecOptions::new())
+            .unwrap();
+        assert_eq!(outcome.status, QueryStatus::Completed);
+        assert_eq!(outcome.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+        assert_eq!(outcome.bindings.len(), 2);
+        assert_eq!(outcome.variables.len(), 7);
+
+        // Both embeddings agree on everything but ?X0 (homomorphism: Amy
+        // may appear as both X0 and X3).
+        let x0: Vec<&str> = outcome
+            .bindings
+            .iter()
+            .map(|row| row[0].as_ref())
+            .collect();
+        assert!(x0.contains(&format!("{PREFIX_X}Amy_Winehouse").as_str()));
+        assert!(x0.contains(&format!("{PREFIX_X}Christopher_Nolan").as_str()));
+        for row in &outcome.bindings {
+            assert_eq!(row[1], format!("{PREFIX_X}London").into());
+            assert_eq!(row[3], format!("{PREFIX_X}Amy_Winehouse").into());
+            assert_eq!(row[5], format!("{PREFIX_X}Music_Band").into());
+        }
+    }
+
+    #[test]
+    fn count_only_skips_materialization() {
+        let engine = engine();
+        let outcome = engine
+            .execute(&paper_query_text(), &ExecOptions::new().counting())
+            .unwrap();
+        assert_eq!(outcome.embedding_count, 2);
+        assert!(outcome.bindings.is_empty());
+    }
+
+    #[test]
+    fn max_results_caps_bindings_not_count() {
+        let engine = engine();
+        let outcome = engine
+            .execute(&paper_query_text(), &ExecOptions::new().with_max_results(1))
+            .unwrap();
+        assert_eq!(outcome.embedding_count, 2);
+        assert_eq!(outcome.bindings.len(), 1);
+    }
+
+    #[test]
+    fn unknown_entities_give_empty_completed() {
+        let engine = engine();
+        let outcome = engine
+            .execute(
+                "SELECT * WHERE { ?a <http://nowhere/p> ?b . }",
+                &ExecOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, QueryStatus::Completed);
+        assert_eq!(outcome.embedding_count, 0);
+    }
+
+    #[test]
+    fn ground_query_acts_as_boolean() {
+        let engine = engine();
+        // True ground pattern alongside a variable pattern.
+        let q = format!(
+            "SELECT * WHERE {{ <{PREFIX_X}London> <{PREFIX_Y}isPartOf> <{PREFIX_X}England> . \
+             ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . }}"
+        );
+        let outcome = engine.execute(&q, &ExecOptions::new()).unwrap();
+        assert_eq!(outcome.embedding_count, 2); // Amy, Christopher
+
+        // False ground pattern: everything collapses to zero.
+        let q = format!(
+            "SELECT * WHERE {{ <{PREFIX_X}England> <{PREFIX_Y}isPartOf> <{PREFIX_X}London> . \
+             ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . }}"
+        );
+        let outcome = engine.execute(&q, &ExecOptions::new()).unwrap();
+        assert_eq!(outcome.embedding_count, 0);
+    }
+
+    #[test]
+    fn disconnected_query_is_cartesian_product() {
+        let engine = engine();
+        // 2 wasBornIn pairs × 2 livedIn-US people = 4.
+        let q = format!(
+            "SELECT * WHERE {{ ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . \
+             ?q <{PREFIX_Y}livedIn> <{PREFIX_X}United_States> . }}"
+        );
+        let outcome = engine.execute(&q, &ExecOptions::new()).unwrap();
+        assert_eq!(outcome.embedding_count, 4);
+        assert_eq!(outcome.bindings.len(), 4);
+    }
+
+    #[test]
+    fn distinct_deduplicates_projection() {
+        let engine = engine();
+        // Two people born in London; projecting the city gives 2 identical
+        // rows without DISTINCT, 1 with.
+        let plain = format!("SELECT ?c WHERE {{ ?p <{PREFIX_Y}wasBornIn> ?c . }}");
+        let outcome = engine.execute(&plain, &ExecOptions::new()).unwrap();
+        assert_eq!(outcome.embedding_count, 2);
+        assert_eq!(outcome.bindings.len(), 2);
+
+        let distinct = format!("SELECT DISTINCT ?c WHERE {{ ?p <{PREFIX_Y}wasBornIn> ?c . }}");
+        let outcome = engine.execute(&distinct, &ExecOptions::new()).unwrap();
+        assert_eq!(outcome.embedding_count, 2, "count keeps bag semantics");
+        assert_eq!(outcome.bindings.len(), 1);
+    }
+
+    #[test]
+    fn zero_timeout_reports_timed_out() {
+        let engine = engine();
+        let outcome = engine
+            .execute(
+                &paper_query_text(),
+                &ExecOptions::new().with_timeout(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(outcome.status, QueryStatus::TimedOut);
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        let engine = engine();
+        assert!(engine.execute("not sparql", &ExecOptions::new()).is_err());
+    }
+
+    #[test]
+    fn offline_stats_populated() {
+        let engine = engine();
+        let stats = engine.offline_stats();
+        assert!(stats.database_bytes > 0);
+        assert!(stats.index_bytes > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let engine = engine();
+        let seq = engine
+            .execute(&paper_query_text(), &ExecOptions::new())
+            .unwrap();
+        let par = engine
+            .execute(&paper_query_text(), &ExecOptions::new().with_threads(4))
+            .unwrap();
+        assert_eq!(seq.embedding_count, par.embedding_count);
+        let mut seq_rows = seq.bindings.clone();
+        let mut par_rows = par.bindings.clone();
+        seq_rows.sort();
+        par_rows.sort();
+        assert_eq!(seq_rows, par_rows);
+    }
+}

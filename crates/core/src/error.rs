@@ -1,0 +1,89 @@
+//! Engine error type.
+
+use amber_multigraph::query_graph::QueryGraphError;
+use amber_sparql::SparqlError;
+use rdf_model::{NtParseError, TurtleParseError};
+use std::fmt;
+
+/// Anything that can go wrong preparing or executing a query.
+///
+/// Note that *data-dependent emptiness* (a query mentioning IRIs absent from
+/// the data) is **not** an error — it yields an empty
+/// [`QueryOutcome`](crate::QueryOutcome).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The SPARQL text failed to parse (or uses unsupported operators).
+    Sparql(SparqlError),
+    /// The N-Triples input failed to parse.
+    NtParse(NtParseError),
+    /// The Turtle input failed to parse.
+    Turtle(TurtleParseError),
+    /// The query AST is malformed (variable predicate, literal subject…).
+    QueryGraph(QueryGraphError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sparql(e) => e.fmt(f),
+            EngineError::NtParse(e) => e.fmt(f),
+            EngineError::Turtle(e) => e.fmt(f),
+            EngineError::QueryGraph(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Sparql(e) => Some(e),
+            EngineError::NtParse(e) => Some(e),
+            EngineError::Turtle(e) => Some(e),
+            EngineError::QueryGraph(e) => Some(e),
+        }
+    }
+}
+
+impl From<SparqlError> for EngineError {
+    fn from(e: SparqlError) -> Self {
+        EngineError::Sparql(e)
+    }
+}
+
+impl From<NtParseError> for EngineError {
+    fn from(e: NtParseError) -> Self {
+        EngineError::NtParse(e)
+    }
+}
+
+impl From<TurtleParseError> for EngineError {
+    fn from(e: TurtleParseError) -> Self {
+        EngineError::Turtle(e)
+    }
+}
+
+impl From<QueryGraphError> for EngineError {
+    fn from(e: QueryGraphError) -> Self {
+        EngineError::QueryGraph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_errors() {
+        let e = EngineError::Sparql(amber_sparql::parse_select("nope").unwrap_err());
+        assert!(e.to_string().contains("SPARQL"));
+        let e = EngineError::NtParse(rdf_model::parse_ntriples("nope").unwrap_err());
+        assert!(e.to_string().contains("N-Triples"));
+    }
+
+    #[test]
+    fn conversion_from_sources() {
+        let sparql_err = amber_sparql::parse_select("???").unwrap_err();
+        let e: EngineError = sparql_err.clone().into();
+        assert_eq!(e, EngineError::Sparql(sparql_err));
+    }
+}

@@ -1,0 +1,204 @@
+//! Query-plan introspection (`EXPLAIN`-style diagnostics).
+//!
+//! AMbER's "plan" is the structure §5 derives before matching: the
+//! connected components, each component's core/satellite decomposition, the
+//! core order chosen by the `(r1, r2)` heuristics, the seed candidate count
+//! from the `S` index, and the per-vertex constraint summary. Exposing it
+//! makes the engine debuggable (why is this query slow?) and is what the
+//! ablation benchmarks and several tests hook into.
+
+use crate::candidates::{process_vertex, Constraint};
+use crate::decompose::Decomposition;
+use crate::matcher::ComponentMatcher;
+use amber_index::IndexSet;
+use amber_multigraph::{QueryGraph, RdfGraph};
+use std::fmt;
+
+/// The plan of one connected component.
+#[derive(Debug, Clone)]
+pub struct ComponentPlan {
+    /// Core variable names in matching order (`U_c^ord`).
+    pub core_order: Vec<String>,
+    /// Satellites attached to each ordered core vertex.
+    pub satellites: Vec<Vec<String>>,
+    /// Number of seed candidates for the initial vertex
+    /// (`|CandInit|` after `S` + `ProcessVertex`).
+    pub initial_candidates: usize,
+    /// Per-variable constraint summary: `(name, attrs, iri constraints,
+    /// constrained-candidate count if any)`.
+    pub vertex_constraints: Vec<VertexConstraintSummary>,
+}
+
+/// Constraint summary of one query vertex.
+#[derive(Debug, Clone)]
+pub struct VertexConstraintSummary {
+    /// Variable name.
+    pub variable: String,
+    /// Number of attribute requirements (`|u.A|`).
+    pub attributes: usize,
+    /// Number of attached IRI vertices (`|u.R|`).
+    pub iri_constraints: usize,
+    /// `Some(n)` when `ProcessVertex` yields a finite candidate list.
+    pub candidate_count: Option<usize>,
+}
+
+/// The full plan of a query.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// `Some(reason)` when the query is unsatisfiable on this data.
+    pub unsatisfiable: Option<String>,
+    /// Number of ground (variable-free) checks.
+    pub ground_checks: usize,
+    /// Per-component plans.
+    pub components: Vec<ComponentPlan>,
+}
+
+impl QueryPlan {
+    /// Derive the plan the matcher would execute.
+    pub fn explain(qg: &QueryGraph, rdf: &RdfGraph, index: &IndexSet) -> Self {
+        if let Some(reason) = qg.unsat_reason() {
+            return Self {
+                unsatisfiable: Some(reason.to_string()),
+                ground_checks: qg.ground_checks().len(),
+                components: Vec::new(),
+            };
+        }
+        let components = qg
+            .connected_components()
+            .into_iter()
+            .map(|component| {
+                let decomp = Decomposition::of_component(qg, &component);
+                let matcher = ComponentMatcher::new(qg, rdf.graph(), index, &component);
+                let core_order: Vec<String> = matcher
+                    .core_order()
+                    .iter()
+                    .map(|&u| qg.vertex(u).name.to_string())
+                    .collect();
+                let satellites = matcher
+                    .core_order()
+                    .iter()
+                    .map(|&u| {
+                        decomp
+                            .satellites_of(u)
+                            .iter()
+                            .map(|&s| qg.vertex(s).name.to_string())
+                            .collect()
+                    })
+                    .collect();
+                let vertex_constraints = component
+                    .iter()
+                    .map(|&u| {
+                        let vertex = qg.vertex(u);
+                        let candidate_count = match process_vertex(qg, u, index) {
+                            Constraint::Unconstrained => None,
+                            Constraint::Candidates(c) => Some(c.len()),
+                        };
+                        VertexConstraintSummary {
+                            variable: vertex.name.to_string(),
+                            attributes: vertex.attrs.len(),
+                            iri_constraints: vertex.iri_constraints.len(),
+                            candidate_count,
+                        }
+                    })
+                    .collect();
+                ComponentPlan {
+                    core_order,
+                    satellites,
+                    initial_candidates: matcher.initial_candidates().len(),
+                    vertex_constraints,
+                }
+            })
+            .collect();
+        Self {
+            unsatisfiable: None,
+            ground_checks: qg.ground_checks().len(),
+            components,
+        }
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(reason) = &self.unsatisfiable {
+            return writeln!(f, "UNSATISFIABLE: {reason}");
+        }
+        if self.ground_checks > 0 {
+            writeln!(f, "ground checks: {}", self.ground_checks)?;
+        }
+        for (i, component) in self.components.iter().enumerate() {
+            writeln!(f, "component {i}:")?;
+            writeln!(
+                f,
+                "  core order: {} (seed candidates: {})",
+                component.core_order.join(" → "),
+                component.initial_candidates
+            )?;
+            for (core, sats) in component.core_order.iter().zip(&component.satellites) {
+                if !sats.is_empty() {
+                    writeln!(f, "  satellites of ?{core}: {}", sats.join(", "))?;
+                }
+            }
+            for c in &component.vertex_constraints {
+                if c.attributes > 0 || c.iri_constraints > 0 {
+                    write!(
+                        f,
+                        "  ?{}: {} attribute(s), {} IRI constraint(s)",
+                        c.variable, c.attributes, c.iri_constraints
+                    )?;
+                    if let Some(n) = c.candidate_count {
+                        write!(f, " → {n} candidate(s)")?;
+                    }
+                    writeln!(f)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_multigraph::paper::{paper_graph, paper_query_text};
+    use amber_sparql::parse_select;
+
+    #[test]
+    fn paper_query_plan() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+        let plan = QueryPlan::explain(&qg, &rdf, &index);
+        assert!(plan.unsatisfiable.is_none());
+        assert_eq!(plan.components.len(), 1);
+        let component = &plan.components[0];
+        assert_eq!(component.core_order, vec!["X1", "X3", "X5"]);
+        // §4.2 narrows X1's seed to exactly {v2} (London).
+        assert_eq!(component.initial_candidates, 1);
+        // X5 has 2 attributes constraining it to a single candidate (v0).
+        let x5 = component
+            .vertex_constraints
+            .iter()
+            .find(|c| c.variable == "X5")
+            .unwrap();
+        assert_eq!(x5.attributes, 2);
+        assert_eq!(x5.candidate_count, Some(1));
+
+        let text = plan.to_string();
+        assert!(text.contains("core order: X1 → X3 → X5"));
+        assert!(text.contains("satellites of ?X1"));
+    }
+
+    #[test]
+    fn unsatisfiable_plan_reports_reason() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let qg = QueryGraph::build(
+            &parse_select("SELECT * WHERE { ?a <http://nope/p> ?b . }").unwrap(),
+            &rdf,
+        )
+        .unwrap();
+        let plan = QueryPlan::explain(&qg, &rdf, &index);
+        assert!(plan.unsatisfiable.is_some());
+        assert!(plan.to_string().contains("UNSATISFIABLE"));
+    }
+}

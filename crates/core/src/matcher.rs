@@ -1,0 +1,434 @@
+//! The sub-multigraph homomorphism search (paper Algorithms 2, 3 and 4).
+//!
+//! [`ComponentMatcher`] matches one connected component of the query
+//! multigraph:
+//!
+//! 1. decompose into core + satellite vertices ([`crate::decompose`]),
+//! 2. order the core vertices ([`crate::ordering`]),
+//! 3. seed with `C^S_{u_init} ∩ ProcessVertex(u_init)` (Algorithm 3,
+//!    lines 4-5),
+//! 4. recurse over the ordered core vertices; at each step the candidates of
+//!    the next vertex are the intersection of `QueryNeighIndex` probes from
+//!    *all* already-matched adjacent cores (Algorithm 4, lines 5-7),
+//!    refined by the vertex constraint (line 8),
+//! 5. whenever a core vertex is matched, its satellites are resolved
+//!    *independently* via `MatchSatVertices` (Algorithm 2, justified by
+//!    Lemma 2) — each satellite contributes a *set* of matches,
+//! 6. a completed assignment contributes `∏ |V_s|` embeddings (`GenEmb`'s
+//!    Cartesian product) — counted exactly, materialized lazily.
+//!
+//! There is no injectivity check anywhere: this is homomorphism, not
+//! isomorphism (§5: "different query vertices [may] be matched with the
+//! same data vertices").
+
+use crate::candidates::{process_vertex, satisfies_self_loop, Constraint};
+use crate::decompose::Decomposition;
+use crate::ordering::order_core_vertices;
+use amber_index::IndexSet;
+use amber_multigraph::{
+    DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId,
+};
+use amber_util::{sorted, Deadline};
+
+/// One full assignment of a component: every core vertex pinned to a data
+/// vertex, every satellite carrying its independent candidate set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentSolution {
+    /// `(query vertex, matched data vertex)` per core vertex.
+    pub core: Vec<(QVertexId, VertexId)>,
+    /// `(query vertex, matched data vertices)` per satellite vertex.
+    pub satellites: Vec<(QVertexId, Vec<VertexId>)>,
+}
+
+impl ComponentSolution {
+    /// Number of embeddings this solution denotes (`∏ |V_s|`, saturating).
+    pub fn embedding_count(&self) -> u128 {
+        self.satellites
+            .iter()
+            .fold(1u128, |acc, (_, vs)| acc.saturating_mul(vs.len() as u128))
+    }
+}
+
+/// The result of matching one component.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentMatch {
+    /// Exact embedding count (saturating u128), partial if `timed_out`.
+    pub count: u128,
+    /// Retained solutions (up to the configured cap).
+    pub solutions: Vec<ComponentSolution>,
+    /// `true` when the deadline expired mid-search.
+    pub timed_out: bool,
+}
+
+/// Search configuration.
+#[derive(Debug)]
+pub struct MatchConfig<'d> {
+    /// Shared wall-clock budget.
+    pub deadline: &'d Deadline,
+    /// Maximum number of [`ComponentSolution`]s to retain (counting always
+    /// runs to completion). `None` retains all.
+    pub solution_cap: Option<usize>,
+}
+
+/// A probe against the neighbourhood index, seen from an already-matched
+/// vertex: "neighbours of ψ(prior) in `direction` through `types`".
+#[derive(Debug, Clone)]
+struct NeighborProbe {
+    /// Position of the already-matched core vertex in the order.
+    prior_position: usize,
+    /// Direction of the probe relative to the *matched* vertex.
+    direction: Direction,
+    /// Required edge types.
+    types: Vec<EdgeTypeId>,
+}
+
+/// Everything needed to resolve one satellite of a core vertex.
+#[derive(Debug)]
+struct SatellitePlan {
+    vertex: QVertexId,
+    /// Probes relative to the core vertex's match.
+    probes: Vec<(Direction, Vec<EdgeTypeId>)>,
+    /// Cached `ProcessVertex` result.
+    constraint: Constraint,
+    has_self_loop: bool,
+}
+
+/// Per-ordered-core-vertex matching plan.
+#[derive(Debug)]
+struct CorePlan {
+    vertex: QVertexId,
+    /// Probes from earlier-ordered neighbours (empty for the initial vertex).
+    probes: Vec<NeighborProbe>,
+    /// Cached `ProcessVertex` result.
+    constraint: Constraint,
+    has_self_loop: bool,
+    satellites: Vec<SatellitePlan>,
+}
+
+/// Matcher for one connected component of the query multigraph.
+pub struct ComponentMatcher<'a> {
+    graph: &'a DataGraph,
+    index: &'a IndexSet,
+    qg: &'a QueryGraph,
+    order: Vec<QVertexId>,
+    plans: Vec<CorePlan>,
+    /// `C^S ∩ ProcessVertex` of the initial vertex.
+    initial: Vec<VertexId>,
+}
+
+impl<'a> ComponentMatcher<'a> {
+    /// Build the matching plan for one component (vertex ids ascending).
+    pub fn new(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+    ) -> Self {
+        let decomp = Decomposition::of_component(qg, component);
+        let order = order_core_vertices(qg, &decomp);
+        Self::with_order(qg, graph, index, decomp, order)
+    }
+
+    /// Build the plan with an explicit core order — the hook used by the
+    /// ordering-heuristic ablation benchmark. `order` must be a permutation
+    /// of the component's core vertices in which every vertex (after the
+    /// first) is adjacent to an earlier one.
+    pub fn new_with_order(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+        order: Vec<QVertexId>,
+    ) -> Self {
+        let decomp = Decomposition::of_component(qg, component);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, decomp.core, "order must permute the core vertices");
+        Self::with_order(qg, graph, index, decomp, order)
+    }
+
+    fn with_order(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        decomp: Decomposition,
+        order: Vec<QVertexId>,
+    ) -> Self {
+        let position_of = |u: QVertexId| order.iter().position(|&o| o == u);
+
+        let mut plans = Vec::with_capacity(order.len());
+        for (pos, &u) in order.iter().enumerate() {
+            // Probes from already-ordered core neighbours: for an edge
+            // prior→u the candidates are out-neighbours of ψ(prior); for
+            // u→prior they are in-neighbours.
+            let mut probes = Vec::new();
+            for adj in qg.adjacency(u) {
+                if adj.neighbor == u {
+                    continue;
+                }
+                let Some(prior_position) = position_of(adj.neighbor) else {
+                    continue; // satellite, handled below
+                };
+                if prior_position >= pos {
+                    continue; // matched later; enforced from the other side
+                }
+                let edge = &qg.edges()[adj.edge];
+                // adj.direction is relative to u; the probe runs from the
+                // matched prior vertex, so it flips.
+                probes.push(NeighborProbe {
+                    prior_position,
+                    direction: adj.direction.flip(),
+                    types: edge.types.types().to_vec(),
+                });
+            }
+
+            let satellites = decomp
+                .satellites_of(u)
+                .iter()
+                .map(|&s| {
+                    let mut sat_probes = Vec::new();
+                    for adj in qg.adjacency(u) {
+                        if adj.neighbor != s {
+                            continue;
+                        }
+                        let edge = &qg.edges()[adj.edge];
+                        // Probe direction relative to the core match: an
+                        // edge u→s means the satellite candidates are
+                        // out-neighbours of ψ(u).
+                        sat_probes.push((adj.direction, edge.types.types().to_vec()));
+                    }
+                    debug_assert!(!sat_probes.is_empty(), "satellite must touch its core");
+                    SatellitePlan {
+                        vertex: s,
+                        probes: sat_probes,
+                        constraint: process_vertex(qg, s, index),
+                        has_self_loop: qg.vertex(s).self_loop.is_some(),
+                    }
+                })
+                .collect();
+
+            plans.push(CorePlan {
+                vertex: u,
+                probes,
+                constraint: process_vertex(qg, u, index),
+                has_self_loop: qg.vertex(u).self_loop.is_some(),
+                satellites,
+            });
+        }
+
+        // Algorithm 3, lines 4-5: seed candidates for the initial vertex via
+        // the signature index (sound query-side synopsis) and ProcessVertex.
+        let u_init = order[0];
+        let mut initial = index
+            .signature
+            .candidates(&qg.signature(u_init).query_synopsis());
+        plans[0].constraint.filter(&mut initial);
+        if plans[0].has_self_loop {
+            initial.retain(|&v| satisfies_self_loop(qg, u_init, graph, v));
+        }
+
+        Self {
+            graph,
+            index,
+            qg,
+            order,
+            plans,
+            initial,
+        }
+    }
+
+    /// The ordered core vertices (`U_c^ord`).
+    pub fn core_order(&self) -> &[QVertexId] {
+        &self.order
+    }
+
+    /// The seed candidates of the initial vertex (`CandInit`).
+    pub fn initial_candidates(&self) -> &[VertexId] {
+        &self.initial
+    }
+
+    /// Run the full search over all initial candidates.
+    pub fn run(&self, config: &MatchConfig<'_>) -> ComponentMatch {
+        self.run_on(&self.initial, config)
+    }
+
+    /// Run the search over a slice of initial candidates (the parallel
+    /// extension partitions [`Self::initial_candidates`] across workers).
+    pub fn run_on(&self, initial: &[VertexId], config: &MatchConfig<'_>) -> ComponentMatch {
+        let mut state = SearchState {
+            assignment: vec![VertexId(u32::MAX); self.order.len()],
+            satellite_sets: vec![Vec::new(); self.order.len()],
+            result: ComponentMatch::default(),
+            config,
+        };
+        for &v_init in initial {
+            // Uncached check: the outer loop runs once per initial candidate,
+            // so precision matters more than the clock read here.
+            if state.config.deadline.exceeded_now() {
+                state.result.timed_out = true;
+                break;
+            }
+            self.try_candidate(0, v_init, &mut state);
+            if state.result.timed_out {
+                break;
+            }
+        }
+        state.result
+    }
+
+    /// Attempt `v` as the match of the core vertex at `pos`; on success,
+    /// resolve its satellites and recurse (Algorithm 3 lines 8-19 for the
+    /// initial vertex, Algorithm 4 lines 9-20 beyond).
+    fn try_candidate(&self, pos: usize, v: VertexId, state: &mut SearchState<'_, '_>) {
+        let plan = &self.plans[pos];
+        // MatchSatVertices (Algorithm 2): every satellite resolves
+        // independently given ψ(core) = v (Lemma 2).
+        let mut satellite_sets: Vec<(QVertexId, Vec<VertexId>)> =
+            Vec::with_capacity(plan.satellites.len());
+        for sat in &plan.satellites {
+            let candidates = self.satellite_candidates(sat, v);
+            if candidates.is_empty() {
+                return; // no solution possible for this v (Alg. 2 line 8)
+            }
+            satellite_sets.push((sat.vertex, candidates));
+        }
+        state.assignment[pos] = v;
+        state.satellite_sets[pos] = satellite_sets;
+        self.recurse(pos + 1, state);
+    }
+
+    /// Candidates of one satellite given its core's match (Algorithm 2
+    /// lines 3-4).
+    fn satellite_candidates(&self, sat: &SatellitePlan, core_match: VertexId) -> Vec<VertexId> {
+        let mut acc: Option<Vec<VertexId>> = None;
+        for (direction, types) in &sat.probes {
+            let list = self
+                .index
+                .neighborhood
+                .neighbors(core_match, *direction, types);
+            acc = Some(match acc {
+                None => list,
+                Some(prev) => sorted::intersect(&prev, &list),
+            });
+            if acc.as_ref().is_some_and(Vec::is_empty) {
+                return Vec::new();
+            }
+        }
+        let mut candidates = acc.unwrap_or_default();
+        sat.constraint.filter(&mut candidates);
+        if sat.has_self_loop {
+            candidates.retain(|&v| satisfies_self_loop(self.qg, sat.vertex, self.graph, v));
+        }
+        candidates
+    }
+
+    /// HomomorphicMatch (Algorithm 4).
+    fn recurse(&self, pos: usize, state: &mut SearchState<'_, '_>) {
+        if state.config.deadline.exceeded() {
+            state.result.timed_out = true;
+            return;
+        }
+        if pos == self.order.len() {
+            self.record(state);
+            return;
+        }
+        let plan = &self.plans[pos];
+
+        // Lines 5-7: intersect neighbourhood probes from all matched
+        // adjacent cores.
+        let mut candidates: Option<Vec<VertexId>> = None;
+        for probe in &plan.probes {
+            let matched = state.assignment[probe.prior_position];
+            let list =
+                self.index
+                    .neighborhood
+                    .neighbors(matched, probe.direction, &probe.types);
+            candidates = Some(match candidates {
+                None => list,
+                Some(prev) => sorted::intersect(&prev, &list),
+            });
+            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                return;
+            }
+        }
+        let mut candidates =
+            candidates.expect("non-initial core vertex has at least one ordered neighbour");
+
+        // Line 8: refine with ProcessVertex (+ self-loop).
+        plan.constraint.filter(&mut candidates);
+        if plan.has_self_loop {
+            candidates.retain(|&v| satisfies_self_loop(self.qg, plan.vertex, self.graph, v));
+        }
+
+        // Lines 9-20.
+        for v in candidates {
+            self.try_candidate(pos, v, state);
+            if state.result.timed_out {
+                return;
+            }
+        }
+    }
+
+    /// All core vertices matched: register the solution. `GenEmb` counting —
+    /// the solution denotes `∏ |V_s|` embeddings via Cartesian product.
+    fn record(&self, state: &mut SearchState<'_, '_>) {
+        let solution = ComponentSolution {
+            core: state
+                .assignment
+                .iter()
+                .enumerate()
+                .map(|(pos, &v)| (self.order[pos], v))
+                .collect(),
+            satellites: state.satellite_sets.iter().flatten().cloned().collect(),
+        };
+        state.result.count = state
+            .result
+            .count
+            .saturating_add(solution.embedding_count());
+        let keep = state
+            .config
+            .solution_cap
+            .map_or(true, |cap| state.result.solutions.len() < cap);
+        if keep {
+            state.result.solutions.push(solution);
+        }
+    }
+}
+
+/// Mutable search state threaded through the recursion.
+struct SearchState<'c, 'd> {
+    /// Current core assignment, indexed by order position.
+    assignment: Vec<VertexId>,
+    /// Current satellite candidate sets, indexed by order position.
+    satellite_sets: Vec<Vec<(QVertexId, Vec<VertexId>)>>,
+    result: ComponentMatch,
+    config: &'c MatchConfig<'d>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_multigraph::paper::{paper_graph, paper_query_text};
+    use amber_sparql::parse_select;
+
+    fn setup() -> (amber_multigraph::RdfGraph, QueryGraph, IndexSet) {
+        let rdf = paper_graph();
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+        let index = IndexSet::build(&rdf);
+        (rdf, qg, index)
+    }
+
+    #[test]
+    fn paper_query_has_two_embeddings() {
+        let (rdf, qg, index) = setup();
+        let comps = qg.connected_components();
+        let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
+        let deadline = Deadline::unlimited();
+        let result = matcher.run(&MatchConfig {
+            deadline: &deadline,
+            solution_cap: None,
+        });
+        assert!(!result.timed_out);
+        assert_eq!(result.count, 2);
+    }
+}

@@ -1,0 +1,103 @@
+//! Execution options shared by all engines in the workspace.
+
+use std::time::Duration;
+
+/// Knobs for one query execution.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Wall-clock budget; the paper's evaluation uses 60 s (§7.2). `None`
+    /// runs to completion.
+    pub timeout: Option<Duration>,
+    /// Cap on *materialized* bindings. Counting
+    /// ([`QueryOutcome::embedding_count`](crate::QueryOutcome)) is not
+    /// affected. `None` materializes everything.
+    pub max_results: Option<usize>,
+    /// Count embeddings without materializing bindings at all.
+    pub count_only: bool,
+    /// Number of worker threads for the parallel-matching extension
+    /// (`1` = the paper's sequential algorithm).
+    pub threads: usize,
+}
+
+impl ExecOptions {
+    /// Default options (no timeout, full materialization, sequential).
+    pub fn new() -> Self {
+        Self {
+            threads: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The paper's benchmark configuration: a wall-clock budget and
+    /// count-only evaluation (the harness measures time-to-enumerate, not
+    /// result shipping).
+    pub fn benchmark(timeout: Duration) -> Self {
+        Self {
+            timeout: Some(timeout),
+            max_results: None,
+            count_only: true,
+            threads: 1,
+        }
+    }
+
+    /// Builder: set the timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Builder: cap materialized results.
+    pub fn with_max_results(mut self, max: usize) -> Self {
+        self.max_results = Some(max);
+        self
+    }
+
+    /// Builder: count-only mode.
+    pub fn counting(mut self) -> Self {
+        self.count_only = true;
+        self
+    }
+
+    /// Builder: parallel matching with `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Effective thread count (0 is treated as 1).
+    pub fn effective_threads(&self) -> usize {
+        self.threads.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let o = ExecOptions::new()
+            .with_timeout(Duration::from_secs(60))
+            .with_max_results(10)
+            .counting()
+            .with_threads(4);
+        assert_eq!(o.timeout, Some(Duration::from_secs(60)));
+        assert_eq!(o.max_results, Some(10));
+        assert!(o.count_only);
+        assert_eq!(o.effective_threads(), 4);
+    }
+
+    #[test]
+    fn zero_threads_is_sequential() {
+        let o = ExecOptions::default();
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.effective_threads(), 1);
+    }
+
+    #[test]
+    fn benchmark_preset() {
+        let o = ExecOptions::benchmark(Duration::from_secs(60));
+        assert!(o.count_only);
+        assert_eq!(o.timeout, Some(Duration::from_secs(60)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Parallel matching — the paper's future-work extension (§8: "develop a
+//! parallel processing version of our proposal").
+//!
+//! The recursion trees rooted at different initial candidates are
+//! independent (they share only read-only structures), so the outermost loop
+//! of Algorithm 3 partitions cleanly: the initial candidate list is split
+//! into contiguous chunks, one worker per chunk, and the per-worker
+//! [`ComponentMatch`]es are merged (counts add, retained solutions
+//! concatenate up to the cap, timeout flags OR). The shared
+//! [`Deadline`](amber_util::Deadline) uses a relaxed atomic counter, so the
+//! budget applies to the ensemble.
+
+use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
+
+/// Run one component with `threads` workers (1 = the paper's sequential
+/// algorithm, which is also used whenever the candidate list is tiny).
+pub fn run_component(
+    matcher: &ComponentMatcher<'_>,
+    threads: usize,
+    config: &MatchConfig<'_>,
+) -> ComponentMatch {
+    let initial = matcher.initial_candidates();
+    if threads <= 1 || initial.len() < 2 * threads {
+        return matcher.run(config);
+    }
+
+    let chunk_size = initial.len().div_ceil(threads);
+    // Fork the deadline per worker: same expiry instant, core-local poll
+    // counter (one shared atomic would serialize the workers on its cache
+    // line).
+    let chunks: Vec<&[amber_multigraph::VertexId]> = initial.chunks(chunk_size).collect();
+    let deadlines: Vec<_> = chunks.iter().map(|_| config.deadline.fork()).collect();
+    let results: Vec<ComponentMatch> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .zip(&deadlines)
+            .map(|(chunk, deadline)| {
+                let worker_config = MatchConfig {
+                    deadline,
+                    solution_cap: config.solution_cap,
+                };
+                scope.spawn(move || matcher.run_on(chunk, &worker_config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("matcher worker panicked"))
+            .collect()
+    });
+
+    merge(results, config.solution_cap)
+}
+
+/// Merge per-worker results.
+fn merge(results: Vec<ComponentMatch>, cap: Option<usize>) -> ComponentMatch {
+    let mut merged = ComponentMatch::default();
+    for r in results {
+        merged.count = merged.count.saturating_add(r.count);
+        merged.timed_out |= r.timed_out;
+        merged.solutions.extend(r.solutions);
+    }
+    if let Some(cap) = cap {
+        merged.solutions.truncate(cap);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_index::IndexSet;
+    use amber_multigraph::paper::{paper_graph, PREFIX_Y};
+    use amber_multigraph::QueryGraph;
+    use amber_sparql::parse_select;
+    use amber_util::Deadline;
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let query = parse_select(&format!(
+            "SELECT * WHERE {{ ?a <{PREFIX_Y}livedIn> ?b . }}"
+        ))
+        .unwrap();
+        let qg = QueryGraph::build(&query, &rdf).unwrap();
+        let comps = qg.connected_components();
+        let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
+        let deadline = Deadline::unlimited();
+        let config = MatchConfig {
+            deadline: &deadline,
+            solution_cap: None,
+        };
+        let seq = matcher.run(&config);
+        for threads in [2, 3, 8] {
+            let par = run_component(&matcher, threads, &config);
+            assert_eq!(par.count, seq.count, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn merge_respects_cap_and_flags() {
+        use crate::matcher::ComponentSolution;
+        use amber_multigraph::{QVertexId, VertexId};
+        let solution = ComponentSolution {
+            core: vec![(QVertexId(0), VertexId(0))],
+            satellites: vec![],
+        };
+        let a = ComponentMatch {
+            count: 2,
+            solutions: vec![solution.clone(), solution.clone()],
+            timed_out: false,
+        };
+        let b = ComponentMatch {
+            count: 3,
+            solutions: vec![solution.clone()],
+            timed_out: true,
+        };
+        let merged = merge(vec![a, b], Some(2));
+        assert_eq!(merged.count, 5);
+        assert!(merged.timed_out);
+        assert_eq!(merged.solutions.len(), 2);
+    }
+}

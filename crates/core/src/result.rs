@@ -1,0 +1,96 @@
+//! Query outcomes and the engine trait shared with the baselines.
+
+use crate::error::EngineError;
+use crate::options::ExecOptions;
+use amber_sparql::SelectQuery;
+use std::time::Duration;
+
+/// How an execution ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryStatus {
+    /// All embeddings were enumerated.
+    Completed,
+    /// The wall-clock budget expired; counts/bindings are partial. The
+    /// paper's robustness metric counts such queries as *unanswered*.
+    TimedOut,
+}
+
+/// The result of one query execution.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Completion status.
+    pub status: QueryStatus,
+    /// Number of homomorphic embeddings of the query multigraph (the paper's
+    /// result semantics; bags, not sets). Partial when `TimedOut`.
+    pub embedding_count: u128,
+    /// Output variable names, in SELECT order.
+    pub variables: Vec<Box<str>>,
+    /// Materialized bindings (rows of data-vertex names resolved through
+    /// `Mv⁻¹`), capped by [`ExecOptions::max_results`]; empty in
+    /// `count_only` mode. `SELECT DISTINCT` deduplicates these rows (the
+    /// embedding count stays bag-semantics).
+    pub bindings: Vec<Vec<Box<str>>>,
+    /// Wall-clock execution time.
+    pub elapsed: Duration,
+}
+
+impl QueryOutcome {
+    /// An empty, completed outcome (unsatisfiable or zero-match queries).
+    pub fn empty(variables: Vec<Box<str>>, elapsed: Duration) -> Self {
+        Self {
+            status: QueryStatus::Completed,
+            embedding_count: 0,
+            variables,
+            bindings: Vec::new(),
+            elapsed,
+        }
+    }
+
+    /// `true` when the query completed with at least one embedding.
+    pub fn has_answers(&self) -> bool {
+        self.embedding_count > 0
+    }
+
+    /// `true` when the budget expired before enumeration finished.
+    pub fn timed_out(&self) -> bool {
+        self.status == QueryStatus::TimedOut
+    }
+}
+
+/// A SPARQL engine under benchmark — implemented by AMbER and by every
+/// baseline, so the experiment harness can drive them uniformly.
+pub trait SparqlEngine {
+    /// Engine name as it appears in the paper's tables/figures.
+    fn name(&self) -> &'static str;
+
+    /// Execute a parsed query.
+    fn execute_query(
+        &self,
+        query: &SelectQuery,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError>;
+
+    /// Execute SPARQL text (parse + execute).
+    fn execute_sparql(
+        &self,
+        sparql: &str,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let query = amber_sparql::parse_select(sparql)?;
+        self.execute_query(&query, options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_outcome() {
+        let o = QueryOutcome::empty(vec!["x".into()], Duration::ZERO);
+        assert!(!o.has_answers());
+        assert!(!o.timed_out());
+        assert_eq!(o.variables.len(), 1);
+        assert!(o.bindings.is_empty());
+    }
+}

@@ -1,0 +1,372 @@
+//! An 8-dimensional R-tree over vertex synopses (paper §4.2).
+//!
+//! "Once the synopses are computed for all data vertices, an R-tree is
+//! constructed to store all the synopses. A synopsis with |F| fields forms a
+//! leaf in the R-tree."
+//!
+//! A synopsis spans the axis-parallel rectangle `[0, f_i]` per dimension, so
+//! the paper's rectangular-containment question "is the query rectangle
+//! wholly contained in the data rectangle?" reduces to the **dominance
+//! query**: report every stored point `p` with `q_i ≤ p_i` for all `i`.
+//! Internal nodes prune on their per-dimension maxima; subtrees whose minima
+//! already dominate the query are reported wholesale without further tests.
+//!
+//! The tree is bulk-loaded with a Sort-Tile-Recursive-style packing that
+//! cycles through the dimensions, which keeps node fan-in tight without the
+//! insert-time split heuristics a dynamic R-tree would need (the index is
+//! immutable after the offline stage).
+
+use amber_multigraph::{Synopsis, VertexId};
+use amber_util::HeapSize;
+
+/// Number of dimensions (synopsis fields).
+pub const DIMS: usize = amber_multigraph::signature::SYNOPSIS_DIMS;
+
+/// Maximum entries per node.
+const NODE_CAPACITY: usize = 16;
+
+/// One stored point: a synopsis and the vertex it belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry {
+    /// The synopsis (point coordinates).
+    pub synopsis: Synopsis,
+    /// Payload vertex.
+    pub vertex: VertexId,
+}
+
+/// Minimum bounding rectangle of a node.
+#[derive(Debug, Clone, Copy)]
+struct Mbr {
+    min: [i64; DIMS],
+    max: [i64; DIMS],
+}
+
+impl Mbr {
+    fn empty() -> Self {
+        Self {
+            min: [i64::MAX; DIMS],
+            max: [i64::MIN; DIMS],
+        }
+    }
+
+    fn extend_point(&mut self, p: &Synopsis) {
+        for (i, &coord) in p.0.iter().enumerate() {
+            self.min[i] = self.min[i].min(coord);
+            self.max[i] = self.max[i].max(coord);
+        }
+    }
+
+    fn extend_mbr(&mut self, other: &Mbr) {
+        for i in 0..DIMS {
+            self.min[i] = self.min[i].min(other.min[i]);
+            self.max[i] = self.max[i].max(other.max[i]);
+        }
+    }
+
+    /// Can any point in this MBR dominate `q`?
+    #[inline]
+    fn may_dominate(&self, q: &Synopsis) -> bool {
+        self.max.iter().zip(q.0.iter()).all(|(max, q)| q <= max)
+    }
+
+    /// Does *every* point in this MBR dominate `q`?
+    #[inline]
+    fn all_dominate(&self, q: &Synopsis) -> bool {
+        self.min.iter().zip(q.0.iter()).all(|(min, q)| q <= min)
+    }
+}
+
+#[derive(Debug)]
+enum Node {
+    Leaf {
+        mbr: Mbr,
+        entries: Vec<Entry>,
+    },
+    Inner {
+        mbr: Mbr,
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    fn mbr(&self) -> &Mbr {
+        match self {
+            Node::Leaf { mbr, .. } | Node::Inner { mbr, .. } => mbr,
+        }
+    }
+}
+
+/// Immutable, bulk-loaded R-tree answering dominance queries.
+#[derive(Debug)]
+pub struct RTree {
+    root: Option<Node>,
+    len: usize,
+}
+
+impl RTree {
+    /// Bulk-load from entries (order irrelevant).
+    pub fn bulk_load(mut entries: Vec<Entry>) -> Self {
+        let len = entries.len();
+        if entries.is_empty() {
+            return Self { root: None, len: 0 };
+        }
+        let root = build_node(&mut entries, 0);
+        Self {
+            root: Some(root),
+            len,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Report every vertex whose synopsis dominates `query`
+    /// (Lemma 1's candidate set `C^S_u`). The result is sorted.
+    pub fn dominating(&self, query: &Synopsis) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_dominating(root, query, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Visit every entry (used by tests and the linear-scan ablation).
+    pub fn for_each_entry(&self, mut f: impl FnMut(&Entry)) {
+        fn walk(node: &Node, f: &mut impl FnMut(&Entry)) {
+            match node {
+                Node::Leaf { entries, .. } => entries.iter().for_each(&mut *f),
+                Node::Inner { children, .. } => {
+                    children.iter().for_each(|c| walk(c, f));
+                }
+            }
+        }
+        if let Some(root) = &self.root {
+            walk(root, &mut f);
+        }
+    }
+
+    /// Height of the tree (0 for empty, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        fn depth(node: &Node) -> usize {
+            match node {
+                Node::Leaf { .. } => 1,
+                Node::Inner { children, .. } => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        self.root.as_ref().map_or(0, depth)
+    }
+}
+
+fn collect_dominating(node: &Node, query: &Synopsis, out: &mut Vec<VertexId>) {
+    if !node.mbr().may_dominate(query) {
+        return;
+    }
+    if node.mbr().all_dominate(query) {
+        // Whole subtree qualifies — no further comparisons needed.
+        match node {
+            Node::Leaf { entries, .. } => out.extend(entries.iter().map(|e| e.vertex)),
+            Node::Inner { children, .. } => {
+                for child in children {
+                    collect_all(child, out);
+                }
+            }
+        }
+        return;
+    }
+    match node {
+        Node::Leaf { entries, .. } => {
+            out.extend(
+                entries
+                    .iter()
+                    .filter(|e| e.synopsis.dominates(query))
+                    .map(|e| e.vertex),
+            );
+        }
+        Node::Inner { children, .. } => {
+            for child in children {
+                collect_dominating(child, query, out);
+            }
+        }
+    }
+}
+
+fn collect_all(node: &Node, out: &mut Vec<VertexId>) {
+    match node {
+        Node::Leaf { entries, .. } => out.extend(entries.iter().map(|e| e.vertex)),
+        Node::Inner { children, .. } => children.iter().for_each(|c| collect_all(c, out)),
+    }
+}
+
+/// Recursive STR-style packing, cycling the split dimension per level.
+fn build_node(entries: &mut [Entry], dim: usize) -> Node {
+    if entries.len() <= NODE_CAPACITY {
+        let mut mbr = Mbr::empty();
+        for e in entries.iter() {
+            mbr.extend_point(&e.synopsis);
+        }
+        return Node::Leaf {
+            mbr,
+            entries: entries.to_vec(),
+        };
+    }
+    entries.sort_unstable_by_key(|e| e.synopsis.0[dim]);
+    // Partition into NODE_CAPACITY roughly equal slabs.
+    let chunk = entries.len().div_ceil(NODE_CAPACITY);
+    let mut children = Vec::with_capacity(NODE_CAPACITY);
+    let mut mbr = Mbr::empty();
+    for slab in entries.chunks_mut(chunk) {
+        let child = build_node(slab, (dim + 1) % DIMS);
+        mbr.extend_mbr(child.mbr());
+        children.push(child);
+    }
+    Node::Inner { mbr, children }
+}
+
+impl HeapSize for RTree {
+    fn heap_size(&self) -> usize {
+        fn node_size(node: &Node) -> usize {
+            match node {
+                Node::Leaf { entries, .. } => entries.capacity() * std::mem::size_of::<Entry>(),
+                Node::Inner { children, .. } => {
+                    children.capacity() * std::mem::size_of::<Node>()
+                        + children.iter().map(node_size).sum::<usize>()
+                }
+            }
+        }
+        self.root.as_ref().map_or(0, node_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn syn(fields: [i64; 8]) -> Synopsis {
+        Synopsis(fields)
+    }
+
+    fn entry(fields: [i64; 8], v: u32) -> Entry {
+        Entry {
+            synopsis: syn(fields),
+            vertex: VertexId(v),
+        }
+    }
+
+    /// Brute-force oracle.
+    fn linear(entries: &[Entry], q: &Synopsis) -> Vec<VertexId> {
+        let mut out: Vec<VertexId> = entries
+            .iter()
+            .filter(|e| e.synopsis.dominates(q))
+            .map(|e| e.vertex)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree = RTree::bulk_load(vec![]);
+        assert!(tree.is_empty());
+        assert_eq!(tree.dominating(&Synopsis::zero()), vec![]);
+        assert_eq!(tree.height(), 0);
+    }
+
+    #[test]
+    fn single_entry() {
+        let tree = RTree::bulk_load(vec![entry([1, 1, 0, 0, 0, 0, 0, 0], 7)]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(
+            tree.dominating(&syn([1, 1, 0, 0, 0, 0, 0, 0])),
+            vec![VertexId(7)]
+        );
+        assert_eq!(tree.dominating(&syn([2, 1, 0, 0, 0, 0, 0, 0])), vec![]);
+    }
+
+    #[test]
+    fn zero_query_matches_everything() {
+        let entries: Vec<Entry> = (0..100)
+            .map(|i| entry([i, i % 7, -(i % 5), i % 11, 0, 0, 0, 0], i as u32))
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        // A zero query is dominated by synopses with non-negative fields
+        // only; mirror against the oracle.
+        assert_eq!(tree.dominating(&Synopsis::zero()), linear(&entries, &Synopsis::zero()));
+    }
+
+    #[test]
+    fn matches_linear_scan_on_structured_grid() {
+        let mut entries = Vec::new();
+        let mut id = 0u32;
+        for a in -2..3i64 {
+            for b in 0..4i64 {
+                for c in -1..2i64 {
+                    entries.push(entry([a, b, c, a + b, b - c, a, c, b], id));
+                    id += 1;
+                }
+            }
+        }
+        let tree = RTree::bulk_load(entries.clone());
+        for q in [
+            [0, 0, 0, 0, 0, 0, 0, 0],
+            [1, 2, 0, 2, 1, 0, 0, 1],
+            [-2, 0, -1, -2, -1, -2, -1, 0],
+            [3, 3, 3, 3, 3, 3, 3, 3],
+        ] {
+            let q = syn(q);
+            assert_eq!(tree.dominating(&q), linear(&entries, &q), "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_synopses_are_all_reported() {
+        let entries = vec![
+            entry([1, 1, 0, 3, 0, 0, 0, 0], 1),
+            entry([1, 1, 0, 3, 0, 0, 0, 0], 2),
+            entry([1, 1, 0, 3, 0, 0, 0, 0], 3),
+        ];
+        let tree = RTree::bulk_load(entries);
+        assert_eq!(
+            tree.dominating(&syn([1, 1, 0, 3, 0, 0, 0, 0])),
+            vec![VertexId(1), VertexId(2), VertexId(3)]
+        );
+    }
+
+    #[test]
+    fn tree_becomes_hierarchical_for_many_entries() {
+        let entries: Vec<Entry> = (0..2000)
+            .map(|i| {
+                let i = i as i64;
+                entry(
+                    [
+                        i % 13,
+                        i % 7,
+                        -(i % 5),
+                        i % 17,
+                        i % 3,
+                        i % 11,
+                        -(i % 2),
+                        i % 19,
+                    ],
+                    i as u32,
+                )
+            })
+            .collect();
+        let tree = RTree::bulk_load(entries.clone());
+        assert!(tree.height() > 1, "2000 entries must not fit one leaf");
+        assert_eq!(tree.len(), 2000);
+        let q = syn([5, 3, -1, 9, 1, 4, 0, 10]);
+        assert_eq!(tree.dominating(&q), linear(&entries, &q));
+        // for_each_entry visits everything exactly once
+        let mut count = 0;
+        tree.for_each_entry(|_| count += 1);
+        assert_eq!(count, 2000);
+    }
+}

@@ -1,0 +1,411 @@
+//! Streaming construction of the data multigraph from RDF triples
+//! (the paper's offline transformation, §2.1.1).
+//!
+//! The four transformation protocols of §2.1.1:
+//!
+//! 1. a subject is always a vertex,
+//! 2. a predicate is always an edge (type),
+//! 3. an IRI object is a vertex,
+//! 4. a literal object is folded with its predicate into a vertex attribute
+//!    `<p, o>` of the subject.
+//!
+//! [`GraphConfig::literals_as_vertices`] switches protocol 4 off and
+//! materializes literals as vertices instead — the extension mode discussed
+//! in DESIGN.md (full-SPARQL semantics for variable objects over literals).
+
+use crate::data_graph::{AdjEntry, DataGraph, MultiEdge};
+use crate::dictionary::{attribute_key, Dictionaries};
+use crate::ids::{AttrId, EdgeTypeId, VertexId};
+use amber_util::{FxHashMap, HeapSize};
+use rdf_model::{NtParseError, Object, Triple};
+
+/// Construction options.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GraphConfig {
+    /// When `true`, literal objects become vertices (keyed by their
+    /// N-Triples form) instead of vertex attributes. Default: `false`
+    /// (the paper's model).
+    pub literals_as_vertices: bool,
+}
+
+/// Accumulates triples and finalizes into an [`RdfGraph`].
+#[derive(Debug, Default)]
+pub struct GraphBuilder {
+    config: GraphConfig,
+    dicts: Dictionaries,
+    /// Directed pair → accumulated edge types.
+    pairs: FxHashMap<(VertexId, VertexId), Vec<EdgeTypeId>>,
+    /// Per-vertex accumulated attributes.
+    attrs: Vec<Vec<AttrId>>,
+    triple_count: usize,
+}
+
+impl GraphBuilder {
+    /// A builder with the paper's default transformation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder with explicit [`GraphConfig`].
+    pub fn with_config(config: GraphConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// Pre-intern a vertex, pinning its id to the current dictionary size.
+    ///
+    /// Lets tests and generators reproduce a specific id assignment (e.g.
+    /// the exact `v0…v8` of the paper's Table 2a) regardless of triple
+    /// order.
+    pub fn declare_vertex(&mut self, key: &str) -> VertexId {
+        self.vertex(key)
+    }
+
+    /// Pre-intern an edge type (see [`GraphBuilder::declare_vertex`]).
+    pub fn declare_edge_type(&mut self, predicate: &str) -> EdgeTypeId {
+        EdgeTypeId(self.dicts.edge_types.intern(predicate))
+    }
+
+    /// Pre-intern an attribute (see [`GraphBuilder::declare_vertex`]).
+    pub fn declare_attribute(
+        &mut self,
+        predicate: &str,
+        literal: &rdf_model::Literal,
+    ) -> AttrId {
+        AttrId(
+            self.dicts
+                .attributes
+                .intern(&attribute_key(predicate, literal)),
+        )
+    }
+
+    fn vertex(&mut self, key: &str) -> VertexId {
+        let id = VertexId(self.dicts.vertices.intern(key));
+        if id.index() >= self.attrs.len() {
+            self.attrs.resize_with(id.index() + 1, Vec::new);
+        }
+        id
+    }
+
+    /// Add one RDF triple.
+    pub fn add_triple(&mut self, triple: &Triple) {
+        self.triple_count += 1;
+        let subject = self.vertex(&triple.subject.dictionary_key());
+        match &triple.object {
+            Object::Literal(lit) if !self.config.literals_as_vertices => {
+                // Protocol 4: <predicate, literal> becomes an attribute of
+                // the subject vertex.
+                let key = attribute_key(triple.predicate.as_str(), lit);
+                let attr = AttrId(self.dicts.attributes.intern(&key));
+                self.attrs[subject.index()].push(attr);
+            }
+            object => {
+                let object_key = match object {
+                    Object::Literal(lit) => lit.to_string(), // extension mode
+                    other => other
+                        .resource_key()
+                        .expect("non-literal object has a resource key"),
+                };
+                let object = self.vertex(&object_key);
+                let edge_type = EdgeTypeId(self.dicts.edge_types.intern(triple.predicate.as_str()));
+                self.pairs.entry((subject, object)).or_default().push(edge_type);
+            }
+        }
+    }
+
+    /// Add many triples.
+    pub fn add_triples<'a>(&mut self, triples: impl IntoIterator<Item = &'a Triple>) {
+        for t in triples {
+            self.add_triple(t);
+        }
+    }
+
+    /// Finalize into the immutable graph + dictionaries bundle.
+    pub fn finish(self) -> RdfGraph {
+        let n = self.dicts.vertices.len();
+        let mut out_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); n];
+        let mut in_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); n];
+        for ((from, to), types) in self.pairs {
+            let types = MultiEdge::new(types);
+            out_adj[from.index()].push(AdjEntry {
+                neighbor: to,
+                types: types.clone(),
+            });
+            in_adj[to.index()].push(AdjEntry {
+                neighbor: from,
+                types,
+            });
+        }
+        let finalize_adj = |mut adj: Vec<Vec<AdjEntry>>| -> Vec<Box<[AdjEntry]>> {
+            adj.iter_mut()
+                .for_each(|list| list.sort_unstable_by_key(|e| e.neighbor));
+            adj.into_iter().map(Vec::into_boxed_slice).collect()
+        };
+        let attrs = self
+            .attrs
+            .into_iter()
+            .map(|mut a| {
+                a.sort_unstable();
+                a.dedup();
+                a.into_boxed_slice()
+            })
+            .collect();
+        let graph = DataGraph::from_parts(
+            finalize_adj(out_adj),
+            finalize_adj(in_adj),
+            attrs,
+            self.dicts.edge_types.len(),
+        );
+        RdfGraph {
+            graph,
+            dicts: self.dicts,
+            triple_count: self.triple_count,
+            config: self.config,
+        }
+    }
+}
+
+/// Table 4-style statistics of a loaded graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphStats {
+    /// RDF triples consumed.
+    pub triples: usize,
+    /// `|V|`.
+    pub vertices: usize,
+    /// `|E|` (directed vertex pairs with a multi-edge).
+    pub edges: usize,
+    /// `|T|` (distinct predicates that became edge types).
+    pub edge_types: usize,
+    /// `|A|` (distinct `<predicate, literal>` attributes).
+    pub attributes: usize,
+}
+
+/// A data multigraph together with its dictionaries — the output of the
+/// offline transformation stage.
+#[derive(Debug, Clone)]
+pub struct RdfGraph {
+    graph: DataGraph,
+    dicts: Dictionaries,
+    triple_count: usize,
+    config: GraphConfig,
+}
+
+impl RdfGraph {
+    /// Reassemble from restored parts (snapshot loading).
+    pub(crate) fn from_restored(
+        graph: DataGraph,
+        dicts: Dictionaries,
+        triple_count: usize,
+        config: GraphConfig,
+    ) -> Self {
+        Self {
+            graph,
+            dicts,
+            triple_count,
+            config,
+        }
+    }
+
+    /// Transform a tripleset with the default (paper) configuration.
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> Self {
+        let mut builder = GraphBuilder::new();
+        builder.add_triples(triples);
+        builder.finish()
+    }
+
+    /// Parse and transform an N-Triples document.
+    pub fn parse_ntriples(input: &str) -> Result<Self, NtParseError> {
+        let mut builder = GraphBuilder::new();
+        for triple in rdf_model::NtParser::new(input) {
+            builder.add_triple(&triple?);
+        }
+        Ok(builder.finish())
+    }
+
+    /// Parse and transform a Turtle document (the subset real dumps use —
+    /// see [`rdf_model::turtle`]).
+    pub fn parse_turtle(input: &str) -> Result<Self, rdf_model::TurtleParseError> {
+        let triples = rdf_model::parse_turtle(input)?;
+        Ok(Self::from_triples(&triples))
+    }
+
+    /// The multigraph `G`.
+    pub fn graph(&self) -> &DataGraph {
+        &self.graph
+    }
+
+    /// The dictionaries (Table 2).
+    pub fn dictionaries(&self) -> &Dictionaries {
+        &self.dicts
+    }
+
+    /// The construction configuration.
+    pub fn config(&self) -> GraphConfig {
+        self.config
+    }
+
+    /// Number of RDF triples consumed.
+    pub fn triple_count(&self) -> usize {
+        self.triple_count
+    }
+
+    /// Forward vertex lookup (`Mv`), by dictionary key (IRI text or
+    /// `_:label`).
+    pub fn vertex_by_key(&self, key: &str) -> Option<VertexId> {
+        self.dicts.vertices.get(key).map(VertexId)
+    }
+
+    /// Forward edge-type lookup (`Me`) by predicate IRI.
+    pub fn edge_type_by_iri(&self, iri: &str) -> Option<EdgeTypeId> {
+        self.dicts.edge_types.get(iri).map(EdgeTypeId)
+    }
+
+    /// Inverse vertex lookup (`Mv⁻¹`).
+    pub fn vertex_name(&self, v: VertexId) -> &str {
+        self.dicts
+            .vertices
+            .resolve(v.0)
+            .expect("vertex id from this graph")
+    }
+
+    /// Inverse edge-type lookup (`Me⁻¹`).
+    pub fn edge_type_name(&self, t: EdgeTypeId) -> &str {
+        self.dicts
+            .edge_types
+            .resolve(t.0)
+            .expect("edge type id from this graph")
+    }
+
+    /// Table 4-style statistics.
+    pub fn stats(&self) -> GraphStats {
+        GraphStats {
+            triples: self.triple_count,
+            vertices: self.graph.vertex_count(),
+            edges: self.graph.edge_pair_count(),
+            edge_types: self.graph.edge_type_count(),
+            attributes: self.dicts.attributes.len(),
+        }
+    }
+}
+
+impl HeapSize for RdfGraph {
+    fn heap_size(&self) -> usize {
+        self.graph.heap_size() + self.dicts.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::parse_ntriples;
+
+    const SAMPLE: &str = r#"
+<http://x/London> <http://y/isPartOf> <http://x/England> .
+<http://x/England> <http://y/hasCapital> <http://x/London> .
+<http://x/WembleyStadium> <http://y/hasCapacityOf> "90000" .
+<http://x/London> <http://y/hasStadium> <http://x/WembleyStadium> .
+<http://x/London> <http://y/isPartOf> <http://x/England> .
+"#;
+
+    #[test]
+    fn builds_vertices_edges_attributes() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let rdf = RdfGraph::from_triples(&triples);
+        let stats = rdf.stats();
+        assert_eq!(stats.triples, 5);
+        assert_eq!(stats.vertices, 3); // London, England, WembleyStadium
+        assert_eq!(stats.edges, 3); // L->E, E->L, L->W
+        assert_eq!(stats.edge_types, 3); // isPartOf, hasCapital, hasStadium
+        assert_eq!(stats.attributes, 1); // <hasCapacityOf,"90000">
+    }
+
+    #[test]
+    fn duplicate_triples_collapse() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let rdf = RdfGraph::from_triples(&triples);
+        let london = rdf.vertex_by_key("http://x/London").unwrap();
+        let england = rdf.vertex_by_key("http://x/England").unwrap();
+        let m = rdf.graph().multi_edge(london, england).unwrap();
+        assert_eq!(m.len(), 1, "duplicate isPartOf must not duplicate the type");
+    }
+
+    #[test]
+    fn literal_objects_become_attributes() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let rdf = RdfGraph::from_triples(&triples);
+        let wembley = rdf.vertex_by_key("http://x/WembleyStadium").unwrap();
+        let attrs = rdf.graph().attributes(wembley);
+        assert_eq!(attrs.len(), 1);
+        let (pred, lit) = rdf.dictionaries().resolve_attribute(attrs[0]).unwrap();
+        assert_eq!(pred, "http://y/hasCapacityOf");
+        assert_eq!(lit, "\"90000\"");
+        // and the literal did NOT become a vertex
+        assert!(rdf.vertex_by_key("\"90000\"").is_none());
+    }
+
+    #[test]
+    fn literals_as_vertices_mode() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let mut builder = GraphBuilder::with_config(GraphConfig {
+            literals_as_vertices: true,
+        });
+        builder.add_triples(&triples);
+        let rdf = builder.finish();
+        assert_eq!(rdf.stats().vertices, 4); // + the "90000" literal vertex
+        assert_eq!(rdf.stats().attributes, 0);
+        let lit_vertex = rdf.vertex_by_key("\"90000\"").unwrap();
+        let wembley = rdf.vertex_by_key("http://x/WembleyStadium").unwrap();
+        assert!(rdf.graph().multi_edge(wembley, lit_vertex).is_some());
+    }
+
+    #[test]
+    fn parse_ntriples_convenience() {
+        let rdf = RdfGraph::parse_ntriples(SAMPLE).unwrap();
+        assert_eq!(rdf.triple_count(), 5);
+        assert!(RdfGraph::parse_ntriples("garbage").is_err());
+    }
+
+    #[test]
+    fn in_out_adjacency_are_symmetric() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let rdf = RdfGraph::from_triples(&triples);
+        let g = rdf.graph();
+        for v in g.vertices() {
+            for e in g.out_edges(v) {
+                let back = g
+                    .in_edges(e.neighbor)
+                    .iter()
+                    .find(|b| b.neighbor == v)
+                    .expect("incoming mirror");
+                assert_eq!(back.types, e.types);
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_lookups_round_trip() {
+        let triples = parse_ntriples(SAMPLE).unwrap();
+        let rdf = RdfGraph::from_triples(&triples);
+        let v = rdf.vertex_by_key("http://x/London").unwrap();
+        assert_eq!(rdf.vertex_name(v), "http://x/London");
+        let t = rdf.edge_type_by_iri("http://y/isPartOf").unwrap();
+        assert_eq!(rdf.edge_type_name(t), "http://y/isPartOf");
+    }
+
+    #[test]
+    fn blank_nodes_are_vertices() {
+        let rdf = RdfGraph::parse_ntriples("_:a <http://y/knows> _:b .").unwrap();
+        assert_eq!(rdf.stats().vertices, 2);
+        assert!(rdf.vertex_by_key("_:a").is_some());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let rdf = RdfGraph::from_triples([]);
+        assert_eq!(rdf.stats().vertices, 0);
+        assert_eq!(rdf.stats().triples, 0);
+        assert_eq!(rdf.graph().vertex_count(), 0);
+    }
+}

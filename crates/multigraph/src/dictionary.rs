@@ -1,0 +1,190 @@
+//! Interning dictionaries (paper §2.1.1, Table 2).
+//!
+//! Three dictionaries map RDF entities to dense identifiers: vertices
+//! (subjects / IRI objects), edge types (predicates) and attributes
+//! (`<predicate, literal>` tuples). Each is a [`Dictionary`] — a string
+//! interner with O(1) forward (`Mv`, `Me`, `Ma`) and inverse (`Mv⁻¹`, …)
+//! lookup.
+
+use amber_util::{FxHashMap, HeapSize};
+use rdf_model::Literal;
+
+/// A string ↔ dense-id interner.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionary {
+    forward: FxHashMap<Box<str>, u32>,
+    inverse: Vec<Box<str>>,
+}
+
+impl Dictionary {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `key`, returning its (possibly fresh) id.
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.forward.get(key) {
+            return id;
+        }
+        let id = u32::try_from(self.inverse.len()).expect("dictionary exceeded u32 ids");
+        let owned: Box<str> = key.into();
+        self.forward.insert(owned.clone(), id);
+        self.inverse.push(owned);
+        id
+    }
+
+    /// Forward lookup without interning.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.forward.get(key).copied()
+    }
+
+    /// Inverse lookup (`M⁻¹`).
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.inverse.get(id as usize).map(AsRef::as_ref)
+    }
+
+    /// Number of interned entries.
+    pub fn len(&self) -> usize {
+        self.inverse.len()
+    }
+
+    /// `true` when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.inverse.is_empty()
+    }
+
+    /// Iterate `(id, key)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.inverse
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (i as u32, k.as_ref()))
+    }
+}
+
+impl HeapSize for Dictionary {
+    fn heap_size(&self) -> usize {
+        self.forward.heap_size() + self.inverse.heap_size()
+    }
+}
+
+/// The canonical dictionary key of an attribute `<predicate, literal>` pair.
+///
+/// The literal is rendered in N-Triples syntax so that plain, language-tagged
+/// and datatyped literals with equal lexical forms stay distinct; `\u{0}`
+/// separates the two halves (it cannot occur in an IRI).
+pub fn attribute_key(predicate: &str, literal: &Literal) -> String {
+    format!("{predicate}\u{0}{literal}")
+}
+
+/// The three dictionaries of Table 2 plus their mapping helpers.
+#[derive(Debug, Default, Clone)]
+pub struct Dictionaries {
+    /// `Mv`: subject / IRI-object → vertex id (Table 2a).
+    pub vertices: Dictionary,
+    /// `Me`: predicate → edge type id (Table 2b).
+    pub edge_types: Dictionary,
+    /// `Ma`: `<predicate, literal>` → attribute id (Table 2c).
+    pub attributes: Dictionary,
+}
+
+impl Dictionaries {
+    /// Forward-map an attribute pair without interning.
+    pub fn attribute(&self, predicate: &str, literal: &Literal) -> Option<crate::AttrId> {
+        self.attributes
+            .get(&attribute_key(predicate, literal))
+            .map(crate::AttrId)
+    }
+
+    /// Inverse-map an attribute id back to `(predicate, literal-ntriples)`.
+    pub fn resolve_attribute(&self, attr: crate::AttrId) -> Option<(&str, &str)> {
+        let key = self.attributes.resolve(attr.0)?;
+        key.split_once('\u{0}')
+    }
+}
+
+impl HeapSize for Dictionaries {
+    fn heap_size(&self) -> usize {
+        self.vertices.heap_size() + self.edge_types.heap_size() + self.attributes.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Iri;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let a = d.intern("http://x/London");
+        let b = d.intern("http://x/London");
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut d = Dictionary::new();
+        assert_eq!(d.intern("a"), 0);
+        assert_eq!(d.intern("b"), 1);
+        assert_eq!(d.intern("c"), 2);
+    }
+
+    #[test]
+    fn inverse_resolves() {
+        let mut d = Dictionary::new();
+        let id = d.intern("http://y/isPartOf");
+        assert_eq!(d.resolve(id), Some("http://y/isPartOf"));
+        assert_eq!(d.resolve(id + 1), None);
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let d = Dictionary::new();
+        assert_eq!(d.get("missing"), None);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut d = Dictionary::new();
+        d.intern("x");
+        d.intern("y");
+        let pairs: Vec<_> = d.iter().collect();
+        assert_eq!(pairs, vec![(0, "x"), (1, "y")]);
+    }
+
+    #[test]
+    fn attribute_keys_distinguish_literal_kinds() {
+        let plain = attribute_key("http://y/name", &Literal::plain("A"));
+        let lang = attribute_key("http://y/name", &Literal::lang("A", "en"));
+        let typed = attribute_key(
+            "http://y/name",
+            &Literal::typed("A", Iri::new("http://t")),
+        );
+        assert_ne!(plain, lang);
+        assert_ne!(plain, typed);
+        assert_ne!(lang, typed);
+    }
+
+    #[test]
+    fn attribute_round_trip() {
+        let mut dicts = Dictionaries::default();
+        let lit = Literal::plain("90000");
+        let key = attribute_key("http://y/hasCapacityOf", &lit);
+        let id = crate::AttrId(dicts.attributes.intern(&key));
+        assert_eq!(dicts.attribute("http://y/hasCapacityOf", &lit), Some(id));
+        let (pred, lit_nt) = dicts.resolve_attribute(id).unwrap();
+        assert_eq!(pred, "http://y/hasCapacityOf");
+        assert_eq!(lit_nt, "\"90000\"");
+    }
+
+    #[test]
+    fn heap_size_is_nonzero_after_interning() {
+        let mut d = Dictionary::new();
+        d.intern("some reasonably long dictionary key");
+        assert!(d.heap_size() > 0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Dense typed identifiers.
+//!
+//! Dictionary values (paper Table 2) are dense `u32` indexes. Newtypes keep
+//! vertex / edge-type / attribute / query-vertex spaces from being mixed up
+//! at compile time while still being free to copy.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The identifier as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index (panics on overflow).
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(u32::try_from(index).expect("identifier space exceeded u32"))
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl amber_util::HeapSize for $name {
+            fn heap_size(&self) -> usize {
+                0
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A data-graph vertex (`v ∈ V`, paper §2.1.1).
+    VertexId,
+    "v"
+);
+id_type!(
+    /// An edge type — a mapped predicate (`t ∈ T`, paper Table 2b).
+    EdgeTypeId,
+    "t"
+);
+id_type!(
+    /// A vertex attribute — a mapped `<predicate, literal>` pair
+    /// (`a ∈ A`, paper Table 2c).
+    AttrId,
+    "a"
+);
+id_type!(
+    /// A query-graph vertex (`u ∈ U`, paper §2.2.1).
+    QVertexId,
+    "u"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(VertexId(2).to_string(), "v2");
+        assert_eq!(EdgeTypeId(5).to_string(), "t5");
+        assert_eq!(AttrId(0).to_string(), "a0");
+        assert_eq!(QVertexId(3).to_string(), "u3");
+    }
+
+    #[test]
+    fn index_round_trip() {
+        assert_eq!(VertexId::from_index(7).index(), 7);
+        assert_eq!(VertexId::from_index(7), VertexId(7));
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeTypeId(0) < EdgeTypeId(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "identifier space")]
+    fn from_index_overflow_panics() {
+        let _ = VertexId::from_index(u32::MAX as usize + 1);
+    }
+}

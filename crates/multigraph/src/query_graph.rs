@@ -1,0 +1,741 @@
+//! The query multigraph `Q` (paper §2.2.1, Fig. 2c).
+//!
+//! A parsed SPARQL query is transformed against a loaded [`RdfGraph`]:
+//!
+//! * every variable becomes a query vertex `u ∈ U`,
+//! * predicates are mapped through the edge-type dictionary (`Me`),
+//! * constant literal objects fold into vertex attributes `u.A` (`Ma`),
+//! * constant IRIs attached to a variable become *IRI vertices* `u.R`
+//!   (the shaded squares of Fig. 2c) — each knows its unique data vertex,
+//! * patterns mentioning no variable at all become *ground checks* (boolean
+//!   guards),
+//! * `?x p ?x` patterns become self-loop constraints.
+//!
+//! A query that references an IRI / predicate / literal absent from the
+//! data dictionaries is **unsatisfiable**: it is still constructed (so the
+//! caller can inspect it) but flagged, and every engine short-circuits to an
+//! empty answer — the paper's model gives this for free because dictionary
+//! lookup fails.
+
+use crate::builder::RdfGraph;
+use crate::data_graph::{Direction, MultiEdge};
+use crate::ids::{AttrId, EdgeTypeId, QVertexId, VertexId};
+use crate::signature::VertexSignature;
+use amber_util::FxHashMap;
+use amber_sparql::{SelectQuery, TermPattern};
+use std::fmt;
+
+/// Construction failure (malformed AST, not data-dependent).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryGraphError {
+    /// The AST contains a variable predicate (outside the paper's fragment).
+    VariablePredicate(Box<str>),
+    /// The AST contains a literal in subject position.
+    LiteralSubject,
+    /// The AST contains a literal predicate.
+    LiteralPredicate,
+}
+
+impl fmt::Display for QueryGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryGraphError::VariablePredicate(v) => {
+                write!(f, "variable predicate ?{v} is not supported (paper §2.2)")
+            }
+            QueryGraphError::LiteralSubject => write!(f, "literal in subject position"),
+            QueryGraphError::LiteralPredicate => write!(f, "literal in predicate position"),
+        }
+    }
+}
+
+impl std::error::Error for QueryGraphError {}
+
+/// An IRI vertex `u^iri ∈ u.R` attached to a query vertex (paper §2.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IriConstraint {
+    /// The unique data vertex the IRI maps to.
+    pub data_vertex: VertexId,
+    /// Direction relative to the query vertex: [`Direction::Incoming`] means
+    /// the edge runs IRI → variable.
+    pub direction: Direction,
+    /// The multi-edge between variable and IRI vertex.
+    pub types: MultiEdge,
+}
+
+/// A query vertex `u ∈ U`: one SPARQL variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryVertex {
+    /// The variable name (without `?`).
+    pub name: Box<str>,
+    /// Sorted attribute requirements `u.A` (from constant-literal objects).
+    pub attrs: Vec<AttrId>,
+    /// IRI vertices `u.R` attached to this variable.
+    pub iri_constraints: Vec<IriConstraint>,
+    /// Required self-loop types (`?x p ?x` patterns).
+    pub self_loop: Option<MultiEdge>,
+}
+
+/// A directed multi-edge between two query vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryEdge {
+    /// Source query vertex.
+    pub from: QVertexId,
+    /// Target query vertex.
+    pub to: QVertexId,
+    /// Merged edge types (`L^Q_E(from, to)`).
+    pub types: MultiEdge,
+}
+
+/// A pattern with no variables: evaluated once as a boolean guard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroundCheck {
+    /// `<s> <p> <o>` — the data must contain the edge with all types.
+    Edge {
+        /// Subject data vertex.
+        from: VertexId,
+        /// Object data vertex.
+        to: VertexId,
+        /// Required types.
+        types: MultiEdge,
+    },
+    /// `<s> <p> "lit"` — the subject vertex must own the attributes.
+    Attribute {
+        /// Subject data vertex.
+        vertex: VertexId,
+        /// Required (sorted) attributes.
+        attrs: Vec<AttrId>,
+    },
+}
+
+/// One adjacency record of a query vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QAdj {
+    /// The neighbouring query vertex.
+    pub neighbor: QVertexId,
+    /// Direction relative to the owning vertex.
+    pub direction: Direction,
+    /// Index into [`QueryGraph::edges`].
+    pub edge: usize,
+}
+
+/// The query multigraph `Q = (U, E_Q, L_U, L^Q_E)`.
+#[derive(Debug, Clone)]
+pub struct QueryGraph {
+    vertices: Vec<QueryVertex>,
+    edges: Vec<QueryEdge>,
+    adj: Vec<Vec<QAdj>>,
+    ground_checks: Vec<GroundCheck>,
+    unsat_reason: Option<String>,
+    output_vars: Vec<Box<str>>,
+    distinct: bool,
+}
+
+impl QueryGraph {
+    /// Transform a parsed SPARQL query against a loaded graph.
+    pub fn build(query: &SelectQuery, rdf: &RdfGraph) -> Result<Self, QueryGraphError> {
+        Builder::new(rdf).build(query)
+    }
+
+    /// Number of query vertices `|U|`.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Iterate query vertex ids.
+    pub fn vertex_ids(&self) -> impl Iterator<Item = QVertexId> {
+        (0..self.vertices.len() as u32).map(QVertexId)
+    }
+
+    /// Access one query vertex.
+    pub fn vertex(&self, u: QVertexId) -> &QueryVertex {
+        &self.vertices[u.index()]
+    }
+
+    /// All variable-variable edges (merged multi-edges).
+    pub fn edges(&self) -> &[QueryEdge] {
+        &self.edges
+    }
+
+    /// Adjacency of `u` over variable-variable edges (self-loops excluded).
+    pub fn adjacency(&self, u: QVertexId) -> &[QAdj] {
+        &self.adj[u.index()]
+    }
+
+    /// Ground checks (variable-free patterns).
+    pub fn ground_checks(&self) -> &[GroundCheck] {
+        &self.ground_checks
+    }
+
+    /// `Some(reason)` when the query can have no answers on this data.
+    pub fn unsat_reason(&self) -> Option<&str> {
+        self.unsat_reason.as_deref()
+    }
+
+    /// `true` when the query can have no answers on this data.
+    pub fn is_unsatisfiable(&self) -> bool {
+        self.unsat_reason.is_some()
+    }
+
+    /// The projection, in SELECT order.
+    pub fn output_vars(&self) -> &[Box<str>] {
+        &self.output_vars
+    }
+
+    /// `SELECT DISTINCT`?
+    pub fn distinct(&self) -> bool {
+        self.distinct
+    }
+
+    /// Find a variable's query vertex.
+    pub fn vertex_by_name(&self, name: &str) -> Option<QVertexId> {
+        self.vertices
+            .iter()
+            .position(|v| v.name.as_ref() == name)
+            .map(QVertexId::from_index)
+    }
+
+    /// Degree used for core/satellite decomposition (§3): number of distinct
+    /// *variable* neighbours, self excluded.
+    pub fn degree(&self, u: QVertexId) -> usize {
+        let mut neighbors: Vec<QVertexId> = self.adj[u.index()]
+            .iter()
+            .map(|a| a.neighbor)
+            .filter(|&n| n != u)
+            .collect();
+        neighbors.sort_unstable();
+        neighbors.dedup();
+        neighbors.len()
+    }
+
+    /// The signature `σ_u` of a query vertex: every incident multi-edge,
+    /// including edges to IRI vertices and self-loops (both halves).
+    pub fn signature(&self, u: QVertexId) -> VertexSignature {
+        let mut sig = VertexSignature::default();
+        for a in &self.adj[u.index()] {
+            let types = self.edges[a.edge].types.clone();
+            match a.direction {
+                Direction::Incoming => sig.incoming.push(types),
+                Direction::Outgoing => sig.outgoing.push(types),
+            }
+        }
+        let vertex = &self.vertices[u.index()];
+        for c in &vertex.iri_constraints {
+            match c.direction {
+                Direction::Incoming => sig.incoming.push(c.types.clone()),
+                Direction::Outgoing => sig.outgoing.push(c.types.clone()),
+            }
+        }
+        if let Some(loop_types) = &vertex.self_loop {
+            sig.incoming.push(loop_types.clone());
+            sig.outgoing.push(loop_types.clone());
+        }
+        sig
+    }
+
+    /// Connected components over variable-variable edges, each sorted by id.
+    /// Isolated variables (only attributes / IRI constraints) form singleton
+    /// components.
+    pub fn connected_components(&self) -> Vec<Vec<QVertexId>> {
+        let n = self.vertices.len();
+        let mut component = vec![usize::MAX; n];
+        let mut components: Vec<Vec<QVertexId>> = Vec::new();
+        for start in 0..n {
+            if component[start] != usize::MAX {
+                continue;
+            }
+            let id = components.len();
+            let mut stack = vec![start];
+            let mut members = Vec::new();
+            component[start] = id;
+            while let Some(v) = stack.pop() {
+                members.push(QVertexId::from_index(v));
+                for a in &self.adj[v] {
+                    let n = a.neighbor.index();
+                    if component[n] == usize::MAX {
+                        component[n] = id;
+                        stack.push(n);
+                    }
+                }
+            }
+            members.sort_unstable();
+            components.push(members);
+        }
+        components
+    }
+
+    /// The merged multi-edge of the directed pair `(from, to)`, if any.
+    pub fn multi_edge(&self, from: QVertexId, to: QVertexId) -> Option<&MultiEdge> {
+        self.adj[from.index()]
+            .iter()
+            .find(|a| {
+                a.neighbor == to
+                    && a.direction == Direction::Outgoing
+                    && self.edges[a.edge].from == from
+            })
+            .map(|a| &self.edges[a.edge].types)
+    }
+
+    /// Total number of triple-pattern constraints represented (used by tests
+    /// to confirm nothing was dropped in the transformation).
+    pub fn constraint_count(&self) -> usize {
+        self.edges.iter().map(|e| e.types.len()).sum::<usize>()
+            + self
+                .vertices
+                .iter()
+                .map(|v| {
+                    v.attrs.len()
+                        + v.iri_constraints
+                            .iter()
+                            .map(|c| c.types.len())
+                            .sum::<usize>()
+                        + v.self_loop.as_ref().map_or(0, MultiEdge::len)
+                })
+                .sum::<usize>()
+            + self
+                .ground_checks
+                .iter()
+                .map(|g| match g {
+                    GroundCheck::Edge { types, .. } => types.len(),
+                    GroundCheck::Attribute { attrs, .. } => attrs.len(),
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Incremental builder that merges patterns into the query-graph shape.
+struct Builder<'g> {
+    rdf: &'g RdfGraph,
+    var_lookup: FxHashMap<Box<str>, QVertexId>,
+    names: Vec<Box<str>>,
+    attrs: Vec<Vec<AttrId>>,
+    self_loops: Vec<Vec<EdgeTypeId>>,
+    iri_constraints: Vec<FxHashMap<(VertexId, Direction), Vec<EdgeTypeId>>>,
+    edge_types: FxHashMap<(QVertexId, QVertexId), Vec<EdgeTypeId>>,
+    ground_edges: FxHashMap<(VertexId, VertexId), Vec<EdgeTypeId>>,
+    ground_attrs: FxHashMap<VertexId, Vec<AttrId>>,
+    unsat_reason: Option<String>,
+}
+
+impl<'g> Builder<'g> {
+    fn new(rdf: &'g RdfGraph) -> Self {
+        Self {
+            rdf,
+            var_lookup: FxHashMap::default(),
+            names: Vec::new(),
+            attrs: Vec::new(),
+            self_loops: Vec::new(),
+            iri_constraints: Vec::new(),
+            edge_types: FxHashMap::default(),
+            ground_edges: FxHashMap::default(),
+            ground_attrs: FxHashMap::default(),
+            unsat_reason: None,
+        }
+    }
+
+    fn mark_unsat(&mut self, reason: String) {
+        if self.unsat_reason.is_none() {
+            self.unsat_reason = Some(reason);
+        }
+    }
+
+    fn variable(&mut self, name: &str) -> QVertexId {
+        if let Some(&id) = self.var_lookup.get(name) {
+            return id;
+        }
+        let id = QVertexId::from_index(self.names.len());
+        self.var_lookup.insert(name.into(), id);
+        self.names.push(name.into());
+        self.attrs.push(Vec::new());
+        self.self_loops.push(Vec::new());
+        self.iri_constraints.push(FxHashMap::default());
+        id
+    }
+
+    fn data_vertex(&mut self, iri: &str) -> Option<VertexId> {
+        let v = self.rdf.vertex_by_key(iri);
+        if v.is_none() {
+            self.mark_unsat(format!("IRI <{iri}> does not occur in the data"));
+        }
+        v
+    }
+
+    fn edge_type(&mut self, iri: &str) -> Option<EdgeTypeId> {
+        let t = self.rdf.edge_type_by_iri(iri);
+        if t.is_none() {
+            self.mark_unsat(format!("predicate <{iri}> does not occur in the data"));
+        }
+        t
+    }
+
+    fn build(mut self, query: &SelectQuery) -> Result<QueryGraph, QueryGraphError> {
+        // Register variables in first-occurrence order so QVertexIds are
+        // stable and predictable (u0, u1, … in pattern order).
+        for pattern in &query.patterns {
+            for v in pattern.variables() {
+                self.variable(v);
+            }
+        }
+
+        let literals_as_vertices = self.rdf.config().literals_as_vertices;
+
+        for pattern in &query.patterns {
+            let predicate = match &pattern.predicate {
+                TermPattern::Iri(iri) => iri.clone(),
+                TermPattern::Variable(v) => {
+                    return Err(QueryGraphError::VariablePredicate(v.clone()))
+                }
+                TermPattern::Literal(_) => return Err(QueryGraphError::LiteralPredicate),
+            };
+
+            // In literals-as-vertices mode a literal object behaves exactly
+            // like a constant IRI whose dictionary key is its N-Triples form.
+            let object = match &pattern.object {
+                TermPattern::Literal(lit) if literals_as_vertices => {
+                    TermPattern::Iri(lit.to_string().into())
+                }
+                other => other.clone(),
+            };
+
+            match (&pattern.subject, &object) {
+                (TermPattern::Literal(_), _) => return Err(QueryGraphError::LiteralSubject),
+
+                // ?s <p> ?o
+                (TermPattern::Variable(s), TermPattern::Variable(o)) => {
+                    let (us, uo) = (self.variable(s), self.variable(o));
+                    let Some(t) = self.edge_type(&predicate) else {
+                        continue;
+                    };
+                    if us == uo {
+                        self.self_loops[us.index()].push(t);
+                    } else {
+                        self.edge_types.entry((us, uo)).or_default().push(t);
+                    }
+                }
+
+                // ?s <p> <o>
+                (TermPattern::Variable(s), TermPattern::Iri(o)) => {
+                    let us = self.variable(s);
+                    let (Some(t), Some(vo)) = (self.edge_type(&predicate), self.data_vertex(o))
+                    else {
+                        continue;
+                    };
+                    self.iri_constraints[us.index()]
+                        .entry((vo, Direction::Outgoing))
+                        .or_default()
+                        .push(t);
+                }
+
+                // ?s <p> "lit"
+                (TermPattern::Variable(s), TermPattern::Literal(lit)) => {
+                    let us = self.variable(s);
+                    match self.rdf.dictionaries().attribute(&predicate, lit) {
+                        Some(attr) => self.attrs[us.index()].push(attr),
+                        None => self.mark_unsat(format!(
+                            "attribute <{predicate}> {lit} does not occur in the data"
+                        )),
+                    }
+                }
+
+                // <s> <p> ?o
+                (TermPattern::Iri(s), TermPattern::Variable(o)) => {
+                    let uo = self.variable(o);
+                    let (Some(t), Some(vs)) = (self.edge_type(&predicate), self.data_vertex(s))
+                    else {
+                        continue;
+                    };
+                    self.iri_constraints[uo.index()]
+                        .entry((vs, Direction::Incoming))
+                        .or_default()
+                        .push(t);
+                }
+
+                // <s> <p> <o>
+                (TermPattern::Iri(s), TermPattern::Iri(o)) => {
+                    let (Some(t), Some(vs), Some(vo)) = (
+                        self.edge_type(&predicate),
+                        self.data_vertex(s),
+                        self.data_vertex(o),
+                    ) else {
+                        continue;
+                    };
+                    self.ground_edges.entry((vs, vo)).or_default().push(t);
+                }
+
+                // <s> <p> "lit"
+                (TermPattern::Iri(s), TermPattern::Literal(lit)) => {
+                    let Some(vs) = self.data_vertex(s) else {
+                        continue;
+                    };
+                    match self.rdf.dictionaries().attribute(&predicate, lit) {
+                        Some(attr) => self.ground_attrs.entry(vs).or_default().push(attr),
+                        None => self.mark_unsat(format!(
+                            "attribute <{predicate}> {lit} does not occur in the data"
+                        )),
+                    }
+                }
+            }
+        }
+
+        self.finish(query)
+    }
+
+    fn finish(self, query: &SelectQuery) -> Result<QueryGraph, QueryGraphError> {
+        let n = self.names.len();
+        let mut vertices: Vec<QueryVertex> = Vec::with_capacity(n);
+        for (i, name) in self.names.into_iter().enumerate() {
+            let mut attrs = self.attrs[i].clone();
+            attrs.sort_unstable();
+            attrs.dedup();
+            let mut iri_constraints: Vec<IriConstraint> = self.iri_constraints[i]
+                .iter()
+                .map(|(&(data_vertex, direction), types)| IriConstraint {
+                    data_vertex,
+                    direction,
+                    types: MultiEdge::new(types.clone()),
+                })
+                .collect();
+            iri_constraints.sort_by_key(|c| (c.data_vertex, c.direction.sign()));
+            let self_loop = if self.self_loops[i].is_empty() {
+                None
+            } else {
+                Some(MultiEdge::new(self.self_loops[i].clone()))
+            };
+            vertices.push(QueryVertex {
+                name,
+                attrs,
+                iri_constraints,
+                self_loop,
+            });
+        }
+
+        let mut edges: Vec<QueryEdge> = self
+            .edge_types
+            .into_iter()
+            .map(|((from, to), types)| QueryEdge {
+                from,
+                to,
+                types: MultiEdge::new(types),
+            })
+            .collect();
+        edges.sort_by_key(|e| (e.from, e.to));
+
+        let mut adj: Vec<Vec<QAdj>> = vec![Vec::new(); n];
+        for (idx, edge) in edges.iter().enumerate() {
+            adj[edge.from.index()].push(QAdj {
+                neighbor: edge.to,
+                direction: Direction::Outgoing,
+                edge: idx,
+            });
+            adj[edge.to.index()].push(QAdj {
+                neighbor: edge.from,
+                direction: Direction::Incoming,
+                edge: idx,
+            });
+        }
+
+        let mut ground_checks: Vec<GroundCheck> = Vec::new();
+        let mut ground_edges: Vec<_> = self.ground_edges.into_iter().collect();
+        ground_edges.sort_by_key(|&((f, t), _)| (f, t));
+        for ((from, to), types) in ground_edges {
+            ground_checks.push(GroundCheck::Edge {
+                from,
+                to,
+                types: MultiEdge::new(types),
+            });
+        }
+        let mut ground_attrs: Vec<_> = self.ground_attrs.into_iter().collect();
+        ground_attrs.sort_by_key(|&(v, _)| v);
+        for (vertex, mut attrs) in ground_attrs {
+            attrs.sort_unstable();
+            attrs.dedup();
+            ground_checks.push(GroundCheck::Attribute { vertex, attrs });
+        }
+
+        Ok(QueryGraph {
+            vertices,
+            edges,
+            adj,
+            ground_checks,
+            unsat_reason: self.unsat_reason,
+            output_vars: query
+                .output_variables()
+                .into_iter()
+                .map(Into::into)
+                .collect(),
+            distinct: query.distinct,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::RdfGraph;
+    use amber_sparql::parse_select;
+
+    fn data() -> RdfGraph {
+        RdfGraph::parse_ntriples(
+            r#"
+<http://x/A> <http://p/e1> <http://x/B> .
+<http://x/B> <http://p/e2> <http://x/C> .
+<http://x/A> <http://p/e2> <http://x/A> .
+<http://x/A> <http://p/name> "alpha" .
+"#,
+        )
+        .unwrap()
+    }
+
+    fn qg(sparql: &str) -> QueryGraph {
+        QueryGraph::build(&parse_select(sparql).unwrap(), &data()).unwrap()
+    }
+
+    #[test]
+    fn variables_get_dense_ids_in_order() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . ?b <http://p/e2> ?c . }");
+        assert_eq!(q.vertex_count(), 3);
+        assert_eq!(q.vertex(QVertexId(0)).name.as_ref(), "a");
+        assert_eq!(q.vertex(QVertexId(1)).name.as_ref(), "b");
+        assert_eq!(q.vertex(QVertexId(2)).name.as_ref(), "c");
+        assert_eq!(q.vertex_by_name("c"), Some(QVertexId(2)));
+    }
+
+    #[test]
+    fn parallel_patterns_merge_into_multi_edge() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . ?a <http://p/e2> ?b . }");
+        assert_eq!(q.edges().len(), 1);
+        assert_eq!(q.edges()[0].types.len(), 2);
+        assert!(!q.is_unsatisfiable());
+    }
+
+    #[test]
+    fn opposite_directions_stay_separate() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . ?b <http://p/e2> ?a . }");
+        assert_eq!(q.edges().len(), 2);
+        // degree counts the neighbour once
+        assert_eq!(q.degree(QVertexId(0)), 1);
+        assert_eq!(q.degree(QVertexId(1)), 1);
+    }
+
+    #[test]
+    fn literal_objects_become_attrs() {
+        let q = qg("SELECT * WHERE { ?a <http://p/name> \"alpha\" . ?a <http://p/e1> ?b . }");
+        let a = q.vertex(QVertexId(0));
+        assert_eq!(a.attrs.len(), 1);
+        assert!(!q.is_unsatisfiable());
+    }
+
+    #[test]
+    fn unknown_literal_marks_unsat() {
+        let q = qg("SELECT * WHERE { ?a <http://p/name> \"missing\" . }");
+        assert!(q.is_unsatisfiable());
+        assert!(q.unsat_reason().unwrap().contains("attribute"));
+    }
+
+    #[test]
+    fn unknown_predicate_marks_unsat() {
+        let q = qg("SELECT * WHERE { ?a <http://p/nope> ?b . }");
+        assert!(q.is_unsatisfiable());
+    }
+
+    #[test]
+    fn unknown_iri_marks_unsat() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> <http://x/Nope> . }");
+        assert!(q.is_unsatisfiable());
+    }
+
+    #[test]
+    fn iri_constraints_carry_direction() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> <http://x/B> . <http://x/A> <http://p/e1> ?a . }");
+        let a = q.vertex(QVertexId(0));
+        assert_eq!(a.iri_constraints.len(), 2);
+        let outgoing = a
+            .iri_constraints
+            .iter()
+            .find(|c| c.direction == Direction::Outgoing)
+            .unwrap();
+        let incoming = a
+            .iri_constraints
+            .iter()
+            .find(|c| c.direction == Direction::Incoming)
+            .unwrap();
+        assert_eq!(data().vertex_name(outgoing.data_vertex), "http://x/B");
+        assert_eq!(data().vertex_name(incoming.data_vertex), "http://x/A");
+    }
+
+    #[test]
+    fn self_loop_pattern() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e2> ?a . }");
+        assert_eq!(q.edges().len(), 0);
+        assert!(q.vertex(QVertexId(0)).self_loop.is_some());
+        // self loop contributes to both signature halves
+        let sig = q.signature(QVertexId(0));
+        assert_eq!(sig.incoming.len(), 1);
+        assert_eq!(sig.outgoing.len(), 1);
+    }
+
+    #[test]
+    fn ground_checks_are_collected() {
+        let q = qg(
+            "SELECT * WHERE { <http://x/A> <http://p/e1> <http://x/B> . <http://x/A> <http://p/name> \"alpha\" . ?s <http://p/e2> ?o . }",
+        );
+        assert_eq!(q.ground_checks().len(), 2);
+        assert!(!q.is_unsatisfiable());
+    }
+
+    #[test]
+    fn signature_includes_iri_edges() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . ?a <http://p/e2> <http://x/C> . }");
+        let sig = q.signature(QVertexId(0));
+        assert_eq!(sig.outgoing.len(), 2); // one var edge + one IRI edge
+        assert_eq!(sig.incoming.len(), 0);
+    }
+
+    #[test]
+    fn components_split_disconnected_queries() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . ?c <http://p/e2> ?d . }");
+        let comps = q.connected_components();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0], vec![QVertexId(0), QVertexId(1)]);
+        assert_eq!(comps[1], vec![QVertexId(2), QVertexId(3)]);
+    }
+
+    #[test]
+    fn multi_edge_lookup_is_directional() {
+        let q = qg("SELECT * WHERE { ?a <http://p/e1> ?b . }");
+        assert!(q.multi_edge(QVertexId(0), QVertexId(1)).is_some());
+        assert!(q.multi_edge(QVertexId(1), QVertexId(0)).is_none());
+    }
+
+    #[test]
+    fn variable_predicate_in_ast_is_an_error() {
+        use amber_sparql::{Projection, TriplePattern};
+        let query = SelectQuery {
+            projection: Projection::Star,
+            distinct: false,
+            patterns: vec![TriplePattern::new(
+                TermPattern::var("s"),
+                TermPattern::var("p"),
+                TermPattern::var("o"),
+            )],
+        };
+        assert_eq!(
+            QueryGraph::build(&query, &data()).unwrap_err(),
+            QueryGraphError::VariablePredicate("p".into())
+        );
+    }
+
+    #[test]
+    fn constraint_count_preserves_patterns() {
+        let q = qg(
+            "SELECT * WHERE { ?a <http://p/e1> ?b . ?a <http://p/e2> ?b . ?a <http://p/name> \"alpha\" . ?b <http://p/e2> <http://x/C> . }",
+        );
+        assert_eq!(q.constraint_count(), 4);
+    }
+
+    #[test]
+    fn distinct_and_projection_are_recorded() {
+        let q = qg("SELECT DISTINCT ?b WHERE { ?a <http://p/e1> ?b . }");
+        assert!(q.distinct());
+        assert_eq!(q.output_vars(), &["b".into()]);
+    }
+}

@@ -1,0 +1,348 @@
+//! Binary snapshots of the offline stage.
+//!
+//! The paper's offline stage is run once and its output reused across
+//! queries (Table 5 reports the stored database size). This module
+//! serializes a loaded [`RdfGraph`] — dictionaries plus multigraph — into a
+//! versioned, length-prefixed binary image and restores it without
+//! re-parsing the original N-Triples. Index structures are *not* stored:
+//! they rebuild in linear time from the graph (also how the paper accounts
+//! them separately).
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  "AMBR"            4 bytes
+//! version u32              currently 1
+//! flags   u8               bit 0 = literals_as_vertices
+//! triple_count u64
+//! 3 × dictionary           u32 count, then count × (u32 len, utf-8 bytes)
+//! vertex_count u32
+//! per vertex: out-adjacency u32 entries, then per entry:
+//!             u32 neighbor, u32 type_count, type_count × u32
+//! per vertex: u32 attr_count, attr_count × u32
+//! ```
+//!
+//! The incoming adjacency is reconstructed from the outgoing lists, which
+//! halves the image size at a small load cost.
+
+use crate::builder::{GraphConfig, RdfGraph};
+use crate::data_graph::{AdjEntry, DataGraph, MultiEdge};
+use crate::dictionary::{Dictionaries, Dictionary};
+use crate::ids::{AttrId, EdgeTypeId, VertexId};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"AMBR";
+const VERSION: u32 = 1;
+
+/// Snapshot decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Missing/incorrect magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The image ended prematurely or a length field overruns it.
+    Truncated,
+    /// A dictionary entry is not valid UTF-8.
+    BadUtf8,
+    /// An id field references past the declared table sizes.
+    CorruptIds,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not an AMbER snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unsupported snapshot version {v}"),
+            SnapshotError::Truncated => write!(f, "snapshot is truncated or corrupt"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot dictionary contains invalid UTF-8"),
+            SnapshotError::CorruptIds => write!(f, "snapshot references out-of-range ids"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn put_dictionary(buf: &mut BytesMut, dict: &Dictionary) {
+    buf.put_u32_le(dict.len() as u32);
+    for (_, key) in dict.iter() {
+        buf.put_u32_le(key.len() as u32);
+        buf.put_slice(key.as_bytes());
+    }
+}
+
+fn take_dictionary(buf: &mut &[u8]) -> Result<Dictionary, SnapshotError> {
+    let count = take_u32(buf)? as usize;
+    let mut dict = Dictionary::new();
+    for _ in 0..count {
+        let len = take_u32(buf)? as usize;
+        if buf.remaining() < len {
+            return Err(SnapshotError::Truncated);
+        }
+        let bytes = &buf[..len];
+        let key = std::str::from_utf8(bytes).map_err(|_| SnapshotError::BadUtf8)?;
+        dict.intern(key);
+        buf.advance(len);
+    }
+    Ok(dict)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Result<u32, SnapshotError> {
+    if buf.remaining() < 4 {
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn take_u64(buf: &mut &[u8]) -> Result<u64, SnapshotError> {
+    if buf.remaining() < 8 {
+        return Err(SnapshotError::Truncated);
+    }
+    Ok(buf.get_u64_le())
+}
+
+impl RdfGraph {
+    /// Serialize to a binary image.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let graph = self.graph();
+        let mut buf = BytesMut::with_capacity(64 + 16 * graph.edge_pair_count());
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u8(u8::from(self.config().literals_as_vertices));
+        buf.put_u64_le(self.triple_count() as u64);
+        put_dictionary(&mut buf, &self.dictionaries().vertices);
+        put_dictionary(&mut buf, &self.dictionaries().edge_types);
+        put_dictionary(&mut buf, &self.dictionaries().attributes);
+
+        buf.put_u32_le(graph.vertex_count() as u32);
+        for v in graph.vertices() {
+            let out = graph.out_edges(v);
+            buf.put_u32_le(out.len() as u32);
+            for entry in out {
+                buf.put_u32_le(entry.neighbor.0);
+                buf.put_u32_le(entry.types.len() as u32);
+                for t in entry.types.types() {
+                    buf.put_u32_le(t.0);
+                }
+            }
+        }
+        for v in graph.vertices() {
+            let attrs = graph.attributes(v);
+            buf.put_u32_le(attrs.len() as u32);
+            for a in attrs {
+                buf.put_u32_le(a.0);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Restore from a binary image.
+    pub fn from_snapshot(mut bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let buf = &mut bytes;
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        buf.advance(4);
+        let version = take_u32(buf)?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        if buf.remaining() < 1 {
+            return Err(SnapshotError::Truncated);
+        }
+        let flags = buf.get_u8();
+        let config = GraphConfig {
+            literals_as_vertices: flags & 1 != 0,
+        };
+        let triple_count = take_u64(buf)? as usize;
+
+        let vertices = take_dictionary(buf)?;
+        let edge_types = take_dictionary(buf)?;
+        let attributes = take_dictionary(buf)?;
+        let dicts = Dictionaries {
+            vertices,
+            edge_types,
+            attributes,
+        };
+
+        let vertex_count = take_u32(buf)? as usize;
+        if vertex_count != dicts.vertices.len() {
+            return Err(SnapshotError::CorruptIds);
+        }
+        let mut out_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); vertex_count];
+        let mut in_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); vertex_count];
+        for from in 0..vertex_count {
+            let entries = take_u32(buf)? as usize;
+            for _ in 0..entries {
+                let neighbor = take_u32(buf)?;
+                if neighbor as usize >= vertex_count {
+                    return Err(SnapshotError::CorruptIds);
+                }
+                let type_count = take_u32(buf)? as usize;
+                let mut types = Vec::with_capacity(type_count);
+                for _ in 0..type_count {
+                    let t = take_u32(buf)?;
+                    if t as usize >= dicts.edge_types.len() {
+                        return Err(SnapshotError::CorruptIds);
+                    }
+                    types.push(EdgeTypeId(t));
+                }
+                let multi = MultiEdge::new(types);
+                out_adj[from].push(AdjEntry {
+                    neighbor: VertexId(neighbor),
+                    types: multi.clone(),
+                });
+                in_adj[neighbor as usize].push(AdjEntry {
+                    neighbor: VertexId(from as u32),
+                    types: multi,
+                });
+            }
+        }
+        let mut attrs: Vec<Box<[AttrId]>> = Vec::with_capacity(vertex_count);
+        for _ in 0..vertex_count {
+            let count = take_u32(buf)? as usize;
+            let mut list = Vec::with_capacity(count);
+            for _ in 0..count {
+                let a = take_u32(buf)?;
+                if a as usize >= dicts.attributes.len() {
+                    return Err(SnapshotError::CorruptIds);
+                }
+                list.push(AttrId(a));
+            }
+            attrs.push(list.into_boxed_slice());
+        }
+        if buf.has_remaining() {
+            return Err(SnapshotError::Truncated); // trailing garbage
+        }
+
+        for list in in_adj.iter_mut() {
+            list.sort_unstable_by_key(|e| e.neighbor);
+        }
+        let finalize = |adj: Vec<Vec<AdjEntry>>| -> Vec<Box<[AdjEntry]>> {
+            adj.into_iter().map(Vec::into_boxed_slice).collect()
+        };
+        let edge_type_count = dicts.edge_types.len();
+        let graph = DataGraph::from_parts(
+            finalize(out_adj),
+            finalize(in_adj),
+            attrs,
+            edge_type_count,
+        );
+        Ok(Self::from_restored(graph, dicts, triple_count, config))
+    }
+
+    /// Write a snapshot file.
+    pub fn save_snapshot(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_snapshot())
+    }
+
+    /// Read a snapshot file.
+    pub fn load_snapshot(
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, Box<dyn std::error::Error + Send + Sync>> {
+        let bytes = std::fs::read(path)?;
+        Ok(Self::from_snapshot(&bytes)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+    use crate::paper::{paper_graph, paper_triples};
+
+    fn assert_graphs_equal(a: &RdfGraph, b: &RdfGraph) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.config(), b.config());
+        let (ga, gb) = (a.graph(), b.graph());
+        for v in ga.vertices() {
+            assert_eq!(a.vertex_name(v), b.vertex_name(v));
+            assert_eq!(ga.out_edges(v), gb.out_edges(v));
+            assert_eq!(ga.in_edges(v), gb.in_edges(v));
+            assert_eq!(ga.attributes(v), gb.attributes(v));
+        }
+        for (id, key) in a.dictionaries().edge_types.iter() {
+            assert_eq!(b.dictionaries().edge_types.resolve(id), Some(key));
+        }
+        for (id, key) in a.dictionaries().attributes.iter() {
+            assert_eq!(b.dictionaries().attributes.resolve(id), Some(key));
+        }
+    }
+
+    #[test]
+    fn round_trips_the_paper_graph() {
+        let original = paper_graph();
+        let image = original.to_snapshot();
+        let restored = RdfGraph::from_snapshot(&image).expect("valid image");
+        assert_graphs_equal(&original, &restored);
+    }
+
+    #[test]
+    fn round_trips_extension_mode() {
+        let mut builder = GraphBuilder::with_config(GraphConfig {
+            literals_as_vertices: true,
+        });
+        let triples = paper_triples();
+        builder.add_triples(&triples);
+        let original = builder.finish();
+        let restored = RdfGraph::from_snapshot(&original.to_snapshot()).unwrap();
+        assert!(restored.config().literals_as_vertices);
+        assert_graphs_equal(&original, &restored);
+    }
+
+    #[test]
+    fn round_trips_empty_graph() {
+        let original = RdfGraph::from_triples([]);
+        let restored = RdfGraph::from_snapshot(&original.to_snapshot()).unwrap();
+        assert_graphs_equal(&original, &restored);
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_version() {
+        assert_eq!(
+            RdfGraph::from_snapshot(b"NOPE").unwrap_err(),
+            SnapshotError::BadMagic
+        );
+        let mut image = paper_graph().to_snapshot();
+        image[4] = 99; // version field
+        assert_eq!(
+            RdfGraph::from_snapshot(&image).unwrap_err(),
+            SnapshotError::BadVersion(99)
+        );
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix_length() {
+        let image = paper_graph().to_snapshot();
+        // every strict prefix must fail cleanly, never panic
+        for len in 0..image.len() {
+            assert!(
+                RdfGraph::from_snapshot(&image[..len]).is_err(),
+                "prefix of {len} bytes decoded successfully?!"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut image = paper_graph().to_snapshot();
+        image.extend_from_slice(b"extra");
+        assert_eq!(
+            RdfGraph::from_snapshot(&image).unwrap_err(),
+            SnapshotError::Truncated
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("amber_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paper.amber");
+        let original = paper_graph();
+        original.save_snapshot(&path).unwrap();
+        let restored = RdfGraph::load_snapshot(&path).unwrap();
+        assert_graphs_equal(&original, &restored);
+        std::fs::remove_file(&path).ok();
+    }
+}

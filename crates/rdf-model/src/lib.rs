@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+//! RDF data model and N-Triples I/O.
+//!
+//! The paper (§2.1) consumes RDF as a set of `<subject, predicate, object>`
+//! triples where subjects and predicates are IRIs and objects are IRIs or
+//! literals (Fig. 1a). This crate supplies that model as the input substrate
+//! for the multigraph transformation:
+//!
+//! * [`term`] — IRIs, blank nodes, literals and the [`Subject`]/[`Object`]
+//!   position types,
+//! * [`triple`] — the [`Triple`] record,
+//! * [`ntriples`] — a line-oriented W3C N-Triples parser with precise error
+//!   positions,
+//! * [`writer`] — the matching serializer (round-trips the parser),
+//! * [`prefix`] — compact `prefix:local` notation used by examples, the
+//!   workload generator and the SPARQL front-end.
+//!
+//! Blank nodes are accepted and treated as ordinary graph vertices (they
+//! behave like IRIs in the multigraph), which is strictly more than the paper
+//! needs but matches what real DBpedia/YAGO dumps contain.
+
+pub mod ntriples;
+pub mod prefix;
+pub mod term;
+pub mod triple;
+pub mod turtle;
+pub mod writer;
+
+pub use ntriples::{parse_literal, parse_ntriples, NtParseError, NtParser};
+pub use prefix::PrefixMap;
+pub use term::{BlankNode, Iri, Literal, Object, Subject};
+pub use triple::Triple;
+pub use turtle::{parse_turtle, TurtleParseError};
+pub use writer::write_ntriples;

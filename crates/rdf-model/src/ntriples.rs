@@ -1,0 +1,474 @@
+//! A line-oriented W3C N-Triples parser.
+//!
+//! N-Triples is the format the paper's datasets ship in (Fig. 1a). The parser
+//! is hand-written (no parser-generator dependency), one triple per line,
+//! with `#` comments, `\uXXXX`/`\UXXXXXXXX` escapes, language tags and
+//! datatype suffixes. Errors carry `line:column` positions.
+
+use crate::term::{BlankNode, Iri, Literal, Object, Subject};
+use crate::triple::Triple;
+use std::fmt;
+
+/// Parse a full N-Triples document into triples.
+///
+/// Stops at the first malformed statement and reports its position.
+pub fn parse_ntriples(input: &str) -> Result<Vec<Triple>, NtParseError> {
+    NtParser::new(input).collect()
+}
+
+/// Parse a single literal in N-Triples syntax (`"lex"`, `"lex"@lang`,
+/// `"lex"^^<dt>`), e.g. the literal half of a stored attribute key.
+pub fn parse_literal(input: &str) -> Result<Literal, NtParseError> {
+    let mut scanner = Scanner::new(input, 1);
+    let literal = scanner.literal()?;
+    scanner.skip_ws();
+    if !scanner.at_end() {
+        return Err(scanner.error("trailing content after literal"));
+    }
+    Ok(literal)
+}
+
+/// Parse error with a 1-based `line:column` position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NtParseError {
+    /// 1-based line of the offending statement.
+    pub line: usize,
+    /// 1-based column where parsing failed.
+    pub column: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for NtParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for NtParseError {}
+
+/// Streaming parser: an iterator of `Result<Triple, NtParseError>`.
+pub struct NtParser<'a> {
+    lines: std::str::Lines<'a>,
+    line_no: usize,
+}
+
+impl<'a> NtParser<'a> {
+    /// Parse `input` lazily, line by line.
+    pub fn new(input: &'a str) -> Self {
+        Self {
+            lines: input.lines(),
+            line_no: 0,
+        }
+    }
+}
+
+impl Iterator for NtParser<'_> {
+    type Item = Result<Triple, NtParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        for line in self.lines.by_ref() {
+            self.line_no += 1;
+            let mut scanner = Scanner::new(line, self.line_no);
+            scanner.skip_ws();
+            if scanner.at_end() || scanner.peek() == Some('#') {
+                continue; // blank or comment line
+            }
+            return Some(scanner.statement());
+        }
+        None
+    }
+}
+
+/// Character scanner over a single line.
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Scanner {
+    fn new(line: &str, line_no: usize) -> Self {
+        Self {
+            chars: line.chars().collect(),
+            pos: 0,
+            line: line_no,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> NtParseError {
+        NtParseError {
+            line: self.line,
+            column: self.pos + 1,
+            message: message.into(),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.chars.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn expect(&mut self, expected: char) -> Result<(), NtParseError> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected '{expected}', found '{c}'"))),
+            None => Err(self.error(format!("expected '{expected}', found end of line"))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c == ' ' || c == '\t') {
+            self.pos += 1;
+        }
+    }
+
+    /// `subject predicate object .` with optional trailing comment.
+    fn statement(&mut self) -> Result<Triple, NtParseError> {
+        let subject = self.subject()?;
+        self.skip_ws();
+        let predicate = self.iri()?;
+        self.skip_ws();
+        let object = self.object()?;
+        self.skip_ws();
+        self.expect('.')?;
+        self.skip_ws();
+        match self.peek() {
+            None => {}
+            Some('#') => {} // trailing comment
+            Some(c) => return Err(self.error(format!("unexpected trailing content '{c}'"))),
+        }
+        Ok(Triple {
+            subject,
+            predicate,
+            object,
+        })
+    }
+
+    fn subject(&mut self) -> Result<Subject, NtParseError> {
+        match self.peek() {
+            Some('<') => Ok(Subject::Iri(self.iri()?)),
+            Some('_') => Ok(Subject::Blank(self.blank_node()?)),
+            Some(c) => Err(self.error(format!("expected IRI or blank node subject, found '{c}'"))),
+            None => Err(self.error("expected subject, found end of line")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Object, NtParseError> {
+        match self.peek() {
+            Some('<') => Ok(Object::Iri(self.iri()?)),
+            Some('_') => Ok(Object::Blank(self.blank_node()?)),
+            Some('"') => Ok(Object::Literal(self.literal()?)),
+            Some(c) => Err(self.error(format!("expected IRI, blank node or literal object, found '{c}'"))),
+            None => Err(self.error("expected object, found end of line")),
+        }
+    }
+
+    fn iri(&mut self) -> Result<Iri, NtParseError> {
+        self.expect('<')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some('\\') => out.push(self.unicode_escape()?),
+                Some(c) if c > ' ' && c != '<' && c != '"' && c != '{' && c != '}' && c != '|' && c != '^' && c != '`' => {
+                    out.push(c);
+                }
+                Some(c) => return Err(self.error(format!("character '{c}' not allowed in IRI"))),
+                None => return Err(self.error("unterminated IRI")),
+            }
+        }
+        if out.is_empty() {
+            return Err(self.error("empty IRI"));
+        }
+        Ok(Iri::new(out))
+    }
+
+    fn blank_node(&mut self) -> Result<BlankNode, NtParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                label.push(c);
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        // A trailing '.' belongs to the statement terminator, not the label.
+        while label.ends_with('.') {
+            label.pop();
+            self.pos -= 1;
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(BlankNode::new(label))
+    }
+
+    fn literal(&mut self) -> Result<Literal, NtParseError> {
+        self.expect('"')?;
+        let mut lexical = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => break,
+                Some('\\') => {
+                    let escaped = match self.peek() {
+                        Some('t') => {
+                            self.pos += 1;
+                            '\t'
+                        }
+                        Some('b') => {
+                            self.pos += 1;
+                            '\u{8}'
+                        }
+                        Some('n') => {
+                            self.pos += 1;
+                            '\n'
+                        }
+                        Some('r') => {
+                            self.pos += 1;
+                            '\r'
+                        }
+                        Some('f') => {
+                            self.pos += 1;
+                            '\u{c}'
+                        }
+                        Some('"') => {
+                            self.pos += 1;
+                            '"'
+                        }
+                        Some('\'') => {
+                            self.pos += 1;
+                            '\''
+                        }
+                        Some('\\') => {
+                            self.pos += 1;
+                            '\\'
+                        }
+                        Some('u') | Some('U') => self.unicode_escape_body()?,
+                        Some(c) => return Err(self.error(format!("invalid escape '\\{c}'"))),
+                        None => return Err(self.error("unterminated escape")),
+                    };
+                    lexical.push(escaped);
+                }
+                Some(c) => lexical.push(c),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some('@') => {
+                self.pos += 1;
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if lang.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                Ok(Literal::lang(lexical, lang))
+            }
+            Some('^') => {
+                self.expect('^')?;
+                self.expect('^')?;
+                let datatype = self.iri()?;
+                Ok(Literal::typed(lexical, datatype))
+            }
+            _ => Ok(Literal::plain(lexical)),
+        }
+    }
+
+    /// `\` already consumed; parse `uXXXX` / `UXXXXXXXX`.
+    fn unicode_escape(&mut self) -> Result<char, NtParseError> {
+        match self.peek() {
+            Some('u') | Some('U') => self.unicode_escape_body(),
+            Some(c) => Err(self.error(format!("invalid IRI escape '\\{c}'"))),
+            None => Err(self.error("unterminated escape")),
+        }
+    }
+
+    /// At `u`/`U`; consumes it plus 4 or 8 hex digits.
+    fn unicode_escape_body(&mut self) -> Result<char, NtParseError> {
+        let width = match self.bump() {
+            Some('u') => 4,
+            Some('U') => 8,
+            _ => unreachable!("caller checked"),
+        };
+        let mut value: u32 = 0;
+        for _ in 0..width {
+            let digit = self
+                .bump()
+                .and_then(|c| c.to_digit(16))
+                .ok_or_else(|| self.error("invalid unicode escape digit"))?;
+            value = value * 16 + digit;
+        }
+        char::from_u32(value).ok_or_else(|| self.error(format!("invalid code point U+{value:X}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::LiteralSuffix;
+
+    fn one(input: &str) -> Triple {
+        let triples = parse_ntriples(input).expect("parse");
+        assert_eq!(triples.len(), 1, "expected one triple in {input:?}");
+        triples.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_resource_triple() {
+        let t = one("<http://x/London> <http://y/isPartOf> <http://x/England> .");
+        assert_eq!(t.subject, Subject::Iri(Iri::new("http://x/London")));
+        assert_eq!(t.predicate, Iri::new("http://y/isPartOf"));
+        assert_eq!(t.object, Object::Iri(Iri::new("http://x/England")));
+    }
+
+    #[test]
+    fn parses_plain_literal() {
+        let t = one("<http://x/W> <http://y/capacity> \"90000\" .");
+        assert_eq!(t.object, Object::Literal(Literal::plain("90000")));
+    }
+
+    #[test]
+    fn parses_lang_literal() {
+        let t = one("<http://x/L> <http://y/name> \"London\"@en-GB .");
+        let Object::Literal(lit) = t.object else {
+            panic!("expected literal")
+        };
+        assert_eq!(lit.lexical(), "London");
+        assert_eq!(lit.suffix(), &LiteralSuffix::Lang("en-GB".into()));
+    }
+
+    #[test]
+    fn parses_typed_literal() {
+        let t = one("<http://x/W> <http://y/cap> \"90000\"^^<http://www.w3.org/2001/XMLSchema#int> .");
+        let Object::Literal(lit) = t.object else {
+            panic!("expected literal")
+        };
+        assert_eq!(
+            lit.suffix(),
+            &LiteralSuffix::Datatype(Iri::new("http://www.w3.org/2001/XMLSchema#int"))
+        );
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let t = one("_:a <http://y/knows> _:b1.x .");
+        assert_eq!(t.subject, Subject::Blank(BlankNode::new("a")));
+        // label may contain dots, but the statement terminator must survive
+        assert_eq!(t.object, Object::Blank(BlankNode::new("b1.x")));
+    }
+
+    #[test]
+    fn parses_escapes_in_literals() {
+        let t = one(r#"<http://x/a> <http://y/p> "tab\there \"q\" \\ é \U0001F600" ."#);
+        let Object::Literal(lit) = t.object else {
+            panic!()
+        };
+        assert_eq!(lit.lexical(), "tab\there \"q\" \\ é 😀");
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let input = "\n# header comment\n  \n<http://a> <http://p> <http://b> . # trailing\n";
+        let triples = parse_ntriples(input).unwrap();
+        assert_eq!(triples.len(), 1);
+    }
+
+    #[test]
+    fn error_positions_are_reported() {
+        let err = parse_ntriples("<http://a> <http://p> <http://b>").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("'.'"), "{}", err.message);
+
+        let err = parse_ntriples("ok this is not rdf .").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert_eq!(err.column, 1);
+    }
+
+    #[test]
+    fn error_on_line_two() {
+        let input = "<http://a> <http://p> <http://b> .\n<http://a> <http://p> oops .";
+        let err = parse_ntriples(input).unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_literal_subject_position() {
+        let err = parse_ntriples("\"lit\" <http://p> <http://o> .").unwrap_err();
+        assert!(err.message.contains("subject"));
+    }
+
+    #[test]
+    fn rejects_unterminated_literal() {
+        let err = parse_ntriples("<http://a> <http://p> \"oops .").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_bad_unicode_escape() {
+        let err = parse_ntriples(r#"<http://a> <http://p> "\uZZZZ" ."#).unwrap_err();
+        assert!(err.message.contains("unicode"));
+    }
+
+    #[test]
+    fn rejects_space_in_iri() {
+        assert!(parse_ntriples("<http://a b> <http://p> <http://o> .").is_err());
+    }
+
+    #[test]
+    fn streaming_parser_continues_after_yielding() {
+        let input = "<http://a> <http://p> <http://b> .\n<http://c> <http://p> <http://d> .";
+        let mut parser = NtParser::new(input);
+        assert!(parser.next().unwrap().is_ok());
+        assert!(parser.next().unwrap().is_ok());
+        assert!(parser.next().is_none());
+    }
+
+    #[test]
+    fn parse_literal_round_trips_display() {
+        for lit in [
+            Literal::plain("90000"),
+            Literal::lang("Londres", "fr"),
+            Literal::typed("5", Iri::new("http://www.w3.org/2001/XMLSchema#int")),
+            Literal::plain("with \"quotes\" and \\slashes\\"),
+        ] {
+            assert_eq!(parse_literal(&lit.to_string()).unwrap(), lit);
+        }
+        assert!(parse_literal("\"unterminated").is_err());
+        assert!(parse_literal("\"x\" trailing").is_err());
+        assert!(parse_literal("<http://not-a-literal>").is_err());
+    }
+
+    #[test]
+    fn paper_figure_1a_sample() {
+        // A subset of Fig. 1a in full IRI form.
+        let input = "\
+<http://dbpedia.org/resource/London> <http://dbpedia.org/ontology/isPartOf> <http://dbpedia.org/resource/England> .
+<http://dbpedia.org/resource/WembleyStadium> <http://dbpedia.org/ontology/hasCapacityOf> \"90000\" .
+<http://dbpedia.org/resource/Music_Band> <http://dbpedia.org/ontology/hasName> \"MCA_Band\" .";
+        let triples = parse_ntriples(input).unwrap();
+        assert_eq!(triples.len(), 3);
+        assert!(matches!(triples[1].object, Object::Literal(_)));
+    }
+}

@@ -1,0 +1,123 @@
+//! Prefix maps for compact IRI notation.
+//!
+//! The paper writes IRIs with prefixes (`x:London` for
+//! `http://dbpedia.org/resource/London`, Fig. 1a). The SPARQL front-end, the
+//! examples and the workload generator use a [`PrefixMap`] to expand and
+//! compress names.
+
+use amber_util::FxHashMap;
+
+/// Bidirectional prefix ↔ namespace table.
+#[derive(Debug, Clone, Default)]
+pub struct PrefixMap {
+    by_prefix: FxHashMap<Box<str>, Box<str>>,
+    // Longest-namespace-first order for compression.
+    namespaces: Vec<(Box<str>, Box<str>)>, // (namespace, prefix)
+}
+
+impl PrefixMap {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's running-example prefixes (`x:` dbpedia resource,
+    /// `y:` dbpedia ontology).
+    pub fn paper_example() -> Self {
+        let mut map = Self::new();
+        map.insert("x", "http://dbpedia.org/resource/");
+        map.insert("y", "http://dbpedia.org/ontology/");
+        map
+    }
+
+    /// Register `prefix:` → `namespace`. Re-inserting a prefix replaces it.
+    pub fn insert(&mut self, prefix: &str, namespace: &str) {
+        self.by_prefix
+            .insert(prefix.into(), namespace.into());
+        self.namespaces.retain(|(_, p)| p.as_ref() != prefix);
+        self.namespaces.push((namespace.into(), prefix.into()));
+        // Longest namespace wins on compression ties.
+        self.namespaces
+            .sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| a.1.cmp(&b.1)));
+    }
+
+    /// Look up a namespace by prefix.
+    pub fn namespace(&self, prefix: &str) -> Option<&str> {
+        self.by_prefix.get(prefix).map(AsRef::as_ref)
+    }
+
+    /// Expand `prefix:local` to a full IRI; `None` when the prefix is unknown
+    /// or the input has no colon.
+    pub fn expand(&self, prefixed: &str) -> Option<String> {
+        let (prefix, local) = prefixed.split_once(':')?;
+        let namespace = self.by_prefix.get(prefix)?;
+        let mut out = String::with_capacity(namespace.len() + local.len());
+        out.push_str(namespace);
+        out.push_str(local);
+        Some(out)
+    }
+
+    /// Compress a full IRI to `prefix:local` when a registered namespace
+    /// prefixes it; otherwise return the IRI unchanged.
+    pub fn compress<'a>(&self, iri: &'a str) -> std::borrow::Cow<'a, str> {
+        for (namespace, prefix) in &self.namespaces {
+            if let Some(local) = iri.strip_prefix(namespace.as_ref()) {
+                return std::borrow::Cow::Owned(format!("{prefix}:{local}"));
+            }
+        }
+        std::borrow::Cow::Borrowed(iri)
+    }
+
+    /// Iterate `(prefix, namespace)` pairs in insertion-independent order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.by_prefix
+            .iter()
+            .map(|(p, n)| (p.as_ref(), n.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expand_and_compress_roundtrip() {
+        let map = PrefixMap::paper_example();
+        let full = map.expand("x:London").unwrap();
+        assert_eq!(full, "http://dbpedia.org/resource/London");
+        assert_eq!(map.compress(&full), "x:London");
+    }
+
+    #[test]
+    fn unknown_prefix_is_none() {
+        let map = PrefixMap::paper_example();
+        assert_eq!(map.expand("zz:Thing"), None);
+        assert_eq!(map.expand("nocolon"), None);
+    }
+
+    #[test]
+    fn compress_prefers_longest_namespace() {
+        let mut map = PrefixMap::new();
+        map.insert("a", "http://x/");
+        map.insert("b", "http://x/deep/");
+        assert_eq!(map.compress("http://x/deep/thing"), "b:thing");
+        assert_eq!(map.compress("http://x/thing"), "a:thing");
+    }
+
+    #[test]
+    fn compress_unknown_is_identity() {
+        let map = PrefixMap::paper_example();
+        assert_eq!(map.compress("http://other/thing"), "http://other/thing");
+    }
+
+    #[test]
+    fn reinsert_replaces() {
+        let mut map = PrefixMap::new();
+        map.insert("x", "http://old/");
+        map.insert("x", "http://new/");
+        assert_eq!(map.namespace("x"), Some("http://new/"));
+        assert_eq!(map.expand("x:a").unwrap(), "http://new/a");
+        // the old namespace is no longer used for compression
+        assert_eq!(map.compress("http://old/a"), "http://old/a");
+    }
+}

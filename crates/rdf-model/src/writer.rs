@@ -1,0 +1,53 @@
+//! N-Triples serialization (the inverse of [`crate::ntriples`]).
+
+use crate::triple::Triple;
+use std::fmt::Write as _;
+
+/// Serialize triples as an N-Triples document (one statement per line,
+/// trailing newline).
+pub fn write_ntriples<'a>(triples: impl IntoIterator<Item = &'a Triple>) -> String {
+    let mut out = String::new();
+    for triple in triples {
+        // `Display` for Triple is exactly one N-Triples statement.
+        writeln!(out, "{triple}").expect("writing to String cannot fail");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples::parse_ntriples;
+    use crate::term::{Iri, Literal};
+
+    #[test]
+    fn writes_one_statement_per_line() {
+        let triples = vec![
+            Triple::resource("http://a", "http://p", "http://b"),
+            Triple::literal("http://a", "http://q", "42"),
+        ];
+        let doc = write_ntriples(&triples);
+        assert_eq!(doc.lines().count(), 2);
+        assert!(doc.ends_with('\n'));
+    }
+
+    #[test]
+    fn round_trips_through_parser() {
+        let triples = vec![
+            Triple::resource("http://x/London", "http://y/isPartOf", "http://x/England"),
+            Triple::literal("http://x/W", "http://y/cap", "90 000 \"quoted\"\nline"),
+            Triple::new(
+                Iri::new("http://x/L"),
+                Iri::new("http://y/name"),
+                Literal::lang("Londres", "fr"),
+            ),
+            Triple::new(
+                Iri::new("http://x/W"),
+                Iri::new("http://y/cap"),
+                Literal::typed("90000", Iri::new("http://www.w3.org/2001/XMLSchema#int")),
+            ),
+        ];
+        let parsed = parse_ntriples(&write_ntriples(&triples)).expect("round trip parse");
+        assert_eq!(parsed, triples);
+    }
+}

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! SPARQL front-end for the AMbER reproduction.
+//!
+//! The paper restricts itself to the `SELECT`/`WHERE` fragment of SPARQL with
+//! IRI-instantiated predicates (§1, §2.2): a query is a basic graph pattern —
+//! a set of triple patterns over variables, IRIs and literals (Fig. 2a).
+//! This crate provides that fragment end to end:
+//!
+//! * [`token`] — hand-written tokenizer with `line:column` positions,
+//! * [`ast`] — [`SelectQuery`], [`TriplePattern`], [`TermPattern`],
+//! * [`parser`] — recursive-descent parser, including `PREFIX` declarations,
+//!   `a` (rdf:type) shorthand, and `;`/`,` predicate-object list notation,
+//! * [`printer`] — canonical pretty-printer (used by the workload generator
+//!   and for round-trip testing).
+//!
+//! Operators outside the paper's scope (`FILTER`, `UNION`, `OPTIONAL`,
+//! `GROUP BY`, variable predicates, …) are *detected* and rejected with
+//! [`SparqlErrorKind::Unsupported`] rather than mis-parsed.
+
+pub mod ast;
+pub mod error;
+pub mod parser;
+pub mod printer;
+pub mod token;
+
+pub use ast::{Projection, SelectQuery, TermPattern, TriplePattern};
+pub use error::{SparqlError, SparqlErrorKind};
+pub use parser::parse_select;
+pub use printer::to_sparql;

@@ -1,0 +1,445 @@
+//! Tokenizer for the SPARQL SELECT/WHERE fragment.
+//!
+//! Produces a flat token stream with positions; the parser consumes it with
+//! one token of lookahead. Comments (`#` to end of line) are stripped here.
+
+use crate::error::SparqlError;
+use rdf_model::{Iri, Literal};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier / keyword (`SELECT`, `WHERE`, `PREFIX`, `a`, …).
+    /// Keyword matching is case-insensitive and done by the parser.
+    Ident(String),
+    /// `?name` or `$name`.
+    Variable(String),
+    /// `<iri>` (already unescaped).
+    IriRef(String),
+    /// `prefix:local` (expansion happens in the parser, after `PREFIX`
+    /// declarations are known).
+    PrefixedName {
+        /// The namespace prefix (may be empty for `:local`).
+        prefix: String,
+        /// The local part after the colon.
+        local: String,
+    },
+    /// String literal with optional `@lang` / `^^<datatype>` suffix,
+    /// or a bare numeric literal (typed as xsd:integer / xsd:decimal).
+    Literal(Literal),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+}
+
+/// A token plus its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Tokenize a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SparqlError> {
+    Lexer::new(input).run()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().peekable(),
+            line: 1,
+            column: 1,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> SparqlError {
+        SparqlError::syntax(self.line, self.column, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, SparqlError> {
+        let mut out = Vec::new();
+        loop {
+            // Skip whitespace and comments.
+            loop {
+                match self.peek() {
+                    Some(c) if c.is_whitespace() => {
+                        self.bump();
+                    }
+                    Some('#') => {
+                        while let Some(c) = self.bump() {
+                            if c == '\n' {
+                                break;
+                            }
+                        }
+                    }
+                    _ => break,
+                }
+            }
+            let (line, column) = (self.line, self.column);
+            let Some(c) = self.peek() else { break };
+            let token = match c {
+                '{' => {
+                    self.bump();
+                    Token::LBrace
+                }
+                '}' => {
+                    self.bump();
+                    Token::RBrace
+                }
+                ';' => {
+                    self.bump();
+                    Token::Semicolon
+                }
+                ',' => {
+                    self.bump();
+                    Token::Comma
+                }
+                '*' => {
+                    self.bump();
+                    Token::Star
+                }
+                '.' => {
+                    self.bump();
+                    Token::Dot
+                }
+                '?' | '$' => {
+                    self.bump();
+                    let name = self.take_while(|c| c.is_alphanumeric() || c == '_');
+                    if name.is_empty() {
+                        return Err(self.error("empty variable name"));
+                    }
+                    Token::Variable(name)
+                }
+                '<' => {
+                    self.bump();
+                    let mut iri = String::new();
+                    loop {
+                        match self.bump() {
+                            Some('>') => break,
+                            Some(ch) if ch.is_whitespace() => {
+                                return Err(self.error("whitespace inside IRI"))
+                            }
+                            Some(ch) => iri.push(ch),
+                            None => return Err(self.error("unterminated IRI")),
+                        }
+                    }
+                    Token::IriRef(iri)
+                }
+                '"' | '\'' => {
+                    let quote = c;
+                    self.bump();
+                    let lexical = self.string_body(quote)?;
+                    match self.peek() {
+                        Some('@') => {
+                            self.bump();
+                            let lang =
+                                self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
+                            if lang.is_empty() {
+                                return Err(self.error("empty language tag"));
+                            }
+                            Token::Literal(Literal::lang(lexical, lang))
+                        }
+                        Some('^') => {
+                            self.bump();
+                            if self.bump() != Some('^') {
+                                return Err(self.error("expected '^^' before datatype"));
+                            }
+                            if self.bump() != Some('<') {
+                                return Err(self.error("expected '<' after '^^'"));
+                            }
+                            let mut iri = String::new();
+                            loop {
+                                match self.bump() {
+                                    Some('>') => break,
+                                    Some(ch) => iri.push(ch),
+                                    None => return Err(self.error("unterminated datatype IRI")),
+                                }
+                            }
+                            Token::Literal(Literal::typed(lexical, Iri::new(iri)))
+                        }
+                        _ => Token::Literal(Literal::plain(lexical)),
+                    }
+                }
+                c if c.is_ascii_digit() || c == '-' || c == '+' => {
+                    let body = self.take_while(|c| {
+                        c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+                    });
+                    // A trailing "." is the statement terminator, not part of
+                    // the number; give it back to the stream as Dot tokens.
+                    let trimmed = body.trim_end_matches('.');
+                    let dots_trimmed = body.len() - trimmed.len();
+                    out.push(Spanned {
+                        token: numeric_token(trimmed, || {
+                            SparqlError::syntax(line, column, format!("bad numeric literal '{body}'"))
+                        })?,
+                        line,
+                        column,
+                    });
+                    for _ in 0..dots_trimmed {
+                        out.push(Spanned {
+                            token: Token::Dot,
+                            line: self.line,
+                            column: self.column,
+                        });
+                    }
+                    continue;
+                }
+                c if is_name_start(c) => {
+                    let first = self.take_while(is_name_char);
+                    if self.peek() == Some(':') {
+                        self.bump();
+                        let local = self.take_while(|c| is_name_char(c) || c == '.');
+                        // Trailing dots belong to the statement terminator.
+                        let trimmed = local.trim_end_matches('.');
+                        let dots = local.len() - trimmed.len();
+                        out.push(Spanned {
+                            token: Token::PrefixedName {
+                                prefix: first,
+                                local: trimmed.to_string(),
+                            },
+                            line,
+                            column,
+                        });
+                        for _ in 0..dots {
+                            out.push(Spanned {
+                                token: Token::Dot,
+                                line: self.line,
+                                column: self.column,
+                            });
+                        }
+                        continue;
+                    }
+                    Token::Ident(first)
+                }
+                ':' => {
+                    // Default-prefix name `:local`.
+                    self.bump();
+                    let local = self.take_while(|c| is_name_char(c) || c == '.');
+                    let trimmed = local.trim_end_matches('.');
+                    let dots = local.len() - trimmed.len();
+                    out.push(Spanned {
+                        token: Token::PrefixedName {
+                            prefix: String::new(),
+                            local: trimmed.to_string(),
+                        },
+                        line,
+                        column,
+                    });
+                    for _ in 0..dots {
+                        out.push(Spanned {
+                            token: Token::Dot,
+                            line: self.line,
+                            column: self.column,
+                        });
+                    }
+                    continue;
+                }
+                other => return Err(self.error(format!("unexpected character '{other}'"))),
+            };
+            out.push(Spanned {
+                token,
+                line,
+                column,
+            });
+        }
+        Ok(out)
+    }
+
+    fn take_while(&mut self, pred: impl Fn(char) -> bool) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn string_body(&mut self, quote: char) -> Result<String, SparqlError> {
+        let mut s = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => return Ok(s),
+                Some('\\') => match self.bump() {
+                    Some('t') => s.push('\t'),
+                    Some('n') => s.push('\n'),
+                    Some('r') => s.push('\r'),
+                    Some('b') => s.push('\u{8}'),
+                    Some('f') => s.push('\u{c}'),
+                    Some('"') => s.push('"'),
+                    Some('\'') => s.push('\''),
+                    Some('\\') => s.push('\\'),
+                    Some('u') | Some('U') => {
+                        return Err(self.error("\\u escapes in SPARQL literals are not supported; use the raw character"))
+                    }
+                    Some(c) => return Err(self.error(format!("invalid escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated string")),
+                },
+                Some(c) => s.push(c),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+}
+
+fn numeric_token(body: &str, err: impl Fn() -> SparqlError) -> Result<Token, SparqlError> {
+    const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+    const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+    if body.parse::<i64>().is_ok() {
+        Ok(Token::Literal(Literal::typed(body, Iri::new(XSD_INTEGER))))
+    } else if body.parse::<f64>().is_ok() {
+        Ok(Token::Literal(Literal::typed(body, Iri::new(XSD_DECIMAL))))
+    } else {
+        Err(err())
+    }
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_name_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '-'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_select_skeleton() {
+        let t = toks("SELECT ?x WHERE { ?x <http://p> ?y . }");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Variable("x".into()),
+                Token::Ident("WHERE".into()),
+                Token::LBrace,
+                Token::Variable("x".into()),
+                Token::IriRef("http://p".into()),
+                Token::Variable("y".into()),
+                Token::Dot,
+                Token::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_prefixed_names_with_terminator() {
+        let t = toks("?x y:livedIn x:United_States.");
+        assert_eq!(
+            t,
+            vec![
+                Token::Variable("x".into()),
+                Token::PrefixedName {
+                    prefix: "y".into(),
+                    local: "livedIn".into()
+                },
+                Token::PrefixedName {
+                    prefix: "x".into(),
+                    local: "United_States".into()
+                },
+                Token::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_literals() {
+        let t = toks(r#""MCA_Band" "London"@en "5"^^<http://www.w3.org/2001/XMLSchema#int> 90000"#);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[0], Token::Literal(Literal::plain("MCA_Band")));
+        assert_eq!(t[1], Token::Literal(Literal::lang("London", "en")));
+        assert!(matches!(&t[3], Token::Literal(l) if l.lexical() == "90000"));
+    }
+
+    #[test]
+    fn numeric_literal_before_dot_terminator() {
+        let t = toks("?x <http://p> 1934 .");
+        assert!(matches!(&t[2], Token::Literal(l) if l.lexical() == "1934"));
+        assert_eq!(t[3], Token::Dot);
+        // also when the dot is glued to the number
+        let t = toks("?x <http://p> 1934.");
+        assert!(matches!(&t[2], Token::Literal(l) if l.lexical() == "1934"));
+        assert_eq!(t[3], Token::Dot);
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let t = toks("SELECT # projection\n?x");
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn dollar_variables() {
+        assert_eq!(toks("$v"), vec![Token::Variable("v".into())]);
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = tokenize("SELECT ?x\n  @oops").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.column, 3);
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("\"open").is_err());
+        assert!(tokenize("<open").is_err());
+    }
+
+    #[test]
+    fn default_prefix_names() {
+        let t = toks(":Local");
+        assert_eq!(
+            t,
+            vec![Token::PrefixedName {
+                prefix: String::new(),
+                local: "Local".into()
+            }]
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! FxHash-style hashing.
+//!
+//! The engine keys almost every map by small dense integers (vertex ids, edge
+//! type ids, attribute ids) or short interned strings. `SipHash 1-3`, the
+//! standard-library default, is needlessly slow for that workload, and the
+//! offline crate allowlist does not include `rustc-hash`, so we vendor the
+//! same multiply-rotate construction here. HashDoS resistance is irrelevant:
+//! all hashed values originate from our own dictionaries.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// 64-bit Fx multiplier (golden-ratio derived, same constant as `rustc-hash`).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, non-cryptographic [`Hasher`] specialised for small keys.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.add_to_hash(word);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+            // Fold in the length so "a\0" and "a" differ.
+            self.add_to_hash(rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        let mut hasher = FxHasher::default();
+        value.hash(&mut hasher);
+        hasher.finish()
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        assert_eq!(hash_of(42u32), hash_of(42u32));
+        assert_eq!(hash_of("amber"), hash_of("amber"));
+        assert_eq!(hash_of((1u32, 2u32)), hash_of((1u32, 2u32)));
+    }
+
+    #[test]
+    fn distinguishes_nearby_integers() {
+        // Not a strong guarantee in general, but these must not collide for
+        // the dense-id workloads we care about.
+        let hashes: Vec<u64> = (0u32..1000).map(hash_of).collect();
+        let mut deduped = hashes.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), hashes.len());
+    }
+
+    #[test]
+    fn distinguishes_prefix_strings() {
+        assert_ne!(hash_of("a"), hash_of("a\0"));
+        assert_ne!(hash_of("ab"), hash_of("ba"));
+        assert_ne!(hash_of(""), hash_of("\0"));
+    }
+
+    #[test]
+    fn build_hasher_is_stateless() {
+        let build = FxBuildHasher::default();
+        let mut h1 = build.build_hasher();
+        let mut h2 = build.build_hasher();
+        "same".hash(&mut h1);
+        "same".hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut map: FxHashMap<u32, &str> = FxHashMap::default();
+        map.insert(7, "seven");
+        assert_eq!(map.get(&7), Some(&"seven"));
+
+        let mut set: FxHashSet<&str> = FxHashSet::default();
+        assert!(set.insert("x"));
+        assert!(!set.insert("x"));
+    }
+}

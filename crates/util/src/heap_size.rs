@@ -1,0 +1,206 @@
+//! Deep heap-size accounting.
+//!
+//! Table 5 of the paper reports the memory footprint of the multigraph
+//! database and of the index ensemble `I`. The authors measured process
+//! memory; we instead account the owned heap bytes of each structure
+//! analytically, which measures the same quantity without OS noise and works
+//! under any allocator.
+//!
+//! [`HeapSize::heap_size`] returns the number of bytes owned *behind*
+//! a value (its inline `size_of` is excluded so that embedding a value in a
+//! struct does not double-count it). Use [`HeapSize::deep_size`] for
+//! "inline + heap" totals of top-level values.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Types able to report the heap memory they own.
+pub trait HeapSize {
+    /// Bytes of heap memory owned (transitively) by `self`, excluding
+    /// `size_of::<Self>()` itself.
+    fn heap_size(&self) -> usize;
+
+    /// Convenience: inline size plus owned heap bytes.
+    fn deep_size(&self) -> usize {
+        std::mem::size_of_val(self) + self.heap_size()
+    }
+}
+
+macro_rules! impl_heap_size_for_copy {
+    ($($ty:ty),* $(,)?) => {
+        $(impl HeapSize for $ty {
+            #[inline]
+            fn heap_size(&self) -> usize { 0 }
+        })*
+    };
+}
+
+impl_heap_size_for_copy!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+);
+
+impl<T: HeapSize> HeapSize for Option<T> {
+    fn heap_size(&self) -> usize {
+        self.as_ref().map_or(0, HeapSize::heap_size)
+    }
+}
+
+impl<A: HeapSize, B: HeapSize> HeapSize for (A, B) {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size()
+    }
+}
+
+impl<A: HeapSize, B: HeapSize, C: HeapSize> HeapSize for (A, B, C) {
+    fn heap_size(&self) -> usize {
+        self.0.heap_size() + self.1.heap_size() + self.2.heap_size()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Vec<T> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<[T]> {
+    fn heap_size(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<T: HeapSize> HeapSize for Box<T> {
+    fn heap_size(&self) -> usize {
+        std::mem::size_of::<T>() + self.as_ref().heap_size()
+    }
+}
+
+impl HeapSize for String {
+    fn heap_size(&self) -> usize {
+        self.capacity()
+    }
+}
+
+impl HeapSize for Box<str> {
+    fn heap_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl HeapSize for &str {
+    fn heap_size(&self) -> usize {
+        0
+    }
+}
+
+impl<K: HeapSize, V: HeapSize, S> HeapSize for HashMap<K, V, S> {
+    fn heap_size(&self) -> usize {
+        // A hashbrown table stores (K, V) pairs plus one control byte per
+        // bucket; `capacity` under-reports buckets slightly but is the best
+        // stable approximation without allocator hooks.
+        self.capacity() * (std::mem::size_of::<(K, V)>() + 1)
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_size() + v.heap_size())
+                .sum::<usize>()
+    }
+}
+
+impl<T: HeapSize, S> HeapSize for HashSet<T, S> {
+    fn heap_size(&self) -> usize {
+        self.capacity() * (std::mem::size_of::<T>() + 1)
+            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+    }
+}
+
+impl<K: HeapSize, V: HeapSize> HeapSize for BTreeMap<K, V> {
+    fn heap_size(&self) -> usize {
+        // B-tree nodes hold up to 11 entries; approximate with a per-entry
+        // overhead factor rather than chasing node geometry.
+        self.len() * (std::mem::size_of::<(K, V)>() + 2 * std::mem::size_of::<usize>())
+            + self
+                .iter()
+                .map(|(k, v)| k.heap_size() + v.heap_size())
+                .sum::<usize>()
+    }
+}
+
+/// Pretty-print a byte count the way the paper's tables do (MB granularity).
+pub fn format_bytes(bytes: usize) -> String {
+    const KB: f64 = 1024.0;
+    const MB: f64 = 1024.0 * 1024.0;
+    const GB: f64 = 1024.0 * 1024.0 * 1024.0;
+    let b = bytes as f64;
+    if b >= GB {
+        format!("{:.2} GB", b / GB)
+    } else if b >= MB {
+        format!("{:.1} MB", b / MB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_own_no_heap() {
+        assert_eq!(5u32.heap_size(), 0);
+        assert_eq!(true.heap_size(), 0);
+        assert_eq!(1.5f64.heap_size(), 0);
+    }
+
+    #[test]
+    fn vec_counts_capacity_not_len() {
+        let mut v: Vec<u64> = Vec::with_capacity(16);
+        v.push(1);
+        assert_eq!(v.heap_size(), 16 * 8);
+    }
+
+    #[test]
+    fn nested_vec_counts_inner_buffers() {
+        let v: Vec<Vec<u8>> = vec![Vec::with_capacity(10), Vec::with_capacity(20)];
+        let expected = v.capacity() * std::mem::size_of::<Vec<u8>>() + 10 + 20;
+        assert_eq!(v.heap_size(), expected);
+    }
+
+    #[test]
+    fn string_counts_capacity() {
+        let s = String::with_capacity(100);
+        assert_eq!(s.heap_size(), 100);
+        let b: Box<str> = "hello".into();
+        assert_eq!(b.heap_size(), 5);
+    }
+
+    #[test]
+    fn boxed_slice_counts_len() {
+        let b: Box<[u32]> = vec![1, 2, 3].into_boxed_slice();
+        assert_eq!(b.heap_size(), 12);
+    }
+
+    #[test]
+    fn option_none_is_free() {
+        let n: Option<Vec<u8>> = None;
+        assert_eq!(n.heap_size(), 0);
+        let s: Option<Vec<u8>> = Some(Vec::with_capacity(8));
+        assert_eq!(s.heap_size(), 8);
+    }
+
+    #[test]
+    fn deep_size_includes_inline() {
+        let v: Vec<u8> = Vec::with_capacity(4);
+        assert_eq!(v.deep_size(), std::mem::size_of::<Vec<u8>>() + 4);
+    }
+
+    #[test]
+    fn format_bytes_scales() {
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.0 MB");
+        assert!(format_bytes(2 * 1024 * 1024 * 1024).ends_with("GB"));
+    }
+}

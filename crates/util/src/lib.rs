@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+//! Shared utilities for the AMbER reproduction.
+//!
+//! This crate hosts the small, dependency-free building blocks used across the
+//! workspace:
+//!
+//! * [`fxhash`] — a fast, non-cryptographic hasher (FxHash-style) plus the
+//!   [`FxHashMap`]/[`FxHashSet`] aliases used everywhere identifiers are keys.
+//! * [`heap_size`] — deep heap-size accounting, used to reproduce the memory
+//!   columns of Table 5 of the paper analytically.
+//! * [`sorted`] — set algebra over sorted slices (intersection, union,
+//!   containment); the OTIL and attribute indexes are built on these.
+//! * [`timing`] — stopwatch and cooperative deadline used to implement the
+//!   paper's 60-second query budget.
+//! * [`stats`] — summary statistics for the experiment harness.
+
+pub mod fxhash;
+pub mod heap_size;
+pub mod sorted;
+pub mod stats;
+pub mod timing;
+
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use heap_size::HeapSize;
+pub use timing::{Deadline, Stopwatch};

@@ -1,0 +1,219 @@
+//! Set algebra over sorted, deduplicated slices.
+//!
+//! The neighbourhood index `N` (OTIL) and the attribute index `A` both store
+//! candidate vertex lists as sorted `u32` slices; query evaluation is then a
+//! cascade of intersections (paper §4.1, §4.3, Algorithm 4 line 7). These
+//! kernels are the hot path of the whole engine, so they live here with a
+//! galloping variant for skewed list sizes.
+
+/// Intersect two sorted deduplicated slices into a fresh vector.
+///
+/// Switches to galloping (exponential) search when one input is much smaller
+/// than the other, which matters when a rare edge type is intersected with a
+/// hub vertex's neighbour list.
+pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    intersect_into(a, b, &mut out);
+    out
+}
+
+/// Intersect into a caller-provided buffer (cleared first).
+pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    out.clear();
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    // Galloping pays off when the size ratio is large; the 16x cutoff is the
+    // usual rule of thumb (binary-merge cost ~ n+m, gallop ~ n log m).
+    if large.len() / small.len().max(1) >= 16 {
+        gallop_intersect(small, large, out);
+    } else {
+        merge_intersect(small, large, out);
+    }
+}
+
+fn merge_intersect<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+fn gallop_intersect<T: Ord + Copy>(small: &[T], large: &[T], out: &mut Vec<T>) {
+    let mut lo = 0usize;
+    for &x in small {
+        // Exponential probe from the last found position.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        // `large[hi]` (when in range) is the first probed element >= x, so the
+        // binary-search window must include it.
+        let hi = (hi + 1).min(large.len());
+        match large[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                out.push(x);
+                lo += pos + 1;
+            }
+            Err(pos) => lo += pos,
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Intersect many sorted slices, smallest-first to keep intermediates tiny.
+/// Returns `None` when `lists` is empty (intersection of nothing is
+/// "everything", which callers must handle explicitly).
+pub fn intersect_many<T: Ord + Copy>(lists: &[&[T]]) -> Option<Vec<T>> {
+    let mut order: Vec<usize> = (0..lists.len()).collect();
+    order.sort_unstable_by_key(|&i| lists[i].len());
+    let mut iter = order.into_iter();
+    let first = iter.next()?;
+    let mut acc: Vec<T> = lists[first].to_vec();
+    let mut scratch = Vec::new();
+    for i in iter {
+        if acc.is_empty() {
+            break;
+        }
+        intersect_into(&acc, lists[i], &mut scratch);
+        std::mem::swap(&mut acc, &mut scratch);
+    }
+    Some(acc)
+}
+
+/// Union of two sorted deduplicated slices.
+pub fn union<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Is sorted deduplicated `needle` a subset of sorted deduplicated
+/// `haystack`?
+pub fn is_subset<T: Ord + Copy>(needle: &[T], haystack: &[T]) -> bool {
+    if needle.len() > haystack.len() {
+        return false;
+    }
+    let mut j = 0;
+    for &x in needle {
+        // Advance j to the first element >= x.
+        while j < haystack.len() && haystack[j] < x {
+            j += 1;
+        }
+        if j >= haystack.len() || haystack[j] != x {
+            return false;
+        }
+        j += 1;
+    }
+    true
+}
+
+/// Binary-search membership test.
+pub fn contains<T: Ord>(sorted: &[T], x: &T) -> bool {
+    sorted.binary_search(x).is_ok()
+}
+
+/// Sort and deduplicate in place; the canonical form used across indexes.
+pub fn normalize<T: Ord>(v: &mut Vec<T>) {
+    v.sort_unstable();
+    v.dedup();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        assert_eq!(intersect::<u32>(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect(&[1, 2], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn intersect_disjoint() {
+        assert_eq!(intersect(&[1, 2, 3], &[4, 5, 6]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn gallop_matches_merge_on_skewed_input() {
+        let small = vec![5u32, 500, 5000, 50_000];
+        let large: Vec<u32> = (0..100_000).collect();
+        assert_eq!(intersect(&small, &large), small);
+        // and from the other side
+        assert_eq!(intersect(&large, &small), small);
+    }
+
+    #[test]
+    fn gallop_handles_missing_elements() {
+        let small = vec![1u32, 7, 1_000_001];
+        let large: Vec<u32> = (0..100u32).map(|x| x * 2).collect(); // evens
+        assert_eq!(intersect(&small, &large), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn intersect_many_orders_by_size() {
+        let a: Vec<u32> = (0..1000).collect();
+        let b = vec![10u32, 20, 30];
+        let c: Vec<u32> = (0..500).filter(|x| x % 10 == 0).collect();
+        let got = intersect_many(&[&a, &b, &c]).unwrap();
+        assert_eq!(got, vec![10, 20, 30]);
+        assert_eq!(intersect_many::<u32>(&[]), None);
+    }
+
+    #[test]
+    fn union_merges_and_dedups() {
+        assert_eq!(union(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(union::<u32>(&[], &[]), Vec::<u32>::new());
+        assert_eq!(union(&[1], &[]), vec![1]);
+    }
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset::<u32>(&[], &[1, 2]));
+        assert!(is_subset(&[2, 4], &[1, 2, 3, 4]));
+        assert!(!is_subset(&[2, 5], &[1, 2, 3, 4]));
+        assert!(!is_subset(&[1, 2, 3], &[1, 2]));
+        assert!(is_subset(&[1, 2], &[1, 2]));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut v = vec![3, 1, 2, 3, 1];
+        normalize(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Summary statistics for the experiment harness.
+//!
+//! The paper reports *average query time over the answered queries* plus the
+//! *percentage of unanswered queries* (§7.2). [`Summary`] packages exactly
+//! that, with a few extra robust statistics (median, p95) that the harness
+//! prints alongside.
+
+/// Summary of a sample of `f64` measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean; `NaN` when empty.
+    pub mean: f64,
+    /// Median (lower of the two middles for even counts); `NaN` when empty.
+    pub median: f64,
+    /// 95th percentile (nearest-rank); `NaN` when empty.
+    pub p95: f64,
+    /// Minimum; `NaN` when empty.
+    pub min: f64,
+    /// Maximum; `NaN` when empty.
+    pub max: f64,
+    /// Population standard deviation; `NaN` when empty.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. The input order is irrelevant.
+    pub fn of(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                mean: f64::NAN,
+                median: f64::NAN,
+                p95: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                std_dev: f64::NAN,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = sorted.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / count as f64;
+        Self {
+            count,
+            mean,
+            median: sorted[(count - 1) / 2],
+            p95: sorted[nearest_rank(count, 0.95)],
+            min: sorted[0],
+            max: sorted[count - 1],
+            std_dev: variance.sqrt(),
+        }
+    }
+}
+
+/// Nearest-rank percentile index for a sorted sample of `count` items.
+fn nearest_rank(count: usize, q: f64) -> usize {
+    debug_assert!((0.0..=1.0).contains(&q));
+    let rank = (q * count as f64).ceil() as usize;
+    rank.clamp(1, count) - 1
+}
+
+/// Percentage helper: `part / whole * 100`, `0.0` for an empty whole.
+pub fn percentage(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+        assert!(s.median.is_nan());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = Summary::of(&[4.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.p95, 4.0);
+        assert_eq!(s.min, 4.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.std_dev, 0.0);
+    }
+
+    #[test]
+    fn known_distribution() {
+        let samples: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&samples);
+        assert_eq!(s.mean, 50.5);
+        assert_eq!(s.median, 50.0);
+        assert_eq!(s.p95, 95.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = Summary::of(&[3.0, 1.0, 2.0]);
+        let b = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentage_handles_zero() {
+        assert_eq!(percentage(1, 0), 0.0);
+        assert_eq!(percentage(1, 4), 25.0);
+        assert_eq!(percentage(0, 10), 0.0);
+    }
+}

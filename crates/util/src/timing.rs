@@ -1,0 +1,150 @@
+//! Stopwatch and cooperative deadlines.
+//!
+//! The paper's evaluation enforces a 60-second wall-clock budget per query and
+//! reports the percentage of queries unanswered within it (§7.2). All engines
+//! in this workspace poll a shared [`Deadline`] inside their recursion so a
+//! blown budget aborts promptly instead of wedging the harness.
+
+use std::time::{Duration, Instant};
+
+/// Simple wall-clock stopwatch.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64` (the unit used by the paper's plots).
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// A cooperative deadline polled from inner loops.
+///
+/// Polling `Instant::now()` on every recursion step would dominate small
+/// queries, so [`Deadline::exceeded`] only consults the clock once every
+/// `CHECK_MASK + 1` calls. The counter is a relaxed atomic so one deadline
+/// can be shared across the worker threads of the parallel matcher.
+#[derive(Debug)]
+pub struct Deadline {
+    limit: Option<Instant>,
+    calls: std::sync::atomic::AtomicU32,
+}
+
+impl Deadline {
+    /// Only look at the clock every 1024 polls.
+    const CHECK_MASK: u32 = 0x3FF;
+
+    /// A deadline `budget` from now; `None` never expires.
+    pub fn new(budget: Option<Duration>) -> Self {
+        Self {
+            limit: budget.map(|b| Instant::now() + b),
+            calls: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// An infinite deadline.
+    pub fn unlimited() -> Self {
+        Self::new(None)
+    }
+
+    /// A copy with the *same* expiry instant but a fresh poll counter.
+    ///
+    /// Parallel workers each fork the shared deadline: the budget stays
+    /// global while the hot counter stays core-local (a single shared
+    /// atomic would ping-pong its cache line on every poll).
+    pub fn fork(&self) -> Self {
+        Self {
+            limit: self.limit,
+            calls: std::sync::atomic::AtomicU32::new(0),
+        }
+    }
+
+    /// Cheap cooperative check; `true` once the budget is blown.
+    #[inline]
+    pub fn exceeded(&self) -> bool {
+        let Some(limit) = self.limit else {
+            return false;
+        };
+        let n = self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            .wrapping_add(1);
+        // Consult the clock on the very first poll (so zero budgets abort
+        // immediately) and then once per window.
+        if n & Self::CHECK_MASK != 1 {
+            return false;
+        }
+        Instant::now() >= limit
+    }
+
+    /// Uncached check, for loop boundaries where precision matters.
+    #[inline]
+    pub fn exceeded_now(&self) -> bool {
+        self.limit.is_some_and(|limit| Instant::now() >= limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_monotonic() {
+        let sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sw.elapsed() >= Duration::from_millis(5));
+        assert!(sw.elapsed_ms() >= 5.0);
+    }
+
+    #[test]
+    fn unlimited_deadline_never_fires() {
+        let d = Deadline::unlimited();
+        for _ in 0..10_000 {
+            assert!(!d.exceeded());
+        }
+        assert!(!d.exceeded_now());
+    }
+
+    #[test]
+    fn zero_budget_fires_immediately() {
+        let d = Deadline::new(Some(Duration::ZERO));
+        assert!(d.exceeded_now());
+        // The cached variant fires within one check window.
+        let mut fired = false;
+        for _ in 0..=Deadline::CHECK_MASK + 1 {
+            if d.exceeded() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+    }
+
+    #[test]
+    fn generous_budget_does_not_fire() {
+        let d = Deadline::new(Some(Duration::from_secs(3600)));
+        for _ in 0..5000 {
+            assert!(!d.exceeded());
+        }
+    }
+}

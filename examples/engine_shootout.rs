@@ -1,0 +1,33 @@
+//! Engine shootout: the paper's Table 1 in miniature, live.
+//!
+//! ```sh
+//! cargo run --release --example engine_shootout [scale]
+//! ```
+//!
+//! Runs complex 50-triple queries on the DBpedia-like benchmark across all
+//! four engines (AMbER + the three baseline architectures) with a per-query
+//! budget, and prints average time plus the unanswered percentage — the two
+//! metrics of the paper's evaluation.
+
+use amber_bench::experiments;
+use amber_bench::HarnessConfig;
+use std::time::Duration;
+
+fn main() {
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let config = HarnessConfig {
+        scale,
+        queries_per_size: 20,
+        timeout: Duration::from_secs(2),
+        ..HarnessConfig::default()
+    };
+    println!("{}", experiments::table1(&config));
+    println!(
+        "Paper's Table 1 (full DBPEDIA, 60 s budget): AMbER 1.56 s, gStore 11.96 s, \
+         Virtuoso 20.45 s, x-RDF-3X >60 s — the ordering is what the\n\
+         reproduction preserves: AMbER < Backtracking/TripleStore < ScanJoin."
+    );
+}

@@ -1,0 +1,61 @@
+//! Quickstart: load N-Triples, run a SPARQL query, print bindings.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Uses the paper's running example (Fig. 1a data, Fig. 2a query) so the
+//! output can be checked against §5 of the paper: exactly two embeddings,
+//! differing only in `?X0`.
+
+use amber::{AmberEngine, ExecOptions};
+use amber_multigraph::paper;
+use rdf_model::{write_ntriples, PrefixMap};
+
+fn main() {
+    // --- Offline stage -----------------------------------------------------
+    // Serialize the paper's 16 triples to N-Triples and load them back —
+    // the same round trip a user ingesting a .nt dump goes through.
+    let document = write_ntriples(&paper::paper_triples());
+    println!("Loading {} bytes of N-Triples…", document.len());
+    let engine = AmberEngine::load_ntriples(&document).expect("valid N-Triples");
+
+    let stats = engine.rdf().stats();
+    println!(
+        "Multigraph: {} vertices, {} edges, {} edge types, {} attributes",
+        stats.vertices, stats.edges, stats.edge_types, stats.attributes
+    );
+    let offline = engine.offline_stats();
+    println!(
+        "Offline stage: database {:?}, index {:?} ({} B)\n",
+        offline.database_build_time, offline.index_build_time, offline.index_bytes
+    );
+
+    // --- Online stage ------------------------------------------------------
+    let query = paper::paper_query_text();
+    println!("Query:\n{query}\n");
+
+    let outcome = engine
+        .execute(&query, &ExecOptions::new())
+        .expect("query executes");
+
+    println!(
+        "{} embeddings in {:?} ({})",
+        outcome.embedding_count,
+        outcome.elapsed,
+        if outcome.timed_out() { "timed out" } else { "complete" },
+    );
+
+    // Pretty-print bindings with the paper's prefixes.
+    let prefixes = PrefixMap::paper_example();
+    println!("\n{}", outcome.variables.join("\t| "));
+    for row in &outcome.bindings {
+        let compact: Vec<String> = row
+            .iter()
+            .map(|iri| prefixes.compress(iri).into_owned())
+            .collect();
+        println!("{}", compact.join("\t| "));
+    }
+
+    assert_eq!(outcome.embedding_count, paper::PAPER_QUERY_EMBEDDINGS as u128);
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the AMbER reproduction workspace.
+//!
+//! Re-exports every member crate so the top-level `examples/` and `tests/`
+//! reach the whole system through one dependency:
+//!
+//! * [`amber`] — the engine (offline + online stages, CLI in `bin/amber`),
+//! * [`baselines`] — the three competitor architectures,
+//! * [`datagen`] — synthetic benchmarks + workload generation,
+//! * [`multigraph`] / [`index`] / [`sparql`] / [`rdf_model`] / [`util`] —
+//!   the substrates.
+//!
+//! Start with [`amber::AmberEngine`]; see `README.md` for the tour and
+//! `DESIGN.md` for the paper-to-module map.
+
+pub use amber;
+pub use amber_baselines as baselines;
+pub use amber_datagen as datagen;
+pub use amber_index as index;
+pub use amber_multigraph as multigraph;
+pub use amber_sparql as sparql;
+pub use amber_util as util;
+pub use rdf_model;

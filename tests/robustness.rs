@@ -1,0 +1,188 @@
+//! Failure injection and adversarial inputs: malformed documents, hostile
+//! query shapes, zero budgets, empty graphs, unicode — the "production
+//! quality" envelope around the paper's algorithm.
+
+use amber::{AmberEngine, EngineError, ExecOptions, QueryStatus};
+use amber_baselines::all_engines;
+use amber_multigraph::paper::paper_graph;
+use amber_multigraph::RdfGraph;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn malformed_ntriples_is_rejected_with_position() {
+    for (doc, line) in [
+        ("<http://a> <http://b> .", 1usize),
+        ("<http://a> <http://b> <http://c> .\nbroken", 2),
+        ("<http://a> <http://b> \"unterminated .", 1),
+    ] {
+        match AmberEngine::load_ntriples(doc) {
+            Err(EngineError::NtParse(e)) => assert_eq!(e.line, line, "doc: {doc:?}"),
+            Err(other) => panic!("expected parse error for {doc:?}, got {other}"),
+            Ok(_) => panic!("malformed document loaded: {doc:?}"),
+        }
+    }
+}
+
+#[test]
+fn sparql_error_paths() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let options = ExecOptions::new();
+    // Syntax and unsupported-feature errors both surface as EngineError.
+    assert!(matches!(
+        engine.execute("SELECT WHERE", &options),
+        Err(EngineError::Sparql(_))
+    ));
+    assert!(matches!(
+        engine.execute("SELECT * WHERE { ?s ?p ?o }", &options),
+        Err(EngineError::Sparql(_)) | Err(EngineError::QueryGraph(_))
+    ));
+}
+
+#[test]
+fn empty_graph_answers_everything_with_zero() {
+    let rdf = Arc::new(RdfGraph::from_triples([]));
+    for engine in all_engines(rdf) {
+        let outcome = engine
+            .execute_sparql("SELECT * WHERE { ?s <http://p> ?o . }", &ExecOptions::new())
+            .expect("executes");
+        assert_eq!(outcome.embedding_count, 0, "{}", engine.name());
+        assert_eq!(outcome.status, QueryStatus::Completed);
+    }
+}
+
+#[test]
+fn zero_budget_times_out_on_every_engine() {
+    let rdf = Arc::new(paper_graph());
+    let query = amber_multigraph::paper::paper_query_text();
+    for engine in all_engines(rdf) {
+        let outcome = engine
+            .execute_sparql(&query, &ExecOptions::new().with_timeout(Duration::ZERO))
+            .expect("executes");
+        assert!(outcome.timed_out(), "{} must time out", engine.name());
+    }
+}
+
+#[test]
+fn cartesian_blowup_is_capped_by_max_results() {
+    // A 4-component disconnected query: the full product has 13^4 ≈ 28k
+    // embeddings on the paper graph if each pattern matched every edge —
+    // materialization must stop at the cap while the count stays exact.
+    let doc: String = (0..30)
+        .map(|i| format!("<http://x/s{i}> <http://p/e> <http://x/o{}> .\n", i % 7))
+        .collect();
+    let engine = AmberEngine::load_ntriples(&doc).unwrap();
+    let query = "SELECT * WHERE { ?a <http://p/e> ?b . ?c <http://p/e> ?d . \
+                 ?e <http://p/e> ?f . ?g <http://p/e> ?h . }";
+    let outcome = engine
+        .execute(query, &ExecOptions::new().with_max_results(50))
+        .unwrap();
+    assert_eq!(outcome.embedding_count, 30u128.pow(4));
+    assert_eq!(outcome.bindings.len(), 50);
+}
+
+#[test]
+fn clique_query_terminates() {
+    // Dense 5-clique pattern over a small dense graph: worst-case join
+    // structure, must complete (or time out cleanly) on all engines.
+    let mut doc = String::new();
+    for i in 0..12 {
+        for j in 0..12 {
+            if i != j {
+                doc.push_str(&format!("<http://x/n{i}> <http://p/e> <http://x/n{j}> .\n"));
+            }
+        }
+    }
+    let rdf = Arc::new(RdfGraph::parse_ntriples(&doc).unwrap());
+    let vars = ["a", "b", "c", "d", "e"];
+    let mut patterns = String::new();
+    for i in 0..vars.len() {
+        for j in 0..vars.len() {
+            if i < j {
+                patterns.push_str(&format!("?{} <http://p/e> ?{} . ", vars[i], vars[j]));
+            }
+        }
+    }
+    let query = format!("SELECT * WHERE {{ {patterns} }}");
+    let options = ExecOptions::benchmark(Duration::from_secs(20));
+    let expected = 12u128 * 11 * 10 * 9 * 8; // ordered 5-tuples of distinct vertices
+    for engine in all_engines(rdf) {
+        let outcome = engine.execute_sparql(&query, &options).expect("executes");
+        if !outcome.timed_out() {
+            assert_eq!(outcome.embedding_count, expected, "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn long_chain_query() {
+    // A 40-deep path query over a cycle graph: recursion depth stress.
+    let n = 60;
+    let doc: String = (0..n)
+        .map(|i| format!("<http://x/n{i}> <http://p/next> <http://x/n{}> .\n", (i + 1) % n))
+        .collect();
+    let rdf = Arc::new(RdfGraph::parse_ntriples(&doc).unwrap());
+    let mut patterns = String::new();
+    for i in 0..40 {
+        patterns.push_str(&format!("?v{i} <http://p/next> ?v{} . ", i + 1));
+    }
+    let query = format!("SELECT * WHERE {{ {patterns} }}");
+    let options = ExecOptions::benchmark(Duration::from_secs(20));
+    for engine in all_engines(rdf) {
+        let outcome = engine.execute_sparql(&query, &options).expect("executes");
+        if !outcome.timed_out() {
+            // A chain of length 40 embeds once per starting position.
+            assert_eq!(outcome.embedding_count, n as u128, "{}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn unicode_iris_and_literals_survive_the_pipeline() {
+    let doc = "<http://x/Zürich> <http://p/名前> \"取り引き — émoji 😀\" .\n\
+               <http://x/Zürich> <http://p/liegt_in> <http://x/Schweiz> .\n";
+    let engine = AmberEngine::load_ntriples(doc).unwrap();
+    let outcome = engine
+        .execute(
+            "SELECT ?où WHERE { <http://x/Zürich> <http://p/liegt_in> ?où . }",
+            &ExecOptions::new(),
+        )
+        .unwrap();
+    assert_eq!(outcome.embedding_count, 1);
+    assert_eq!(outcome.bindings[0][0].as_ref(), "http://x/Schweiz");
+
+    let literal_query = "SELECT ?s WHERE { ?s <http://p/名前> \"取り引き — émoji 😀\" . }";
+    let outcome = engine.execute(literal_query, &ExecOptions::new()).unwrap();
+    assert_eq!(outcome.embedding_count, 1);
+}
+
+#[test]
+fn duplicate_patterns_do_not_double_count() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let y = amber_multigraph::paper::PREFIX_Y;
+    let single = format!("SELECT * WHERE {{ ?p <{y}wasBornIn> ?c . }}");
+    let doubled = format!("SELECT * WHERE {{ ?p <{y}wasBornIn> ?c . ?p <{y}wasBornIn> ?c . }}");
+    let a = engine.execute(&single, &ExecOptions::new()).unwrap();
+    let b = engine.execute(&doubled, &ExecOptions::new()).unwrap();
+    assert_eq!(a.embedding_count, b.embedding_count);
+    // And the same across baselines.
+    let rdf = Arc::new(paper_graph());
+    for engine in all_engines(rdf) {
+        let out = engine.execute_sparql(&doubled, &ExecOptions::new()).unwrap();
+        assert_eq!(out.embedding_count, a.embedding_count, "{}", engine.name());
+    }
+}
+
+#[test]
+fn self_loop_queries_agree() {
+    let doc = "<http://x/a> <http://p/likes> <http://x/a> .\n\
+               <http://x/a> <http://p/likes> <http://x/b> .\n\
+               <http://x/b> <http://p/likes> <http://x/a> .\n";
+    let rdf = Arc::new(RdfGraph::parse_ntriples(doc).unwrap());
+    let query = "SELECT * WHERE { ?x <http://p/likes> ?x . ?x <http://p/likes> ?y . }";
+    for engine in all_engines(rdf) {
+        let out = engine.execute_sparql(query, &ExecOptions::new()).unwrap();
+        // ?x = a (self loop), ?y ∈ {a, b}.
+        assert_eq!(out.embedding_count, 2, "{}", engine.name());
+    }
+}

@@ -1,0 +1,77 @@
+//! Larger-scale stress tests, `#[ignore]`d by default.
+//!
+//! Run explicitly with:
+//!
+//! ```sh
+//! cargo test --release --test stress -- --ignored
+//! ```
+//!
+//! These approach the paper's workload sizes (hundreds of queries,
+//! 200 K-triple datasets) and exist to catch scaling regressions the
+//! seconds-long default suite cannot see.
+
+use amber::{AmberEngine, ExecOptions, SparqlEngine};
+use amber_datagen::{Benchmark, QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_multigraph::RdfGraph;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn lubm_scale_10_star_sweep() {
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(10, 1)));
+    assert!(rdf.stats().triples > 20_000);
+    let engine = AmberEngine::from_graph(Arc::clone(&rdf));
+    let mut gen = WorkloadGenerator::new(&rdf, 2);
+    let options = ExecOptions::benchmark(Duration::from_secs(60));
+    for size in [10, 20, 30, 40, 50] {
+        let queries = gen.generate_many(&WorkloadConfig::new(QueryShape::Star, size), 50);
+        assert!(!queries.is_empty(), "no size-{size} stars at scale 10");
+        let mut answered = 0;
+        for q in &queries {
+            let outcome = engine.execute_query(&q.query, &options).unwrap();
+            if !outcome.timed_out() {
+                answered += 1;
+                assert!(outcome.embedding_count > 0, "{}", q.text);
+            }
+        }
+        // The paper's robustness claim: AMbER answers >98% of star queries.
+        assert!(
+            answered * 100 >= queries.len() * 98,
+            "size {size}: only {answered}/{} answered",
+            queries.len()
+        );
+    }
+}
+
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn dbpedia_scale_5_table1_style() {
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Dbpedia.generate(5, 3)));
+    let engine = AmberEngine::from_graph(Arc::clone(&rdf));
+    let mut gen = WorkloadGenerator::new(&rdf, 4);
+    let queries = gen.generate_many(&WorkloadConfig::new(QueryShape::Complex, 50), 100);
+    let options = ExecOptions::benchmark(Duration::from_secs(60));
+    let mut answered = 0;
+    for q in &queries {
+        if !engine.execute_query(&q.query, &options).unwrap().timed_out() {
+            answered += 1;
+        }
+    }
+    assert!(
+        answered * 100 >= queries.len() * 85,
+        "complex-50 robustness: {answered}/{}",
+        queries.len()
+    );
+}
+
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
+fn snapshot_round_trip_at_scale() {
+    let rdf = RdfGraph::from_triples(&Benchmark::Yago.generate(10, 5));
+    let image = rdf.to_snapshot();
+    let restored = RdfGraph::from_snapshot(&image).unwrap();
+    assert_eq!(rdf.stats(), restored.stats());
+    // Snapshot is not wildly larger than the in-memory representation.
+    assert!(image.len() < 4 * amber_util::HeapSize::heap_size(&rdf).max(1));
+}

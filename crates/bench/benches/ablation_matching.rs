@@ -5,7 +5,11 @@
 //!   explicitly, on star queries (where the paper's win is largest);
 //! * `ordering` — the `(r1, r2)` heuristic of §5.3 vs a reversed core
 //!   order, holding everything else fixed;
-//! * `parallel` — the §8 future-work extension: 1 vs 4 worker threads.
+//! * `parallel` — the §8 future-work extension: 1 vs 4 worker threads;
+//! * `probe_api` — the zero-allocation borrowed probe path
+//!   (`NeighborhoodIndex::probe` + reused spill buffer) vs the owned
+//!   `neighbors` path that allocates a fresh vector per probe, replayed
+//!   over the probe stream of a synthetic multi-edge workload.
 
 use amber::matcher::{ComponentMatcher, MatchConfig};
 use amber::{AmberEngine, ExecOptions, SparqlEngine};
@@ -165,10 +169,76 @@ fn parallel_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn probe_api_ablation(c: &mut Criterion) {
+    use amber_datagen::synthetic::{self, SyntheticConfig};
+    use amber_multigraph::{Direction, EdgeTypeId, VertexId};
+
+    // A dense multi-edge graph: few predicates over many entities, so
+    // vertex pairs routinely carry parallel edge types and multi-type
+    // probes have non-trivial intersections.
+    let config = SyntheticConfig {
+        entity_namespace: "http://probe/e/".into(),
+        predicate_namespace: "http://probe/p/".into(),
+        entities_per_scale: 4_000,
+        resource_predicates: 8,
+        literal_predicates: 4,
+        mean_out_degree: 8.0,
+        attachment_bias: 0.8,
+        predicate_skew: 1.0,
+        attribute_probability: 0.4,
+        max_attributes: 3,
+        literal_values: 40,
+    };
+    let rdf = RdfGraph::from_triples(&synthetic::generate(&config, 2024));
+    let graph = rdf.graph();
+    let index = IndexSet::build(&rdf);
+    let n = &index.neighborhood;
+
+    // The replayed probe stream mirrors what the matcher issues: mostly
+    // single-type probes, plus the multi-type probes of parallel edges.
+    let mut probes: Vec<(VertexId, Direction, Vec<EdgeTypeId>)> = Vec::new();
+    for v in graph.vertices() {
+        for direction in [Direction::Incoming, Direction::Outgoing] {
+            for entry in graph.edges(v, direction) {
+                let types = entry.types.types();
+                probes.push((v, direction, vec![types[0]]));
+                if types.len() >= 2 {
+                    probes.push((v, direction, types.to_vec()));
+                }
+            }
+        }
+    }
+
+    let mut group = c.benchmark_group("probe_api_multi_edge");
+    group.sample_size(20);
+    group.bench_function("owned_neighbors", |b| {
+        b.iter(|| {
+            let mut touched = 0usize;
+            for (v, direction, types) in &probes {
+                touched += black_box(n.neighbors(*v, *direction, types)).len();
+            }
+            black_box(touched)
+        })
+    });
+    group.bench_function("borrowed_probe", |b| {
+        let mut spill = Vec::new();
+        b.iter(|| {
+            let mut touched = 0usize;
+            for (v, direction, types) in &probes {
+                let result = n.probe(*v, *direction, types, &mut spill);
+                touched += black_box(result.as_slice(&spill)).len();
+            }
+            black_box(touched)
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     decomposition_ablation,
     ordering_ablation,
-    parallel_ablation
+    parallel_ablation,
+    probe_api_ablation
 );
 criterion_main!(benches);

@@ -36,11 +36,13 @@ impl Constraint {
         }
     }
 
-    /// Intersect a sorted candidate list with the constraint (in place).
+    /// Intersect a sorted candidate list with the constraint, in place: a
+    /// retain-style compaction with galloping membership tests, so the hot
+    /// path neither allocates nor copies. `Unconstrained` short-circuits.
     pub fn filter(&self, candidates: &mut Vec<VertexId>) {
-        if let Constraint::Candidates(allowed) = self {
-            let filtered = sorted::intersect(candidates, allowed);
-            *candidates = filtered;
+        match self {
+            Constraint::Unconstrained => {}
+            Constraint::Candidates(allowed) => sorted::intersect_in_place(candidates, allowed),
         }
     }
 

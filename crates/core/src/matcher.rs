@@ -20,6 +20,23 @@
 //! There is no injectivity check anywhere: this is homomorphism, not
 //! isomorphism (§5: "different query vertices [may] be matched with the
 //! same data vertices").
+//!
+//! ## Zero-allocation candidate pipeline
+//!
+//! The steady-state recursion performs **no heap allocation**. Each
+//! [`SearchState`] owns one scratch arena per order position
+//! ([`DepthScratch`]): a candidate buffer that stays live while deeper
+//! levels run, a spill buffer for multi-type/unconstrained probes, a probe
+//! ordering table, and one reusable buffer per satellite of that depth.
+//! Probes hit the index through [`amber_index::otil::ProbeResult`]:
+//! single-type probes *borrow* the inverted list straight from the OTIL
+//! pool, everything else spills into the depth's buffer. Intersection
+//! cascades run smallest-list-first (cheap `probe_len_hint`s, no
+//! materialization) and fold in place via `sorted::intersect_in_place`, so
+//! after the first few candidates warm the buffers up to capacity the
+//! whole search recycles the same memory. Solutions are only materialized
+//! when they are actually retained — counting-only runs allocate nothing
+//! per embedding.
 
 use crate::candidates::{process_vertex, satisfies_self_loop, Constraint};
 use crate::decompose::Decomposition;
@@ -253,11 +270,27 @@ impl<'a> ComponentMatcher<'a> {
     }
 
     /// Run the search over a slice of initial candidates (the parallel
-    /// extension partitions [`Self::initial_candidates`] across workers).
+    /// extension partitions [`Self::initial_candidates`] across workers —
+    /// each worker's call builds its own [`SearchState`], so scratch arenas
+    /// are never shared).
     pub fn run_on(&self, initial: &[VertexId], config: &MatchConfig<'_>) -> ComponentMatch {
+        // The only allocations of the whole search happen here (and when
+        // retained solutions are materialized): one scratch arena per
+        // order position, grown once to steady-state capacity and then
+        // recycled for every candidate.
         let mut state = SearchState {
             assignment: vec![VertexId(u32::MAX); self.order.len()],
-            satellite_sets: vec![Vec::new(); self.order.len()],
+            depths: self
+                .plans
+                .iter()
+                .map(|plan| DepthScratch {
+                    candidates: Vec::new(),
+                    spill: Vec::new(),
+                    probe_order: Vec::new(),
+                    satellites: vec![Vec::new(); plan.satellites.len()],
+                    satellite_spill: Vec::new(),
+                })
+                .collect(),
             result: ComponentMatch::default(),
             config,
         };
@@ -282,44 +315,65 @@ impl<'a> ComponentMatcher<'a> {
     fn try_candidate(&self, pos: usize, v: VertexId, state: &mut SearchState<'_, '_>) {
         let plan = &self.plans[pos];
         // MatchSatVertices (Algorithm 2): every satellite resolves
-        // independently given ψ(core) = v (Lemma 2).
-        let mut satellite_sets: Vec<(QVertexId, Vec<VertexId>)> =
-            Vec::with_capacity(plan.satellites.len());
-        for sat in &plan.satellites {
-            let candidates = self.satellite_candidates(sat, v);
-            if candidates.is_empty() {
+        // independently given ψ(core) = v (Lemma 2), into this depth's
+        // reusable buffers. On early exit the buffers keep stale data from
+        // the failed candidate; that is fine because `record` is only
+        // reached after every depth on the chain refilled its buffers for
+        // the current assignment.
+        for (k, sat) in plan.satellites.iter().enumerate() {
+            let DepthScratch {
+                satellites,
+                satellite_spill,
+                ..
+            } = &mut state.depths[pos];
+            let resolved = &mut satellites[k];
+            self.satellite_candidates(sat, v, resolved, satellite_spill);
+            if resolved.is_empty() {
                 return; // no solution possible for this v (Alg. 2 line 8)
             }
-            satellite_sets.push((sat.vertex, candidates));
         }
         state.assignment[pos] = v;
-        state.satellite_sets[pos] = satellite_sets;
         self.recurse(pos + 1, state);
     }
 
     /// Candidates of one satellite given its core's match (Algorithm 2
-    /// lines 3-4).
-    fn satellite_candidates(&self, sat: &SatellitePlan, core_match: VertexId) -> Vec<VertexId> {
-        let mut acc: Option<Vec<VertexId>> = None;
-        for (direction, types) in &sat.probes {
-            let list = self
-                .index
-                .neighborhood
-                .neighbors(core_match, *direction, types);
-            acc = Some(match acc {
-                None => list,
-                Some(prev) => sorted::intersect(&prev, &list),
-            });
-            if acc.as_ref().is_some_and(Vec::is_empty) {
-                return Vec::new();
+    /// lines 3-4), computed into `out` using `spill` for multi-type probes.
+    fn satellite_candidates(
+        &self,
+        sat: &SatellitePlan,
+        core_match: VertexId,
+        out: &mut Vec<VertexId>,
+        spill: &mut Vec<VertexId>,
+    ) {
+        let n = &self.index.neighborhood;
+        // Base the fold on the most selective probe (satellites almost
+        // always have exactly one; two when the query touches the pair in
+        // both directions).
+        let mut first = 0;
+        if sat.probes.len() > 1 {
+            first = (0..sat.probes.len())
+                .min_by_key(|&i| {
+                    let (direction, types) = &sat.probes[i];
+                    n.probe_len_hint(core_match, *direction, types)
+                })
+                .expect("satellite has at least one probe");
+        }
+        let (direction, types) = &sat.probes[first];
+        n.neighbors_into(core_match, *direction, types, out);
+        for (i, (direction, types)) in sat.probes.iter().enumerate() {
+            if i == first {
+                continue;
             }
+            if out.is_empty() {
+                return;
+            }
+            let probed = n.probe(core_match, *direction, types, spill);
+            sorted::intersect_in_place(out, probed.as_slice(spill));
         }
-        let mut candidates = acc.unwrap_or_default();
-        sat.constraint.filter(&mut candidates);
+        sat.constraint.filter(out);
         if sat.has_self_loop {
-            candidates.retain(|&v| satisfies_self_loop(self.qg, sat.vertex, self.graph, v));
+            out.retain(|&v| satisfies_self_loop(self.qg, sat.vertex, self.graph, v));
         }
-        candidates
     }
 
     /// HomomorphicMatch (Algorithm 4).
@@ -334,34 +388,87 @@ impl<'a> ComponentMatcher<'a> {
         }
         let plan = &self.plans[pos];
 
-        // Lines 5-7: intersect neighbourhood probes from all matched
-        // adjacent cores.
-        let mut candidates: Option<Vec<VertexId>> = None;
-        for probe in &plan.probes {
-            let matched = state.assignment[probe.prior_position];
-            let list =
-                self.index
+        // Fast path: one single-type probe feeding an unconstrained vertex
+        // needs no materialization at all — iterate the inverted list
+        // borrowed from the index pool.
+        if let [probe] = plan.probes.as_slice() {
+            if let ([t], Constraint::Unconstrained, false) =
+                (probe.types.as_slice(), &plan.constraint, plan.has_self_loop)
+            {
+                let matched = state.assignment[probe.prior_position];
+                let list = self
+                    .index
                     .neighborhood
-                    .neighbors(matched, probe.direction, &probe.types);
-            candidates = Some(match candidates {
-                None => list,
-                Some(prev) => sorted::intersect(&prev, &list),
-            });
-            if candidates.as_ref().is_some_and(Vec::is_empty) {
+                    .neighbors_with_type(matched, probe.direction, *t);
+                for &v in list {
+                    self.try_candidate(pos, v, state);
+                    if state.result.timed_out {
+                        return;
+                    }
+                }
                 return;
             }
         }
-        let mut candidates =
-            candidates.expect("non-initial core vertex has at least one ordered neighbour");
 
-        // Line 8: refine with ProcessVertex (+ self-loop).
-        plan.constraint.filter(&mut candidates);
-        if plan.has_self_loop {
-            candidates.retain(|&v| satisfies_self_loop(self.qg, plan.vertex, self.graph, v));
+        // Lines 5-7: intersect neighbourhood probes from all matched
+        // adjacent cores, smallest expected list first, folding in place in
+        // this depth's candidate buffer.
+        {
+            let SearchState {
+                assignment, depths, ..
+            } = &mut *state;
+            let DepthScratch {
+                candidates,
+                spill,
+                probe_order,
+                ..
+            } = &mut depths[pos];
+            let n = &self.index.neighborhood;
+
+            probe_order.clear();
+            for (i, probe) in plan.probes.iter().enumerate() {
+                let matched = assignment[probe.prior_position];
+                let hint = n.probe_len_hint(matched, probe.direction, &probe.types);
+                probe_order.push((hint, i));
+            }
+            probe_order.sort_unstable();
+
+            let mut ordered = probe_order.iter();
+            let &(_, first) = ordered
+                .next()
+                .expect("non-initial core vertex has at least one ordered neighbour");
+            let probe = &plan.probes[first];
+            n.neighbors_into(
+                assignment[probe.prior_position],
+                probe.direction,
+                &probe.types,
+                candidates,
+            );
+            for &(_, i) in ordered {
+                if candidates.is_empty() {
+                    return;
+                }
+                let probe = &plan.probes[i];
+                let probed = n.probe(
+                    assignment[probe.prior_position],
+                    probe.direction,
+                    &probe.types,
+                    spill,
+                );
+                sorted::intersect_in_place(candidates, probed.as_slice(spill));
+            }
+
+            // Line 8: refine with ProcessVertex (+ self-loop).
+            plan.constraint.filter(candidates);
+            if plan.has_self_loop {
+                candidates.retain(|&v| satisfies_self_loop(self.qg, plan.vertex, self.graph, v));
+            }
         }
 
-        // Lines 9-20.
-        for v in candidates {
+        // Lines 9-20. Indexed loop: deeper recursion uses its *own* depth's
+        // arena, so this depth's candidate buffer is stable throughout.
+        for i in 0..state.depths[pos].candidates.len() {
+            let v = state.depths[pos].candidates[i];
             self.try_candidate(pos, v, state);
             if state.result.timed_out {
                 return;
@@ -370,37 +477,68 @@ impl<'a> ComponentMatcher<'a> {
     }
 
     /// All core vertices matched: register the solution. `GenEmb` counting —
-    /// the solution denotes `∏ |V_s|` embeddings via Cartesian product.
+    /// the solution denotes `∏ |V_s|` embeddings via Cartesian product; the
+    /// solution itself is only materialized when it is retained.
     fn record(&self, state: &mut SearchState<'_, '_>) {
-        let solution = ComponentSolution {
-            core: state
-                .assignment
-                .iter()
-                .enumerate()
-                .map(|(pos, &v)| (self.order[pos], v))
-                .collect(),
-            satellites: state.satellite_sets.iter().flatten().cloned().collect(),
-        };
-        state.result.count = state
-            .result
-            .count
-            .saturating_add(solution.embedding_count());
+        let mut embeddings: u128 = 1;
+        for depth in &state.depths {
+            for resolved in &depth.satellites {
+                embeddings = embeddings.saturating_mul(resolved.len() as u128);
+            }
+        }
+        state.result.count = state.result.count.saturating_add(embeddings);
         let keep = state
             .config
             .solution_cap
-            .map_or(true, |cap| state.result.solutions.len() < cap);
+            .is_none_or(|cap| state.result.solutions.len() < cap);
         if keep {
-            state.result.solutions.push(solution);
+            state.result.solutions.push(ComponentSolution {
+                core: state
+                    .assignment
+                    .iter()
+                    .enumerate()
+                    .map(|(pos, &v)| (self.order[pos], v))
+                    .collect(),
+                satellites: self
+                    .plans
+                    .iter()
+                    .zip(&state.depths)
+                    .flat_map(|(plan, depth)| {
+                        plan.satellites
+                            .iter()
+                            .zip(&depth.satellites)
+                            .map(|(sat, resolved)| (sat.vertex, resolved.clone()))
+                    })
+                    .collect(),
+            });
         }
     }
+}
+
+/// Reusable buffers of one recursion depth (order position). Sized once in
+/// [`ComponentMatcher::run_on`], recycled for every candidate thereafter.
+struct DepthScratch {
+    /// Candidate list of the core vertex at this depth. Stays live while
+    /// deeper depths run (each depth only touches its own arena).
+    candidates: Vec<VertexId>,
+    /// Spill target for multi-type/unconstrained probes during the
+    /// intersection cascade (ping-pongs with `candidates` via
+    /// `intersect_in_place`).
+    spill: Vec<VertexId>,
+    /// `(len hint, probe index)` scratch for the smallest-first ordering.
+    probe_order: Vec<(usize, usize)>,
+    /// Resolved candidate set per satellite of this depth's plan.
+    satellites: Vec<Vec<VertexId>>,
+    /// Spill buffer for satellite probes.
+    satellite_spill: Vec<VertexId>,
 }
 
 /// Mutable search state threaded through the recursion.
 struct SearchState<'c, 'd> {
     /// Current core assignment, indexed by order position.
     assignment: Vec<VertexId>,
-    /// Current satellite candidate sets, indexed by order position.
-    satellite_sets: Vec<Vec<(QVertexId, Vec<VertexId>)>>,
+    /// Per-depth scratch arenas, indexed by order position.
+    depths: Vec<DepthScratch>,
     result: ComponentMatch,
     config: &'c MatchConfig<'d>,
 }

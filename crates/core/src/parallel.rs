@@ -9,6 +9,11 @@
 //! concatenate up to the cap, timeout flags OR). The shared
 //! [`Deadline`](amber_util::Deadline) uses a relaxed atomic counter, so the
 //! budget applies to the ensemble.
+//!
+//! Each worker's `run_on` call builds a private `SearchState`, so the
+//! zero-allocation scratch arenas (per-depth candidate/spill/satellite
+//! buffers) are strictly worker-local: workers share only the read-only
+//! plan and indexes, never scratch memory or its cache lines.
 
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
 

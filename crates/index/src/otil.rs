@@ -111,6 +111,32 @@ impl HeapSize for DirIndex {
     }
 }
 
+/// The outcome of a borrowed [`NeighborhoodIndex::probe`].
+///
+/// Single-type probes — the common case by far — resolve to an inverted
+/// list that already lives in the index pool, so the matcher's hot path
+/// borrows it instead of copying. Multi-type and unconstrained probes have
+/// no materialized list; those spill into the caller's reusable buffer.
+#[derive(Debug, PartialEq, Eq)]
+#[must_use]
+pub enum ProbeResult<'a> {
+    /// The sorted result, borrowed straight from the index (zero copies).
+    Borrowed(&'a [VertexId]),
+    /// The result was computed into the `spill` buffer passed to `probe`.
+    Spilled,
+}
+
+impl<'a> ProbeResult<'a> {
+    /// View the result as a slice, resolving `Spilled` against the buffer
+    /// that was passed to the probe.
+    pub fn as_slice(&self, spill: &'a [VertexId]) -> &'a [VertexId] {
+        match self {
+            ProbeResult::Borrowed(list) => list,
+            ProbeResult::Spilled => spill,
+        }
+    }
+}
+
 /// The two-sided neighbourhood index `N = {N⁺, N⁻}`.
 #[derive(Debug)]
 pub struct NeighborhoodIndex {
@@ -147,29 +173,108 @@ impl NeighborhoodIndex {
         direction: Direction,
         required: &[EdgeTypeId],
     ) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        self.neighbors_into(v, direction, required, &mut out);
+        out
+    }
+
+    /// `QueryNeighIndex` materialized into a caller-owned buffer (cleared
+    /// first). Allocation-free once `out` has warmed up to its steady-state
+    /// capacity; single-type callers that can hold a borrow should prefer
+    /// [`Self::probe`].
+    pub fn neighbors_into(
+        &self,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+        out: &mut Vec<VertexId>,
+    ) {
         let dir = self.dir(direction);
+        out.clear();
         match required {
             [] => {
-                let mut all: Vec<VertexId> = dir
-                    .entries(v)
-                    .iter()
-                    .flat_map(|e| dir.neighbor_pool[e.start as usize..e.end as usize].iter())
-                    .copied()
-                    .collect();
-                all.sort_unstable();
-                all.dedup();
-                all
+                for e in dir.entries(v) {
+                    out.extend_from_slice(&dir.neighbor_pool[e.start as usize..e.end as usize]);
+                }
+                out.sort_unstable();
+                out.dedup();
             }
-            [t] => dir.list(v, *t).to_vec(),
+            [t] => out.extend_from_slice(dir.list(v, *t)),
             many => {
-                let lists: Vec<&[VertexId]> = many.iter().map(|&t| dir.list(v, t)).collect();
-                sorted::intersect_many(&lists).unwrap_or_default()
+                // Intersect the two smallest lists directly, then fold the
+                // rest in place — no list-of-lists, no accumulator copies.
+                let (first, second) = match smallest_two(dir, v, many) {
+                    Some(pair) => pair,
+                    None => return, // some required type is absent
+                };
+                sorted::intersect_slices_into(
+                    dir.list(v, many[first]),
+                    dir.list(v, many[second]),
+                    out,
+                );
+                for (i, &t) in many.iter().enumerate() {
+                    if out.is_empty() {
+                        return;
+                    }
+                    if i != first && i != second {
+                        sorted::intersect_in_place(out, dir.list(v, t));
+                    }
+                }
             }
         }
     }
 
-    /// The inverted list of one `(vertex, direction, type)` — exposed for
-    /// the ablation benchmarks.
+    /// The borrowed form of `QueryNeighIndex` — the matcher's hot path.
+    ///
+    /// Single-type probes (the overwhelmingly common case) return
+    /// [`ProbeResult::Borrowed`] pointing into the index pool without
+    /// touching `spill`; multi-type and unconstrained probes compute into
+    /// `spill` and return [`ProbeResult::Spilled`].
+    pub fn probe<'a>(
+        &'a self,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+        spill: &mut Vec<VertexId>,
+    ) -> ProbeResult<'a> {
+        if let [t] = required {
+            ProbeResult::Borrowed(self.dir(direction).list(v, *t))
+        } else {
+            self.neighbors_into(v, direction, required, spill);
+            ProbeResult::Spilled
+        }
+    }
+
+    /// Cheap upper bound on `|QueryNeighIndex(N, required, v)|`, used to
+    /// order intersection cascades smallest-first without materializing
+    /// anything: exact for empty/single-type probes (up to duplicates in
+    /// the empty case), the minimum list length for multi-type probes.
+    pub fn probe_len_hint(
+        &self,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+    ) -> usize {
+        let dir = self.dir(direction);
+        match required {
+            [] => dir
+                .entries(v)
+                .iter()
+                .map(|e| (e.end - e.start) as usize)
+                .sum(),
+            [t] => dir.list(v, *t).len(),
+            many => many
+                .iter()
+                .map(|&t| dir.list(v, t).len())
+                .min()
+                .unwrap_or(0),
+        }
+    }
+
+    /// The inverted list of one `(vertex, direction, type)`, borrowed from
+    /// the pool. This is the matcher's single-probe fast path (and the
+    /// ablation benchmarks' direct handle); the returned slice is sorted
+    /// and deduplicated, and callers rely on that.
     pub fn neighbors_with_type(
         &self,
         v: VertexId,
@@ -180,14 +285,55 @@ impl NeighborhoodIndex {
     }
 
     /// Does `v` have any neighbour through `required` in `direction`?
+    /// Answers from list lengths and first-hit intersection checks without
+    /// materializing any neighbour list.
     pub fn has_neighbor(
         &self,
         v: VertexId,
         direction: Direction,
         required: &[EdgeTypeId],
     ) -> bool {
-        !self.neighbors(v, direction, required).is_empty()
+        let dir = self.dir(direction);
+        match required {
+            [] => !dir.entries(v).is_empty(),
+            [t] => !dir.list(v, *t).is_empty(),
+            [a, b] => sorted::intersects(dir.list(v, *a), dir.list(v, *b)),
+            many => {
+                let Some((first, _)) = smallest_two(dir, v, many) else {
+                    return false;
+                };
+                // Walk the smallest list; a candidate in every other list is
+                // a witness.
+                'candidates: for cand in dir.list(v, many[first]) {
+                    for (i, &t) in many.iter().enumerate() {
+                        if i != first && dir.list(v, t).binary_search(cand).is_err() {
+                            continue 'candidates;
+                        }
+                    }
+                    return true;
+                }
+                false
+            }
+        }
     }
+}
+
+/// Indices (into `many`) of the two shortest inverted lists, or `None`
+/// when the shortest is empty (the intersection is then trivially empty).
+fn smallest_two(dir: &DirIndex, v: VertexId, many: &[EdgeTypeId]) -> Option<(usize, usize)> {
+    debug_assert!(many.len() >= 2);
+    let len_of = |i: usize| dir.list(v, many[i]).len();
+    let (mut first, mut second) = if len_of(0) <= len_of(1) { (0, 1) } else { (1, 0) };
+    for i in 2..many.len() {
+        let l = len_of(i);
+        if l < len_of(first) {
+            second = first;
+            first = i;
+        } else if l < len_of(second) {
+            second = i;
+        }
+    }
+    (len_of(first) > 0).then_some((first, second))
 }
 
 impl HeapSize for NeighborhoodIndex {
@@ -279,6 +425,109 @@ mod tests {
             c,
             vec![VertexId(0), VertexId(1), VertexId(3), VertexId(7)]
         );
+    }
+
+    #[test]
+    fn probe_borrows_single_type_lists() {
+        let rdf = paper_graph();
+        let n = NeighborhoodIndex::build(rdf.graph());
+        let mut spill = vec![VertexId(999)]; // must stay untouched
+        let result = n.probe(
+            VertexId(2),
+            Direction::Incoming,
+            &[EdgeTypeId(5)],
+            &mut spill,
+        );
+        assert_eq!(result, ProbeResult::Borrowed(&[VertexId(1), VertexId(7)][..]));
+        assert_eq!(spill, vec![VertexId(999)]);
+        assert_eq!(result.as_slice(&spill), &[VertexId(1), VertexId(7)]);
+    }
+
+    #[test]
+    fn probe_spills_multi_and_empty_type_probes() {
+        let rdf = paper_graph();
+        let n = NeighborhoodIndex::build(rdf.graph());
+        let mut spill = Vec::new();
+        let result = n.probe(
+            VertexId(2),
+            Direction::Incoming,
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+            &mut spill,
+        );
+        assert_eq!(result, ProbeResult::Spilled);
+        assert_eq!(result.as_slice(&spill), &[VertexId(1)]);
+
+        let result = n.probe(VertexId(2), Direction::Incoming, &[], &mut spill);
+        assert_eq!(result, ProbeResult::Spilled);
+        assert_eq!(
+            result.as_slice(&spill),
+            &[VertexId(0), VertexId(1), VertexId(3), VertexId(7)]
+        );
+    }
+
+    #[test]
+    fn len_hints_bound_actual_result_sizes() {
+        let rdf = paper_graph();
+        let g = rdf.graph();
+        let n = NeighborhoodIndex::build(g);
+        let type_sets: &[&[EdgeTypeId]] = &[
+            &[],
+            &[EdgeTypeId(5)],
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+            &[EdgeTypeId(1), EdgeTypeId(4), EdgeTypeId(5)],
+        ];
+        for v in g.vertices() {
+            for direction in [Direction::Incoming, Direction::Outgoing] {
+                for &required in type_sets {
+                    let exact = n.neighbors(v, direction, required).len();
+                    let hint = n.probe_len_hint(v, direction, required);
+                    assert!(
+                        hint >= exact,
+                        "hint {hint} < exact {exact} for v={v:?} {direction:?} {required:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_into_reuses_the_buffer() {
+        let rdf = paper_graph();
+        let n = NeighborhoodIndex::build(rdf.graph());
+        let mut buf = Vec::new();
+        n.neighbors_into(VertexId(2), Direction::Incoming, &[EdgeTypeId(5)], &mut buf);
+        assert_eq!(buf, vec![VertexId(1), VertexId(7)]);
+        // A second, unrelated probe into the same buffer starts clean.
+        n.neighbors_into(VertexId(2), Direction::Outgoing, &[EdgeTypeId(0)], &mut buf);
+        assert_eq!(buf, vec![VertexId(3)]);
+    }
+
+    #[test]
+    fn has_neighbor_agrees_with_materialized_probes() {
+        let rdf = paper_graph();
+        let g = rdf.graph();
+        let n = NeighborhoodIndex::build(g);
+        let mut type_sets: Vec<Vec<EdgeTypeId>> = vec![vec![]];
+        for a in 0..9u32 {
+            type_sets.push(vec![EdgeTypeId(a)]);
+            for b in a + 1..9 {
+                type_sets.push(vec![EdgeTypeId(a), EdgeTypeId(b)]);
+                for c in b + 1..9 {
+                    type_sets.push(vec![EdgeTypeId(a), EdgeTypeId(b), EdgeTypeId(c)]);
+                }
+            }
+        }
+        for v in g.vertices() {
+            for direction in [Direction::Incoming, Direction::Outgoing] {
+                for required in &type_sets {
+                    assert_eq!(
+                        n.has_neighbor(v, direction, required),
+                        !n.neighbors(v, direction, required).is_empty(),
+                        "v={v:?} {direction:?} {required:?}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

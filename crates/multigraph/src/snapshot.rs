@@ -172,6 +172,9 @@ impl RdfGraph {
         }
         let mut out_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); vertex_count];
         let mut in_adj: Vec<Vec<AdjEntry>> = vec![Vec::new(); vertex_count];
+        // `from` indexes `out_adj` while the body also indexes `in_adj` by
+        // neighbor, so the range loop is the clear form here.
+        #[allow(clippy::needless_range_loop)]
         for from in 0..vertex_count {
             let entries = take_u32(buf)? as usize;
             for _ in 0..entries {

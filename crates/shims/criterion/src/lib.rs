@@ -1,0 +1,247 @@
+//! Vendored shim of the `criterion` API subset used by `crates/bench`.
+//!
+//! Provides `Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`, and the
+//! `criterion_group!`/`criterion_main!` macros. Instead of criterion's
+//! statistical machinery it times a fixed number of samples (after a warmup
+//! pass) and prints mean / p50 / p95 per benchmark — enough to read ablation
+//! ratios off the terminal without any external dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs one closure repeatedly and collects per-iteration timings.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    /// Time `routine`: one warmup call, then `target_samples` measured calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine()); // warmup / one-time setup effects
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let mut nanos: Vec<u128> = samples.iter().map(Duration::as_nanos).collect();
+    nanos.sort_unstable();
+    let mean = nanos.iter().sum::<u128>() / nanos.len() as u128;
+    let p50 = nanos[(nanos.len() - 1) / 2];
+    let p95 = nanos[((nanos.len() as f64 * 0.95).ceil() as usize).clamp(1, nanos.len()) - 1];
+    let fmt_ns = |n: u128| -> String {
+        if n >= 1_000_000_000 {
+            format!("{:.3} s", n as f64 / 1e9)
+        } else if n >= 1_000_000 {
+            format!("{:.3} ms", n as f64 / 1e6)
+        } else if n >= 1_000 {
+            format!("{:.3} µs", n as f64 / 1e3)
+        } else {
+            format!("{n} ns")
+        }
+    };
+    println!(
+        "{group}/{id}: mean {} · p50 {} · p95 {} ({} samples)",
+        fmt_ns(mean),
+        fmt_ns(p50),
+        fmt_ns(p95),
+        nanos.len()
+    );
+}
+
+/// A named set of related benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher);
+        report(&self.name, &id.id, &bencher.samples);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input under `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            target_samples: self.sample_size,
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.id, &bencher.samples);
+        self
+    }
+
+    /// End the group (output is already printed incrementally).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Read the substring filter from the command line (`cargo bench --
+    /// <substring>`). Unlike real criterion, which filters on benchmark
+    /// ids, this shim filters whole benchmark *functions* (so that the
+    /// often-expensive setup of skipped groups is skipped too).
+    pub fn from_args() -> Self {
+        Self {
+            filter: std::env::args()
+                .skip(1)
+                .find(|arg| !arg.starts_with('-')),
+        }
+    }
+
+    /// Should the benchmark function named `target` run under the filter?
+    pub fn target_enabled(&self, target: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| target.contains(f))
+    }
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $(
+                if criterion.target_enabled(stringify!($target)) {
+                    $target(&mut criterion);
+                }
+            )+
+        }
+    };
+}
+
+/// Declare `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_collects_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        group.finish();
+        // 1 warmup + 5 measured
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(2);
+        let data = vec![1u64, 2, 3];
+        let mut sum = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", data.len()), &data, |b, d| {
+            b.iter(|| {
+                sum += d.iter().sum::<u64>();
+            })
+        });
+        assert_eq!(sum, 6 * 3);
+    }
+}

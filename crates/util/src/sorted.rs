@@ -13,12 +13,14 @@
 /// hub vertex's neighbour list.
 pub fn intersect<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
-    intersect_into(a, b, &mut out);
+    intersect_slices_into(a, b, &mut out);
     out
 }
 
-/// Intersect into a caller-provided buffer (cleared first).
-pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
+/// Intersect two sorted slices into a caller-provided buffer (cleared
+/// first) — the kernel of the matcher's probe-intersection cascades, which
+/// keep all intermediates in reusable `SearchState` buffers.
+pub fn intersect_slices_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
     out.clear();
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     if small.is_empty() {
@@ -30,6 +32,79 @@ pub fn intersect_into<T: Ord + Copy>(a: &[T], b: &[T], out: &mut Vec<T>) {
         gallop_intersect(small, large, out);
     } else {
         merge_intersect(small, large, out);
+    }
+}
+
+/// Intersect `acc` with sorted `other` in place: a compaction walk over
+/// `acc` with a galloping membership pointer into `other`. No allocation,
+/// no copy of the survivors' tail — this is what `Constraint::filter` and
+/// the multi-probe folds run at every recursion step.
+pub fn intersect_in_place<T: Ord + Copy>(acc: &mut Vec<T>, other: &[T]) {
+    if acc.is_empty() {
+        return;
+    }
+    if other.is_empty() {
+        acc.clear();
+        return;
+    }
+    let mut write = 0usize;
+    let mut lo = 0usize; // resume point in `other`
+    for read in 0..acc.len() {
+        let x = acc[read];
+        // Exponential probe from the last position, then binary search.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < other.len() && other[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        let hi = (hi + 1).min(other.len());
+        match other[lo..hi].binary_search(&x) {
+            Ok(pos) => {
+                acc[write] = x;
+                write += 1;
+                lo += pos + 1;
+            }
+            Err(pos) => lo += pos,
+        }
+        if lo >= other.len() {
+            break;
+        }
+    }
+    acc.truncate(write);
+}
+
+/// Do two sorted slices share at least one element? Early-exits on the
+/// first hit; gallops when the sizes are skewed. The allocation-free core
+/// of `NeighborhoodIndex::has_neighbor`.
+pub fn intersects<T: Ord + Copy>(a: &[T], b: &[T]) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return false;
+    }
+    if large.len() / small.len().max(1) >= 16 {
+        let mut lo = 0usize;
+        for &x in small {
+            match large[lo..].binary_search(&x) {
+                Ok(_) => return true,
+                Err(pos) => lo += pos,
+            }
+            if lo >= large.len() {
+                return false;
+            }
+        }
+        false
+    } else {
+        let (mut i, mut j) = (0, 0);
+        while i < small.len() && j < large.len() {
+            match small[i].cmp(&large[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
     }
 }
 
@@ -89,7 +164,7 @@ pub fn intersect_many<T: Ord + Copy>(lists: &[&[T]]) -> Option<Vec<T>> {
         if acc.is_empty() {
             break;
         }
-        intersect_into(&acc, lists[i], &mut scratch);
+        intersect_slices_into(&acc, lists[i], &mut scratch);
         std::mem::swap(&mut acc, &mut scratch);
     }
     Some(acc)
@@ -166,6 +241,55 @@ mod tests {
     #[test]
     fn intersect_disjoint() {
         assert_eq!(intersect(&[1, 2, 3], &[4, 5, 6]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_intersect() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[1, 3, 5, 7], &[2, 3, 4, 7, 9]),
+            (&[], &[1, 2]),
+            (&[1, 2], &[]),
+            (&[1, 2, 3], &[4, 5, 6]),
+            (&[1, 2, 3], &[1, 2, 3]),
+            (&[5, 500, 5000, 50_000], &[5, 499, 5000]),
+        ];
+        for &(a, b) in cases {
+            let mut acc = a.to_vec();
+            intersect_in_place(&mut acc, b);
+            assert_eq!(acc, intersect(a, b), "a={a:?} b={b:?}");
+            let mut acc = b.to_vec();
+            intersect_in_place(&mut acc, a);
+            assert_eq!(acc, intersect(a, b), "flipped a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn in_place_gallops_over_skewed_lists() {
+        let mut small = vec![5u32, 500, 5000, 50_000, 1_000_000];
+        let large: Vec<u32> = (0..100_000).collect();
+        intersect_in_place(&mut small, &large);
+        assert_eq!(small, vec![5, 500, 5000, 50_000]);
+    }
+
+    #[test]
+    fn slices_into_matches_intersect() {
+        let mut out = vec![99u32]; // must be cleared
+        intersect_slices_into(&[1, 3, 5, 7], &[2, 3, 4, 7, 9], &mut out);
+        assert_eq!(out, vec![3, 7]);
+    }
+
+    #[test]
+    fn intersects_detects_common_elements() {
+        assert!(intersects(&[1, 3, 5], &[5, 6]));
+        assert!(!intersects(&[1, 3, 5], &[2, 4, 6]));
+        assert!(!intersects::<u32>(&[], &[1]));
+        assert!(!intersects::<u32>(&[1], &[]));
+        // Skewed sizes take the galloping path.
+        let small = [7u32, 1_000_000];
+        let large: Vec<u32> = (0..100_000).map(|x| x * 2).collect();
+        assert!(!intersects(&small, &large));
+        let small = [8u32];
+        assert!(intersects(&small, &large));
     }
 
     #[test]

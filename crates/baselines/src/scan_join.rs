@@ -1,13 +1,22 @@
-//! The scan-join baseline: no indexes, no planning.
+//! The scan-join baseline: no indexes, (almost) no planning.
 //!
-//! Evaluates the query multigraph constraint by constraint, in declaration
-//! order, extending partial assignments depth-first. Every edge constraint
-//! triggers a scan of the *entire* edge list (restricted only by already
-//! bound endpoints through the raw adjacency). This is deliberately the
-//! weakest architecture in the line-up — the role Apache Jena plays in the
-//! paper's figures — and doubles as the correctness oracle for the
-//! cross-engine agreement tests because its code path is trivially
-//! auditable.
+//! Evaluates the query multigraph constraint by constraint, extending
+//! partial assignments depth-first. Every edge constraint triggers a scan
+//! of the *entire* edge list (restricted only by already bound endpoints
+//! through the raw adjacency). This is deliberately the weakest
+//! architecture in the line-up — the role Apache Jena plays in the paper's
+//! figures — and doubles as the correctness oracle for the cross-engine
+//! agreement tests because its code path is trivially auditable.
+//!
+//! The only concession to ordering is a **static constant-first step
+//! reorder** ([`steps_of`]): IRI-constraint steps run before edge scans
+//! (each is a single adjacency walk from a *constant* data vertex, binding
+//! its variable immediately), and edge steps chain greedily off
+//! already-touched variables. There is still no cost model, no statistics
+//! and no per-query search — just one pass over the step list — but it
+//! stops the engine from discovering a constant-heavy query's selectivity
+//! last and blowing its budget on full edge scans, which is what kept it
+//! out of the heavy-constant agreement tests as an oracle.
 
 use crate::common::{RowCollector, UNBOUND};
 use amber::{EngineError, ExecOptions, QueryOutcome, SparqlEngine};
@@ -252,27 +261,54 @@ impl ScanJoinEngine {
     }
 }
 
-/// Build the step list: edges in declaration order, then per-vertex
-/// constraints (no reordering — this engine does not plan).
+/// Build the step list with the constant-first static reorder:
+///
+/// 1. **IRI-constraint steps first** (most-constant patterns): each scans
+///    the adjacency of one *constant* data vertex and binds its variable —
+///    the cheapest, most selective step available without any index.
+/// 2. **Edge steps greedily chained**: among the remaining edges, always
+///    prefer (in declaration order) one with an endpoint already touched by
+///    an earlier step, so scans run against a bound endpoint instead of the
+///    full edge list whenever the query's shape allows it.
+/// 3. **Attribute and self-loop steps last**, as before — by then their
+///    variables are almost always bound, degrading them to O(1) filters.
+///
+/// Steps are commutative filters, so any order is semantically identical;
+/// this one just front-loads selectivity. No cost model, no statistics —
+/// still not a planner.
 fn steps_of(qg: &QueryGraph) -> Vec<Step> {
     let mut steps = Vec::new();
-    for edge in qg.edges() {
+    let mut touched = vec![false; qg.vertex_count()];
+    for u in qg.vertex_ids() {
+        for (i, _) in qg.vertex(u).iri_constraints.iter().enumerate() {
+            steps.push(Step::Iri {
+                vertex: u,
+                constraint: i,
+            });
+            touched[u.index()] = true;
+        }
+    }
+
+    let mut remaining: Vec<&amber_multigraph::QueryEdge> = qg.edges().iter().collect();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|e| touched[e.from.index()] || touched[e.to.index()])
+            .unwrap_or(0);
+        let edge = remaining.remove(pick);
+        touched[edge.from.index()] = true;
+        touched[edge.to.index()] = true;
         steps.push(Step::Edge {
             from: edge.from,
             to: edge.to,
             types: edge.types.clone(),
         });
     }
+
     for u in qg.vertex_ids() {
         let vertex = qg.vertex(u);
         if !vertex.attrs.is_empty() {
             steps.push(Step::Attrs { vertex: u });
-        }
-        for (i, _) in vertex.iri_constraints.iter().enumerate() {
-            steps.push(Step::Iri {
-                vertex: u,
-                constraint: i,
-            });
         }
         if vertex.self_loop.is_some() {
             steps.push(Step::SelfLoop { vertex: u });
@@ -371,6 +407,60 @@ mod tests {
             )
             .unwrap();
         assert!(out.timed_out());
+    }
+
+    #[test]
+    fn steps_put_iri_constraints_before_edges_and_chain_edges() {
+        let rdf = paper_graph();
+        // Declaration order is adversarial: the unrestricted ?a/?b scan
+        // comes first, the constant pattern last. The reorder must flip
+        // that and then chain ?p's edge off the IRI-bound ?p.
+        let q = format!(
+            "SELECT * WHERE {{ ?a <{PREFIX_Y}isPartOf> ?b . \
+             ?p <{PREFIX_Y}diedIn> ?c . \
+             ?p <{PREFIX_Y}livedIn> <{PREFIX_X}United_States> . }}"
+        );
+        let qg = amber_multigraph::QueryGraph::build(
+            &amber_sparql::parse_select(&q).unwrap(),
+            &rdf,
+        )
+        .unwrap();
+        let steps = steps_of(&qg);
+        assert!(
+            matches!(steps[0], Step::Iri { .. }),
+            "first step must be the constant pattern, got {:?}",
+            steps[0]
+        );
+        // The edge touching the IRI-bound variable (?p diedIn ?c) must be
+        // scanned before the fully unbound ?a isPartOf ?b edge.
+        let p = qg.vertex_by_name("p").unwrap();
+        let edge_positions: Vec<bool> = steps
+            .iter()
+            .filter_map(|s| match s {
+                Step::Edge { from, .. } => Some(*from == p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(edge_positions, vec![true, false]);
+    }
+
+    #[test]
+    fn constant_heavy_query_answers_within_tight_budget() {
+        // Before the reorder this shape (constants declared last) forced a
+        // full-edge-scan prefix; now it must answer almost instantly.
+        let q = format!(
+            "SELECT * WHERE {{ ?p <{PREFIX_Y}wasBornIn> ?c . \
+             ?p <{PREFIX_Y}livedIn> <{PREFIX_X}United_States> . \
+             ?c <{PREFIX_Y}isPartOf> <{PREFIX_X}England> . }}"
+        );
+        let out = engine()
+            .execute_sparql(
+                &q,
+                &ExecOptions::new().with_timeout(std::time::Duration::from_secs(5)),
+            )
+            .unwrap();
+        assert!(!out.timed_out());
+        assert_eq!(out.embedding_count, 1); // Amy (born London ⊂ England, lived US)
     }
 
     #[test]

@@ -1,0 +1,244 @@
+//! Batched-vs-one-shot latency tracker: replays repeated-workload query
+//! streams through `execute_batch` (one warm `QuerySession`: shared arenas +
+//! candidate cache) and through N sequential `execute_parsed` calls (fresh
+//! state per query, the pre-session behaviour), and emits `BENCH_batch.json`
+//! with per-stream totals, the batch/sequential speedup ratio, cache hit
+//! rates and arena-reuse numbers — so the batching payoff is recorded
+//! in-repo from PR to PR alongside `BENCH_matcher.json`.
+//!
+//! Usage: `cargo run --release -p amber_bench --bin bench_batch [out.json]`
+
+use amber::{AmberEngine, ExecOptions};
+use amber_datagen::synthetic::{self, SyntheticConfig};
+use amber_datagen::{Benchmark, QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_multigraph::{EdgeTypeId, RdfGraph};
+use amber_sparql::SelectQuery;
+use amber_util::{FxHashMap, Stopwatch};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-query budget — generous: these workloads answer in microseconds to
+/// low milliseconds; the budget only guards against pathological cases.
+const BUDGET: Duration = Duration::from_secs(5);
+
+struct StreamResult {
+    name: &'static str,
+    distinct: usize,
+    repeats: usize,
+    queries: usize,
+    sequential_ms: f64,
+    batch_ms: f64,
+    batch_nocache_ms: f64,
+    speedup: f64,
+    cache_hit_rate: f64,
+    cache_entries: usize,
+    cache_evictions: u64,
+    arena_peak_bytes: usize,
+    arena_reused_bytes: u64,
+}
+
+/// The dense multi-edge synthetic graph of `bench_matcher` (parallel
+/// predicates between entity pairs) — the workload whose multi-type probes
+/// the candidate cache memoizes.
+fn multi_edge_graph() -> RdfGraph {
+    let config = SyntheticConfig {
+        entity_namespace: "http://bench/e/".into(),
+        predicate_namespace: "http://bench/p/".into(),
+        entities_per_scale: 4_000,
+        resource_predicates: 8,
+        literal_predicates: 4,
+        mean_out_degree: 8.0,
+        attachment_bias: 0.8,
+        predicate_skew: 1.0,
+        attribute_probability: 0.4,
+        max_attributes: 3,
+        literal_values: 40,
+    };
+    RdfGraph::from_triples(&synthetic::generate(&config, 2024))
+}
+
+/// The most frequent unordered pair of parallel edge types in `rdf` — the
+/// pair that makes handcrafted multi-type queries maximally non-trivial.
+fn top_parallel_pair(rdf: &RdfGraph) -> Option<(String, String)> {
+    let g = rdf.graph();
+    let mut counts: FxHashMap<(EdgeTypeId, EdgeTypeId), usize> = FxHashMap::default();
+    for v in g.vertices() {
+        for entry in g.out_edges(v) {
+            let types = entry.types.types();
+            for (i, &a) in types.iter().enumerate() {
+                for &b in &types[i + 1..] {
+                    *counts.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let (&(a, b), _) = counts.iter().max_by_key(|(_, &c)| c)?;
+    Some((
+        rdf.edge_type_name(a).to_string(),
+        rdf.edge_type_name(b).to_string(),
+    ))
+}
+
+/// Handcrafted multi-type templates over the dense graph: every query
+/// carries at least one edge requiring BOTH of the most common parallel
+/// predicates, so its probes go down the (cacheable) spill path.
+fn multi_type_queries(rdf: &RdfGraph) -> Vec<SelectQuery> {
+    let (pa, pb) = top_parallel_pair(rdf).expect("dense graph has parallel multi-edges");
+    let texts = [
+        // Multi-type satellite edge.
+        format!("SELECT * WHERE {{ ?a <{pa}> ?b . ?a <{pb}> ?b . }}"),
+        // Multi-type core edge feeding a chain.
+        format!("SELECT * WHERE {{ ?a <{pa}> ?b . ?a <{pb}> ?b . ?b <{pa}> ?c . }}"),
+        // Chain entered against edge direction.
+        format!("SELECT * WHERE {{ ?c <{pb}> ?a . ?a <{pa}> ?b . ?a <{pb}> ?b . }}"),
+        // Two multi-type edges sharing the middle variable.
+        format!(
+            "SELECT * WHERE {{ ?a <{pa}> ?b . ?a <{pb}> ?b . \
+             ?b <{pa}> ?c . ?b <{pb}> ?c . }}"
+        ),
+        // Star around ?a mixing multi-type and single-type rays.
+        format!(
+            "SELECT * WHERE {{ ?a <{pa}> ?b . ?a <{pb}> ?b . \
+             ?a <{pa}> ?c . ?d <{pb}> ?a . }}"
+        ),
+    ];
+    texts
+        .iter()
+        .map(|t| amber_sparql::parse_select(t).expect("template parses"))
+        .collect()
+}
+
+/// `distinct` queries repeated `repeats` times, round-robin (a steady
+/// repeated-workload stream, the shape batch sessions amortize).
+fn repeat_stream(distinct: &[SelectQuery], repeats: usize) -> Vec<SelectQuery> {
+    let mut stream = Vec::with_capacity(distinct.len() * repeats);
+    for _ in 0..repeats {
+        stream.extend(distinct.iter().cloned());
+    }
+    stream
+}
+
+fn run_stream(
+    name: &'static str,
+    engine: &AmberEngine,
+    distinct: Vec<SelectQuery>,
+    repeats: usize,
+) -> StreamResult {
+    let stream = repeat_stream(&distinct, repeats);
+    let options = ExecOptions::benchmark(BUDGET)
+        .with_candidate_cache(ExecOptions::DEFAULT_CACHE_CAPACITY);
+    let options_nocache = ExecOptions::benchmark(BUDGET);
+
+    // Warm the process (page cache, branch predictors, lazy index pages)
+    // outside the measured window, identically for both modes.
+    for q in &distinct {
+        let _ = engine.execute_parsed(q, &options);
+    }
+
+    // One-shot path: N sequential execute calls, fresh state per query —
+    // exactly what a caller without sessions pays.
+    let sw = Stopwatch::start();
+    for q in &stream {
+        engine
+            .execute_parsed(q, &options)
+            .expect("stream query executes");
+    }
+    let sequential_ms = sw.elapsed_ms();
+
+    // Batched path, warm cache.
+    let sw = Stopwatch::start();
+    let batch = engine.execute_batch(&stream, &options);
+    let batch_ms = sw.elapsed_ms();
+    assert_eq!(batch.stats.errors, 0, "{name}: batch errored");
+
+    // Batched path with the cache disabled — isolates the arena-reuse share
+    // of the win from the memoization share.
+    let sw = Stopwatch::start();
+    let nocache = engine.execute_batch(&stream, &options_nocache);
+    let batch_nocache_ms = sw.elapsed_ms();
+    assert_eq!(nocache.stats.errors, 0, "{name}: no-cache batch errored");
+
+    StreamResult {
+        name,
+        distinct: distinct.len(),
+        repeats,
+        queries: stream.len(),
+        sequential_ms,
+        batch_ms,
+        batch_nocache_ms,
+        speedup: sequential_ms / batch_ms,
+        cache_hit_rate: batch.stats.cache.hit_rate(),
+        cache_entries: batch.stats.cache.entries,
+        cache_evictions: batch.stats.cache.evictions,
+        arena_peak_bytes: batch.stats.arena_peak_bytes,
+        arena_reused_bytes: batch.stats.arena_reused_bytes,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_batch.json".to_string());
+
+    let lubm = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 2016)));
+    let lubm_engine = AmberEngine::from_graph(Arc::clone(&lubm));
+    let dense = Arc::new(multi_edge_graph());
+    let dense_engine = AmberEngine::from_graph(Arc::clone(&dense));
+
+    let mut lubm_gen = WorkloadGenerator::new(&lubm, 41);
+    let lubm_queries: Vec<SelectQuery> = lubm_gen
+        .generate_many(&WorkloadConfig::new(QueryShape::Complex, 8), 12)
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+    let mut dense_gen = WorkloadGenerator::new(&dense, 42);
+    let dense_stars: Vec<SelectQuery> = dense_gen
+        .generate_many(&WorkloadConfig::new(QueryShape::Star, 8), 12)
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+
+    let results = [
+        run_stream("lubm_complex_repeat", &lubm_engine, lubm_queries, 5),
+        run_stream("multi_edge_star_repeat", &dense_engine, dense_stars, 5),
+        run_stream(
+            "multi_type_repeat",
+            &dense_engine,
+            multi_type_queries(&dense),
+            40,
+        ),
+    ];
+
+    let mut json = String::from(
+        "{\n  \"benchmark\": \"batch\",\n  \"unit\": \"ms\",\n  \"streams\": [\n",
+    );
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"name\": \"{}\", \"distinct\": {}, \"repeats\": {}, \"queries\": {}, \
+             \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"batch_nocache_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"cache_hit_rate\": {:.4}, \"cache_entries\": {}, \
+             \"cache_evictions\": {}, \"arena_peak_bytes\": {}, \"arena_reused_bytes\": {}}}",
+            r.name,
+            r.distinct,
+            r.repeats,
+            r.queries,
+            r.sequential_ms,
+            r.batch_ms,
+            r.batch_nocache_ms,
+            r.speedup,
+            r.cache_hit_rate,
+            r.cache_entries,
+            r.cache_evictions,
+            r.arena_peak_bytes,
+            r.arena_reused_bytes,
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

@@ -14,9 +14,9 @@
 //! `ProcessVertex` per candidate; the cached form is observationally
 //! identical).
 
-use amber_index::IndexSet;
-use amber_multigraph::{DataGraph, QVertexId, QueryGraph, VertexId};
-use amber_util::sorted;
+use amber_index::{IndexSet, NeighborhoodIndex};
+use amber_multigraph::{DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId};
+use amber_util::{sorted, FxHashMap};
 
 /// The per-vertex constraint computed by `ProcessVertex`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -96,6 +96,273 @@ pub fn satisfies_self_loop(qg: &QueryGraph, u: QVertexId, graph: &DataGraph, v: 
     }
 }
 
+// ---------------------------------------------------------------------------
+// The candidate cache — the session-owned probe memoization layer.
+// ---------------------------------------------------------------------------
+
+/// Largest type-set a cache key can carry. Longer (rare) probes bypass the
+/// cache rather than spilling keys onto the heap.
+pub const MAX_CACHED_TYPES: usize = 6;
+
+/// Canonical cache key of one OTIL probe: `(data vertex, direction, sorted
+/// type-set)`.
+///
+/// The type-set is stored *sorted* in a fixed array together with its exact
+/// length, so:
+///
+/// * permutations of the same type-set canonicalize to the **same** key
+///   (`QueryNeighIndex` is a set-containment query — any order yields the
+///   same result), and
+/// * subsets/supersets and padding-ambiguous sets can **never** alias: the
+///   length is part of the key and unused slots hold a sentinel no real
+///   [`EdgeTypeId`] equals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct ProbeKey {
+    v: VertexId,
+    direction: Direction,
+    len: u8,
+    types: [u32; MAX_CACHED_TYPES],
+}
+
+impl ProbeKey {
+    const PAD: u32 = u32::MAX;
+
+    /// Canonicalize; `None` when the type-set is too long to key.
+    fn new(v: VertexId, direction: Direction, required: &[EdgeTypeId]) -> Option<Self> {
+        if required.len() > MAX_CACHED_TYPES {
+            return None;
+        }
+        let mut types = [Self::PAD; MAX_CACHED_TYPES];
+        for (slot, &t) in types.iter_mut().zip(required) {
+            *slot = t.0;
+        }
+        types[..required.len()].sort_unstable();
+        Some(Self {
+            v,
+            direction,
+            len: required.len() as u8,
+            types,
+        })
+    }
+}
+
+/// Observable counters of one [`CandidateCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cacheable probes answered from a stored entry.
+    pub hits: u64,
+    /// Cacheable probes that had to run against the index (and were stored).
+    pub misses: u64,
+    /// Probes that skipped the cache entirely: single-type probes (already
+    /// borrowed zero-copy from the OTIL pool), probes with more than
+    /// [`MAX_CACHED_TYPES`] types, and every probe of a disabled cache.
+    pub bypasses: u64,
+    /// Entries dropped to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently stored.
+    pub entries: usize,
+    /// Heap bytes of the stored result lists.
+    pub result_bytes: usize,
+}
+
+impl CacheStats {
+    /// Hits over cacheable probes (0.0 when nothing was cacheable).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Fold another cache's counters into this one (per-worker aggregation).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bypasses += other.bypasses;
+        self.evictions += other.evictions;
+        self.entries += other.entries;
+        self.result_bytes += other.result_bytes;
+    }
+}
+
+/// A bounded, LRU-ish memo of OTIL probe results, keyed by
+/// `(data vertex, direction, sorted type-set)`.
+///
+/// Only *spill-path* probes are cached — multi-type probes (an intersection
+/// cascade per evaluation) and unconstrained probes (a merge + dedup per
+/// evaluation). Single-type probes already borrow their inverted list
+/// straight from the index pool, so caching them could only add overhead;
+/// they pass through untouched.
+///
+/// Eviction is generational ("LRU-ish"): entries are inserted into a *hot*
+/// map; when the hot half fills up, it is demoted wholesale to *cold* and
+/// the previous cold generation is dropped. A cold hit promotes the entry
+/// back to hot. Lookups stay O(1) and the total entry count never exceeds
+/// the configured capacity.
+#[derive(Debug, Default)]
+pub struct CandidateCache {
+    /// Maximum total entries; 0 disables the cache (all probes bypass).
+    capacity: usize,
+    hot: FxHashMap<ProbeKey, Box<[VertexId]>>,
+    cold: FxHashMap<ProbeKey, Box<[VertexId]>>,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+    evictions: u64,
+    result_bytes: usize,
+}
+
+impl CandidateCache {
+    /// A cache holding at most `capacity` probe results (0 = disabled).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ..Self::default()
+        }
+    }
+
+    /// A pass-through cache (every probe bypasses).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// The configured entry bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `true` when probes can actually be memoized.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            bypasses: self.bypasses,
+            evictions: self.evictions,
+            entries: self.hot.len() + self.cold.len(),
+            result_bytes: self.result_bytes,
+        }
+    }
+
+    /// Drop every entry (counters survive; capacity unchanged).
+    pub fn clear(&mut self) {
+        self.evictions += (self.hot.len() + self.cold.len()) as u64;
+        self.hot.clear();
+        self.cold.clear();
+        self.result_bytes = 0;
+    }
+
+    fn cacheable(&self, required: &[EdgeTypeId]) -> bool {
+        self.capacity > 0 && required.len() != 1 && required.len() <= MAX_CACHED_TYPES
+    }
+
+    /// The memoizing probe: resolve `QueryNeighIndex(N, required, v)` through
+    /// the cache. Single-type probes return the borrowed inverted list
+    /// untouched; uncacheable probes compute into `spill`; cacheable probes
+    /// are answered from (or inserted into) the store.
+    pub fn probe<'a>(
+        &'a mut self,
+        n: &'a NeighborhoodIndex,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+        spill: &'a mut Vec<VertexId>,
+    ) -> &'a [VertexId] {
+        if let [t] = required {
+            self.bypasses += 1;
+            return n.neighbors_with_type(v, direction, *t);
+        }
+        if !self.cacheable(required) {
+            self.bypasses += 1;
+            n.neighbors_into(v, direction, required, spill);
+            return spill;
+        }
+        self.lookup_or_compute(n, v, direction, required)
+    }
+
+    /// The memoizing form of [`NeighborhoodIndex::neighbors_into`]: `out` is
+    /// cleared and filled with the probe result, through the cache whenever
+    /// the probe is cacheable.
+    pub fn fill(
+        &mut self,
+        n: &NeighborhoodIndex,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+        out: &mut Vec<VertexId>,
+    ) {
+        if !self.cacheable(required) {
+            self.bypasses += 1;
+            n.neighbors_into(v, direction, required, out);
+            return;
+        }
+        let cached = self.lookup_or_compute(n, v, direction, required);
+        out.clear();
+        out.extend_from_slice(cached);
+    }
+
+    fn lookup_or_compute(
+        &mut self,
+        n: &NeighborhoodIndex,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+    ) -> &[VertexId] {
+        let key = ProbeKey::new(v, direction, required).expect("cacheable implies keyable");
+        if self.hot.contains_key(&key) {
+            self.hits += 1;
+            return &self.hot[&key];
+        }
+        if let Some(entry) = self.cold.remove(&key) {
+            // Promote: recently-used entries survive the next generation
+            // rotation. Promotion never grows the total entry count.
+            self.hits += 1;
+            self.hot.insert(key, entry);
+            return &self.hot[&key];
+        }
+        self.misses += 1;
+        let computed: Box<[VertexId]> = n.neighbors(v, direction, required).into_boxed_slice();
+        self.result_bytes += computed.len() * std::mem::size_of::<VertexId>();
+        self.make_room();
+        self.hot.insert(key, computed);
+        &self.hot[&key]
+    }
+
+    /// Ensure one more insert keeps `entries <= capacity`.
+    fn make_room(&mut self) {
+        let hot_limit = self.capacity.div_ceil(2);
+        if self.hot.len() >= hot_limit {
+            // Rotate generations: hot becomes cold, the old cold is dropped.
+            let dropped = std::mem::replace(&mut self.cold, std::mem::take(&mut self.hot));
+            self.note_dropped(dropped.values().map(|e| e.len()));
+        }
+        while self.hot.len() + self.cold.len() >= self.capacity {
+            // Tiny capacities can still be over budget after a rotation;
+            // shed arbitrary cold entries (the generation about to die).
+            let Some(&key) = self.cold.keys().next() else {
+                break;
+            };
+            let dropped = self.cold.remove(&key);
+            self.note_dropped(dropped.iter().map(|e| e.len()));
+        }
+    }
+
+    fn note_dropped(&mut self, entry_lens: impl Iterator<Item = usize>) {
+        for len in entry_lens {
+            self.evictions += 1;
+            self.result_bytes = self
+                .result_bytes
+                .saturating_sub(len * std::mem::size_of::<VertexId>());
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +432,216 @@ mod tests {
         assert_eq!(cands, vec![VertexId(3)]);
         assert!(!u.is_empty());
         assert!(Constraint::Candidates(vec![]).is_empty());
+    }
+
+    fn neighborhood() -> (amber_multigraph::RdfGraph, NeighborhoodIndex) {
+        let rdf = paper_graph();
+        let n = NeighborhoodIndex::build(rdf.graph());
+        (rdf, n)
+    }
+
+    /// Every cacheable probe through the cache must equal the direct index
+    /// answer.
+    fn assert_probe_exact(
+        cache: &mut CandidateCache,
+        n: &NeighborhoodIndex,
+        v: VertexId,
+        direction: Direction,
+        types: &[EdgeTypeId],
+    ) {
+        let mut spill = Vec::new();
+        let got = cache.probe(n, v, direction, types, &mut spill).to_vec();
+        assert_eq!(
+            got,
+            n.neighbors(v, direction, types),
+            "cache diverged on v={v:?} {direction:?} {types:?}"
+        );
+    }
+
+    #[test]
+    fn cache_repeated_probe_hits() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(64);
+        let types = [EdgeTypeId(4), EdgeTypeId(5)];
+        for _ in 0..3 {
+            assert_probe_exact(&mut cache, &n, VertexId(2), Direction::Incoming, &types);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.entries, 1);
+        assert!(stats.result_bytes > 0);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_permutations_share_one_entry() {
+        // {t4, t5} and {t5, t4} are the same set-containment query; the
+        // sorted canonical key must make the second order a hit.
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(64);
+        let a = [EdgeTypeId(4), EdgeTypeId(5)];
+        let b = [EdgeTypeId(5), EdgeTypeId(4)];
+        assert_probe_exact(&mut cache, &n, VertexId(2), Direction::Incoming, &a);
+        assert_probe_exact(&mut cache, &n, VertexId(2), Direction::Incoming, &b);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn cache_subsets_never_alias() {
+        // Adversarial keying: {t4} ⊂ {t4,t5} ⊂ {t1,t4,t5} — distinct
+        // results, distinct keys. A shared prefix or padding collision
+        // would surface as a wrong (aliased) answer here.
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(64);
+        let sets: [&[EdgeTypeId]; 4] = [
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+            &[EdgeTypeId(1), EdgeTypeId(4), EdgeTypeId(5)],
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+            &[],
+        ];
+        for _ in 0..2 {
+            for set in sets {
+                assert_probe_exact(&mut cache, &n, VertexId(2), Direction::Incoming, set);
+            }
+        }
+        // {t4,t5} for a *different* vertex and direction must also be
+        // distinct entries.
+        assert_probe_exact(
+            &mut cache,
+            &n,
+            VertexId(2),
+            Direction::Outgoing,
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+        );
+        assert_probe_exact(
+            &mut cache,
+            &n,
+            VertexId(1),
+            Direction::Incoming,
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+        );
+        assert_eq!(cache.stats().entries, 5);
+    }
+
+    #[test]
+    fn cache_single_type_probes_bypass_and_borrow() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(64);
+        let mut spill = vec![VertexId(999)]; // must stay untouched
+        let got = cache.probe(
+            &n,
+            VertexId(2),
+            Direction::Incoming,
+            &[EdgeTypeId(5)],
+            &mut spill,
+        );
+        assert_eq!(got, &[VertexId(1), VertexId(7)]);
+        assert_eq!(spill, vec![VertexId(999)]);
+        let stats = cache.stats();
+        assert_eq!(stats.bypasses, 1);
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 0, 0));
+    }
+
+    #[test]
+    fn cache_disabled_is_pure_pass_through() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::disabled();
+        assert!(!cache.is_enabled());
+        for _ in 0..2 {
+            assert_probe_exact(
+                &mut cache,
+                &n,
+                VertexId(2),
+                Direction::Incoming,
+                &[EdgeTypeId(4), EdgeTypeId(5)],
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits + stats.misses, 0);
+        assert_eq!(stats.bypasses, 2);
+    }
+
+    #[test]
+    fn cache_oversized_type_sets_bypass() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(64);
+        let big: Vec<EdgeTypeId> = (0..=MAX_CACHED_TYPES as u32).map(EdgeTypeId).collect();
+        assert_eq!(big.len(), MAX_CACHED_TYPES + 1);
+        assert_probe_exact(&mut cache, &n, VertexId(2), Direction::Incoming, &big);
+        assert_eq!(cache.stats().entries, 0);
+        assert_eq!(cache.stats().bypasses, 1);
+    }
+
+    #[test]
+    fn cache_tiny_capacity_evicts_but_stays_exact() {
+        let (rdf, n) = neighborhood();
+        let g = rdf.graph();
+        for capacity in [1, 2, 3] {
+            let mut cache = CandidateCache::new(capacity);
+            // Cycle far more distinct probes than the capacity holds, twice,
+            // interleaved — every answer must stay exact under churn.
+            for _ in 0..2 {
+                for v in g.vertices() {
+                    for direction in [Direction::Incoming, Direction::Outgoing] {
+                        for types in [
+                            [EdgeTypeId(4), EdgeTypeId(5)],
+                            [EdgeTypeId(1), EdgeTypeId(5)],
+                        ] {
+                            assert_probe_exact(&mut cache, &n, v, direction, &types);
+                            assert!(
+                                cache.stats().entries <= capacity,
+                                "capacity {capacity} exceeded: {} entries",
+                                cache.stats().entries
+                            );
+                        }
+                    }
+                }
+            }
+            assert!(cache.stats().evictions > 0, "capacity {capacity} never evicted");
+        }
+    }
+
+    #[test]
+    fn cache_fill_matches_neighbors_into() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(16);
+        let mut out = Vec::new();
+        let mut expected = Vec::new();
+        for types in [
+            vec![],
+            vec![EdgeTypeId(5)],
+            vec![EdgeTypeId(4), EdgeTypeId(5)],
+        ] {
+            for _ in 0..2 {
+                cache.fill(&n, VertexId(2), Direction::Incoming, &types, &mut out);
+                n.neighbors_into(VertexId(2), Direction::Incoming, &types, &mut expected);
+                assert_eq!(out, expected, "fill diverged on {types:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_clear_drops_entries_keeps_counters() {
+        let (_, n) = neighborhood();
+        let mut cache = CandidateCache::new(16);
+        assert_probe_exact(
+            &mut cache,
+            &n,
+            VertexId(2),
+            Direction::Incoming,
+            &[EdgeTypeId(4), EdgeTypeId(5)],
+        );
+        assert_eq!(cache.stats().entries, 1);
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.result_bytes, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1);
     }
 
     #[test]

@@ -4,8 +4,9 @@ use crate::embedding::{materialize_bindings, total_count};
 use crate::error::EngineError;
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
 use crate::options::ExecOptions;
-use crate::parallel::run_component;
+use crate::parallel::run_component_in_session;
 use crate::result::{QueryOutcome, QueryStatus, SparqlEngine};
+use crate::session::{BatchOutcome, BatchStats, QuerySession};
 use amber_index::IndexSet;
 use amber_multigraph::{GroundCheck, QueryGraph, RdfGraph};
 use amber_util::{Deadline, HeapSize, Stopwatch};
@@ -33,7 +34,16 @@ pub struct AmberEngine {
     rdf: std::sync::Arc<RdfGraph>,
     index: IndexSet,
     offline: OfflineStats,
+    /// Monotonic engine identity (see [`Self::graph_token`]).
+    token: u64,
 }
+
+/// Source of unique engine identities. A pointer-based token (e.g.
+/// `Arc::as_ptr` of the graph) would be ABA-prone: a session outliving its
+/// engine could meet a *new* engine whose allocation reuses the old
+/// address and keep serving stale cached probe results. Monotonic ids
+/// cannot collide within a process.
+static ENGINE_TOKENS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 impl AmberEngine {
     /// Offline stage from an N-Triples document.
@@ -84,6 +94,7 @@ impl AmberEngine {
                 index_build_time,
                 index_bytes,
             },
+            token: ENGINE_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         }
     }
 
@@ -116,19 +127,71 @@ impl AmberEngine {
         Ok(QueryGraph::build(query, &self.rdf)?)
     }
 
+    /// A reusable [`QuerySession`] sized from `options` (the candidate-cache
+    /// knob). Feed it to [`Self::execute_in_session`] /
+    /// [`Self::execute_batch_in_session`] to amortize arenas and probe
+    /// results across many queries.
+    pub fn create_session(&self, options: &ExecOptions) -> QuerySession {
+        let mut session = QuerySession::new(options.candidate_cache_capacity);
+        session.bind_graph(self.graph_token());
+        session
+    }
+
+    /// Identity of this engine (and thus the graph + indexes sessions cache
+    /// against) — unique per process lifetime, never reused, so a session
+    /// can always tell "different engine" apart from "same engine".
+    /// Conservatively distinct even for two engines sharing one graph (a
+    /// rebind then clears a cache that would have stayed valid — correct,
+    /// just cold).
+    fn graph_token(&self) -> u64 {
+        self.token
+    }
+
     /// Parse and execute SPARQL text.
     pub fn execute(&self, sparql: &str, options: &ExecOptions) -> Result<QueryOutcome, EngineError> {
         let query = amber_sparql::parse_select(sparql)?;
         self.execute_parsed(&query, options)
     }
 
-    /// Execute a parsed query (the online stage).
+    /// Execute a parsed query (the online stage) with transient state: a
+    /// fresh single-query session per call. Equivalent to
+    /// [`Self::execute_in_session`] with a session that is dropped after
+    /// one query.
     pub fn execute_parsed(
         &self,
         query: &amber_sparql::SelectQuery,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
+        let mut session = self.create_session(options);
+        self.execute_in_session(query, options, &mut session)
+    }
+
+    /// Execute a parsed query against a long-lived session: the matcher
+    /// borrows the session's scratch arenas (grown high-water-mark style,
+    /// never shrunk) and its candidate cache (probe results memoized across
+    /// components and queries). Handing a session filled by a *different*
+    /// engine is safe — its caches are cleared on first use here.
+    pub fn execute_in_session(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> Result<QueryOutcome, EngineError> {
         let sw = Stopwatch::start();
+        session.bind_graph(self.graph_token());
+        session.begin_query();
+        let outcome = self.execute_prepared(query, options, session, &sw);
+        session.end_query();
+        outcome
+    }
+
+    fn execute_prepared(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+        sw: &Stopwatch,
+    ) -> Result<QueryOutcome, EngineError> {
         let qg = self.prepare(query)?;
         let variables: Vec<Box<str>> = qg.output_vars().to_vec();
 
@@ -156,7 +219,8 @@ impl AmberEngine {
         let mut timed_out = false;
         for component in qg.connected_components() {
             let matcher = ComponentMatcher::new(&qg, self.rdf.graph(), &self.index, &component);
-            let result = run_component(&matcher, options.effective_threads(), &config);
+            let result =
+                run_component_in_session(&matcher, options.effective_threads(), &config, session);
             timed_out |= result.timed_out;
             let empty = result.count == 0;
             matches.push(result);
@@ -194,6 +258,90 @@ impl AmberEngine {
             bindings,
             elapsed: sw.elapsed(),
         })
+    }
+
+    /// Execute many parsed queries against one fresh session (the batch
+    /// online stage): scratch arenas and the candidate cache are shared
+    /// across all queries of the batch, so repeated-workload streams stop
+    /// paying per-query warm-up. Returns per-query outcomes in submission
+    /// order plus aggregate statistics (cache hit rate, arena reuse).
+    pub fn execute_batch(
+        &self,
+        queries: &[amber_sparql::SelectQuery],
+        options: &ExecOptions,
+    ) -> BatchOutcome {
+        let mut session = self.create_session(options);
+        self.execute_batch_in_session(queries, options, &mut session)
+    }
+
+    /// [`Self::execute_batch`] against a caller-owned session, so cache and
+    /// arena warm-up carries over from batch to batch.
+    pub fn execute_batch_in_session(
+        &self,
+        queries: &[amber_sparql::SelectQuery],
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> BatchOutcome {
+        self.run_batch(
+            queries.iter().map(Ok::<_, EngineError>),
+            options,
+            session,
+        )
+    }
+
+    /// Parse-and-batch convenience: each text is parsed independently (a
+    /// parse failure yields that query's `Err` entry without aborting the
+    /// rest of the batch).
+    pub fn execute_batch_sparql(&self, sparql: &[&str], options: &ExecOptions) -> BatchOutcome {
+        let mut session = self.create_session(options);
+        let parsed: Vec<Result<amber_sparql::SelectQuery, EngineError>> = sparql
+            .iter()
+            .map(|text| amber_sparql::parse_select(text).map_err(EngineError::from))
+            .collect();
+        self.run_batch(parsed.into_iter(), options, &mut session)
+    }
+
+    /// The shared batch driver: runs each (possibly already-failed) input
+    /// through the session, tallies per-outcome counters, and snapshots the
+    /// session stats so the report covers only *this batch's* share — a
+    /// session reused across batches yields per-batch numbers.
+    fn run_batch<Q: std::borrow::Borrow<amber_sparql::SelectQuery>>(
+        &self,
+        inputs: impl ExactSizeIterator<Item = Result<Q, EngineError>>,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> BatchOutcome {
+        let sw = Stopwatch::start();
+        let cache_before = {
+            session.bind_graph(self.graph_token());
+            session.cache_stats()
+        };
+        let reused_before = session.arena_reused_bytes();
+        let mut outcomes = Vec::with_capacity(inputs.len());
+        let mut stats = BatchStats {
+            queries: inputs.len(),
+            ..BatchStats::default()
+        };
+        for input in inputs {
+            let outcome =
+                input.and_then(|q| self.execute_in_session(q.borrow(), options, session));
+            match &outcome {
+                Ok(o) if o.timed_out() => stats.timed_out += 1,
+                Ok(_) => stats.completed += 1,
+                Err(_) => stats.errors += 1,
+            }
+            outcomes.push(outcome);
+        }
+        let cache_after = session.cache_stats();
+        stats.cache = cache_after;
+        stats.cache.hits -= cache_before.hits;
+        stats.cache.misses -= cache_before.misses;
+        stats.cache.bypasses -= cache_before.bypasses;
+        stats.cache.evictions -= cache_before.evictions;
+        stats.arena_reused_bytes = session.arena_reused_bytes() - reused_before;
+        stats.arena_peak_bytes = session.arena_peak_bytes();
+        stats.elapsed = sw.elapsed();
+        BatchOutcome { outcomes, stats }
     }
 
     /// Evaluate variable-free patterns (boolean guards).
@@ -366,6 +514,101 @@ mod tests {
         let stats = engine.offline_stats();
         assert!(stats.database_bytes > 0);
         assert!(stats.index_bytes > 0);
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let engine = engine();
+        let q1 = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let q2 = amber_sparql::parse_select(&format!(
+            "SELECT * WHERE {{ ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . }}"
+        ))
+        .unwrap();
+        // Duplicates on purpose: the session must not leak state between
+        // repeats of the same query.
+        let queries = vec![q1.clone(), q2.clone(), q1.clone(), q2, q1];
+        for capacity in [0, 1024] {
+            let options = ExecOptions::new().with_candidate_cache(capacity);
+            let batch = engine.execute_batch(&queries, &options);
+            assert_eq!(batch.outcomes.len(), queries.len());
+            assert_eq!(batch.stats.completed, queries.len());
+            assert_eq!(batch.stats.errors, 0);
+            for (query, outcome) in queries.iter().zip(&batch.outcomes) {
+                let batched = outcome.as_ref().unwrap();
+                let solo = engine.execute_parsed(query, &options).unwrap();
+                assert_eq!(batched.embedding_count, solo.embedding_count);
+                assert_eq!(batched.status, solo.status);
+                assert_eq!(batched.variables, solo.variables);
+                let mut a = batched.bindings.clone();
+                let mut b = solo.bindings.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_stats_account_for_the_batch() {
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let queries = vec![q; 6];
+        let batch = engine.execute_batch(&queries, &ExecOptions::batch());
+        assert_eq!(batch.stats.queries, 6);
+        assert_eq!(batch.stats.completed, 6);
+        // Arenas were warm for every query after the first.
+        assert!(batch.stats.arena_peak_bytes > 0);
+        assert!(batch.stats.arena_reused_bytes > 0);
+        let rate = batch.stats.cache.hit_rate();
+        assert!((0.0..=1.0).contains(&rate), "hit rate {rate} out of range");
+        assert!(batch.stats.to_string().contains("6 queries"));
+    }
+
+    #[test]
+    fn session_survives_reuse_across_batches() {
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+        let first =
+            engine.execute_batch_in_session(std::slice::from_ref(&q), &options, &mut session);
+        let second = engine.execute_batch_in_session(&[q], &options, &mut session);
+        assert_eq!(session.queries_executed(), 2);
+        let (a, b) = (
+            first.outcomes[0].as_ref().unwrap(),
+            second.outcomes[0].as_ref().unwrap(),
+        );
+        assert_eq!(a.embedding_count, b.embedding_count);
+    }
+
+    #[test]
+    fn batch_sparql_isolates_parse_failures() {
+        let engine = engine();
+        let good = paper_query_text();
+        let batch = engine.execute_batch_sparql(
+            &[good.as_str(), "this is not sparql", good.as_str()],
+            &ExecOptions::new(),
+        );
+        assert_eq!(batch.outcomes.len(), 3);
+        assert!(batch.outcomes[0].is_ok());
+        assert!(batch.outcomes[1].is_err());
+        assert!(batch.outcomes[2].is_ok());
+        assert_eq!(batch.stats.errors, 1);
+        assert_eq!(batch.stats.completed, 2);
+    }
+
+    #[test]
+    fn foreign_session_is_rebound_not_poisoned() {
+        // A session warmed on one engine must still give correct answers on
+        // another (its caches are cleared on rebind).
+        let engine_a = engine();
+        let engine_b = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine_a.create_session(&options);
+        let a = engine_a.execute_in_session(&q, &options, &mut session).unwrap();
+        let b = engine_b.execute_in_session(&q, &options, &mut session).unwrap();
+        assert_eq!(a.embedding_count, b.embedding_count);
     }
 
     #[test]

@@ -24,6 +24,11 @@ pub struct ComponentPlan {
     /// Number of seed candidates for the initial vertex
     /// (`|CandInit|` after `S` + `ProcessVertex`).
     pub initial_candidates: usize,
+    /// Plan probes the session candidate cache can memoize (multi-type and
+    /// unconstrained probes; single-type probes borrow from the index pool
+    /// and bypass the cache). `0` means a candidate cache cannot help this
+    /// component.
+    pub cacheable_probes: usize,
     /// Per-variable constraint summary: `(name, attrs, iri constraints,
     /// constrained-candidate count if any)`.
     pub vertex_constraints: Vec<VertexConstraintSummary>,
@@ -105,6 +110,7 @@ impl QueryPlan {
                     core_order,
                     satellites,
                     initial_candidates: matcher.initial_candidates().len(),
+                    cacheable_probes: matcher.cacheable_probe_count(),
                     vertex_constraints,
                 }
             })
@@ -133,6 +139,13 @@ impl fmt::Display for QueryPlan {
                 component.core_order.join(" → "),
                 component.initial_candidates
             )?;
+            if component.cacheable_probes > 0 {
+                writeln!(
+                    f,
+                    "  cacheable probes: {} (candidate cache applies)",
+                    component.cacheable_probes
+                )?;
+            }
             for (core, sats) in component.core_order.iter().zip(&component.satellites) {
                 if !sats.is_empty() {
                     writeln!(f, "  satellites of ?{core}: {}", sats.join(", "))?;

@@ -43,9 +43,12 @@ pub mod options;
 pub mod ordering;
 pub mod parallel;
 pub mod result;
+pub mod session;
 
+pub use candidates::{CacheStats, CandidateCache};
 pub use engine::{AmberEngine, OfflineStats};
 pub use error::EngineError;
 pub use explain::QueryPlan;
 pub use options::ExecOptions;
 pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
+pub use session::{BatchOutcome, BatchStats, QuerySession};

@@ -23,9 +23,9 @@
 //!
 //! ## Zero-allocation candidate pipeline
 //!
-//! The steady-state recursion performs **no heap allocation**. Each
-//! [`SearchState`] owns one scratch arena per order position
-//! ([`DepthScratch`]): a candidate buffer that stays live while deeper
+//! The steady-state recursion performs **no heap allocation**. The search
+//! runs over one scratch arena per order position ([`DepthScratch`], held
+//! in [`SearchArenas`]): a candidate buffer that stays live while deeper
 //! levels run, a spill buffer for multi-type/unconstrained probes, a probe
 //! ordering table, and one reusable buffer per satellite of that depth.
 //! Probes hit the index through [`amber_index::otil::ProbeResult`]:
@@ -37,8 +37,21 @@
 //! whole search recycles the same memory. Solutions are only materialized
 //! when they are actually retained — counting-only runs allocate nothing
 //! per embedding.
+//!
+//! ## Borrowed session state
+//!
+//! Since the batch-execution PR the matcher no longer *owns* its scratch
+//! memory: [`SearchArenas`] (the assignment slots plus the per-depth
+//! [`DepthScratch`] arenas) and the
+//! [`CandidateCache`](crate::candidates::CandidateCache) probe memo live in a
+//! [`QuerySession`](crate::session::QuerySession) and are lent to
+//! [`ComponentMatcher::run_on_with`] for the duration of one component run.
+//! Arenas grow high-water-mark style and are never shrunk, so a session that
+//! executes many queries stops allocating once the largest query shape has
+//! been seen. [`ComponentMatcher::run_on`] remains the self-contained entry
+//! point (fresh arenas, pass-through cache) for one-shot callers.
 
-use crate::candidates::{process_vertex, satisfies_self_loop, Constraint};
+use crate::candidates::{process_vertex, satisfies_self_loop, CandidateCache, Constraint};
 use crate::decompose::Decomposition;
 use crate::ordering::order_core_vertices;
 use amber_index::IndexSet;
@@ -264,33 +277,65 @@ impl<'a> ComponentMatcher<'a> {
         &self.initial
     }
 
+    /// Number of plan probes that are *cacheable* by the session candidate
+    /// cache: multi-type and unconstrained probes up to the cache's
+    /// keyable size ([`crate::candidates::MAX_CACHED_TYPES`]); single-type
+    /// probes borrow from the index pool and bypass it, oversized type-sets
+    /// bypass too. Surfaced by `EXPLAIN` so "will a candidate cache help
+    /// this query?" is answerable before running it.
+    pub fn cacheable_probe_count(&self) -> usize {
+        let cacheable =
+            |len: usize| len != 1 && len <= crate::candidates::MAX_CACHED_TYPES;
+        self.plans
+            .iter()
+            .map(|plan| {
+                plan.probes
+                    .iter()
+                    .filter(|p| cacheable(p.types.len()))
+                    .count()
+                    + plan
+                        .satellites
+                        .iter()
+                        .flat_map(|s| &s.probes)
+                        .filter(|(_, types)| cacheable(types.len()))
+                        .count()
+            })
+            .sum()
+    }
+
     /// Run the full search over all initial candidates.
     pub fn run(&self, config: &MatchConfig<'_>) -> ComponentMatch {
         self.run_on(&self.initial, config)
     }
 
-    /// Run the search over a slice of initial candidates (the parallel
-    /// extension partitions [`Self::initial_candidates`] across workers —
-    /// each worker's call builds its own [`SearchState`], so scratch arenas
-    /// are never shared).
+    /// Run the search over a slice of initial candidates with self-contained
+    /// state: fresh arenas, pass-through cache. One-shot callers and tests
+    /// use this; the session path goes through [`Self::run_on_with`].
     pub fn run_on(&self, initial: &[VertexId], config: &MatchConfig<'_>) -> ComponentMatch {
-        // The only allocations of the whole search happen here (and when
-        // retained solutions are materialized): one scratch arena per
-        // order position, grown once to steady-state capacity and then
-        // recycled for every candidate.
+        let mut arenas = SearchArenas::new();
+        let mut cache = CandidateCache::disabled();
+        self.run_on_with(initial, config, &mut arenas, &mut cache)
+    }
+
+    /// Run the search over a slice of initial candidates against *borrowed*
+    /// session state (the parallel extension partitions
+    /// [`Self::initial_candidates`] across workers — each worker borrows its
+    /// own session core, so scratch arenas are never shared across threads).
+    ///
+    /// `arenas` is prepared (grown, never shrunk) for this component's plan;
+    /// `cache` memoizes spill-path OTIL probes and may be shared across
+    /// components and queries of one session.
+    pub fn run_on_with(
+        &self,
+        initial: &[VertexId],
+        config: &MatchConfig<'_>,
+        arenas: &mut SearchArenas,
+        cache: &mut CandidateCache,
+    ) -> ComponentMatch {
+        arenas.prepare(&self.plans);
         let mut state = SearchState {
-            assignment: vec![VertexId(u32::MAX); self.order.len()],
-            depths: self
-                .plans
-                .iter()
-                .map(|plan| DepthScratch {
-                    candidates: Vec::new(),
-                    spill: Vec::new(),
-                    probe_order: Vec::new(),
-                    satellites: vec![Vec::new(); plan.satellites.len()],
-                    satellite_spill: Vec::new(),
-                })
-                .collect(),
+            arenas,
+            cache,
             result: ComponentMatch::default(),
             config,
         };
@@ -321,29 +366,32 @@ impl<'a> ComponentMatcher<'a> {
         // reached after every depth on the chain refilled its buffers for
         // the current assignment.
         for (k, sat) in plan.satellites.iter().enumerate() {
+            let SearchState { arenas, cache, .. } = &mut *state;
             let DepthScratch {
                 satellites,
                 satellite_spill,
                 ..
-            } = &mut state.depths[pos];
+            } = &mut arenas.depths[pos];
             let resolved = &mut satellites[k];
-            self.satellite_candidates(sat, v, resolved, satellite_spill);
+            self.satellite_candidates(sat, v, resolved, satellite_spill, cache);
             if resolved.is_empty() {
                 return; // no solution possible for this v (Alg. 2 line 8)
             }
         }
-        state.assignment[pos] = v;
+        state.arenas.assignment[pos] = v;
         self.recurse(pos + 1, state);
     }
 
     /// Candidates of one satellite given its core's match (Algorithm 2
-    /// lines 3-4), computed into `out` using `spill` for multi-type probes.
+    /// lines 3-4), computed into `out` using `spill` for multi-type probes,
+    /// which are resolved through the session candidate cache.
     fn satellite_candidates(
         &self,
         sat: &SatellitePlan,
         core_match: VertexId,
         out: &mut Vec<VertexId>,
         spill: &mut Vec<VertexId>,
+        cache: &mut CandidateCache,
     ) {
         let n = &self.index.neighborhood;
         // Base the fold on the most selective probe (satellites almost
@@ -359,7 +407,7 @@ impl<'a> ComponentMatcher<'a> {
                 .expect("satellite has at least one probe");
         }
         let (direction, types) = &sat.probes[first];
-        n.neighbors_into(core_match, *direction, types, out);
+        cache.fill(n, core_match, *direction, types, out);
         for (i, (direction, types)) in sat.probes.iter().enumerate() {
             if i == first {
                 continue;
@@ -367,8 +415,8 @@ impl<'a> ComponentMatcher<'a> {
             if out.is_empty() {
                 return;
             }
-            let probed = n.probe(core_match, *direction, types, spill);
-            sorted::intersect_in_place(out, probed.as_slice(spill));
+            let probed = cache.probe(n, core_match, *direction, types, spill);
+            sorted::intersect_in_place(out, probed);
         }
         sat.constraint.filter(out);
         if sat.has_self_loop {
@@ -395,7 +443,7 @@ impl<'a> ComponentMatcher<'a> {
             if let ([t], Constraint::Unconstrained, false) =
                 (probe.types.as_slice(), &plan.constraint, plan.has_self_loop)
             {
-                let matched = state.assignment[probe.prior_position];
+                let matched = state.arenas.assignment[probe.prior_position];
                 let list = self
                     .index
                     .neighborhood
@@ -412,11 +460,13 @@ impl<'a> ComponentMatcher<'a> {
 
         // Lines 5-7: intersect neighbourhood probes from all matched
         // adjacent cores, smallest expected list first, folding in place in
-        // this depth's candidate buffer.
+        // this depth's candidate buffer. Spill-path probes (multi-type /
+        // unconstrained) resolve through the session candidate cache.
         {
-            let SearchState {
+            let SearchState { arenas, cache, .. } = &mut *state;
+            let SearchArenas {
                 assignment, depths, ..
-            } = &mut *state;
+            } = &mut **arenas;
             let DepthScratch {
                 candidates,
                 spill,
@@ -438,7 +488,8 @@ impl<'a> ComponentMatcher<'a> {
                 .next()
                 .expect("non-initial core vertex has at least one ordered neighbour");
             let probe = &plan.probes[first];
-            n.neighbors_into(
+            cache.fill(
+                n,
                 assignment[probe.prior_position],
                 probe.direction,
                 &probe.types,
@@ -449,13 +500,14 @@ impl<'a> ComponentMatcher<'a> {
                     return;
                 }
                 let probe = &plan.probes[i];
-                let probed = n.probe(
+                let probed = cache.probe(
+                    n,
                     assignment[probe.prior_position],
                     probe.direction,
                     &probe.types,
                     spill,
                 );
-                sorted::intersect_in_place(candidates, probed.as_slice(spill));
+                sorted::intersect_in_place(candidates, probed);
             }
 
             // Line 8: refine with ProcessVertex (+ self-loop).
@@ -467,8 +519,8 @@ impl<'a> ComponentMatcher<'a> {
 
         // Lines 9-20. Indexed loop: deeper recursion uses its *own* depth's
         // arena, so this depth's candidate buffer is stable throughout.
-        for i in 0..state.depths[pos].candidates.len() {
-            let v = state.depths[pos].candidates[i];
+        for i in 0..state.arenas.depths[pos].candidates.len() {
+            let v = state.arenas.depths[pos].candidates[i];
             self.try_candidate(pos, v, state);
             if state.result.timed_out {
                 return;
@@ -480,9 +532,12 @@ impl<'a> ComponentMatcher<'a> {
     /// the solution denotes `∏ |V_s|` embeddings via Cartesian product; the
     /// solution itself is only materialized when it is retained.
     fn record(&self, state: &mut SearchState<'_, '_>) {
+        // Session arenas can be *larger* than this component's plan (they
+        // are grown high-water-mark style and never shrunk), so every walk
+        // zips against the plans — stale deeper/extra buffers are ignored.
         let mut embeddings: u128 = 1;
-        for depth in &state.depths {
-            for resolved in &depth.satellites {
+        for (plan, depth) in self.plans.iter().zip(&state.arenas.depths) {
+            for (_, resolved) in plan.satellites.iter().zip(&depth.satellites) {
                 embeddings = embeddings.saturating_mul(resolved.len() as u128);
             }
         }
@@ -493,8 +548,7 @@ impl<'a> ComponentMatcher<'a> {
             .is_none_or(|cap| state.result.solutions.len() < cap);
         if keep {
             state.result.solutions.push(ComponentSolution {
-                core: state
-                    .assignment
+                core: state.arenas.assignment[..self.order.len()]
                     .iter()
                     .enumerate()
                     .map(|(pos, &v)| (self.order[pos], v))
@@ -502,7 +556,7 @@ impl<'a> ComponentMatcher<'a> {
                 satellites: self
                     .plans
                     .iter()
-                    .zip(&state.depths)
+                    .zip(&state.arenas.depths)
                     .flat_map(|(plan, depth)| {
                         plan.satellites
                             .iter()
@@ -515,8 +569,9 @@ impl<'a> ComponentMatcher<'a> {
     }
 }
 
-/// Reusable buffers of one recursion depth (order position). Sized once in
-/// [`ComponentMatcher::run_on`], recycled for every candidate thereafter.
+/// Reusable buffers of one recursion depth (order position). Prepared by
+/// [`SearchArenas::prepare`], recycled for every candidate thereafter.
+#[derive(Debug, Default)]
 struct DepthScratch {
     /// Candidate list of the core vertex at this depth. Stays live while
     /// deeper depths run (each depth only touches its own arena).
@@ -533,12 +588,79 @@ struct DepthScratch {
     satellite_spill: Vec<VertexId>,
 }
 
-/// Mutable search state threaded through the recursion.
-struct SearchState<'c, 'd> {
-    /// Current core assignment, indexed by order position.
+impl DepthScratch {
+    fn heap_bytes(&self) -> usize {
+        let vid = std::mem::size_of::<VertexId>();
+        self.candidates.capacity() * vid
+            + self.spill.capacity() * vid
+            + self.probe_order.capacity() * std::mem::size_of::<(usize, usize)>()
+            + self.satellite_spill.capacity() * vid
+            + self.satellites.capacity() * std::mem::size_of::<Vec<VertexId>>()
+            + self
+                .satellites
+                .iter()
+                .map(|s| s.capacity() * vid)
+                .sum::<usize>()
+    }
+}
+
+/// The matcher's long-lived scratch memory: the core assignment slots plus
+/// one [`DepthScratch`] arena per order position.
+///
+/// A [`QuerySession`](crate::session::QuerySession) owns one `SearchArenas`
+/// per worker and lends it to every component run; [`Self::prepare`] grows
+/// the arenas to the incoming plan's shape **high-water-mark style** — an
+/// arena set that has seen a deep query never shrinks back, so repeated
+/// workloads stop touching the allocator entirely.
+#[derive(Debug, Default)]
+pub struct SearchArenas {
+    /// Current core assignment, indexed by order position (only the first
+    /// `plans.len()` slots are meaningful for the active component).
     assignment: Vec<VertexId>,
-    /// Per-depth scratch arenas, indexed by order position.
+    /// Per-depth scratch arenas, indexed by order position (may be longer
+    /// than the active component's plan).
     depths: Vec<DepthScratch>,
+}
+
+impl SearchArenas {
+    /// Empty arenas (they grow to steady-state capacity on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grow (never shrink) to fit a component plan: enough assignment
+    /// slots, enough depth arenas, enough satellite buffers per depth.
+    fn prepare(&mut self, plans: &[CorePlan]) {
+        if self.assignment.len() < plans.len() {
+            self.assignment.resize(plans.len(), VertexId(u32::MAX));
+        }
+        if self.depths.len() < plans.len() {
+            self.depths.resize_with(plans.len(), DepthScratch::default);
+        }
+        for (depth, plan) in self.depths.iter_mut().zip(plans) {
+            if depth.satellites.len() < plan.satellites.len() {
+                depth
+                    .satellites
+                    .resize_with(plan.satellites.len(), Vec::new);
+            }
+        }
+    }
+
+    /// Heap bytes currently retained by the arenas — the memory a session
+    /// reuses instead of reallocating per query.
+    pub fn heap_bytes(&self) -> usize {
+        self.assignment.capacity() * std::mem::size_of::<VertexId>()
+            + self.depths.iter().map(DepthScratch::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Mutable search state threaded through the recursion: borrowed session
+/// arenas + probe cache, plus the per-run result accumulator.
+struct SearchState<'c, 'd> {
+    /// Borrowed long-lived scratch arenas.
+    arenas: &'c mut SearchArenas,
+    /// Borrowed probe memo (pass-through when disabled).
+    cache: &'c mut CandidateCache,
     result: ComponentMatch,
     config: &'c MatchConfig<'d>,
 }

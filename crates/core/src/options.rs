@@ -17,6 +17,13 @@ pub struct ExecOptions {
     /// Number of worker threads for the parallel-matching extension
     /// (`1` = the paper's sequential algorithm).
     pub threads: usize,
+    /// Capacity (entries) of the per-worker candidate cache memoizing
+    /// spill-path OTIL probe results across components and queries.
+    /// `0` disables caching. Sessions created by
+    /// [`AmberEngine::create_session`](crate::AmberEngine::create_session)
+    /// and transient per-`execute` sessions both size their caches from
+    /// this knob.
+    pub candidate_cache_capacity: usize,
 }
 
 impl ExecOptions {
@@ -37,8 +44,19 @@ impl ExecOptions {
             max_results: None,
             count_only: true,
             threads: 1,
+            candidate_cache_capacity: 0,
         }
     }
+
+    /// Batch-execution preset: like [`Self::new`] but with a default-sized
+    /// candidate cache, the configuration
+    /// [`execute_batch`](crate::AmberEngine::execute_batch) is designed for.
+    pub fn batch() -> Self {
+        Self::new().with_candidate_cache(Self::DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Default candidate-cache capacity of the [`Self::batch`] preset.
+    pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
     /// Builder: set the timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
@@ -64,6 +82,12 @@ impl ExecOptions {
         self
     }
 
+    /// Builder: size the per-worker candidate cache (`0` disables it).
+    pub fn with_candidate_cache(mut self, capacity: usize) -> Self {
+        self.candidate_cache_capacity = capacity;
+        self
+    }
+
     /// Effective thread count (0 is treated as 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
@@ -80,11 +104,24 @@ mod tests {
             .with_timeout(Duration::from_secs(60))
             .with_max_results(10)
             .counting()
-            .with_threads(4);
+            .with_threads(4)
+            .with_candidate_cache(128);
         assert_eq!(o.timeout, Some(Duration::from_secs(60)));
         assert_eq!(o.max_results, Some(10));
         assert!(o.count_only);
         assert_eq!(o.effective_threads(), 4);
+        assert_eq!(o.candidate_cache_capacity, 128);
+    }
+
+    #[test]
+    fn cache_disabled_by_default_enabled_in_batch_preset() {
+        assert_eq!(ExecOptions::new().candidate_cache_capacity, 0);
+        assert_eq!(ExecOptions::default().candidate_cache_capacity, 0);
+        assert_eq!(
+            ExecOptions::batch().candidate_cache_capacity,
+            ExecOptions::DEFAULT_CACHE_CAPACITY
+        );
+        assert_eq!(ExecOptions::batch().effective_threads(), 1);
     }
 
     #[test]

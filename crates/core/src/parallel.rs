@@ -10,23 +10,44 @@
 //! [`Deadline`](amber_util::Deadline) uses a relaxed atomic counter, so the
 //! budget applies to the ensemble.
 //!
-//! Each worker's `run_on` call builds a private `SearchState`, so the
-//! zero-allocation scratch arenas (per-depth candidate/spill/satellite
-//! buffers) are strictly worker-local: workers share only the read-only
-//! plan and indexes, never scratch memory or its cache lines.
+//! Each worker borrows a private [`SessionCore`](crate::session::QuerySession)
+//! (scratch arenas + candidate cache), so the zero-allocation per-depth
+//! buffers are strictly worker-local: workers share only the read-only plan
+//! and indexes, never scratch memory or its cache lines. When the session
+//! outlives the query — the batch-execution path — worker arenas *and*
+//! worker caches stay warm across queries while keeping the fork-per-chunk
+//! model lock-free.
 
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
+use crate::session::QuerySession;
 
 /// Run one component with `threads` workers (1 = the paper's sequential
-/// algorithm, which is also used whenever the candidate list is tiny).
+/// algorithm, which is also used whenever the candidate list is tiny),
+/// using transient per-call state. One-shot convenience over
+/// [`run_component_in_session`].
 pub fn run_component(
     matcher: &ComponentMatcher<'_>,
     threads: usize,
     config: &MatchConfig<'_>,
 ) -> ComponentMatch {
+    let mut session = QuerySession::new(0);
+    run_component_in_session(matcher, threads, config, &mut session)
+}
+
+/// Run one component with `threads` workers against borrowed session state:
+/// the sequential path uses the session's main core; the parallel path
+/// borrows one session-owned [`SessionCore`](QuerySession) per chunk, so
+/// worker arenas and caches persist across the queries of a batch.
+pub fn run_component_in_session(
+    matcher: &ComponentMatcher<'_>,
+    threads: usize,
+    config: &MatchConfig<'_>,
+    session: &mut QuerySession,
+) -> ComponentMatch {
     let initial = matcher.initial_candidates();
     if threads <= 1 || initial.len() < 2 * threads {
-        return matcher.run(config);
+        let core = session.main_core();
+        return matcher.run_on_with(initial, config, &mut core.arenas, &mut core.cache);
     }
 
     let chunk_size = initial.len().div_ceil(threads);
@@ -35,16 +56,20 @@ pub fn run_component(
     // line).
     let chunks: Vec<&[amber_multigraph::VertexId]> = initial.chunks(chunk_size).collect();
     let deadlines: Vec<_> = chunks.iter().map(|_| config.deadline.fork()).collect();
+    let cores = session.worker_cores(chunks.len());
     let results: Vec<ComponentMatch> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .zip(&deadlines)
-            .map(|(chunk, deadline)| {
+            .zip(cores.iter_mut())
+            .map(|((chunk, deadline), core)| {
                 let worker_config = MatchConfig {
                     deadline,
                     solution_cap: config.solution_cap,
                 };
-                scope.spawn(move || matcher.run_on(chunk, &worker_config))
+                scope.spawn(move || {
+                    matcher.run_on_with(chunk, &worker_config, &mut core.arenas, &mut core.cache)
+                })
             })
             .collect();
         handles

@@ -108,21 +108,30 @@ fn agreement_with_heavy_constant_injection() {
     let mut config = WorkloadConfig::new(QueryShape::Complex, 8);
     config.constant_iri_probability = 0.8;
     for q in generator.generate_many(&config, 5) {
-        // As in `agree_on_workload`: a timed-out engine carries a partial
-        // count that proves nothing, so only completed runs are compared
-        // (the unplanned scan-join baseline can legitimately blow its budget
-        // on constant-heavy queries whose selectivity it discovers last).
-        // AMbER itself — the system under test — must always finish.
+        // As in `agree_on_workload`, a timed-out engine carries a partial
+        // count that proves nothing, so only completed runs are compared.
+        // AMbER — the system under test — must always finish, and since the
+        // scan-join baseline gained its constant-first step reorder it is
+        // required to finish here too: constant-heavy queries are exactly
+        // the shape the reorder fixes, and its trivially auditable code
+        // path is the oracle this cell exists for.
         let mut counts: Vec<u128> = Vec::new();
         let mut amber_answered = false;
+        let mut scanjoin_answered = false;
         for engine in &engines {
             let out = engine.execute_query(&q.query, &options).expect("executes");
             if !out.timed_out() {
                 amber_answered |= engine.name() == "AMbER";
+                scanjoin_answered |= engine.name() == "ScanJoin";
                 counts.push(out.embedding_count);
             }
         }
         assert!(amber_answered, "AMbER blew its budget on\n{}", q.text);
+        assert!(
+            scanjoin_answered,
+            "ScanJoin (constant-first oracle) blew its budget on\n{}",
+            q.text
+        );
         assert!(
             counts.len() >= 2,
             "fewer than two engines answered\n{}",

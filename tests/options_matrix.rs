@@ -1,8 +1,9 @@
 //! Execution-option matrix across all engines: count-only, max_results,
-//! DISTINCT, threads — every engine must expose the same observable
-//! behaviour for every combination.
+//! DISTINCT, threads, candidate-cache capacity — every engine must expose
+//! the same observable behaviour for every combination, and AMbER's batch
+//! entry point must expose the same behaviour as its one-shot path.
 
-use amber::ExecOptions;
+use amber::{AmberEngine, ExecOptions};
 use amber_baselines::all_engines;
 use amber_multigraph::paper::{paper_graph, PREFIX_Y};
 use amber_multigraph::RdfGraph;
@@ -105,6 +106,86 @@ fn threads_option_is_accepted_by_all_engines() {
         a.sort();
         b.sort();
         assert_eq!(a, b, "{}", engine.name());
+    }
+}
+
+#[test]
+fn candidate_cache_capacity_never_changes_results() {
+    // The cache knob is accepted by every engine (baselines ignore it) and
+    // must never change any observable outcome — including capacity 1,
+    // which evicts on essentially every insert.
+    for capacity in [0usize, 1, 2, 4096] {
+        for engine in all_engines(rdf()) {
+            let plain = engine
+                .execute_sparql(&query(), &ExecOptions::new())
+                .unwrap();
+            let cached = engine
+                .execute_sparql(&query(), &ExecOptions::new().with_candidate_cache(capacity))
+                .unwrap();
+            assert_eq!(
+                plain.embedding_count,
+                cached.embedding_count,
+                "{} capacity {capacity}",
+                engine.name()
+            );
+            let mut a = plain.bindings.clone();
+            let mut b = cached.bindings.clone();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "{} capacity {capacity}", engine.name());
+        }
+    }
+}
+
+#[test]
+fn batch_knob_matrix_matches_one_shot_execution() {
+    // Sweep the batch/cache knobs (including capacity 0 = disabled and a
+    // capacity of 1 that forces eviction mid-batch) against every
+    // option combination the one-shot path supports.
+    let engine = AmberEngine::from_graph(rdf());
+    let texts = [query(), distinct_query(), query()];
+    let queries: Vec<_> = texts
+        .iter()
+        .map(|t| amber_sparql::parse_select(t).unwrap())
+        .collect();
+    let option_matrix = [
+        ExecOptions::new(),
+        ExecOptions::new().counting(),
+        ExecOptions::new().with_max_results(1),
+        ExecOptions::new().with_threads(4),
+        ExecOptions::batch(),
+    ];
+    for base in option_matrix {
+        for capacity in [0usize, 1, 4096] {
+            let options = base.clone().with_candidate_cache(capacity);
+            let batch = engine.execute_batch(&queries, &options);
+            assert_eq!(batch.stats.queries, queries.len());
+            assert_eq!(batch.stats.errors, 0);
+            for (query, outcome) in queries.iter().zip(&batch.outcomes) {
+                let batched = outcome.as_ref().unwrap();
+                let solo = engine.execute_parsed(query, &options).unwrap();
+                assert_eq!(
+                    batched.embedding_count, solo.embedding_count,
+                    "capacity {capacity}"
+                );
+                assert_eq!(batched.bindings.len(), solo.bindings.len());
+                let mut a = batched.bindings.clone();
+                let mut b = solo.bindings.clone();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "capacity {capacity}");
+            }
+            // Counter coherence: with the cache disabled nothing may be
+            // memoized; with it enabled the hit rate stays a probability.
+            if capacity == 0 {
+                assert_eq!(batch.stats.cache.hits + batch.stats.cache.misses, 0);
+                assert_eq!(batch.stats.cache.entries, 0);
+            }
+            assert!((0.0..=1.0).contains(&batch.stats.cache.hit_rate()));
+            // The capacity bound is per core; the aggregate spans the main
+            // core plus up to `threads` worker cores.
+            assert!(batch.stats.cache.entries <= capacity * (1 + base.effective_threads()));
+        }
     }
 }
 

@@ -67,6 +67,61 @@ fn dbpedia_scale_5_table1_style() {
 
 #[test]
 #[ignore = "minutes-long; run with --ignored"]
+fn batch_session_at_scale_with_evicting_cache() {
+    // A paper-scale repeated-workload stream through one session, with a
+    // cache small enough to evict continuously mid-batch: the batch must
+    // stay answer-identical to one-shot execution and keep the robustness
+    // bar, whatever the eviction churn does.
+    let rdf = Arc::new(RdfGraph::from_triples(&Benchmark::Lubm.generate(10, 6)));
+    let engine = AmberEngine::from_graph(Arc::clone(&rdf));
+    let mut gen = WorkloadGenerator::new(&rdf, 7);
+    let mut base = gen.generate_many(&WorkloadConfig::new(QueryShape::Star, 20), 20);
+    base.extend(gen.generate_many(&WorkloadConfig::new(QueryShape::Complex, 10), 20));
+    assert!(base.len() >= 30, "workload generation came up short");
+    // Repeat the stream so the cache actually gets re-use pressure.
+    let queries: Vec<_> = base
+        .iter()
+        .chain(base.iter())
+        .map(|q| q.query.clone())
+        .collect();
+
+    for cache_capacity in [0usize, 8, 4096] {
+        let options = ExecOptions::benchmark(Duration::from_secs(15))
+            .with_candidate_cache(cache_capacity);
+        let batch = engine.execute_batch(&queries, &options);
+        assert_eq!(batch.stats.errors, 0, "capacity {cache_capacity}");
+        // The complex half of the stream has the paper's heavy tail (the
+        // same few queries blow any budget on every repeat), so the bar
+        // matches the complex-workload precedent above, not the star one.
+        assert!(
+            batch.stats.completed * 100 >= queries.len() * 85,
+            "capacity {cache_capacity}: only {}/{} answered",
+            batch.stats.completed,
+            queries.len()
+        );
+        assert!(batch.stats.cache.entries <= cache_capacity);
+        // Spot-check batch outcomes against one-shot execution. Either run
+        // may hit the budget independently; partial counts prove nothing.
+        for (query, outcome) in queries.iter().zip(&batch.outcomes).step_by(13) {
+            let batched = outcome.as_ref().unwrap();
+            if batched.timed_out() {
+                continue;
+            }
+            let solo = engine.execute_parsed(query, &options).unwrap();
+            if !solo.timed_out() {
+                assert_eq!(batched.embedding_count, solo.embedding_count);
+            }
+        }
+        // The tiny capacity must actually have been under pressure (unless
+        // the workload happened to produce no cacheable probes at all).
+        if cache_capacity == 8 && batch.stats.cache.misses > 8 {
+            assert!(batch.stats.cache.evictions > 0);
+        }
+    }
+}
+
+#[test]
+#[ignore = "minutes-long; run with --ignored"]
 fn snapshot_round_trip_at_scale() {
     let rdf = RdfGraph::from_triples(&Benchmark::Yago.generate(10, 5));
     let image = rdf.to_snapshot();

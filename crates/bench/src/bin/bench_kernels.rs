@@ -1,0 +1,221 @@
+//! Set-algebra kernel tracker: times the scalar reference against the
+//! runtime-dispatched SIMD kernels across a size-ratio grid and emits
+//! `BENCH_kernels.json`, so the kernel-suite payoff is recorded in-repo
+//! from PR to PR alongside the matcher/batch trackers.
+//!
+//! Each case intersects two sorted deduplicated `u32` lists of lengths
+//! `small` and `small × ratio` at a controlled hit density, measured once
+//! through `KernelLevel::Scalar` and once through the level the dispatcher
+//! picked for this host. Ratios at or past the 16× gallop cutoff are
+//! included on purpose: both paths gallop there, so their speedup ≈ 1 —
+//! that row documents where the adaptive strategy hands off.
+//!
+//! Usage: `cargo run --release -p amber_bench --bin bench_kernels [out.json]`
+
+use amber_util::sorted::kernels::{self, KernelLevel};
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// SplitMix64 — deterministic inputs without pulling in an RNG crate.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// A sorted, deduplicated list of exactly `len` values: cumulative gaps in
+/// `1..=max_gap`, so the value range (and thus the overlap density against
+/// a second list built the same way) is controlled by `max_gap`.
+fn sorted_list(rng: &mut Rng, len: usize, max_gap: u64) -> Vec<u32> {
+    let mut v = Vec::with_capacity(len);
+    let mut x = 0u64;
+    for _ in 0..len {
+        x += 1 + rng.next() % max_gap;
+        v.push(x as u32);
+    }
+    v
+}
+
+struct Case {
+    op: &'static str,
+    small: usize,
+    ratio: usize,
+    strategy: &'static str,
+    hits: usize,
+    scalar_ns: f64,
+    simd_ns: f64,
+    speedup: f64,
+}
+
+/// Nanoseconds per call of `f`, warmed up, over enough iterations to
+/// drown out timer noise on lists of this size.
+fn time_ns(iters: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters.div_ceil(10) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn run_case(op: &'static str, small_len: usize, ratio: usize, dispatched: KernelLevel) -> Case {
+    let mut rng = Rng(0xA3B1_9E00 ^ (small_len as u64) << 8 ^ ratio as u64 ^ fx(op));
+    // Both lists span the *same* value universe (like OTIL inverted lists,
+    // which all draw from one vertex-id space): the small side's gaps scale
+    // with the ratio, so skewed pairs interleave end to end instead of the
+    // small list hiding in the large list's prefix.
+    let a = sorted_list(&mut rng, small_len, 8 * ratio as u64);
+    let b = sorted_list(&mut rng, small_len * ratio, 8);
+    let hits = {
+        let mut out = Vec::new();
+        kernels::intersect_into_at(KernelLevel::Scalar, &a, &b, &mut out);
+        out.len()
+    };
+    let strategy = if op == "union" {
+        if ratio >= kernels::UNION_GALLOP_RATIO {
+            "gallop"
+        } else {
+            "merge"
+        }
+    } else if ratio >= kernels::GALLOP_RATIO {
+        "gallop"
+    } else if small_len < kernels::SIMD_MIN_LEN {
+        "merge"
+    } else {
+        "block"
+    };
+    let iters = (2_000_000 / (small_len * ratio.max(1))).clamp(20, 50_000);
+    let measure = |level: KernelLevel| -> f64 {
+        let mut out = Vec::new();
+        let mut acc = a.clone();
+        match op {
+            "intersect" => time_ns(iters, || {
+                kernels::intersect_into_at(level, black_box(&a), black_box(&b), &mut out);
+                black_box(out.len());
+            }),
+            "intersect_in_place" => time_ns(iters, || {
+                // Refill then intersect; the refill memcpy is identical on
+                // both sides of the comparison.
+                acc.clear();
+                acc.extend_from_slice(&a);
+                kernels::intersect_in_place_at(level, black_box(&mut acc), black_box(&b));
+                black_box(acc.len());
+            }),
+            "intersects" => time_ns(iters, || {
+                black_box(kernels::intersects_at(level, black_box(&a), black_box(&b)));
+            }),
+            // Union's baseline is the pre-kernel-suite implementation (a
+            // plain merge with no skew strategy); the dispatched side runs
+            // the adaptive gallop/bulk-copy entry point.
+            "union" if level == KernelLevel::Scalar => time_ns(iters, || {
+                out.clear();
+                out.reserve(a.len() + b.len());
+                amber_util::sorted::scalar::union(black_box(&a), black_box(&b), &mut out);
+                black_box(out.len());
+            }),
+            "union" => time_ns(iters, || {
+                kernels::union_at(level, black_box(&a), black_box(&b), &mut out);
+                black_box(out.len());
+            }),
+            other => unreachable!("unknown op {other}"),
+        }
+    };
+    // Alternate the two sides over several rounds and keep each side's
+    // best: back-to-back measurement on a single-core host otherwise
+    // penalizes whichever side runs second (frequency/cache drift).
+    let mut scalar_ns = f64::INFINITY;
+    let mut simd_ns = f64::INFINITY;
+    for _ in 0..3 {
+        scalar_ns = scalar_ns.min(measure(KernelLevel::Scalar));
+        simd_ns = simd_ns.min(measure(dispatched));
+    }
+    Case {
+        op,
+        small: small_len,
+        ratio,
+        strategy,
+        hits,
+        scalar_ns,
+        simd_ns,
+        speedup: scalar_ns / simd_ns,
+    }
+}
+
+fn fx(s: &str) -> u64 {
+    s.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let dispatched = kernels::level();
+
+    let mut cases = Vec::new();
+    // The size-ratio grid: balanced and skewed block-regime cells, one
+    // sub-threshold cell (merge) and one past-the-cutoff cell (gallop).
+    for &small in &[8usize, 64, 512, 4096] {
+        for &ratio in &[1usize, 4, 16, 64] {
+            cases.push(run_case("intersect", small, ratio, dispatched));
+        }
+    }
+    for &small in &[64usize, 512, 4096] {
+        cases.push(run_case("intersect_in_place", small, 4, dispatched));
+        cases.push(run_case("intersects", small, 4, dispatched));
+    }
+    // Union is output-bound: balanced inputs stay on the scalar merge by
+    // design (≈ 1.0); only extreme skew gallops + bulk-copies the runs.
+    cases.push(run_case("union", 512, 2, dispatched));
+    cases.push(run_case("union", 64, 16, dispatched));
+    cases.push(run_case("union", 16, 1024, dispatched));
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"benchmark\": \"kernels\",");
+    let _ = writeln!(json, "  \"dispatched_level\": \"{}\",", dispatched.name());
+    let _ = writeln!(json, "  \"unit\": \"ns_per_op\",");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, c) in cases.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"small\": {}, \"ratio\": {}, \"strategy\": \"{}\", \
+             \"hits\": {}, \"scalar_ns\": {:.1}, \"simd_ns\": {:.1}, \"speedup\": {:.3}}}",
+            c.op, c.small, c.ratio, c.strategy, c.hits, c.scalar_ns, c.simd_ns, c.speedup,
+        );
+        json.push_str(if i + 1 < cases.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark report");
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+
+    // Advisory summary: the block-regime intersection cells are the ones
+    // the SIMD layer exists for; report their geometric-mean speedup.
+    let block: Vec<f64> = cases
+        .iter()
+        .filter(|c| c.op == "intersect" && c.strategy == "block")
+        .map(|c| c.speedup)
+        .collect();
+    if !block.is_empty() {
+        let gmean =
+            (block.iter().map(|s| s.ln()).sum::<f64>() / block.len() as f64).exp();
+        eprintln!(
+            "block-regime intersect speedup (geomean of {} cells, {} vs scalar): {:.2}x",
+            block.len(),
+            dispatched.name(),
+            gmean
+        );
+    }
+}

@@ -32,6 +32,14 @@ fn run_workload(
     let options = ExecOptions::benchmark(Duration::from_secs(2));
     let mut generator = WorkloadGenerator::new(rdf, workload_seed);
     let queries = generator.generate_many(&WorkloadConfig::new(shape, size), count);
+    // Warm-up pass: run every query once unmeasured, so first-touch costs
+    // (page faults, lazy index pages, allocator growth, branch-predictor
+    // state) land outside the recorded latencies — without it the p95 of
+    // the heavier workloads was dominated by whichever query ran first
+    // (22 ms vs a 0.05 ms p50 on lubm_complex_8).
+    for q in &queries {
+        let _ = engine.execute_parsed(&q.query, &options);
+    }
     let mut latencies_ms = Vec::with_capacity(queries.len());
     let mut timeouts = 0usize;
     for q in &queries {

@@ -14,9 +14,10 @@
 //! `ProcessVertex` per candidate; the cached form is observationally
 //! identical).
 
+use crate::seeds::SeedCache;
 use amber_index::{IndexSet, NeighborhoodIndex};
 use amber_multigraph::{DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId};
-use amber_util::{sorted, FxHashMap};
+use amber_util::{sorted, GenerationalMap};
 
 /// The per-vertex constraint computed by `ProcessVertex`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,12 +53,27 @@ impl Constraint {
     }
 }
 
-/// Algorithm 1: compute the attribute/IRI constraint of `u`.
+/// Algorithm 1: compute the attribute/IRI constraint of `u` with
+/// transient state (no seed memoization). One-shot callers and tests use
+/// this; the session path goes through [`process_vertex_seeded`].
 pub fn process_vertex(qg: &QueryGraph, u: QVertexId, index: &IndexSet) -> Constraint {
+    process_vertex_seeded(qg, u, index, &mut SeedCache::disabled())
+}
+
+/// Algorithm 1 against a session [`SeedCache`]: the attribute-set lookup
+/// and every IRI-constraint OTIL probe resolve through the cache (each in
+/// its own key space), so constant-heavy query streams stop recomputing
+/// their seed candidates on every repeat.
+pub fn process_vertex_seeded(
+    qg: &QueryGraph,
+    u: QVertexId,
+    index: &IndexSet,
+    seeds: &mut SeedCache,
+) -> Constraint {
     let vertex = qg.vertex(u);
 
     // C^A_u (lines 1-2).
-    let from_attrs: Option<Vec<VertexId>> = index.attribute.candidates(&vertex.attrs);
+    let from_attrs: Option<Vec<VertexId>> = seeds.attr_candidates(&index.attribute, &vertex.attrs);
 
     // C^I_u (lines 3-4): each IRI vertex u^iri has exactly one data vertex;
     // candidates are its neighbours through the required multi-edge, in the
@@ -66,13 +82,16 @@ pub fn process_vertex(qg: &QueryGraph, u: QVertexId, index: &IndexSet) -> Constr
     let mut from_iris: Option<Vec<VertexId>> = None;
     for c in &vertex.iri_constraints {
         let neighbors =
-            index
-                .neighborhood
-                .neighbors(c.data_vertex, c.direction.flip(), c.types.types());
-        from_iris = Some(match from_iris {
-            None => neighbors,
-            Some(acc) => sorted::intersect(&acc, &neighbors),
-        });
+            seeds.iri_neighbors(
+                &index.neighborhood,
+                c.data_vertex,
+                c.direction.flip(),
+                c.types.types(),
+            );
+        match &mut from_iris {
+            None => from_iris = Some(neighbors.to_vec()),
+            Some(acc) => sorted::intersect_in_place(acc, neighbors),
+        }
         if from_iris.as_ref().is_some_and(Vec::is_empty) {
             break; // already empty, no point intersecting further
         }
@@ -117,7 +136,7 @@ pub const MAX_CACHED_TYPES: usize = 6;
 ///   length is part of the key and unused slots hold a sentinel no real
 ///   [`EdgeTypeId`] equals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct ProbeKey {
+pub(crate) struct ProbeKey {
     v: VertexId,
     direction: Direction,
     len: u8,
@@ -128,7 +147,7 @@ impl ProbeKey {
     const PAD: u32 = u32::MAX;
 
     /// Canonicalize; `None` when the type-set is too long to key.
-    fn new(v: VertexId, direction: Direction, required: &[EdgeTypeId]) -> Option<Self> {
+    pub(crate) fn new(v: VertexId, direction: Direction, required: &[EdgeTypeId]) -> Option<Self> {
         if required.len() > MAX_CACHED_TYPES {
             return None;
         }
@@ -196,22 +215,26 @@ impl CacheStats {
 /// straight from the index pool, so caching them could only add overhead;
 /// they pass through untouched.
 ///
-/// Eviction is generational ("LRU-ish"): entries are inserted into a *hot*
-/// map; when the hot half fills up, it is demoted wholesale to *cold* and
-/// the previous cold generation is dropped. A cold hit promotes the entry
-/// back to hot. Lookups stay O(1) and the total entry count never exceeds
-/// the configured capacity.
-#[derive(Debug, Default)]
+/// Eviction is generational ("LRU-ish", [`GenerationalMap`]): entries are
+/// inserted into a *hot* map; when the hot half fills up, it is demoted
+/// wholesale to *cold* and the previous cold generation is dropped. A cold
+/// hit promotes the entry back to hot. Lookups stay O(1) and the total
+/// entry count never exceeds the configured capacity.
+#[derive(Debug)]
 pub struct CandidateCache {
     /// Maximum total entries; 0 disables the cache (all probes bypass).
     capacity: usize,
-    hot: FxHashMap<ProbeKey, Box<[VertexId]>>,
-    cold: FxHashMap<ProbeKey, Box<[VertexId]>>,
+    store: GenerationalMap<ProbeKey, Box<[VertexId]>>,
     hits: u64,
     misses: u64,
     bypasses: u64,
-    evictions: u64,
     result_bytes: usize,
+}
+
+impl Default for CandidateCache {
+    fn default() -> Self {
+        Self::disabled()
+    }
 }
 
 impl CandidateCache {
@@ -219,7 +242,11 @@ impl CandidateCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            ..Self::default()
+            store: GenerationalMap::new(capacity.max(1)),
+            hits: 0,
+            misses: 0,
+            bypasses: 0,
+            result_bytes: 0,
         }
     }
 
@@ -244,17 +271,15 @@ impl CandidateCache {
             hits: self.hits,
             misses: self.misses,
             bypasses: self.bypasses,
-            evictions: self.evictions,
-            entries: self.hot.len() + self.cold.len(),
+            evictions: self.store.evictions(),
+            entries: self.store.len(),
             result_bytes: self.result_bytes,
         }
     }
 
     /// Drop every entry (counters survive; capacity unchanged).
     pub fn clear(&mut self) {
-        self.evictions += (self.hot.len() + self.cold.len()) as u64;
-        self.hot.clear();
-        self.cold.clear();
+        self.store.clear(|_| {});
         self.result_bytes = 0;
     }
 
@@ -315,51 +340,20 @@ impl CandidateCache {
         required: &[EdgeTypeId],
     ) -> &[VertexId] {
         let key = ProbeKey::new(v, direction, required).expect("cacheable implies keyable");
-        if self.hot.contains_key(&key) {
+        // promote + hot_get instead of a plain `get`: this function
+        // returns the borrow, and NLL cannot end a returned borrow early.
+        if self.store.promote(&key) {
             self.hits += 1;
-            return &self.hot[&key];
-        }
-        if let Some(entry) = self.cold.remove(&key) {
-            // Promote: recently-used entries survive the next generation
-            // rotation. Promotion never grows the total entry count.
-            self.hits += 1;
-            self.hot.insert(key, entry);
-            return &self.hot[&key];
+            return self.store.hot_get(&key).expect("promoted entry is hot");
         }
         self.misses += 1;
         let computed: Box<[VertexId]> = n.neighbors(v, direction, required).into_boxed_slice();
         self.result_bytes += computed.len() * std::mem::size_of::<VertexId>();
-        self.make_room();
-        self.hot.insert(key, computed);
-        &self.hot[&key]
-    }
-
-    /// Ensure one more insert keeps `entries <= capacity`.
-    fn make_room(&mut self) {
-        let hot_limit = self.capacity.div_ceil(2);
-        if self.hot.len() >= hot_limit {
-            // Rotate generations: hot becomes cold, the old cold is dropped.
-            let dropped = std::mem::replace(&mut self.cold, std::mem::take(&mut self.hot));
-            self.note_dropped(dropped.values().map(|e| e.len()));
-        }
-        while self.hot.len() + self.cold.len() >= self.capacity {
-            // Tiny capacities can still be over budget after a rotation;
-            // shed arbitrary cold entries (the generation about to die).
-            let Some(&key) = self.cold.keys().next() else {
-                break;
-            };
-            let dropped = self.cold.remove(&key);
-            self.note_dropped(dropped.iter().map(|e| e.len()));
-        }
-    }
-
-    fn note_dropped(&mut self, entry_lens: impl Iterator<Item = usize>) {
-        for len in entry_lens {
-            self.evictions += 1;
-            self.result_bytes = self
-                .result_bytes
-                .saturating_sub(len * std::mem::size_of::<VertexId>());
-        }
+        let result_bytes = &mut self.result_bytes;
+        self.store.insert(key, computed, |dropped| {
+            *result_bytes =
+                result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
+        })
     }
 }
 

@@ -218,7 +218,13 @@ impl AmberEngine {
         let mut matches: Vec<ComponentMatch> = Vec::new();
         let mut timed_out = false;
         for component in qg.connected_components() {
-            let matcher = ComponentMatcher::new(&qg, self.rdf.graph(), &self.index, &component);
+            let matcher = ComponentMatcher::new_seeded(
+                &qg,
+                self.rdf.graph(),
+                &self.index,
+                &component,
+                session.seed_cache_mut(),
+            );
             let result =
                 run_component_in_session(&matcher, options.effective_threads(), &config, session);
             timed_out |= result.timed_out;
@@ -316,6 +322,7 @@ impl AmberEngine {
             session.bind_graph(self.graph_token());
             session.cache_stats()
         };
+        let seeds_before = session.seed_stats();
         let reused_before = session.arena_reused_bytes();
         let mut outcomes = Vec::with_capacity(inputs.len());
         let mut stats = BatchStats {
@@ -338,6 +345,11 @@ impl AmberEngine {
         stats.cache.misses -= cache_before.misses;
         stats.cache.bypasses -= cache_before.bypasses;
         stats.cache.evictions -= cache_before.evictions;
+        stats.seeds = session.seed_stats();
+        stats.seeds.hits -= seeds_before.hits;
+        stats.seeds.misses -= seeds_before.misses;
+        stats.seeds.bypasses -= seeds_before.bypasses;
+        stats.seeds.evictions -= seeds_before.evictions;
         stats.arena_reused_bytes = session.arena_reused_bytes() - reused_before;
         stats.arena_peak_bytes = session.arena_peak_bytes();
         stats.elapsed = sw.elapsed();

@@ -43,6 +43,7 @@ pub mod options;
 pub mod ordering;
 pub mod parallel;
 pub mod result;
+pub mod seeds;
 pub mod session;
 
 pub use candidates::{CacheStats, CandidateCache};
@@ -51,4 +52,5 @@ pub use error::EngineError;
 pub use explain::QueryPlan;
 pub use options::ExecOptions;
 pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
+pub use seeds::SeedCache;
 pub use session::{BatchOutcome, BatchStats, QuerySession};

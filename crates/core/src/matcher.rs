@@ -51,9 +51,10 @@
 //! been seen. [`ComponentMatcher::run_on`] remains the self-contained entry
 //! point (fresh arenas, pass-through cache) for one-shot callers.
 
-use crate::candidates::{process_vertex, satisfies_self_loop, CandidateCache, Constraint};
+use crate::candidates::{process_vertex_seeded, satisfies_self_loop, CandidateCache, Constraint};
 use crate::decompose::Decomposition;
 use crate::ordering::order_core_vertices;
+use crate::seeds::SeedCache;
 use amber_index::IndexSet;
 use amber_multigraph::{
     DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId,
@@ -147,16 +148,32 @@ pub struct ComponentMatcher<'a> {
 }
 
 impl<'a> ComponentMatcher<'a> {
-    /// Build the matching plan for one component (vertex ids ascending).
+    /// Build the matching plan for one component (vertex ids ascending)
+    /// with transient seed state. One-shot callers and tests use this; the
+    /// session path goes through [`Self::new_seeded`].
     pub fn new(
         qg: &'a QueryGraph,
         graph: &'a DataGraph,
         index: &'a IndexSet,
         component: &[QVertexId],
     ) -> Self {
+        Self::new_seeded(qg, graph, index, component, &mut SeedCache::disabled())
+    }
+
+    /// Build the matching plan against a session [`SeedCache`]: the
+    /// signature-index seed lookup and every `ProcessVertex`
+    /// attribute/IRI probe resolve through the cache, so repeated
+    /// constant-heavy queries stop paying plan-construction index walks.
+    pub fn new_seeded(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+        seeds: &mut SeedCache,
+    ) -> Self {
         let decomp = Decomposition::of_component(qg, component);
         let order = order_core_vertices(qg, &decomp);
-        Self::with_order(qg, graph, index, decomp, order)
+        Self::with_order(qg, graph, index, decomp, order, seeds)
     }
 
     /// Build the plan with an explicit core order — the hook used by the
@@ -174,7 +191,7 @@ impl<'a> ComponentMatcher<'a> {
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, decomp.core, "order must permute the core vertices");
-        Self::with_order(qg, graph, index, decomp, order)
+        Self::with_order(qg, graph, index, decomp, order, &mut SeedCache::disabled())
     }
 
     fn with_order(
@@ -183,6 +200,7 @@ impl<'a> ComponentMatcher<'a> {
         index: &'a IndexSet,
         decomp: Decomposition,
         order: Vec<QVertexId>,
+        seeds: &mut SeedCache,
     ) -> Self {
         let position_of = |u: QVertexId| order.iter().position(|&o| o == u);
 
@@ -231,7 +249,7 @@ impl<'a> ComponentMatcher<'a> {
                     SatellitePlan {
                         vertex: s,
                         probes: sat_probes,
-                        constraint: process_vertex(qg, s, index),
+                        constraint: process_vertex_seeded(qg, s, index, seeds),
                         has_self_loop: qg.vertex(s).self_loop.is_some(),
                     }
                 })
@@ -240,18 +258,18 @@ impl<'a> ComponentMatcher<'a> {
             plans.push(CorePlan {
                 vertex: u,
                 probes,
-                constraint: process_vertex(qg, u, index),
+                constraint: process_vertex_seeded(qg, u, index, seeds),
                 has_self_loop: qg.vertex(u).self_loop.is_some(),
                 satellites,
             });
         }
 
         // Algorithm 3, lines 4-5: seed candidates for the initial vertex via
-        // the signature index (sound query-side synopsis) and ProcessVertex.
+        // the signature index (sound query-side synopsis) and ProcessVertex,
+        // both resolved through the session seed cache.
         let u_init = order[0];
-        let mut initial = index
-            .signature
-            .candidates(&qg.signature(u_init).query_synopsis());
+        let mut initial =
+            seeds.signature_candidates(&index.signature, &qg.signature(u_init).query_synopsis());
         plans[0].constraint.filter(&mut initial);
         if plans[0].has_self_loop {
             initial.retain(|&v| satisfies_self_loop(qg, u_init, graph, v));

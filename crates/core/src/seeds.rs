@@ -1,0 +1,384 @@
+//! Session-cached seed probes — memoizing the *pre-search* candidate
+//! lookups of `ProcessVertex` and the signature index.
+//!
+//! The PR-2 [`CandidateCache`](crate::candidates::CandidateCache) memoizes
+//! the matcher's *recursion-time* OTIL probes, but every query still pays
+//! its seed lookups from scratch on every execution:
+//!
+//! * `QuerySynIndex` (Algorithm 3 line 4) — an R-tree dominance walk per
+//!   initial vertex,
+//! * `C^A_u` (Algorithm 1 lines 1-2) — an attribute-list intersection per
+//!   constrained vertex,
+//! * `C^I_u` (Algorithm 1 lines 3-4) — an OTIL probe per IRI constraint.
+//!
+//! Constant-heavy streams (the `lubm_complex_repeat` workload) recompute
+//! exactly these on every repeat, which is why batching alone could not
+//! beat 1.0× there. [`SeedCache`] lives in a
+//! [`QuerySession`](crate::session::QuerySession) and memoizes all three
+//! lookups, each in **its own key space** (synopses, attribute sets, probe
+//! keys — three separate generationally-tagged stores, so the classes can
+//! never alias and evict independently), with the same hot/cold generation
+//! scheme as the candidate cache ([`GenerationalMap`]).
+//!
+//! Single-type IRI probes bypass the store: they borrow their inverted
+//! list straight from the OTIL pool, so there is nothing to memoize.
+
+use crate::candidates::{CacheStats, ProbeKey, MAX_CACHED_TYPES};
+use amber_index::{AttributeIndex, NeighborhoodIndex, SignatureIndex};
+use amber_multigraph::{AttrId, Direction, EdgeTypeId, Synopsis, VertexId};
+use amber_util::GenerationalMap;
+
+/// Largest attribute set a seed-cache key can carry; longer (rare) sets
+/// bypass the cache rather than spilling keys onto the heap.
+pub const MAX_SEED_ATTRS: usize = MAX_CACHED_TYPES;
+
+/// Canonical key of one attribute-set lookup: the sorted ids in a fixed
+/// array plus the exact length (padding can never alias a real set, same
+/// scheme as the probe key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct AttrSetKey {
+    len: u8,
+    attrs: [u32; MAX_SEED_ATTRS],
+}
+
+impl AttrSetKey {
+    const PAD: u32 = u32::MAX;
+
+    /// Canonicalize; `None` when the set is too long to key.
+    fn new(attrs: &[AttrId]) -> Option<Self> {
+        if attrs.len() > MAX_SEED_ATTRS {
+            return None;
+        }
+        let mut key = [Self::PAD; MAX_SEED_ATTRS];
+        for (slot, &a) in key.iter_mut().zip(attrs) {
+            *slot = a.0;
+        }
+        key[..attrs.len()].sort_unstable();
+        Some(Self {
+            len: attrs.len() as u8,
+            attrs: key,
+        })
+    }
+}
+
+/// Session-owned memo of seed candidate lookups (see module docs).
+///
+/// Main-thread only: seed probes run during matcher *plan construction*,
+/// before the parallel extension forks, so one store per session suffices.
+#[derive(Debug)]
+pub struct SeedCache {
+    /// Maximum entries **per key space**; 0 disables the cache entirely.
+    capacity: usize,
+    /// `QuerySynIndex` results keyed by the query vertex's synopsis.
+    signatures: GenerationalMap<Synopsis, Box<[VertexId]>>,
+    /// `C^A_u` results keyed by the (sorted) attribute set.
+    attrs: GenerationalMap<AttrSetKey, Box<[VertexId]>>,
+    /// `C^I_u` OTIL probes keyed by `(data vertex, direction, type-set)` —
+    /// the same key shape as the candidate cache but a separate store:
+    /// seed probes and recursion probes never contend for capacity.
+    probes: GenerationalMap<ProbeKey, Box<[VertexId]>>,
+    hits: u64,
+    misses: u64,
+    bypasses: u64,
+    result_bytes: usize,
+    /// Scratch for attribute-list intersections on the miss path.
+    order: Vec<u32>,
+    acc: Vec<VertexId>,
+    scratch: Vec<VertexId>,
+}
+
+impl SeedCache {
+    /// A cache holding at most `capacity` entries per key space
+    /// (0 = disabled, every lookup recomputes).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            signatures: GenerationalMap::new(capacity.max(1)),
+            attrs: GenerationalMap::new(capacity.max(1)),
+            probes: GenerationalMap::new(capacity.max(1)),
+            hits: 0,
+            misses: 0,
+            bypasses: 0,
+            result_bytes: 0,
+            order: Vec::new(),
+            acc: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// A pass-through cache (every lookup recomputes).
+    pub fn disabled() -> Self {
+        Self::new(0)
+    }
+
+    /// `true` when lookups can actually be memoized.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Current counters, aggregated across the three key spaces.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            bypasses: self.bypasses,
+            evictions: self.signatures.evictions()
+                + self.attrs.evictions()
+                + self.probes.evictions(),
+            entries: self.signatures.len() + self.attrs.len() + self.probes.len(),
+            result_bytes: self.result_bytes,
+        }
+    }
+
+    /// Drop every entry (counters survive; capacity unchanged). Scratch
+    /// buffers are kept — they hold no graph-dependent data between runs.
+    pub fn clear(&mut self) {
+        self.signatures.clear(|_| {});
+        self.attrs.clear(|_| {});
+        self.probes.clear(|_| {});
+        self.result_bytes = 0;
+    }
+
+    /// `C^S_u`: signature-index candidates of `synopsis`, through the
+    /// cache. The result is cloned out (the caller filters it in place).
+    pub(crate) fn signature_candidates(
+        &mut self,
+        index: &SignatureIndex,
+        synopsis: &Synopsis,
+    ) -> Vec<VertexId> {
+        if !self.is_enabled() {
+            self.bypasses += 1;
+            return index.candidates(synopsis);
+        }
+        // Optimistic hit counting keeps the hot path at one lookup (the
+        // miss arm rolls it back; borrowck can't see the borrow end).
+        self.hits += 1;
+        if let Some(hit) = self.signatures.get(synopsis) {
+            return hit.to_vec();
+        }
+        self.hits -= 1;
+        self.misses += 1;
+        let computed = index.candidates(synopsis);
+        self.note_stored(computed.len());
+        let result_bytes = &mut self.result_bytes;
+        self.signatures
+            .insert(*synopsis, computed.clone().into_boxed_slice(), |dropped| {
+                *result_bytes =
+                    result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
+            });
+        computed
+    }
+
+    /// `C^A_u`: vertices carrying all of `attrs` (`None` when `attrs` is
+    /// empty — no constraint), through the cache.
+    pub(crate) fn attr_candidates(
+        &mut self,
+        index: &AttributeIndex,
+        attrs: &[AttrId],
+    ) -> Option<Vec<VertexId>> {
+        if attrs.is_empty() {
+            return None;
+        }
+        let key = if self.is_enabled() {
+            AttrSetKey::new(attrs)
+        } else {
+            None
+        };
+        let Some(key) = key else {
+            self.bypasses += 1;
+            index.candidates_into(attrs, &mut self.order, &mut self.acc, &mut self.scratch);
+            return Some(self.acc.clone());
+        };
+        self.hits += 1;
+        if let Some(hit) = self.attrs.get(&key) {
+            return Some(hit.to_vec());
+        }
+        self.hits -= 1;
+        self.misses += 1;
+        index.candidates_into(attrs, &mut self.order, &mut self.acc, &mut self.scratch);
+        self.note_stored(self.acc.len());
+        let result_bytes = &mut self.result_bytes;
+        let boxed: Box<[VertexId]> = self.acc.as_slice().into();
+        let stored = self.attrs.insert(key, boxed, |dropped| {
+            *result_bytes =
+                result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
+        });
+        Some(stored.to_vec())
+    }
+
+    /// `C^I_u` primitive: one IRI-constraint OTIL probe through the cache.
+    /// Single-type probes return the inverted list borrowed from the index
+    /// pool (nothing to memoize); uncacheable multi-type probes compute
+    /// into the scratch buffer; everything else is answered from (or
+    /// inserted into) the probe store.
+    pub(crate) fn iri_neighbors<'a>(
+        &'a mut self,
+        n: &'a NeighborhoodIndex,
+        v: VertexId,
+        direction: Direction,
+        required: &[EdgeTypeId],
+    ) -> &'a [VertexId] {
+        if let [t] = required {
+            self.bypasses += 1;
+            return n.neighbors_with_type(v, direction, *t);
+        }
+        let key = if self.is_enabled() {
+            ProbeKey::new(v, direction, required)
+        } else {
+            None
+        };
+        let Some(key) = key else {
+            self.bypasses += 1;
+            n.neighbors_into(v, direction, required, &mut self.acc);
+            return &self.acc;
+        };
+        // promote + hot_get instead of a plain `get`: this function
+        // returns the borrow, and NLL cannot end a returned borrow early.
+        if self.probes.promote(&key) {
+            self.hits += 1;
+            return self.probes.hot_get(&key).expect("promoted entry is hot");
+        }
+        self.misses += 1;
+        let computed: Box<[VertexId]> = n.neighbors(v, direction, required).into_boxed_slice();
+        self.note_stored(computed.len());
+        let result_bytes = &mut self.result_bytes;
+        self.probes.insert(key, computed, |dropped| {
+            *result_bytes =
+                result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
+        })
+    }
+
+    fn note_stored(&mut self, len: usize) {
+        self.result_bytes += len * std::mem::size_of::<VertexId>();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::{process_vertex, process_vertex_seeded};
+    use amber_index::IndexSet;
+    use amber_multigraph::paper::{paper_graph, paper_query_text};
+    use amber_multigraph::QueryGraph;
+    use amber_sparql::parse_select;
+
+    fn setup() -> (amber_multigraph::RdfGraph, QueryGraph, IndexSet) {
+        let rdf = paper_graph();
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+        let index = IndexSet::build(&rdf);
+        (rdf, qg, index)
+    }
+
+    #[test]
+    fn seeded_process_vertex_matches_unseeded() {
+        let (_, qg, index) = setup();
+        let mut seeds = SeedCache::new(64);
+        // Two passes: the second answers from the cache and must still be
+        // byte-identical to the transient computation.
+        for pass in 0..2 {
+            for u in (0..qg.vertex_count()).map(amber_multigraph::QVertexId::from_index) {
+                assert_eq!(
+                    process_vertex_seeded(&qg, u, &index, &mut seeds),
+                    process_vertex(&qg, u, &index),
+                    "pass {pass}, vertex {u:?}"
+                );
+            }
+        }
+        let stats = seeds.stats();
+        assert!(stats.hits > 0, "second pass must hit: {stats:?}");
+    }
+
+    #[test]
+    fn signature_candidates_cache_exactly() {
+        let (rdf, qg, index) = setup();
+        let mut seeds = SeedCache::new(64);
+        for _ in 0..3 {
+            for u in (0..qg.vertex_count()).map(amber_multigraph::QVertexId::from_index) {
+                let synopsis = qg.signature(u).query_synopsis();
+                assert_eq!(
+                    seeds.signature_candidates(&index.signature, &synopsis),
+                    index.signature.candidates(&synopsis),
+                    "synopsis of {u:?} diverged"
+                );
+            }
+        }
+        let stats = seeds.stats();
+        assert!(stats.hits >= stats.misses, "repeats must hit: {stats:?}");
+        assert!(stats.entries > 0);
+        drop(rdf);
+    }
+
+    #[test]
+    fn disabled_cache_is_pure_pass_through() {
+        let (_, qg, index) = setup();
+        let mut seeds = SeedCache::disabled();
+        assert!(!seeds.is_enabled());
+        for _ in 0..2 {
+            for u in (0..qg.vertex_count()).map(amber_multigraph::QVertexId::from_index) {
+                assert_eq!(
+                    process_vertex_seeded(&qg, u, &index, &mut seeds),
+                    process_vertex(&qg, u, &index),
+                );
+            }
+        }
+        let stats = seeds.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.hits + stats.misses, 0);
+    }
+
+    #[test]
+    fn tiny_capacity_evicts_but_stays_exact() {
+        let (_, qg, index) = setup();
+        for capacity in [1usize, 2] {
+            let mut seeds = SeedCache::new(capacity);
+            for _ in 0..3 {
+                for u in (0..qg.vertex_count()).map(amber_multigraph::QVertexId::from_index) {
+                    assert_eq!(
+                        process_vertex_seeded(&qg, u, &index, &mut seeds),
+                        process_vertex(&qg, u, &index),
+                        "capacity {capacity}, vertex {u:?}"
+                    );
+                    let synopsis = qg.signature(u).query_synopsis();
+                    assert_eq!(
+                        seeds.signature_candidates(&index.signature, &synopsis),
+                        index.signature.candidates(&synopsis),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clear_drops_entries_keeps_counters() {
+        let (_, qg, index) = setup();
+        let mut seeds = SeedCache::new(64);
+        for u in (0..qg.vertex_count()).map(amber_multigraph::QVertexId::from_index) {
+            let _ = process_vertex_seeded(&qg, u, &index, &mut seeds);
+            let synopsis = qg.signature(u).query_synopsis();
+            let _ = seeds.signature_candidates(&index.signature, &synopsis);
+        }
+        let before = seeds.stats();
+        assert!(before.entries > 0);
+        seeds.clear();
+        let after = seeds.stats();
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.result_bytes, 0);
+        assert_eq!(after.misses, before.misses, "counters survive clear");
+        assert!(after.evictions >= before.entries as u64);
+    }
+
+    #[test]
+    fn attr_key_padding_never_aliases() {
+        assert_ne!(
+            AttrSetKey::new(&[AttrId(1)]),
+            AttrSetKey::new(&[AttrId(1), AttrId(AttrSetKey::PAD)]),
+        );
+        assert_eq!(
+            AttrSetKey::new(&[AttrId(2), AttrId(1)]),
+            AttrSetKey::new(&[AttrId(1), AttrId(2)]),
+            "permutations canonicalize to one key"
+        );
+        let too_long: Vec<AttrId> = (0..=MAX_SEED_ATTRS as u32).map(AttrId).collect();
+        assert_eq!(AttrSetKey::new(&too_long), None);
+    }
+}

@@ -22,6 +22,7 @@
 use crate::candidates::{CacheStats, CandidateCache};
 use crate::matcher::SearchArenas;
 use crate::result::QueryOutcome;
+use crate::seeds::SeedCache;
 use std::fmt;
 use std::time::Duration;
 
@@ -59,6 +60,10 @@ pub struct QuerySession {
     /// Worker cores for the parallel extension, grown on demand and kept
     /// (arena + cache and all) for the next parallel query.
     workers: Vec<SessionCore>,
+    /// Seed-probe memo (signature / attribute / IRI-constraint lookups of
+    /// matcher plan construction). Main-thread only: plans are built before
+    /// the parallel extension forks, so one store per session suffices.
+    seeds: SeedCache,
     /// Identity of the engine (graph + indexes) the caches were filled
     /// against — a process-unique monotonic id, so engine teardown can
     /// never recycle a token (no pointer ABA).
@@ -81,6 +86,7 @@ impl QuerySession {
             cache_capacity,
             main: SessionCore::new(cache_capacity),
             workers: Vec::new(),
+            seeds: SeedCache::new(cache_capacity),
             graph_token: None,
             queries: 0,
             arena_reused_bytes: 0,
@@ -100,6 +106,12 @@ impl QuerySession {
             stats.merge(&worker.cache.stats());
         }
         stats
+    }
+
+    /// Counters of the seed-probe memo (signature / attribute /
+    /// IRI-constraint lookups of plan construction).
+    pub fn seed_stats(&self) -> CacheStats {
+        self.seeds.stats()
     }
 
     /// Heap bytes currently retained by all arenas (main + workers).
@@ -124,13 +136,14 @@ impl QuerySession {
         self.arena_peak_bytes
     }
 
-    /// Drop all cached probe results (arenas are kept — they hold no
-    /// graph-dependent data between runs).
+    /// Drop all cached probe and seed results (arenas are kept — they hold
+    /// no graph-dependent data between runs).
     pub fn clear_cache(&mut self) {
         self.main.cache.clear();
         for worker in &mut self.workers {
             worker.cache.clear();
         }
+        self.seeds.clear();
     }
 
     /// Bind the session to a data graph identity; a change of graph clears
@@ -163,6 +176,11 @@ impl QuerySession {
         &mut self.main
     }
 
+    /// The seed-probe memo, lent to matcher plan construction.
+    pub(crate) fn seed_cache_mut(&mut self) -> &mut SeedCache {
+        &mut self.seeds
+    }
+
     /// At least `count` worker cores, each with its own arena + cache.
     pub(crate) fn worker_cores(&mut self, count: usize) -> &mut [SessionCore] {
         while self.workers.len() < count {
@@ -186,6 +204,9 @@ pub struct BatchStats {
     pub errors: usize,
     /// Aggregated candidate-cache counters (main + worker cores).
     pub cache: CacheStats,
+    /// Seed-probe memo counters (signature / attribute / IRI lookups of
+    /// plan construction).
+    pub seeds: CacheStats,
     /// Sum over queries of warm arena bytes inherited at query start.
     pub arena_reused_bytes: u64,
     /// High-water arena footprint across the batch.
@@ -215,6 +236,16 @@ impl fmt::Display for BatchStats {
             self.cache.entries,
             self.cache.result_bytes,
             self.cache.evictions,
+        )?;
+        writeln!(
+            f,
+            "seeds: {:.1}% hit rate ({} hits / {} misses / {} bypasses), {} entries, {} result bytes",
+            self.seeds.hit_rate() * 100.0,
+            self.seeds.hits,
+            self.seeds.misses,
+            self.seeds.bypasses,
+            self.seeds.entries,
+            self.seeds.result_bytes,
         )?;
         write!(
             f,

@@ -49,8 +49,30 @@ impl AttributeIndex {
         if attrs.is_empty() {
             return None;
         }
-        let lists: Vec<&[VertexId]> = attrs.iter().map(|&a| self.vertices_with(a)).collect();
-        sorted::intersect_many(&lists)
+        let mut acc = Vec::new();
+        self.candidates_into(attrs, &mut Vec::new(), &mut acc, &mut Vec::new());
+        Some(acc)
+    }
+
+    /// The reusable-buffer form of [`Self::candidates`]: intersects the
+    /// attribute lists smallest-first into `acc` using `order` and
+    /// `scratch` as scratch space — no list-of-lists, no copy of the first
+    /// list, nothing allocated in steady state. Returns `false` (and
+    /// clears `acc`) when `attrs` is empty.
+    pub fn candidates_into(
+        &self,
+        attrs: &[AttrId],
+        order: &mut Vec<u32>,
+        acc: &mut Vec<VertexId>,
+        scratch: &mut Vec<VertexId>,
+    ) -> bool {
+        sorted::intersect_many_with(
+            attrs.len(),
+            |i| self.vertices_with(attrs[i]),
+            order,
+            acc,
+            scratch,
+        )
     }
 
     /// Number of indexed attributes.

@@ -10,7 +10,13 @@ macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        #[repr(transparent)]
         pub struct $name(pub u32);
+
+        // SAFETY: `repr(transparent)` over `u32` and the derived `Ord` is
+        // the wrapped integer's order — exactly what `U32Rep` requires, so
+        // id slices run on the SIMD set-algebra kernels without conversion.
+        unsafe impl amber_util::sorted::U32Rep for $name {}
 
         impl $name {
             /// The identifier as a `usize` index.

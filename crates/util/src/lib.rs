@@ -9,17 +9,22 @@
 //! * [`heap_size`] — deep heap-size accounting, used to reproduce the memory
 //!   columns of Table 5 of the paper analytically.
 //! * [`sorted`] — set algebra over sorted slices (intersection, union,
-//!   containment); the OTIL and attribute indexes are built on these.
+//!   containment); the OTIL and attribute indexes are built on these, with
+//!   runtime-dispatched SIMD kernels for `u32`-shaped elements.
+//! * [`genmap`] — a bounded generationally-evicted map, the storage engine
+//!   of the session probe/seed caches.
 //! * [`timing`] — stopwatch and cooperative deadline used to implement the
 //!   paper's 60-second query budget.
 //! * [`stats`] — summary statistics for the experiment harness.
 
 pub mod fxhash;
+pub mod genmap;
 pub mod heap_size;
 pub mod sorted;
 pub mod stats;
 pub mod timing;
 
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use genmap::GenerationalMap;
 pub use heap_size::HeapSize;
 pub use timing::{Deadline, Stopwatch};

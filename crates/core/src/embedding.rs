@@ -177,11 +177,13 @@ mod tests {
             count: 3,
             solutions: vec![],
             timed_out: false,
+            nodes: 0,
         };
         let b = ComponentMatch {
             count: 4,
             solutions: vec![],
             timed_out: false,
+            nodes: 0,
         };
         assert_eq!(total_count(&[a, b]), 12);
         assert_eq!(total_count(&[]), 1);
@@ -193,6 +195,7 @@ mod tests {
             count: 5,
             solutions: vec![],
             timed_out: false,
+            nodes: 0,
         };
         let z = ComponentMatch::default();
         assert_eq!(total_count(&[a, z]), 0);

@@ -225,8 +225,7 @@ impl AmberEngine {
                 &component,
                 session.seed_cache_mut(),
             );
-            let result =
-                run_component_in_session(&matcher, options.effective_threads(), &config, session);
+            let result = run_component_in_session(&matcher, &config, options, session);
             timed_out |= result.timed_out;
             let empty = result.count == 0;
             matches.push(result);
@@ -323,6 +322,7 @@ impl AmberEngine {
             session.cache_stats()
         };
         let seeds_before = session.seed_stats();
+        let pool_before = session.pool_stats().clone();
         let reused_before = session.arena_reused_bytes();
         let mut outcomes = Vec::with_capacity(inputs.len());
         let mut stats = BatchStats {
@@ -350,6 +350,7 @@ impl AmberEngine {
         stats.seeds.misses -= seeds_before.misses;
         stats.seeds.bypasses -= seeds_before.bypasses;
         stats.seeds.evictions -= seeds_before.evictions;
+        stats.pool = session.pool_stats().since(&pool_before);
         stats.arena_reused_bytes = session.arena_reused_bytes() - reused_before;
         stats.arena_peak_bytes = session.arena_peak_bytes();
         stats.elapsed = sw.elapsed();

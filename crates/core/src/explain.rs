@@ -10,6 +10,8 @@
 use crate::candidates::{process_vertex, Constraint};
 use crate::decompose::Decomposition;
 use crate::matcher::ComponentMatcher;
+use crate::options::ExecOptions;
+use crate::parallel::{dispatch_for, Dispatch};
 use amber_index::IndexSet;
 use amber_multigraph::{QueryGraph, RdfGraph};
 use std::fmt;
@@ -29,6 +31,10 @@ pub struct ComponentPlan {
     /// and bypass the cache). `0` means a candidate cache cannot help this
     /// component.
     pub cacheable_probes: usize,
+    /// How the parallel extension would schedule this component under the
+    /// explaining options ([`Dispatch::Sequential`] when `threads == 1` or
+    /// the seed list is below every dispatch threshold).
+    pub dispatch: Dispatch,
     /// Per-variable constraint summary: `(name, attrs, iri constraints,
     /// constrained-candidate count if any)`.
     pub vertex_constraints: Vec<VertexConstraintSummary>,
@@ -59,8 +65,21 @@ pub struct QueryPlan {
 }
 
 impl QueryPlan {
-    /// Derive the plan the matcher would execute.
+    /// Derive the plan the matcher would execute under default options
+    /// (sequential scheduling).
     pub fn explain(qg: &QueryGraph, rdf: &RdfGraph, index: &IndexSet) -> Self {
+        Self::explain_with_options(qg, rdf, index, &ExecOptions::new())
+    }
+
+    /// Derive the plan the matcher would execute under `options`, including
+    /// the parallel dispatch decision (scheduler, worker count, root tasks,
+    /// split depth) per component.
+    pub fn explain_with_options(
+        qg: &QueryGraph,
+        rdf: &RdfGraph,
+        index: &IndexSet,
+        options: &ExecOptions,
+    ) -> Self {
         if let Some(reason) = qg.unsat_reason() {
             return Self {
                 unsatisfiable: Some(reason.to_string()),
@@ -111,6 +130,7 @@ impl QueryPlan {
                     satellites,
                     initial_candidates: matcher.initial_candidates().len(),
                     cacheable_probes: matcher.cacheable_probe_count(),
+                    dispatch: dispatch_for(matcher.initial_candidates().len(), options),
                     vertex_constraints,
                 }
             })
@@ -145,6 +165,23 @@ impl fmt::Display for QueryPlan {
                     "  cacheable probes: {} (candidate cache applies)",
                     component.cacheable_probes
                 )?;
+            }
+            match component.dispatch {
+                Dispatch::Sequential => {}
+                Dispatch::Chunked { workers } => {
+                    writeln!(f, "  parallel: fork-per-chunk, {workers} workers")?;
+                }
+                Dispatch::Pooled {
+                    workers,
+                    root_tasks,
+                    split_depth,
+                } => {
+                    writeln!(
+                        f,
+                        "  parallel: work-stealing pool, {workers} workers, \
+                         {root_tasks} root tasks, split depth {split_depth}"
+                    )?;
+                }
             }
             for (core, sats) in component.core_order.iter().zip(&component.satellites) {
                 if !sats.is_empty() {
@@ -199,6 +236,29 @@ mod tests {
         let text = plan.to_string();
         assert!(text.contains("core order: X1 → X3 → X5"));
         assert!(text.contains("satellites of ?X1"));
+    }
+
+    #[test]
+    fn explain_reports_parallel_dispatch() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+
+        // Default options: sequential, no parallel line.
+        let plan = QueryPlan::explain(&qg, &rdf, &index);
+        assert_eq!(plan.components[0].dispatch, Dispatch::Sequential);
+        assert!(!plan.to_string().contains("parallel:"));
+
+        // Forced pool at 4 threads: splitting makes even one seed pooled.
+        let options = ExecOptions::new()
+            .with_threads(4)
+            .with_scheduler(crate::options::Scheduler::Pool);
+        let plan = QueryPlan::explain_with_options(&qg, &rdf, &index, &options);
+        assert!(matches!(
+            plan.components[0].dispatch,
+            Dispatch::Pooled { workers: 4, .. }
+        ));
+        assert!(plan.to_string().contains("work-stealing pool"));
     }
 
     #[test]

@@ -50,7 +50,8 @@ pub use candidates::{CacheStats, CandidateCache};
 pub use engine::{AmberEngine, OfflineStats};
 pub use error::EngineError;
 pub use explain::QueryPlan;
-pub use options::ExecOptions;
+pub use options::{ExecOptions, Scheduler};
+pub use parallel::{dispatch_for, Dispatch};
 pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
 pub use seeds::SeedCache;
-pub use session::{BatchOutcome, BatchStats, QuerySession};
+pub use session::{BatchOutcome, BatchStats, PoolStats, QuerySession};

@@ -89,6 +89,11 @@ pub struct ComponentMatch {
     pub solutions: Vec<ComponentSolution>,
     /// `true` when the deadline expired mid-search.
     pub timed_out: bool,
+    /// Search-tree nodes visited (candidate attempts). The parallel
+    /// extension partitions the candidate iteration exactly, so the summed
+    /// node count of a parallel run equals the sequential one — the
+    /// hardware-independent work measure the scheduling benchmarks balance.
+    pub nodes: u64,
 }
 
 /// Search configuration.
@@ -350,39 +355,95 @@ impl<'a> ComponentMatcher<'a> {
         arenas: &mut SearchArenas,
         cache: &mut CandidateCache,
     ) -> ComponentMatch {
+        self.run_task(0, &[], initial, config, arenas, cache, None)
+    }
+
+    /// Run one schedulable unit of the search: iterate `seeds` as the
+    /// candidates of the core vertex at order position `depth`, under the
+    /// already-validated partial assignment `prefix` (positions
+    /// `0..depth`). The sequential algorithm is the `depth == 0`,
+    /// empty-prefix case; the work-stealing pool resumes *stolen subtree
+    /// continuations* from deeper positions.
+    ///
+    /// The prefix is replayed before iterating: assignment slots are
+    /// restored and each prefix position's satellites re-resolve into this
+    /// worker's arenas (they are guaranteed non-empty — the publishing
+    /// worker only advanced past candidates whose satellites resolved), so
+    /// `record`'s embedding product sees exactly the state the original
+    /// recursion would have had.
+    ///
+    /// When `sink` is present and `split_depth > 0`, shallow candidate
+    /// loops (order positions below the cutoff) poll its hungry signal and
+    /// publish untried candidate suffixes as stealable tasks.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_task<'s>(
+        &'s self,
+        depth: usize,
+        prefix: &[VertexId],
+        seeds: &'s [VertexId],
+        config: &MatchConfig<'_>,
+        arenas: &mut SearchArenas,
+        cache: &mut CandidateCache,
+        split: Option<(&mut (dyn SplitSink + 's), usize)>,
+    ) -> ComponentMatch {
         arenas.prepare(&self.plans);
+        debug_assert_eq!(prefix.len(), depth);
+        // Never split the deepest order position: its candidates have no
+        // recursion below them (satellite checks + record only), so carving
+        // them yields tasks whose scheduling overhead exceeds their work.
+        let max_useful_cutoff = self.order.len().saturating_sub(1);
+        let (sink, split_depth) = match split {
+            Some((sink, cutoff)) if cutoff.min(max_useful_cutoff) > 0 => {
+                (Some(sink), cutoff.min(max_useful_cutoff))
+            }
+            _ => (None, 0),
+        };
+        let sources = if sink.is_some() {
+            vec![LevelSource::Inactive; self.order.len()]
+        } else {
+            Vec::new()
+        };
         let mut state = SearchState {
             arenas,
             cache,
             result: ComponentMatch::default(),
             config,
+            sink,
+            split_depth,
+            root_depth: depth,
+            sources,
+            split_paid_nodes: 0,
         };
-        for &v_init in initial {
-            // Uncached check: the outer loop runs once per initial candidate,
-            // so precision matters more than the clock read here.
-            if state.config.deadline.exceeded_now() {
-                state.result.timed_out = true;
-                break;
+        // Replay the stolen prefix (no-op for root tasks).
+        for (pos, &v) in prefix.iter().enumerate() {
+            state.arenas.levels[pos] = Level::default();
+            if !self.resolve_satellites(pos, v, &mut state) {
+                debug_assert!(false, "stolen prefix must re-validate");
+                return state.result;
             }
-            self.try_candidate(0, v_init, &mut state);
-            if state.result.timed_out {
-                break;
-            }
+            state.arenas.assignment[pos] = v;
         }
+        // Iterate this task's own candidates at `depth`, with the precise
+        // per-candidate deadline check (this loop runs once per initial /
+        // stolen candidate, so precision matters more than the clock read).
+        self.iterate_level(depth, seeds, &mut state, true);
         state.result
     }
 
-    /// Attempt `v` as the match of the core vertex at `pos`; on success,
-    /// resolve its satellites and recurse (Algorithm 3 lines 8-19 for the
-    /// initial vertex, Algorithm 4 lines 9-20 beyond).
-    fn try_candidate(&self, pos: usize, v: VertexId, state: &mut SearchState<'_, '_>) {
+    /// MatchSatVertices (Algorithm 2): resolve every satellite of the core
+    /// vertex at `pos` given ψ(core) = `v` (independently, by Lemma 2) into
+    /// this depth's reusable buffers. Returns `false` when some satellite
+    /// has no candidates — no solution possible for this `v` (Alg. 2
+    /// line 8). On early exit the buffers keep stale data from the failed
+    /// candidate; that is fine because `record` is only reached after every
+    /// depth on the chain refilled its buffers for the current assignment.
+    fn resolve_satellites(
+        &self,
+        pos: usize,
+        v: VertexId,
+        state: &mut SearchState<'_, '_, '_>,
+    ) -> bool {
         let plan = &self.plans[pos];
-        // MatchSatVertices (Algorithm 2): every satellite resolves
-        // independently given ψ(core) = v (Lemma 2), into this depth's
-        // reusable buffers. On early exit the buffers keep stale data from
-        // the failed candidate; that is fine because `record` is only
-        // reached after every depth on the chain refilled its buffers for
-        // the current assignment.
         for (k, sat) in plan.satellites.iter().enumerate() {
             let SearchState { arenas, cache, .. } = &mut *state;
             let DepthScratch {
@@ -393,11 +454,91 @@ impl<'a> ComponentMatcher<'a> {
             let resolved = &mut satellites[k];
             self.satellite_candidates(sat, v, resolved, satellite_spill, cache);
             if resolved.is_empty() {
-                return; // no solution possible for this v (Alg. 2 line 8)
+                return false;
             }
+        }
+        true
+    }
+
+    /// Attempt `v` as the match of the core vertex at `pos`; on success,
+    /// resolve its satellites and recurse (Algorithm 3 lines 8-19 for the
+    /// initial vertex, Algorithm 4 lines 9-20 beyond).
+    fn try_candidate<'s>(&'s self, pos: usize, v: VertexId, state: &mut SearchState<'_, '_, 's>) {
+        state.result.nodes += 1;
+        if !self.resolve_satellites(pos, v, state) {
+            return;
         }
         state.arenas.assignment[pos] = v;
         self.recurse(pos + 1, state);
+    }
+
+    /// Nodes a task must have executed since its last split before it pays
+    /// for another one. Splits only fire while the pool reports free
+    /// capacity, but capacity alone says nothing about whether a split is
+    /// *worth its overhead* — a task that has only done a few hundred
+    /// nodes of work since the last publication would flood the pool with
+    /// sub-microsecond junk tasks (4 000 trivial seeds would become 4 000
+    /// tasks). Amortizing against executed work caps scheduling overhead
+    /// at roughly one task publication per this many nodes while still
+    /// decomposing every heavy subtree at ~this granularity.
+    const SPLIT_AMORTIZE_NODES: u64 = 256;
+
+    /// Cooperative subtree splitting: when the pool has free capacity and
+    /// this task has done enough work to amortize a publication, carve the
+    /// *suffix half* of the untried candidates at the shallowest active
+    /// level and publish it — with the partial assignment below it — as a
+    /// stealable task. The suffix of the shallowest level is always the
+    /// tail of this task's enumeration order, which is what keeps the
+    /// published-key merge order identical to sequential enumeration.
+    fn maybe_split(&self, pos: usize, state: &mut SearchState<'_, '_, '_>) {
+        if state.result.nodes < state.split_paid_nodes + Self::SPLIT_AMORTIZE_NODES {
+            return;
+        }
+        let SearchState {
+            arenas,
+            sink,
+            sources,
+            root_depth,
+            ..
+        } = state;
+        let Some(sink) = sink.as_deref_mut() else {
+            return;
+        };
+        if !sink.wants_work() {
+            return;
+        }
+        // Indexed loop on purpose: `p` addresses three parallel arrays
+        // (`levels`, `sources`, `depths`) and `assignment[..p]`.
+        #[allow(clippy::needless_range_loop)]
+        for p in *root_depth..=pos {
+            let level = arenas.levels[p];
+            let untried = level.limit.saturating_sub(level.next);
+            if untried == 0 {
+                continue;
+            }
+            // Levels *above* the current position are outer tails — work
+            // entirely independent of the subtree this task is inside — so
+            // hand the whole range off at once (a thief re-splits it under
+            // its own amortization). The level currently being iterated is
+            // halved instead: halving keeps the split tree logarithmic, so
+            // real-parallel executions never degrade into a sequential
+            // chain of handoffs.
+            let give = if p < pos {
+                untried
+            } else {
+                untried.div_ceil(2)
+            };
+            let new_limit = level.limit - give;
+            let suffix: &[VertexId] = match sources[p] {
+                LevelSource::Arena => &arenas.depths[p].candidates[new_limit..level.limit],
+                LevelSource::Slice(slice) => &slice[new_limit..level.limit],
+                LevelSource::Inactive => continue,
+            };
+            sink.publish(p, &arenas.assignment[..p], suffix);
+            arenas.levels[p].limit = new_limit;
+            state.split_paid_nodes = state.result.nodes;
+            return;
+        }
     }
 
     /// Candidates of one satellite given its core's match (Algorithm 2
@@ -443,7 +584,7 @@ impl<'a> ComponentMatcher<'a> {
     }
 
     /// HomomorphicMatch (Algorithm 4).
-    fn recurse(&self, pos: usize, state: &mut SearchState<'_, '_>) {
+    fn recurse<'s>(&'s self, pos: usize, state: &mut SearchState<'_, '_, 's>) {
         if state.config.deadline.exceeded() {
             state.result.timed_out = true;
             return;
@@ -466,12 +607,7 @@ impl<'a> ComponentMatcher<'a> {
                     .index
                     .neighborhood
                     .neighbors_with_type(matched, probe.direction, *t);
-                for &v in list {
-                    self.try_candidate(pos, v, state);
-                    if state.result.timed_out {
-                        return;
-                    }
-                }
+                self.iterate_level(pos, list, state, false);
                 return;
             }
         }
@@ -535,10 +671,68 @@ impl<'a> ComponentMatcher<'a> {
             }
         }
 
-        // Lines 9-20. Indexed loop: deeper recursion uses its *own* depth's
-        // arena, so this depth's candidate buffer is stable throughout.
-        for i in 0..state.arenas.depths[pos].candidates.len() {
-            let v = state.arenas.depths[pos].candidates[i];
+        // Lines 9-20. Cursor loop: deeper recursion uses its *own* depth's
+        // arena, so this depth's candidate buffer is stable throughout; the
+        // cursor lives in the arenas so the split hook can carve untried
+        // suffixes out of any active level.
+        state.arenas.levels[pos] = Level {
+            next: 0,
+            limit: state.arenas.depths[pos].candidates.len(),
+        };
+        if state.sink.is_some() {
+            state.sources[pos] = LevelSource::Arena;
+        }
+        loop {
+            let level = state.arenas.levels[pos];
+            if level.next >= level.limit {
+                return;
+            }
+            let v = state.arenas.depths[pos].candidates[level.next];
+            state.arenas.levels[pos].next = level.next + 1;
+            if pos < state.split_depth {
+                self.maybe_split(pos, state);
+            }
+            self.try_candidate(pos, v, state);
+            if state.result.timed_out {
+                return;
+            }
+        }
+    }
+
+    /// Iterate a borrowed candidate list — a task's seed slice or the fast
+    /// path's inverted-list borrow — as the level at `pos`, with the same
+    /// cursor/split protocol as the arena-backed loop in [`Self::recurse`].
+    /// `precise_deadline` additionally consults the uncached clock before
+    /// every candidate (task root loops only; recursion levels rely on the
+    /// cheap cached check at `recurse` entry).
+    fn iterate_level<'s>(
+        &'s self,
+        pos: usize,
+        source: &'s [VertexId],
+        state: &mut SearchState<'_, '_, 's>,
+        precise_deadline: bool,
+    ) {
+        state.arenas.levels[pos] = Level {
+            next: 0,
+            limit: source.len(),
+        };
+        if state.sink.is_some() {
+            state.sources[pos] = LevelSource::Slice(source);
+        }
+        loop {
+            let level = state.arenas.levels[pos];
+            if level.next >= level.limit {
+                return;
+            }
+            if precise_deadline && state.config.deadline.exceeded_now() {
+                state.result.timed_out = true;
+                return;
+            }
+            let v = source[level.next];
+            state.arenas.levels[pos].next = level.next + 1;
+            if pos < state.split_depth {
+                self.maybe_split(pos, state);
+            }
             self.try_candidate(pos, v, state);
             if state.result.timed_out {
                 return;
@@ -549,7 +743,7 @@ impl<'a> ComponentMatcher<'a> {
     /// All core vertices matched: register the solution. `GenEmb` counting —
     /// the solution denotes `∏ |V_s|` embeddings via Cartesian product; the
     /// solution itself is only materialized when it is retained.
-    fn record(&self, state: &mut SearchState<'_, '_>) {
+    fn record(&self, state: &mut SearchState<'_, '_, '_>) {
         // Session arenas can be *larger* than this component's plan (they
         // are grown high-water-mark style and never shrunk), so every walk
         // zips against the plans — stale deeper/extra buffers are ignored.
@@ -585,6 +779,44 @@ impl<'a> ComponentMatcher<'a> {
             });
         }
     }
+}
+
+/// Cursor of one active candidate loop: the next untried index and the
+/// (split-shrinkable) exclusive end of the range.
+#[derive(Debug, Clone, Copy, Default)]
+struct Level {
+    next: usize,
+    limit: usize,
+}
+
+/// What the candidate loop at a level iterates — needed by the split hook
+/// to copy an untried suffix out for a thief. `Arena` indexes the level's
+/// own [`DepthScratch::candidates`] buffer (avoiding a self-borrow of the
+/// arenas); slices cover the task seed list and the fast path's borrowed
+/// inverted list.
+#[derive(Debug, Clone, Copy)]
+enum LevelSource<'s> {
+    /// Level not (yet) iterated under the current task — never carved.
+    Inactive,
+    /// The level's arena candidate buffer.
+    Arena,
+    /// An external sorted slice (task seeds or a borrowed inverted list).
+    Slice(&'s [VertexId]),
+}
+
+/// Where the matcher publishes stealable subtree continuations. Implemented
+/// by the pool scheduler in [`crate::parallel`]; the matcher itself stays
+/// scheduler-agnostic.
+pub(crate) trait SplitSink {
+    /// Cheap poll: is some worker hungry enough to justify a split?
+    fn wants_work(&mut self) -> bool;
+    /// Publish the untried `candidates` of order position `depth` together
+    /// with the validated partial assignment `prefix` (positions
+    /// `0..depth`). Published suffixes follow the publisher's own remaining
+    /// work in enumeration order, and successive publications move
+    /// *earlier* tails — the ordering contract the scheduler's
+    /// deterministic merge relies on.
+    fn publish(&mut self, depth: usize, prefix: &[VertexId], candidates: &[VertexId]);
 }
 
 /// Reusable buffers of one recursion depth (order position). Prepared by
@@ -638,6 +870,10 @@ pub struct SearchArenas {
     /// Per-depth scratch arenas, indexed by order position (may be longer
     /// than the active component's plan).
     depths: Vec<DepthScratch>,
+    /// Per-depth candidate-loop cursors. Held in the arenas (not the call
+    /// stack) so the split hook can shrink the untried range of *any*
+    /// active level when a thief asks for work.
+    levels: Vec<Level>,
 }
 
 impl SearchArenas {
@@ -654,6 +890,9 @@ impl SearchArenas {
         }
         if self.depths.len() < plans.len() {
             self.depths.resize_with(plans.len(), DepthScratch::default);
+        }
+        if self.levels.len() < plans.len() {
+            self.levels.resize(plans.len(), Level::default());
         }
         for (depth, plan) in self.depths.iter_mut().zip(plans) {
             if depth.satellites.len() < plan.satellites.len() {
@@ -673,14 +912,28 @@ impl SearchArenas {
 }
 
 /// Mutable search state threaded through the recursion: borrowed session
-/// arenas + probe cache, plus the per-run result accumulator.
-struct SearchState<'c, 'd> {
+/// arenas + probe cache, plus the per-run result accumulator and the
+/// (optional) subtree-split runtime.
+struct SearchState<'c, 'd, 's> {
     /// Borrowed long-lived scratch arenas.
     arenas: &'c mut SearchArenas,
     /// Borrowed probe memo (pass-through when disabled).
     cache: &'c mut CandidateCache,
     result: ComponentMatch,
     config: &'c MatchConfig<'d>,
+    /// Split publication target; `None` runs the pure sequential algorithm
+    /// (no level-source bookkeeping, no hungry polling).
+    sink: Option<&'c mut (dyn SplitSink + 's)>,
+    /// Order positions below this cutoff poll the sink (0 when disabled).
+    split_depth: usize,
+    /// The order position this task's own candidate loop runs at (0 for
+    /// root tasks; the stolen depth for continuations).
+    root_depth: usize,
+    /// Per-level enumeration sources, maintained only when `sink` is set.
+    sources: Vec<LevelSource<'s>>,
+    /// `result.nodes` at the last split publication — the amortization
+    /// baseline ([`ComponentMatcher::SPLIT_AMORTIZE_NODES`]).
+    split_paid_nodes: u64,
 }
 
 #[cfg(test)]

@@ -2,8 +2,22 @@
 
 use std::time::Duration;
 
+/// Which parallel scheduler executes a multi-threaded query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// The work-stealing pool unless the `AMBER_POOL` environment variable
+    /// disables it (`off`/`0`/`false`, detected once per process).
+    #[default]
+    Auto,
+    /// Always the work-stealing pool (ignores `AMBER_POOL`).
+    Pool,
+    /// Always the legacy fork-per-chunk model (`std::thread::scope`, one
+    /// worker per contiguous seed chunk, no subtree splitting).
+    ForkPerChunk,
+}
+
 /// Knobs for one query execution.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Wall-clock budget; the paper's evaluation uses 60 s (§7.2). `None`
     /// runs to completion.
@@ -24,6 +38,51 @@ pub struct ExecOptions {
     /// and transient per-`execute` sessions both size their caches from
     /// this knob.
     pub candidate_cache_capacity: usize,
+    /// Minimum initial candidates *per worker* before the parallel
+    /// extension distributes seed chunks: fewer than
+    /// `parallel_seed_factor × threads` seeds run sequentially (unless the
+    /// pool can still win via subtree splitting — see
+    /// [`Self::split_depth`]). Default
+    /// [`Self::DEFAULT_PARALLEL_SEED_FACTOR`]` = 2`, the threshold that was
+    /// hard-coded in `parallel.rs` before it became a knob; `0` behaves
+    /// like `1` (always dispatch when `threads > 1`).
+    pub parallel_seed_factor: usize,
+    /// Recursion-depth cutoff for cooperative subtree splitting on the
+    /// work-stealing pool: candidate loops at order positions below this
+    /// value poll the pool's hungry signal and publish untried candidate
+    /// ranges as stealable tasks. `0` disables splitting (the pool then
+    /// only balances whole seed chunks). Deep cutoffs make the split poll
+    /// run inside hot inner loops for no extra balance, which is why the
+    /// default ([`Self::DEFAULT_SPLIT_DEPTH`]` = 3`) stays shallow.
+    ///
+    /// Trade-off: with splitting enabled the pool dispatches *any*
+    /// non-empty seed list when `threads > 1` — that is what lets a
+    /// single heavy seed parallelize, but it also means trivial
+    /// components pay a pool run (tens of microseconds) that the old
+    /// seed-count threshold would have run inline. Streams of known-tiny
+    /// queries that still want `threads > 1` should set this to `0` to
+    /// recover the pure threshold dispatch.
+    pub split_depth: usize,
+    /// Scheduler selection for `threads > 1` (default [`Scheduler::Auto`]).
+    pub scheduler: Scheduler,
+}
+
+impl Default for ExecOptions {
+    /// Like the previous derived default (no timeout, materialize all,
+    /// `threads == 0` ≡ sequential, cache off) with the documented parallel
+    /// scheduling defaults.
+    fn default() -> Self {
+        Self {
+            timeout: None,
+            max_results: None,
+            count_only: false,
+            threads: 0,
+            candidate_cache_capacity: 0,
+            parallel_seed_factor: Self::DEFAULT_PARALLEL_SEED_FACTOR,
+            split_depth: Self::DEFAULT_SPLIT_DEPTH,
+            scheduler: Scheduler::Auto,
+        }
+    }
 }
 
 impl ExecOptions {
@@ -41,10 +100,9 @@ impl ExecOptions {
     pub fn benchmark(timeout: Duration) -> Self {
         Self {
             timeout: Some(timeout),
-            max_results: None,
             count_only: true,
             threads: 1,
-            candidate_cache_capacity: 0,
+            ..Self::default()
         }
     }
 
@@ -57,6 +115,18 @@ impl ExecOptions {
 
     /// Default candidate-cache capacity of the [`Self::batch`] preset.
     pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+    /// Default [`Self::parallel_seed_factor`]: dispatch parallel chunking
+    /// only with at least two initial candidates per worker (the threshold
+    /// the pre-knob implementation hard-coded).
+    pub const DEFAULT_PARALLEL_SEED_FACTOR: usize = 2;
+
+    /// Default [`Self::split_depth`]: offer subtree splits from the seed
+    /// loop and the first two recursion levels. Shallow levels own the
+    /// coarsest subtrees, so three levels are enough for thieves to drain a
+    /// skewed recursion tree while the poll stays out of the deepest (and
+    /// hottest) loops.
+    pub const DEFAULT_SPLIT_DEPTH: usize = 3;
 
     /// Builder: set the timeout.
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
@@ -88,9 +158,33 @@ impl ExecOptions {
         self
     }
 
+    /// Builder: set the parallel-dispatch threshold (initial candidates per
+    /// worker below which the chunked path runs sequentially).
+    pub fn with_parallel_seed_factor(mut self, factor: usize) -> Self {
+        self.parallel_seed_factor = factor;
+        self
+    }
+
+    /// Builder: set the subtree-split depth cutoff (`0` disables splits).
+    pub fn with_split_depth(mut self, depth: usize) -> Self {
+        self.split_depth = depth;
+        self
+    }
+
+    /// Builder: pick the parallel scheduler.
+    pub fn with_scheduler(mut self, scheduler: Scheduler) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
     /// Effective thread count (0 is treated as 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
+    }
+
+    /// Effective parallel-dispatch threshold (0 is treated as 1).
+    pub fn effective_seed_factor(&self) -> usize {
+        self.parallel_seed_factor.max(1)
     }
 }
 
@@ -136,5 +230,25 @@ mod tests {
         let o = ExecOptions::benchmark(Duration::from_secs(60));
         assert!(o.count_only);
         assert_eq!(o.timeout, Some(Duration::from_secs(60)));
+    }
+
+    #[test]
+    fn scheduling_knobs_default_and_compose() {
+        let o = ExecOptions::default();
+        assert_eq!(
+            o.parallel_seed_factor,
+            ExecOptions::DEFAULT_PARALLEL_SEED_FACTOR
+        );
+        assert_eq!(o.split_depth, ExecOptions::DEFAULT_SPLIT_DEPTH);
+        assert_eq!(o.scheduler, Scheduler::Auto);
+
+        let o = ExecOptions::new()
+            .with_parallel_seed_factor(0)
+            .with_split_depth(5)
+            .with_scheduler(Scheduler::ForkPerChunk);
+        assert_eq!(o.parallel_seed_factor, 0);
+        assert_eq!(o.effective_seed_factor(), 1, "0 behaves like 1");
+        assert_eq!(o.split_depth, 5);
+        assert_eq!(o.scheduler, Scheduler::ForkPerChunk);
     }
 }

@@ -2,59 +2,383 @@
 //! parallel processing version of our proposal").
 //!
 //! The recursion trees rooted at different initial candidates are
-//! independent (they share only read-only structures), so the outermost loop
-//! of Algorithm 3 partitions cleanly: the initial candidate list is split
-//! into contiguous chunks, one worker per chunk, and the per-worker
-//! [`ComponentMatch`]es are merged (counts add, retained solutions
-//! concatenate up to the cap, timeout flags OR). The shared
-//! [`Deadline`](amber_util::Deadline) uses a relaxed atomic counter, so the
-//! budget applies to the ensemble.
+//! independent (they share only read-only structures), so the outermost
+//! loop of Algorithm 3 partitions cleanly. Two schedulers implement that
+//! partition:
+//!
+//! * **Work-stealing pool** (default): the process-global
+//!   [`amber_exec::ExecPool`] executes one root task per contiguous seed
+//!   chunk, and the matcher *cooperatively splits*: at shallow recursion
+//!   depths it polls the pool's hungry signal and publishes untried
+//!   candidate suffixes — together with the validated partial assignment —
+//!   as stealable continuation tasks ([`PoolSink`]). A single heavy seed
+//!   no longer serializes its chunk: its subtree drains across every idle
+//!   worker, and even a *one-seed* component parallelizes. Tasks run on
+//!   the executing worker's warm [`SessionCore`] (slot-indexed via
+//!   [`CoreSlots`], exclusive by the pool's one-task-per-slot guarantee),
+//!   fork the query deadline per task, and report `(key, result)` pairs
+//!   whose lexicographic key order reproduces the sequential enumeration
+//!   order exactly — so counts, retained solutions, *and* solution-cap
+//!   truncation are bit-identical to the sequential algorithm.
+//! * **Fork-per-chunk** (fallback; `AMBER_POOL=off` or
+//!   [`Scheduler::ForkPerChunk`]): the original model — `std::thread::scope`
+//!   spawns one worker per chunk, per query. Kept as the differential
+//!   baseline and the pool-free escape hatch.
 //!
 //! Each worker borrows a private [`SessionCore`](crate::session::QuerySession)
 //! (scratch arenas + candidate cache), so the zero-allocation per-depth
 //! buffers are strictly worker-local: workers share only the read-only plan
 //! and indexes, never scratch memory or its cache lines. When the session
 //! outlives the query — the batch-execution path — worker arenas *and*
-//! worker caches stay warm across queries while keeping the fork-per-chunk
-//! model lock-free.
+//! worker caches stay warm across queries under both schedulers.
 
-use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
-use crate::session::QuerySession;
+use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig, SplitSink};
+use crate::options::{ExecOptions, Scheduler};
+use crate::session::{QuerySession, SessionCore};
+use amber_multigraph::VertexId;
+use std::marker::PhantomData;
+use std::sync::Mutex;
 
-/// Run one component with `threads` workers (1 = the paper's sequential
-/// algorithm, which is also used whenever the candidate list is tiny),
+/// How one component run will be scheduled (derived from the seed count and
+/// the options; surfaced by `EXPLAIN` so scheduling is inspectable before
+/// running the query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// One thread — the paper's sequential algorithm (also chosen whenever
+    /// the candidate list is too small to be worth distributing).
+    Sequential,
+    /// Fork-per-chunk: `workers` scoped threads, one contiguous seed chunk
+    /// each, no rebalancing.
+    Chunked {
+        /// Worker threads (== chunks) that would be spawned.
+        workers: usize,
+    },
+    /// Work-stealing pool: `root_tasks` seed chunks distributed over
+    /// `workers` pool slots, with subtree splitting below `split_depth`.
+    Pooled {
+        /// Pool worker slots used (caller included).
+        workers: usize,
+        /// Seed chunks submitted up front.
+        root_tasks: usize,
+        /// Split-depth cutoff in effect (0 = chunk balancing only).
+        split_depth: usize,
+    },
+}
+
+/// Decide how a component with `initial_len` seed candidates runs under
+/// `options`. The chunked path keeps the original threshold (sequential
+/// below [`ExecOptions::effective_seed_factor`] seeds per worker); the pool
+/// additionally dispatches *any* non-empty seed list when subtree splitting
+/// is enabled, because splitting can rebalance even a single heavy seed.
+pub fn dispatch_for(initial_len: usize, options: &ExecOptions) -> Dispatch {
+    let threads = options.effective_threads();
+    if threads <= 1 || initial_len == 0 {
+        return Dispatch::Sequential;
+    }
+    let chunk_ok = initial_len >= options.effective_seed_factor() * threads;
+    let pool = match options.scheduler {
+        Scheduler::Pool => true,
+        Scheduler::ForkPerChunk => false,
+        Scheduler::Auto => amber_exec::pool_enabled(),
+    };
+    if pool && (chunk_ok || options.split_depth > 0) {
+        let workers = threads.min(amber_exec::MAX_THREADS);
+        Dispatch::Pooled {
+            workers,
+            root_tasks: initial_len.min(workers),
+            split_depth: options.split_depth,
+        }
+    } else if chunk_ok {
+        Dispatch::Chunked { workers: threads }
+    } else {
+        Dispatch::Sequential
+    }
+}
+
+/// Run one component with `threads` workers and otherwise-default options,
 /// using transient per-call state. One-shot convenience over
-/// [`run_component_in_session`].
+/// [`run_component_in_session`], used by tests and benchmarks.
 pub fn run_component(
     matcher: &ComponentMatcher<'_>,
     threads: usize,
     config: &MatchConfig<'_>,
 ) -> ComponentMatch {
+    let options = ExecOptions::new().with_threads(threads);
     let mut session = QuerySession::new(0);
-    run_component_in_session(matcher, threads, config, &mut session)
+    run_component_in_session(matcher, config, &options, &mut session)
 }
 
-/// Run one component with `threads` workers against borrowed session state:
-/// the sequential path uses the session's main core; the parallel path
-/// borrows one session-owned [`SessionCore`](QuerySession) per chunk, so
-/// worker arenas and caches persist across the queries of a batch.
+/// Run one component against borrowed session state under the scheduler
+/// [`dispatch_for`] selects: the sequential path uses the session's main
+/// core; both parallel paths borrow one session-owned
+/// [`SessionCore`](QuerySession) per worker slot, so worker arenas and
+/// caches persist across the queries of a batch.
 pub fn run_component_in_session(
+    matcher: &ComponentMatcher<'_>,
+    config: &MatchConfig<'_>,
+    options: &ExecOptions,
+    session: &mut QuerySession,
+) -> ComponentMatch {
+    let initial = matcher.initial_candidates();
+    match dispatch_for(initial.len(), options) {
+        Dispatch::Sequential => {
+            let core = session.main_core();
+            matcher.run_on_with(initial, config, &mut core.arenas, &mut core.cache)
+        }
+        Dispatch::Chunked { workers } => fork_per_chunk(matcher, workers, config, session),
+        Dispatch::Pooled {
+            workers,
+            split_depth,
+            ..
+        } => run_pooled(matcher, workers, split_depth, config, session),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Work-stealing pool scheduler.
+// ---------------------------------------------------------------------------
+
+/// Worker-slot-indexed access to the session cores lent to one pool run.
+///
+/// The pool guarantees that each slot executes at most one task at a time
+/// and that every slot id is below the run's thread count, so handing task
+/// `t` on slot `s` a `&mut` to core `s` can never alias — the invariant
+/// that makes the cast below sound.
+struct CoreSlots<'a> {
+    ptr: *mut SessionCore,
+    len: usize,
+    _marker: PhantomData<&'a mut [SessionCore]>,
+}
+
+// SAFETY: `CoreSlots` is only a capability to *derive* per-slot exclusive
+// references; the pool's slot discipline (one task per slot at a time)
+// provides the actual exclusion.
+unsafe impl Send for CoreSlots<'_> {}
+unsafe impl Sync for CoreSlots<'_> {}
+
+impl<'a> CoreSlots<'a> {
+    fn new(cores: &'a mut [SessionCore]) -> Self {
+        Self {
+            ptr: cores.as_mut_ptr(),
+            len: cores.len(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// # Safety
+    /// `slot < len`, and the caller must hold the pool's one-task-per-slot
+    /// guarantee for `slot` while the returned borrow is alive.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn get(&self, slot: usize) -> &mut SessionCore {
+        debug_assert!(slot < self.len);
+        &mut *self.ptr.add(slot)
+    }
+}
+
+/// One task's contribution, tagged with its enumeration-order key and the
+/// slot that executed it (for the per-worker balance counters).
+struct TaskResult {
+    key: Vec<u32>,
+    slot: usize,
+    result: ComponentMatch,
+}
+
+/// Read-only state shared by every task of one pooled component run.
+struct PoolShared<'run, 'd> {
+    matcher: &'run ComponentMatcher<'run>,
+    root_deadline: &'d amber_util::Deadline,
+    solution_cap: Option<usize>,
+    split_depth: usize,
+    slots: CoreSlots<'run>,
+    results: Mutex<Vec<TaskResult>>,
+}
+
+/// The work a task iterates: a root seed chunk, or a stolen continuation
+/// (untried candidates at `depth` under a validated partial assignment).
+enum TaskWork<'run> {
+    Root(&'run [VertexId]),
+    Stolen {
+        depth: usize,
+        prefix: Vec<VertexId>,
+        seeds: Vec<VertexId>,
+    },
+}
+
+/// The matcher-facing split publisher of one running task: derives child
+/// keys that preserve enumeration order (see [`spawn_task`]) and spawns
+/// the continuation on the pool.
+struct PoolSink<'t, 'scope, 'run, 'd> {
+    scope: &'t amber_exec::Scope<'scope>,
+    shared: &'scope PoolShared<'run, 'd>,
+    key: &'t [u32],
+    splits: u32,
+}
+
+impl SplitSink for PoolSink<'_, '_, '_, '_> {
+    fn wants_work(&mut self) -> bool {
+        self.scope.hungry()
+    }
+
+    fn publish(&mut self, depth: usize, prefix: &[VertexId], candidates: &[VertexId]) {
+        self.splits += 1;
+        let mut key = Vec::with_capacity(self.key.len() + 1);
+        key.extend_from_slice(self.key);
+        key.push(u32::MAX - self.splits);
+        spawn_task(
+            self.scope,
+            self.shared,
+            key,
+            TaskWork::Stolen {
+                depth,
+                prefix: prefix.to_vec(),
+                seeds: candidates.to_vec(),
+            },
+        );
+    }
+}
+
+/// Submit one matcher task to the pool.
+///
+/// ## Deterministic merge order
+///
+/// Keys are compared lexicographically. A split carves the *enumeration
+/// tail* of its publisher (the suffix of the shallowest level with untried
+/// candidates), so everything a task keeps precedes what it publishes, and
+/// a later split always precedes an earlier one. Root chunks get keys
+/// `[0], [1], …` and the `n`-th split of a task keyed `K` gets
+/// `K ++ [u32::MAX − n]` — sorting task results by key therefore
+/// reproduces the exact sequential enumeration order, which keeps counts,
+/// solution order and solution-cap truncation identical to a
+/// single-threaded run.
+fn spawn_task<'scope, 'run: 'scope, 'd: 'scope>(
+    scope: &amber_exec::Scope<'scope>,
+    shared: &'scope PoolShared<'run, 'd>,
+    key: Vec<u32>,
+    work: TaskWork<'scope>,
+) {
+    scope.spawn(move |scope| {
+        // SAFETY: the pool runs one task per slot at a time, and slots are
+        // below the run's thread count == the cores slice length.
+        let core = unsafe { shared.slots.get(scope.slot()) };
+        // Fork the deadline per task: same expiry instant, task-local poll
+        // counter (one shared atomic would serialize the workers on its
+        // cache line).
+        let deadline = shared.root_deadline.fork();
+        let config = MatchConfig {
+            deadline: &deadline,
+            solution_cap: shared.solution_cap,
+        };
+        let (depth, prefix, seeds): (usize, &[VertexId], &[VertexId]) = match &work {
+            TaskWork::Root(seeds) => (0, &[], seeds),
+            TaskWork::Stolen {
+                depth,
+                prefix,
+                seeds,
+            } => (*depth, prefix, seeds),
+        };
+        let mut sink = PoolSink {
+            scope,
+            shared,
+            key: &key,
+            splits: 0,
+        };
+        let result = shared.matcher.run_task(
+            depth,
+            prefix,
+            seeds,
+            &config,
+            &mut core.arenas,
+            &mut core.cache,
+            Some((&mut sink, shared.split_depth)),
+        );
+        shared
+            .results
+            .lock()
+            .expect("pool result sink poisoned")
+            .push(TaskResult {
+                key,
+                slot: scope.slot(),
+                result,
+            });
+    });
+}
+
+/// Execute one component on the work-stealing pool (see module docs).
+fn run_pooled(
+    matcher: &ComponentMatcher<'_>,
+    workers: usize,
+    split_depth: usize,
+    config: &MatchConfig<'_>,
+    session: &mut QuerySession,
+) -> ComponentMatch {
+    let initial = matcher.initial_candidates();
+    let pool = amber_exec::ExecPool::global();
+    let cores = session.worker_cores(workers);
+    let shared = PoolShared {
+        matcher,
+        root_deadline: config.deadline,
+        solution_cap: config.solution_cap,
+        split_depth,
+        slots: CoreSlots::new(cores),
+        results: Mutex::new(Vec::new()),
+    };
+    let chunk = initial.len().div_ceil(workers).max(1);
+    let stats = pool.run(workers, |scope| {
+        for (i, seeds) in initial.chunks(chunk).enumerate() {
+            spawn_task(scope, &shared, vec![i as u32], TaskWork::Root(seeds));
+        }
+    });
+
+    let mut results = shared
+        .results
+        .into_inner()
+        .expect("pool result sink poisoned");
+    // The schedule's critical path: greedy list-schedule of the task
+    // decomposition this run actually produced (in completion order, i.e.
+    // before the key sort) onto `workers` identical machines. Thread
+    // attribution alone would under-report balance on core-starved hosts,
+    // where the OS may hand one thread several tasks that free workers
+    // would have taken.
+    let critical_path = greedy_makespan(results.iter().map(|r| r.result.nodes), workers);
+    let mut nodes_per_worker = vec![0u64; workers];
+    for r in &results {
+        nodes_per_worker[r.slot] = nodes_per_worker[r.slot].saturating_add(r.result.nodes);
+    }
+    session.record_pool_run(&stats, &nodes_per_worker, critical_path);
+    results.sort_by(|a, b| a.key.cmp(&b.key));
+    merge(results.into_iter().map(|r| r.result), config.solution_cap)
+}
+
+/// Makespan of scheduling `task_nodes` (in arrival order) greedily onto
+/// `workers` identical machines — the balance quality of a task
+/// decomposition, independent of which OS thread happened to run what.
+fn greedy_makespan(task_nodes: impl Iterator<Item = u64>, workers: usize) -> u64 {
+    let mut load = vec![0u64; workers.max(1)];
+    for nodes in task_nodes {
+        let min = load.iter_mut().min().expect("at least one machine");
+        *min += nodes;
+    }
+    load.into_iter().max().unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------------
+// Fork-per-chunk scheduler (the pre-pool model, kept as fallback/baseline).
+// ---------------------------------------------------------------------------
+
+/// The original parallel model: split the seed list into contiguous chunks,
+/// spawn one scoped thread per chunk, merge in chunk order.
+fn fork_per_chunk(
     matcher: &ComponentMatcher<'_>,
     threads: usize,
     config: &MatchConfig<'_>,
     session: &mut QuerySession,
 ) -> ComponentMatch {
     let initial = matcher.initial_candidates();
-    if threads <= 1 || initial.len() < 2 * threads {
-        let core = session.main_core();
-        return matcher.run_on_with(initial, config, &mut core.arenas, &mut core.cache);
-    }
-
     let chunk_size = initial.len().div_ceil(threads);
     // Fork the deadline per worker: same expiry instant, core-local poll
     // counter (one shared atomic would serialize the workers on its cache
     // line).
-    let chunks: Vec<&[amber_multigraph::VertexId]> = initial.chunks(chunk_size).collect();
+    let chunks: Vec<&[VertexId]> = initial.chunks(chunk_size).collect();
     let deadlines: Vec<_> = chunks.iter().map(|_| config.deadline.fork()).collect();
     let cores = session.worker_cores(chunks.len());
     let results: Vec<ComponentMatch> = std::thread::scope(|scope| {
@@ -78,15 +402,17 @@ pub fn run_component_in_session(
             .collect()
     });
 
-    merge(results, config.solution_cap)
+    merge(results.into_iter(), config.solution_cap)
 }
 
-/// Merge per-worker results.
-fn merge(results: Vec<ComponentMatch>, cap: Option<usize>) -> ComponentMatch {
+/// Merge per-task results, in enumeration order: counts add, timeout flags
+/// OR, node counts add, retained solutions concatenate up to the cap.
+fn merge(results: impl Iterator<Item = ComponentMatch>, cap: Option<usize>) -> ComponentMatch {
     let mut merged = ComponentMatch::default();
     for r in results {
         merged.count = merged.count.saturating_add(r.count);
         merged.timed_out |= r.timed_out;
+        merged.nodes = merged.nodes.saturating_add(r.nodes);
         merged.solutions.extend(r.solutions);
     }
     if let Some(cap) = cap {
@@ -104,15 +430,20 @@ mod tests {
     use amber_sparql::parse_select;
     use amber_util::Deadline;
 
-    #[test]
-    fn parallel_counts_match_sequential() {
+    fn paper_matcher_fixture() -> (amber_multigraph::RdfGraph, QueryGraph) {
         let rdf = paper_graph();
-        let index = IndexSet::build(&rdf);
         let query = parse_select(&format!(
             "SELECT * WHERE {{ ?a <{PREFIX_Y}livedIn> ?b . }}"
         ))
         .unwrap();
         let qg = QueryGraph::build(&query, &rdf).unwrap();
+        (rdf, qg)
+    }
+
+    #[test]
+    fn parallel_counts_match_sequential() {
+        let (rdf, qg) = paper_matcher_fixture();
+        let index = IndexSet::build(&rdf);
         let comps = qg.connected_components();
         let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
         let deadline = Deadline::unlimited();
@@ -128,6 +459,77 @@ mod tests {
     }
 
     #[test]
+    fn schedulers_agree_on_results_and_work() {
+        let (rdf, qg) = paper_matcher_fixture();
+        let index = IndexSet::build(&rdf);
+        let comps = qg.connected_components();
+        let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
+        let deadline = Deadline::unlimited();
+        let config = MatchConfig {
+            deadline: &deadline,
+            solution_cap: None,
+        };
+        let seq = matcher.run(&config);
+        for scheduler in [Scheduler::Pool, Scheduler::ForkPerChunk] {
+            for threads in [2, 4] {
+                for split_depth in [0, 1, 3] {
+                    let options = ExecOptions::new()
+                        .with_threads(threads)
+                        .with_scheduler(scheduler)
+                        .with_parallel_seed_factor(1)
+                        .with_split_depth(split_depth);
+                    let mut session = QuerySession::new(0);
+                    let par = run_component_in_session(&matcher, &config, &options, &mut session);
+                    assert_eq!(par.count, seq.count, "{scheduler:?} t{threads}");
+                    assert_eq!(par.solutions, seq.solutions, "{scheduler:?} t{threads}");
+                    // The candidate iteration partitions exactly: parallel
+                    // work equals sequential work, node for node.
+                    assert_eq!(par.nodes, seq.nodes, "{scheduler:?} t{threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_rules() {
+        // Sequential below the seed-factor threshold without splitting.
+        let chunk_only = ExecOptions::new()
+            .with_threads(4)
+            .with_split_depth(0)
+            .with_scheduler(Scheduler::Pool);
+        assert_eq!(dispatch_for(7, &chunk_only), Dispatch::Sequential);
+        assert_eq!(dispatch_for(0, &chunk_only), Dispatch::Sequential);
+        assert_eq!(
+            dispatch_for(8, &chunk_only),
+            Dispatch::Pooled {
+                workers: 4,
+                root_tasks: 4,
+                split_depth: 0,
+            }
+        );
+        // Forced fork-per-chunk above the threshold.
+        let forked = ExecOptions::new()
+            .with_threads(4)
+            .with_scheduler(Scheduler::ForkPerChunk);
+        assert_eq!(dispatch_for(7, &forked), Dispatch::Sequential);
+        assert_eq!(dispatch_for(8, &forked), Dispatch::Chunked { workers: 4 });
+        // The pool picks up sub-threshold seed lists once splitting is on.
+        let pooled = ExecOptions::new()
+            .with_threads(4)
+            .with_scheduler(Scheduler::Pool);
+        assert_eq!(
+            dispatch_for(1, &pooled),
+            Dispatch::Pooled {
+                workers: 4,
+                root_tasks: 1,
+                split_depth: ExecOptions::DEFAULT_SPLIT_DEPTH,
+            }
+        );
+        // Single thread is always sequential.
+        assert_eq!(dispatch_for(100, &ExecOptions::new()), Dispatch::Sequential);
+    }
+
+    #[test]
     fn merge_respects_cap_and_flags() {
         use crate::matcher::ComponentSolution;
         use amber_multigraph::{QVertexId, VertexId};
@@ -139,13 +541,15 @@ mod tests {
             count: 2,
             solutions: vec![solution.clone(), solution.clone()],
             timed_out: false,
+            nodes: 0,
         };
         let b = ComponentMatch {
             count: 3,
             solutions: vec![solution.clone()],
             timed_out: true,
+            nodes: 0,
         };
-        let merged = merge(vec![a, b], Some(2));
+        let merged = merge(vec![a, b].into_iter(), Some(2));
         assert_eq!(merged.count, 5);
         assert!(merged.timed_out);
         assert_eq!(merged.solutions.len(), 2);

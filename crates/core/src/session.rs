@@ -11,9 +11,11 @@
 //! * it owns one [`CandidateCache`] per worker — a bounded, LRU-ish memo of
 //!   spill-path OTIL probe results keyed by `(data vertex, direction,
 //!   sorted type-set)`, shared across components *and* across queries;
-//! * the parallel extension keeps its fork-per-chunk model: worker cores
-//!   are session-owned too, so caches stay warm across the queries of a
-//!   batch without any cross-thread sharing or locking.
+//! * the parallel extension — the work-stealing pool and the
+//!   fork-per-chunk fallback alike — borrows session-owned worker cores,
+//!   one per worker slot, so caches stay warm across the queries of a
+//!   batch without any cross-thread sharing or locking; the session also
+//!   aggregates the pool's scheduling counters ([`PoolStats`]).
 //!
 //! [`AmberEngine::execute_batch`](crate::AmberEngine::execute_batch) drives
 //! many queries through one session and reports aggregate [`BatchStats`]
@@ -25,6 +27,93 @@ use crate::result::QueryOutcome;
 use crate::seeds::SeedCache;
 use std::fmt;
 use std::time::Duration;
+
+/// Aggregated work-stealing pool counters (across the pool runs of one
+/// session, batch, or query): how the dynamic scheduler actually behaved.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool runs executed (≥ one per parallel component).
+    pub runs: u64,
+    /// Seed-chunk tasks submitted up front.
+    pub root_tasks: u64,
+    /// Subtree-continuation tasks published by the matcher's split hook.
+    pub split_tasks: u64,
+    /// Successful steal events (each may migrate several queued tasks).
+    pub steals: u64,
+    /// Tasks executed per worker slot (slot 0 is the submitting thread).
+    pub tasks_per_worker: Vec<u64>,
+    /// Search-tree nodes executed per worker slot (actual thread
+    /// attribution; on core-starved hosts one thread may drain tasks that
+    /// free workers would have taken).
+    pub nodes_per_worker: Vec<u64>,
+    /// Σ over runs of the run's schedule *critical path*: the greedy
+    /// list-schedule makespan of the task decomposition each run produced,
+    /// in hardware-independent search-tree node units. This is what
+    /// wall-clock converges to once every worker has a free core, and the
+    /// quantity the scheduling benchmarks gate on.
+    pub critical_path_nodes: u64,
+}
+
+impl PoolStats {
+    /// Total tasks executed.
+    pub fn tasks(&self) -> u64 {
+        self.root_tasks + self.split_tasks
+    }
+
+    /// Total search-tree nodes executed on the pool.
+    pub fn total_nodes(&self) -> u64 {
+        self.nodes_per_worker.iter().sum()
+    }
+
+    /// Fold one pool run (plus its per-worker node attribution and its
+    /// schedule's critical path) in.
+    pub(crate) fn record_run(
+        &mut self,
+        stats: &amber_exec::RunStats,
+        nodes_per_worker: &[u64],
+        critical_path_nodes: u64,
+    ) {
+        self.runs += 1;
+        self.root_tasks += stats.root_tasks;
+        self.split_tasks += stats.split_tasks;
+        self.steals += stats.steals;
+        self.critical_path_nodes += critical_path_nodes;
+        accumulate(&mut self.tasks_per_worker, &stats.tasks_per_worker);
+        accumulate(&mut self.nodes_per_worker, nodes_per_worker);
+    }
+
+    /// The counters accumulated since `before` was snapshotted (used to
+    /// report per-batch shares of a long-lived session).
+    pub(crate) fn since(&self, before: &PoolStats) -> PoolStats {
+        PoolStats {
+            runs: self.runs - before.runs,
+            root_tasks: self.root_tasks - before.root_tasks,
+            split_tasks: self.split_tasks - before.split_tasks,
+            steals: self.steals - before.steals,
+            critical_path_nodes: self.critical_path_nodes - before.critical_path_nodes,
+            tasks_per_worker: subtract(&self.tasks_per_worker, &before.tasks_per_worker),
+            nodes_per_worker: subtract(&self.nodes_per_worker, &before.nodes_per_worker),
+        }
+    }
+}
+
+/// `acc[i] += add[i]`, growing `acc` as needed.
+fn accumulate(acc: &mut Vec<u64>, add: &[u64]) {
+    if acc.len() < add.len() {
+        acc.resize(add.len(), 0);
+    }
+    for (slot, value) in acc.iter_mut().zip(add) {
+        *slot += value;
+    }
+}
+
+/// `a[i] - b[i]` (treating missing entries of `b` as 0).
+fn subtract(a: &[u64], b: &[u64]) -> Vec<u64> {
+    a.iter()
+        .enumerate()
+        .map(|(i, &value)| value - b.get(i).copied().unwrap_or(0))
+        .collect()
+}
 
 /// One worker's private slice of session state: scratch arenas plus a
 /// probe cache. Workers never share cores, so there is no locking anywhere.
@@ -64,6 +153,9 @@ pub struct QuerySession {
     /// matcher plan construction). Main-thread only: plans are built before
     /// the parallel extension forks, so one store per session suffices.
     seeds: SeedCache,
+    /// Work-stealing pool counters accumulated across this session's
+    /// parallel component runs.
+    pool: PoolStats,
     /// Identity of the engine (graph + indexes) the caches were filled
     /// against — a process-unique monotonic id, so engine teardown can
     /// never recycle a token (no pointer ABA).
@@ -87,6 +179,7 @@ impl QuerySession {
             main: SessionCore::new(cache_capacity),
             workers: Vec::new(),
             seeds: SeedCache::new(cache_capacity),
+            pool: PoolStats::default(),
             graph_token: None,
             queries: 0,
             arena_reused_bytes: 0,
@@ -112,6 +205,22 @@ impl QuerySession {
     /// IRI-constraint lookups of plan construction).
     pub fn seed_stats(&self) -> CacheStats {
         self.seeds.stats()
+    }
+
+    /// Work-stealing pool counters accumulated over this session's
+    /// lifetime (tasks, splits, steals, per-worker balance).
+    pub fn pool_stats(&self) -> &PoolStats {
+        &self.pool
+    }
+
+    /// Fold one pool run's counters into the session aggregate.
+    pub(crate) fn record_pool_run(
+        &mut self,
+        stats: &amber_exec::RunStats,
+        nodes_per_worker: &[u64],
+        critical_path_nodes: u64,
+    ) {
+        self.pool.record_run(stats, nodes_per_worker, critical_path_nodes);
     }
 
     /// Heap bytes currently retained by all arenas (main + workers).
@@ -207,6 +316,9 @@ pub struct BatchStats {
     /// Seed-probe memo counters (signature / attribute / IRI lookups of
     /// plan construction).
     pub seeds: CacheStats,
+    /// Work-stealing pool counters (zero when every query ran
+    /// sequentially or on the fork-per-chunk fallback).
+    pub pool: PoolStats,
     /// Sum over queries of warm arena bytes inherited at query start.
     pub arena_reused_bytes: u64,
     /// High-water arena footprint across the batch.
@@ -247,6 +359,21 @@ impl fmt::Display for BatchStats {
             self.seeds.entries,
             self.seeds.result_bytes,
         )?;
+        if self.pool.runs > 0 {
+            writeln!(
+                f,
+                "pool: {} runs, {} tasks ({} root + {} splits), {} steals, \
+                 critical path {} of {} nodes across {} workers",
+                self.pool.runs,
+                self.pool.tasks(),
+                self.pool.root_tasks,
+                self.pool.split_tasks,
+                self.pool.steals,
+                self.pool.critical_path_nodes,
+                self.pool.total_nodes(),
+                self.pool.nodes_per_worker.len(),
+            )?;
+        }
         write!(
             f,
             "arenas: {} bytes peak, {} bytes reused across queries",

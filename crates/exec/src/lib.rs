@@ -1,0 +1,720 @@
+#![warn(missing_docs)]
+//! A persistent, dependency-free work-stealing thread pool.
+//!
+//! The paper's parallel extension (§8) was first implemented as
+//! fork-per-chunk: `std::thread::scope` spawns one worker per contiguous
+//! chunk of the initial-candidate list, every query, and a single heavy
+//! candidate serializes its whole chunk while the other workers exit early
+//! and idle. This crate replaces that model with a long-lived pool the
+//! matcher can *rebalance through*:
+//!
+//! * **per-worker LIFO deques** — each worker owns a deque; it pushes and
+//!   pops at the back (freshly split subtrees stay cache-warm), thieves
+//!   steal from the front (the oldest entries are the coarsest tasks);
+//! * **steal-half** — a thief takes half of a victim's queue in one lock
+//!   acquisition, executes the first stolen task and publishes the surplus
+//!   in its own deque, so a single steal rebalances a whole backlog;
+//! * **parking / wakeup** — out-of-work workers publish themselves in the
+//!   [`hungry`](Scope::hungry) counter (the signal the matcher's split hook
+//!   polls) and park on a condvar; task submission wakes them;
+//! * **scoped, structured runs** — [`ExecPool::run`] blocks until every
+//!   task (including tasks spawned by tasks) has completed, so task
+//!   closures may borrow from the caller's stack, rayon-scope style;
+//! * **process-global instance** — [`ExecPool::global`] lazily creates one
+//!   pool for the whole process (workers are spawned on demand and reused),
+//!   mirroring how the SIMD kernel dispatcher caches its detection result.
+//!   The `AMBER_POOL` environment variable (`off`/`0`/`false`, detected
+//!   once) disables pool scheduling for callers that honor
+//!   [`pool_enabled`], which is what the fork-per-chunk CI fallback lane
+//!   uses.
+//!
+//! The pool is deliberately engine-agnostic: tasks are plain closures that
+//! receive a [`Scope`] (their worker slot, the hungry signal, and
+//! [`Scope::spawn`] for publishing further tasks). Everything
+//! matcher-specific — session cores, candidate ranges, deterministic result
+//! merging — lives in `amber::parallel` on top of this API.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+
+/// Hard cap on worker slots (slot 0 is the caller; 1.. are pool threads).
+/// Sixty-four covers every host this workspace targets; requests beyond it
+/// are clamped.
+pub const MAX_THREADS: usize = 64;
+
+/// A task as stored in the deques: lifetime-erased to `'static` (see the
+/// safety argument on [`Scope::spawn`]).
+type BoxedTask = Box<dyn FnOnce(&Scope<'static>) + Send + 'static>;
+
+/// Mutable pool state guarded by one mutex (the cold path: run start/stop,
+/// parking). Hot-path counters are separate atomics.
+struct PoolSync {
+    /// Pool is shutting down (owner dropped); workers exit.
+    shutdown: bool,
+    /// A run is currently active.
+    run_active: bool,
+    /// Monotonic run id; workers join each run at most once.
+    run_gen: u64,
+    /// Worker slots participating in the active run (caller slot included).
+    run_threads: usize,
+    /// Pool worker threads spawned so far (slots `1..=spawned`).
+    spawned: usize,
+    /// Pool workers currently inside [`PoolInner::participate`]. The next
+    /// run does not start until the previous run's participants have left,
+    /// so a task can never leak across runs (worker slots index into
+    /// caller-owned per-run state).
+    participants: usize,
+    /// Wakeup epoch: bumped whenever new work may be visible, so parked
+    /// workers can distinguish "woken for work" from spurious wakeups.
+    signals: u64,
+}
+
+struct PoolInner {
+    /// One deque per worker slot (fixed size: stable addresses).
+    queues: Vec<Mutex<VecDeque<BoxedTask>>>,
+    sync: Mutex<PoolSync>,
+    work_cv: Condvar,
+    /// Tasks spawned but not yet completed in the active run. Zero means
+    /// the run is over (tasks are the only spawners, so 0 is final).
+    pending: AtomicUsize,
+    /// Tasks sitting in deques (spawned, not yet picked up).
+    queued: AtomicUsize,
+    /// Free worker capacity: run slots *not* currently executing a task.
+    /// Set to the run's thread count at run start (a slot is capacity from
+    /// the moment the run opens, whether or not its thread has physically
+    /// woken yet — on oversubscribed hosts workers may not get scheduled
+    /// for a full timeslice, and the split signal must not depend on OS
+    /// timing) and decremented around task execution. `idle > 0` is the
+    /// [`Scope::hungry`] "publish a split" signal; it is only meaningful
+    /// while a run is active (stale between runs, re-stored at the next
+    /// run start).
+    idle: AtomicUsize,
+    /// First panic payload observed in a task; rethrown by the caller.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    // Per-run statistics, reset at run start.
+    root_tasks: AtomicU64,
+    split_tasks: AtomicU64,
+    steals: AtomicU64,
+    executed: Vec<AtomicU64>,
+    /// Serializes runs (one scoped run at a time per pool).
+    run_lock: Mutex<()>,
+}
+
+/// Counters of one [`ExecPool::run`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Worker slots the run was allowed to use (caller included).
+    pub threads: usize,
+    /// Tasks spawned by the seeding closure.
+    pub root_tasks: u64,
+    /// Tasks spawned from inside other tasks (subtree splits).
+    pub split_tasks: u64,
+    /// Successful steal events (each may move several tasks at once).
+    pub steals: u64,
+    /// Tasks executed per worker slot (`len == threads`).
+    pub tasks_per_worker: Vec<u64>,
+}
+
+impl RunStats {
+    /// Total tasks executed by the run.
+    pub fn tasks(&self) -> u64 {
+        self.root_tasks + self.split_tasks
+    }
+}
+
+/// The capability handed to the seeding closure and to every task: its
+/// worker slot, the hungry signal, and task submission.
+pub struct Scope<'scope> {
+    inner: &'scope PoolInner,
+    slot: usize,
+    /// Spawns from the seeding closure are root tasks; spawns from tasks
+    /// are splits.
+    seeding: bool,
+    /// Invariant over `'scope` (rayon-style): prevents the compiler from
+    /// shrinking or growing the lifetime tasks must outlive.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// The executing worker slot (`0..threads`; 0 is the calling thread).
+    /// Each slot runs at most one task at a time, so per-slot state handed
+    /// to the run (e.g. session cores) is exclusively owned for the
+    /// duration of a task.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// `true` while the run has free worker capacity (slots not currently
+    /// executing a task) — the cheap signal (one relaxed atomic load)
+    /// cooperative producers poll before paying for a split. Deliberately
+    /// *not* suppressed by queued tasks: a queued task may be arbitrarily
+    /// small, so "the deque is non-empty" says nothing about whether the
+    /// capacity will stay fed — producers amortize split cost against work
+    /// done instead (see the matcher's split hook). On a saturated pool
+    /// (every slot executing) this is `false` and no splits are paid for.
+    pub fn hungry(&self) -> bool {
+        self.inner.idle.load(Ordering::Relaxed) > 0
+    }
+
+    /// Submit a task to the current run. The task is pushed on this slot's
+    /// own deque (LIFO end) and a parked worker, if any, is woken.
+    ///
+    /// ## Safety argument (lifetime erasure)
+    ///
+    /// The closure is boxed with bound `'scope` and transmuted to `'static`
+    /// for storage. This is sound because [`ExecPool::run`] does not return
+    /// until `pending` reaches zero — i.e. until every spawned closure has
+    /// been executed and dropped — and `'scope` outlives that call by
+    /// construction, so no task can observe a dangling borrow.
+    pub fn spawn<F>(&self, task: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let boxed: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(task);
+        let erased: BoxedTask = unsafe { std::mem::transmute(boxed) };
+        if self.seeding {
+            self.inner.root_tasks.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.inner.split_tasks.fetch_add(1, Ordering::Relaxed);
+        }
+        self.inner.pending.fetch_add(1, Ordering::Relaxed);
+        self.inner.queued.fetch_add(1, Ordering::Relaxed);
+        self.inner.queues[self.slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push_back(erased);
+        self.inner.bump_signal_and_notify();
+    }
+}
+
+impl PoolInner {
+    fn lock_sync(&self) -> MutexGuard<'_, PoolSync> {
+        self.sync.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Make newly published work visible to parked workers.
+    fn bump_signal_and_notify(&self) {
+        let mut sync = self.lock_sync();
+        sync.signals = sync.signals.wrapping_add(1);
+        drop(sync);
+        self.work_cv.notify_all();
+    }
+
+    /// Pop from the own deque (back = LIFO) or steal half of a victim's
+    /// (front = coarsest tasks), publishing any stolen surplus.
+    fn acquire(&self, slot: usize, threads: usize) -> Option<BoxedTask> {
+        if let Some(task) = self.queues[slot]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop_back()
+        {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            return Some(task);
+        }
+        for offset in 1..threads {
+            let victim = (slot + offset) % threads;
+            let mut queue = self.queues[victim].lock().unwrap_or_else(PoisonError::into_inner);
+            if queue.is_empty() {
+                continue;
+            }
+            let take = queue.len().div_ceil(2);
+            let mut grabbed: VecDeque<BoxedTask> = queue.drain(..take).collect();
+            drop(queue);
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            let first = grabbed.pop_front().expect("take >= 1");
+            if !grabbed.is_empty() {
+                let mut own = self.queues[slot].lock().unwrap_or_else(PoisonError::into_inner);
+                own.extend(grabbed);
+                drop(own);
+                self.bump_signal_and_notify();
+            }
+            return Some(first);
+        }
+        None
+    }
+
+    /// Execute one task on `slot`, trapping panics (the first payload is
+    /// rethrown by the caller once the run has drained).
+    fn execute(&self, task: BoxedTask, slot: usize) {
+        self.executed[slot].fetch_add(1, Ordering::Relaxed);
+        let scope = Scope {
+            // Erase the borrow to match `BoxedTask`'s signature; `self`
+            // outlives the run (it is kept alive by the pool / worker Arcs).
+            inner: unsafe { &*(self as *const PoolInner) },
+            slot,
+            seeding: false,
+            _marker: PhantomData,
+        };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(&scope))) {
+            let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+            slot.get_or_insert(payload);
+        }
+    }
+
+    /// The per-run worker loop: hunt for tasks, execute, park when dry,
+    /// return when the run is over. `gen` pins the worker to one run.
+    fn participate(&self, slot: usize, threads: usize, gen: u64) {
+        let caller = slot == 0;
+        let mut seen_signals = {
+            let sync = self.lock_sync();
+            sync.signals
+        };
+        loop {
+            if let Some(task) = self.acquire(slot, threads) {
+                self.idle.fetch_sub(1, Ordering::Relaxed);
+                self.execute(task, slot);
+                let left = self.pending.fetch_sub(1, Ordering::Relaxed) - 1;
+                self.idle.fetch_add(1, Ordering::Relaxed);
+                if left == 0 {
+                    // Run complete: wake parked participants (and the
+                    // caller) so they can observe `pending == 0`.
+                    self.bump_signal_and_notify();
+                    if caller {
+                        return;
+                    }
+                }
+                continue;
+            }
+            // Out of work: park, or leave once the run is over.
+            let mut sync = self.lock_sync();
+            loop {
+                let run_over = self.pending.load(Ordering::Relaxed) == 0
+                    || (!caller && (!sync.run_active || sync.run_gen != gen));
+                if run_over && (!caller || self.pending.load(Ordering::Relaxed) == 0) {
+                    return;
+                }
+                if self.queued.load(Ordering::Relaxed) > 0 || sync.signals != seen_signals {
+                    seen_signals = sync.signals;
+                    break; // retry the hunt
+                }
+                sync = self
+                    .work_cv
+                    .wait(sync)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+    }
+
+    /// Pool worker thread body: join each run once, participate, repeat.
+    fn worker_main(self: Arc<Self>, slot: usize) {
+        let mut last_gen = 0u64;
+        loop {
+            let (gen, threads) = {
+                let mut sync = self.lock_sync();
+                loop {
+                    if sync.shutdown {
+                        return;
+                    }
+                    if sync.run_active && sync.run_gen != last_gen && slot < sync.run_threads {
+                        sync.participants += 1;
+                        break (sync.run_gen, sync.run_threads);
+                    }
+                    sync = self
+                        .work_cv
+                        .wait(sync)
+                        .unwrap_or_else(PoisonError::into_inner);
+                }
+            };
+            last_gen = gen;
+            self.participate(slot, threads, gen);
+            let mut sync = self.lock_sync();
+            sync.participants -= 1;
+            let drained = sync.participants == 0;
+            drop(sync);
+            if drained {
+                self.work_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A work-stealing pool. Most callers use the process-global
+/// [`ExecPool::global`]; owned pools exist for tests and isolation.
+pub struct ExecPool {
+    inner: Arc<PoolInner>,
+}
+
+impl ExecPool {
+    /// A fresh pool. Worker threads are spawned lazily, on the first run
+    /// that needs them, and are reused (parked) between runs.
+    pub fn new() -> Self {
+        let inner = Arc::new(PoolInner {
+            queues: (0..MAX_THREADS)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            sync: Mutex::new(PoolSync {
+                shutdown: false,
+                run_active: false,
+                run_gen: 0,
+                run_threads: 0,
+                spawned: 0,
+                participants: 0,
+                signals: 0,
+            }),
+            work_cv: Condvar::new(),
+            pending: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
+            idle: AtomicUsize::new(0),
+            panic: Mutex::new(None),
+            root_tasks: AtomicU64::new(0),
+            split_tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            executed: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
+            run_lock: Mutex::new(()),
+        });
+        Self { inner }
+    }
+
+    /// The process-global pool, created on first use (workers spawn on
+    /// demand as runs request them) — the cached-dispatcher pattern of the
+    /// SIMD kernel layer applied to scheduling.
+    pub fn global() -> &'static ExecPool {
+        static GLOBAL: OnceLock<ExecPool> = OnceLock::new();
+        GLOBAL.get_or_init(ExecPool::new)
+    }
+
+    /// Run one structured, scoped job on up to `threads` worker slots
+    /// (clamped to `1..=`[`MAX_THREADS`]): `seed` submits the root tasks
+    /// via [`Scope::spawn`]; the calling thread participates as slot 0;
+    /// the call returns — with the run's counters — only when every task,
+    /// including tasks spawned by tasks, has completed. A panicking task
+    /// does not abort its siblings; the first payload is rethrown here
+    /// after the run drains. Runs are serialized per pool; re-entrant runs
+    /// (from inside a task) would self-deadlock and must not be issued.
+    pub fn run<'scope, F>(&self, threads: usize, seed: F) -> RunStats
+    where
+        F: FnOnce(&Scope<'scope>),
+    {
+        let threads = threads.clamp(1, MAX_THREADS);
+        let inner = &self.inner;
+        let _run = inner.run_lock.lock().unwrap_or_else(PoisonError::into_inner);
+
+        // Reset per-run state (quiescent: the previous run fully drained
+        // before releasing the run lock).
+        debug_assert_eq!(inner.pending.load(Ordering::Relaxed), 0);
+        debug_assert_eq!(inner.queued.load(Ordering::Relaxed), 0);
+        inner.root_tasks.store(0, Ordering::Relaxed);
+        inner.split_tasks.store(0, Ordering::Relaxed);
+        inner.steals.store(0, Ordering::Relaxed);
+        for counter in &inner.executed[..threads] {
+            counter.store(0, Ordering::Relaxed);
+        }
+        *inner.panic.lock().unwrap_or_else(PoisonError::into_inner) = None;
+
+        // Make sure the pool threads for slots 1..threads exist.
+        {
+            let mut sync = inner.lock_sync();
+            while sync.spawned + 1 < threads {
+                let slot = sync.spawned + 1;
+                let arc = Arc::clone(inner);
+                std::thread::Builder::new()
+                    .name(format!("amber-exec-{slot}"))
+                    .spawn(move || arc.worker_main(slot))
+                    .expect("spawn pool worker");
+                sync.spawned += 1;
+            }
+        }
+
+        // Seed root tasks before workers are admitted, so the first steals
+        // see fully-populated deques.
+        let seed_scope = Scope {
+            inner: unsafe { &*(Arc::as_ptr(inner)) },
+            slot: 0,
+            seeding: true,
+            _marker: PhantomData,
+        };
+        let seeded = catch_unwind(AssertUnwindSafe(|| seed(&seed_scope)));
+        if let Err(payload) = seeded {
+            // Abort the run before it starts: drop the queued tasks.
+            for queue in &inner.queues[..threads] {
+                queue.lock().unwrap_or_else(PoisonError::into_inner).clear();
+            }
+            inner.pending.store(0, Ordering::Relaxed);
+            inner.queued.store(0, Ordering::Relaxed);
+            drop(_run); // release the run lock before unwinding
+            resume_unwind(payload);
+        }
+
+        // Open the run and wake the workers. From this instant every run
+        // slot counts as free capacity (`idle`), whether or not its thread
+        // has been scheduled yet — the split signal reflects the schedule,
+        // not the host's timeslicing.
+        inner.idle.store(threads, Ordering::Relaxed);
+        let gen = {
+            let mut sync = inner.lock_sync();
+            sync.run_gen = sync.run_gen.wrapping_add(1);
+            sync.run_active = true;
+            sync.run_threads = threads;
+            sync.signals = sync.signals.wrapping_add(1);
+            sync.run_gen
+        };
+        inner.work_cv.notify_all();
+
+        // Work as slot 0 until the run drains.
+        inner.participate(0, threads, gen);
+
+        // Close the run and wait for pool workers to leave it, so the next
+        // run can never hand a stale worker a task meant for fewer slots.
+        {
+            let mut sync = inner.lock_sync();
+            sync.run_active = false;
+            sync.signals = sync.signals.wrapping_add(1);
+            inner.work_cv.notify_all();
+            while sync.participants > 0 {
+                sync = inner
+                    .work_cv
+                    .wait(sync)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        let trapped = inner
+            .panic
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take();
+        if let Some(payload) = trapped {
+            drop(_run); // release the run lock before unwinding
+            resume_unwind(payload);
+        }
+
+        RunStats {
+            threads,
+            root_tasks: inner.root_tasks.load(Ordering::Relaxed),
+            split_tasks: inner.split_tasks.load(Ordering::Relaxed),
+            steals: inner.steals.load(Ordering::Relaxed),
+            tasks_per_worker: inner.executed[..threads]
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+impl Default for ExecPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ExecPool {
+    fn drop(&mut self) {
+        let mut sync = self.inner.lock_sync();
+        sync.shutdown = true;
+        drop(sync);
+        self.inner.work_cv.notify_all();
+    }
+}
+
+/// Cached `AMBER_POOL` detection: 0 undetected, 1 off, 2 on.
+static POOL_ENABLED: AtomicU8 = AtomicU8::new(0);
+
+/// `false` when `AMBER_POOL` is set to `off`/`0`/`false` (detected once per
+/// process and cached, like `AMBER_KERNELS`): the knob the fork-per-chunk
+/// fallback CI lane sets. Unknown values and the unset case enable the
+/// pool. Explicit scheduler overrides in `ExecOptions` take precedence over
+/// this — the env var only steers auto-detection.
+pub fn pool_enabled() -> bool {
+    match POOL_ENABLED.load(Ordering::Relaxed) {
+        1 => false,
+        2 => true,
+        _ => {
+            let enabled = !matches!(
+                std::env::var("AMBER_POOL")
+                    .unwrap_or_default()
+                    .to_ascii_lowercase()
+                    .as_str(),
+                "off" | "0" | "false"
+            );
+            POOL_ENABLED.store(if enabled { 2 } else { 1 }, Ordering::Relaxed);
+            enabled
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn runs_all_root_tasks_once() {
+        let pool = ExecPool::new();
+        let counter = AtomicU32::new(0);
+        let stats = pool.run(4, |scope| {
+            for _ in 0..32 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        assert_eq!(stats.root_tasks, 32);
+        assert_eq!(stats.split_tasks, 0);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.tasks_per_worker.iter().sum::<u64>(), 32);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let pool = ExecPool::new();
+        let counter = AtomicU32::new(0);
+        let stats = pool.run(3, |scope| {
+            scope.spawn(|scope| {
+                for _ in 0..5 {
+                    scope.spawn(|scope| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                        scope.spawn(|_| {
+                            counter.fetch_add(10, Ordering::Relaxed);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 55);
+        assert_eq!(stats.root_tasks, 1);
+        assert_eq!(stats.split_tasks, 10);
+    }
+
+    #[test]
+    fn borrows_caller_stack() {
+        let pool = ExecPool::new();
+        let data: Vec<u64> = (0..100).collect();
+        let total = Mutex::new(0u64);
+        pool.run(4, |scope| {
+            for chunk in data.chunks(7) {
+                scope.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    *total.lock().unwrap() += sum;
+                });
+            }
+        });
+        assert_eq!(*total.lock().unwrap(), (0..100).sum::<u64>());
+    }
+
+    #[test]
+    fn single_thread_run_uses_caller_only() {
+        let pool = ExecPool::new();
+        let main = std::thread::current().id();
+        let ran_on = Mutex::new(Vec::new());
+        let stats = pool.run(1, |scope| {
+            for _ in 0..4 {
+                scope.spawn(|scope| {
+                    assert_eq!(scope.slot(), 0);
+                    ran_on.lock().unwrap().push(std::thread::current().id());
+                });
+            }
+        });
+        assert!(ran_on.lock().unwrap().iter().all(|&id| id == main));
+        assert_eq!(stats.tasks_per_worker, vec![4]);
+    }
+
+    #[test]
+    fn pool_is_reusable_across_runs() {
+        let pool = ExecPool::new();
+        for round in 1..=5u32 {
+            let counter = AtomicU32::new(0);
+            let stats = pool.run(2, |scope| {
+                for _ in 0..round {
+                    scope.spawn(|_| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::Relaxed), round);
+            assert_eq!(stats.root_tasks, u64::from(round));
+        }
+    }
+
+    #[test]
+    fn slots_stay_in_range_and_exclusive() {
+        // Each task records its slot; slots must be < threads. Exclusivity
+        // (one task per slot at a time) is asserted with per-slot guards.
+        let pool = ExecPool::new();
+        let threads = 4;
+        let in_flight: Vec<AtomicU32> = (0..threads).map(|_| AtomicU32::new(0)).collect();
+        pool.run(threads, |scope| {
+            for _ in 0..64 {
+                scope.spawn(|scope| {
+                    let slot = scope.slot();
+                    assert!(slot < 4);
+                    let depth = in_flight[slot].fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(depth, 0, "two tasks ran concurrently on slot {slot}");
+                    std::thread::yield_now();
+                    in_flight[slot].fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn panics_propagate_after_drain() {
+        let pool = ExecPool::new();
+        let survivors = AtomicU32::new(0);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, |scope| {
+                scope.spawn(|_| panic!("boom"));
+                for _ in 0..8 {
+                    scope.spawn(|_| {
+                        survivors.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        assert!(outcome.is_err(), "task panic must surface to the caller");
+        // The pool survives the panic and keeps working.
+        let counter = AtomicU32::new(0);
+        pool.run(2, |scope| {
+            scope.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn steal_half_rebalances_a_backlog() {
+        // All root tasks land on slot 0's deque (seeding pushes to the
+        // caller's queue); with more than one worker, completing them all
+        // requires steals whenever a second worker participates.
+        let pool = ExecPool::new();
+        let counter = AtomicU32::new(0);
+        let stats = pool.run(4, |scope| {
+            for _ in 0..256 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    std::thread::yield_now();
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 256);
+        let off_caller: u64 = stats.tasks_per_worker[1..].iter().sum();
+        // On a single-core host the caller may still drain most of the
+        // queue, but any off-caller execution implies at least one steal.
+        if off_caller > 0 {
+            assert!(stats.steals > 0, "off-caller tasks require steals");
+        }
+    }
+
+    #[test]
+    fn env_parse_values() {
+        // Only exercises the parser logic indirectly: whatever the ambient
+        // env says, the cached answer must be stable across calls.
+        let first = pool_enabled();
+        for _ in 0..3 {
+            assert_eq!(pool_enabled(), first);
+        }
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = ExecPool::global() as *const ExecPool;
+        let b = ExecPool::global() as *const ExecPool;
+        assert_eq!(a, b);
+    }
+}

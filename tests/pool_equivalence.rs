@@ -1,0 +1,307 @@
+//! Differential tests for the work-stealing execution pool.
+//!
+//! Pool scheduling — seed chunk distribution, steal-half rebalancing,
+//! cooperative subtree splitting, per-task deadline forks — must be
+//! completely unobservable in query results: over randomized query streams
+//! and over the adversarial skewed-recursion workloads, every outcome under
+//! every scheduler × thread count × split depth must be identical to the
+//! sequential reference (extends the `tests/batch_equivalence.rs` pattern
+//! to the scheduling axes). Deadline cancellation mid-flight must abort
+//! promptly and be reported, never wedge or corrupt.
+
+use amber::{AmberEngine, ExecOptions, QueryOutcome, Scheduler};
+use amber_datagen::skewed::{self, SkewedConfig};
+use amber_datagen::synthetic::{self, SyntheticConfig};
+use amber_datagen::{QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_multigraph::RdfGraph;
+use amber_sparql::SelectQuery;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small but multi-edge-rich synthetic graph (parallel predicates between
+/// entity pairs exercise the spill-path — and therefore splittable —
+/// candidate levels).
+fn dense_graph(seed: u64) -> RdfGraph {
+    let config = SyntheticConfig {
+        entity_namespace: "http://pool/e/".into(),
+        predicate_namespace: "http://pool/p/".into(),
+        entities_per_scale: 140,
+        resource_predicates: 6,
+        literal_predicates: 3,
+        mean_out_degree: 6.0,
+        attachment_bias: 0.8,
+        predicate_skew: 1.0,
+        attribute_probability: 0.4,
+        max_attributes: 3,
+        literal_values: 10,
+    };
+    RdfGraph::from_triples(&synthetic::generate(&config, seed))
+}
+
+/// The observable fingerprint of one outcome: count, timeout flag,
+/// projection variables, bindings (order-normalized).
+type Fingerprint = (u128, bool, Vec<Box<str>>, Vec<Vec<Box<str>>>);
+
+fn normalized(outcome: &QueryOutcome) -> Fingerprint {
+    let mut rows = outcome.bindings.clone();
+    rows.sort();
+    (
+        outcome.embedding_count,
+        outcome.timed_out(),
+        outcome.variables.clone(),
+        rows,
+    )
+}
+
+/// Assert that `query` behaves identically under the sequential reference
+/// and under every scheduler/thread/split combination in `axes`.
+fn assert_scheduling_invariance(
+    engine: &AmberEngine,
+    queries: &[SelectQuery],
+    base: &ExecOptions,
+    axes: &[(Scheduler, usize, usize)],
+    context: &str,
+) {
+    for query in queries {
+        let reference = engine
+            .execute_parsed(query, &base.clone().with_threads(1))
+            .unwrap_or_else(|e| panic!("{context}: sequential reference failed: {e}"));
+        for &(scheduler, threads, split_depth) in axes {
+            let options = base
+                .clone()
+                .with_threads(threads)
+                .with_scheduler(scheduler)
+                .with_split_depth(split_depth)
+                .with_parallel_seed_factor(1);
+            let outcome = engine
+                .execute_parsed(query, &options)
+                .unwrap_or_else(|e| panic!("{context}: {scheduler:?} t{threads} failed: {e}"));
+            assert_eq!(
+                normalized(&outcome),
+                normalized(&reference),
+                "{context}: {scheduler:?} threads={threads} split_depth={split_depth} \
+                 diverged from sequential"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn pool_outcomes_equal_sequential_across_axes(
+        graph_seed in 0u64..500,
+        workload_seed in 0u64..500,
+        star_size in 3usize..6,
+        complex_size in 4usize..7,
+    ) {
+        let rdf = Arc::new(dense_graph(graph_seed));
+        let engine = AmberEngine::from_graph(Arc::clone(&rdf));
+        let mut generator = WorkloadGenerator::new(&rdf, workload_seed);
+        let mut queries: Vec<SelectQuery> = generator
+            .generate_many(&WorkloadConfig::new(QueryShape::Star, star_size), 2)
+            .into_iter()
+            .map(|q| q.query)
+            .collect();
+        queries.extend(
+            generator
+                .generate_many(&WorkloadConfig::new(QueryShape::Complex, complex_size), 2)
+                .into_iter()
+                .map(|q| q.query),
+        );
+        prop_assume!(!queries.is_empty());
+
+        let axes = [
+            (Scheduler::Pool, 2, 0),
+            (Scheduler::Pool, 2, 3),
+            (Scheduler::Pool, 3, 1),
+            (Scheduler::Pool, 8, 3),
+            (Scheduler::Pool, 8, 6),
+            (Scheduler::ForkPerChunk, 3, 3),
+            (Scheduler::Auto, 8, 3),
+        ];
+        assert_scheduling_invariance(
+            &engine,
+            &queries,
+            &ExecOptions::new().with_max_results(200),
+            &axes,
+            &format!("dense graph seed {graph_seed}"),
+        );
+    }
+}
+
+#[test]
+fn skewed_workloads_count_exactly_under_every_scheduler() {
+    // The skewed generator has closed-form counts; thread counts {1,2,3,8}
+    // × split depths {0,1,3} × both schedulers must all reproduce them.
+    for config in [
+        SkewedConfig {
+            children: 24,
+            grandchildren: 12,
+            trivial_seeds: 300,
+            ..SkewedConfig::skewed()
+        },
+        SkewedConfig {
+            hubs: 40,
+            children: 3,
+            grandchildren: 4,
+            ..SkewedConfig::uniform()
+        },
+        SkewedConfig {
+            children: 16,
+            grandchildren: 16,
+            ..SkewedConfig::single_seed()
+        },
+    ] {
+        let rdf = RdfGraph::from_triples(&skewed::generate(&config));
+        let engine = AmberEngine::from_graph(rdf);
+        let query = skewed::chain_query(&config);
+        for scheduler in [Scheduler::Pool, Scheduler::ForkPerChunk] {
+            for threads in [1usize, 2, 3, 8] {
+                for split_depth in [0usize, 1, 3] {
+                    let options = ExecOptions::new()
+                        .counting()
+                        .with_threads(threads)
+                        .with_scheduler(scheduler)
+                        .with_split_depth(split_depth);
+                    let outcome = engine.execute(&query, &options).unwrap();
+                    assert_eq!(
+                        outcome.embedding_count,
+                        config.expected_embeddings(),
+                        "{scheduler:?} threads={threads} split_depth={split_depth} \
+                         hubs={} trivial={}",
+                        config.hubs,
+                        config.trivial_seeds,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn pool_counters_reflect_dynamic_scheduling() {
+    // On the skewed workload with forced pool scheduling, a batch must
+    // report pool runs; with many workers and one heavy hub, splits are
+    // what balance the schedule (on any host where a worker ever idles,
+    // which multi-root chunking guarantees here: trivial chunks drain
+    // first).
+    let config = SkewedConfig {
+        children: 48,
+        grandchildren: 48,
+        trivial_seeds: 600,
+        ..SkewedConfig::skewed()
+    };
+    let rdf = RdfGraph::from_triples(&skewed::generate(&config));
+    let engine = AmberEngine::from_graph(rdf);
+    let query = amber_sparql::parse_select(&skewed::chain_query(&config)).unwrap();
+    let options = ExecOptions::new()
+        .counting()
+        .with_threads(8)
+        .with_scheduler(Scheduler::Pool);
+    let batch = engine.execute_batch(&[query], &options);
+    assert_eq!(batch.stats.completed, 1);
+    let pool = &batch.stats.pool;
+    assert_eq!(pool.runs, 1, "one parallel component run");
+    assert!(pool.root_tasks >= 1);
+    assert_eq!(pool.tasks(), pool.root_tasks + pool.split_tasks);
+    assert_eq!(pool.tasks_per_worker.iter().sum::<u64>(), pool.tasks());
+    assert!(
+        pool.total_nodes() > 0 && pool.critical_path_nodes <= pool.total_nodes(),
+        "node attribution must be coherent: {pool:?}"
+    );
+    assert!(
+        pool.split_tasks > 0,
+        "an 8-worker run over one heavy hub must split its subtree: {pool:?}"
+    );
+    assert!(batch.stats.to_string().contains("pool:"));
+}
+
+#[test]
+fn zero_budget_cancels_promptly_under_the_pool() {
+    let config = SkewedConfig::skewed();
+    let rdf = RdfGraph::from_triples(&skewed::generate(&config));
+    let engine = AmberEngine::from_graph(rdf);
+    let query = skewed::chain_query(&config);
+    for scheduler in [Scheduler::Pool, Scheduler::ForkPerChunk] {
+        let options = ExecOptions::new()
+            .counting()
+            .with_threads(8)
+            .with_scheduler(scheduler)
+            .with_timeout(Duration::ZERO);
+        let outcome = engine.execute(&query, &options).unwrap();
+        assert!(outcome.timed_out(), "{scheduler:?}: zero budget must abort");
+    }
+}
+
+#[test]
+fn midflight_deadline_is_reported_or_run_completes_exactly() {
+    // A budget around the query's own runtime: whichever way the race goes,
+    // the outcome must either carry the timeout flag or be the exact
+    // complete answer — never a silently-partial "completed" count.
+    let config = SkewedConfig {
+        children: 96,
+        grandchildren: 96,
+        trivial_seeds: 2_000,
+        ..SkewedConfig::skewed()
+    };
+    let rdf = RdfGraph::from_triples(&skewed::generate(&config));
+    let engine = AmberEngine::from_graph(rdf);
+    let query = skewed::chain_query(&config);
+    for budget_us in [50u64, 200, 1_000, 5_000] {
+        for split_depth in [0usize, 3] {
+            let options = ExecOptions::new()
+                .counting()
+                .with_threads(8)
+                .with_scheduler(Scheduler::Pool)
+                .with_split_depth(split_depth)
+                .with_timeout(Duration::from_micros(budget_us));
+            let outcome = engine.execute(&query, &options).unwrap();
+            if !outcome.timed_out() {
+                assert_eq!(
+                    outcome.embedding_count,
+                    config.expected_embeddings(),
+                    "budget {budget_us}µs split {split_depth}: completed runs must be exact"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn solution_cap_keeps_sequential_prefix_under_the_pool() {
+    // With a bindings cap, the parallel merge must retain the *same first
+    // N solutions* the sequential enumeration would (deterministic key
+    // order), not an arbitrary N.
+    let config = SkewedConfig {
+        children: 12,
+        grandchildren: 8,
+        trivial_seeds: 50,
+        ..SkewedConfig::skewed()
+    };
+    let rdf = RdfGraph::from_triples(&skewed::generate(&config));
+    let engine = AmberEngine::from_graph(rdf);
+    let query = skewed::chain_query(&config);
+    let sequential = engine
+        .execute(&query, &ExecOptions::new().with_max_results(7))
+        .unwrap();
+    for split_depth in [0usize, 2, 4] {
+        let pooled = engine
+            .execute(
+                &query,
+                &ExecOptions::new()
+                    .with_max_results(7)
+                    .with_threads(8)
+                    .with_scheduler(Scheduler::Pool)
+                    .with_split_depth(split_depth),
+            )
+            .unwrap();
+        assert_eq!(pooled.embedding_count, sequential.embedding_count);
+        assert_eq!(
+            pooled.bindings, sequential.bindings,
+            "split_depth {split_depth}: capped bindings must match sequential order"
+        );
+    }
+}

@@ -63,11 +63,7 @@ impl BacktrackingEngine {
             let connected: Vec<QVertexId> = remaining
                 .iter()
                 .copied()
-                .filter(|&u| {
-                    qg.adjacency(u)
-                        .iter()
-                        .any(|a| order.contains(&a.neighbor))
-                })
+                .filter(|&u| qg.adjacency(u).iter().any(|a| order.contains(&a.neighbor)))
                 .collect();
             let pool = if order.is_empty() || connected.is_empty() {
                 &remaining
@@ -116,7 +112,15 @@ impl BacktrackingEngine {
                 continue;
             }
             assignment[u.index()] = v.0;
-            self.recurse(qg, order, depth + 1, assignment, collector, deadline, timed_out);
+            self.recurse(
+                qg,
+                order,
+                depth + 1,
+                assignment,
+                collector,
+                deadline,
+                timed_out,
+            );
             if *timed_out {
                 return;
             }
@@ -214,7 +218,11 @@ impl SparqlEngine for BacktrackingEngine {
         let output_slots: Vec<usize> = qg
             .output_vars()
             .iter()
-            .map(|name| qg.vertex_by_name(name).expect("validated projection").index())
+            .map(|name| {
+                qg.vertex_by_name(name)
+                    .expect("validated projection")
+                    .index()
+            })
             .collect();
         let mut collector = RowCollector::new(
             output_slots,

@@ -58,7 +58,10 @@ pub fn assert_engines_agree(rdf: Arc<RdfGraph>, sparql: &str) -> u128 {
     let engines = all_engines(rdf);
     let mut counts: Vec<(String, Result<QueryOutcome, EngineError>)> = Vec::new();
     for engine in &engines {
-        counts.push((engine.name().to_string(), engine.execute_sparql(sparql, &options)));
+        counts.push((
+            engine.name().to_string(),
+            engine.execute_sparql(sparql, &options),
+        ));
     }
     let reference = counts[0]
         .1
@@ -66,7 +69,9 @@ pub fn assert_engines_agree(rdf: Arc<RdfGraph>, sparql: &str) -> u128 {
         .unwrap_or_else(|e| panic!("{} failed: {e}", counts[0].0))
         .embedding_count;
     for (name, outcome) in &counts {
-        let outcome = outcome.as_ref().unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        let outcome = outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
         assert_eq!(
             outcome.embedding_count, reference,
             "engine {name} disagrees on {sparql}"

@@ -38,7 +38,10 @@ enum Step {
     /// Attribute constraint on a variable.
     Attrs { vertex: QVertexId },
     /// IRI constraint on a variable.
-    Iri { vertex: QVertexId, constraint: usize },
+    Iri {
+        vertex: QVertexId,
+        constraint: usize,
+    },
     /// Self loop on a variable.
     SelfLoop { vertex: QVertexId },
 }
@@ -108,7 +111,12 @@ impl ScanJoinEngine {
                                 assignment[from.index()] = v.0;
                                 assignment[to.index()] = entry.neighbor.0;
                                 self.recurse(
-                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    qg,
+                                    steps,
+                                    depth + 1,
+                                    assignment,
+                                    collector,
+                                    deadline,
                                     timed_out,
                                 );
                             }
@@ -123,7 +131,13 @@ impl ScanJoinEngine {
                             }
                             assignment[to.index()] = entry.neighbor.0;
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                             if *timed_out {
                                 return;
@@ -138,7 +152,13 @@ impl ScanJoinEngine {
                             }
                             assignment[from.index()] = entry.neighbor.0;
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                             if *timed_out {
                                 return;
@@ -149,7 +169,13 @@ impl ScanJoinEngine {
                     (vf, vt) => {
                         if graph.has_multi_edge(VertexId(vf), VertexId(vt), types.types()) {
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                         }
                     }
@@ -168,7 +194,12 @@ impl ScanJoinEngine {
                             if graph.has_attributes(v, attrs) {
                                 assignment[vertex.index()] = v.0;
                                 self.recurse(
-                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    qg,
+                                    steps,
+                                    depth + 1,
+                                    assignment,
+                                    collector,
+                                    deadline,
                                     timed_out,
                                 );
                             }
@@ -178,7 +209,13 @@ impl ScanJoinEngine {
                     v => {
                         if graph.has_attributes(VertexId(v), attrs) {
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                         }
                     }
@@ -201,7 +238,13 @@ impl ScanJoinEngine {
                             }
                             assignment[vertex.index()] = entry.neighbor.0;
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                             if *timed_out {
                                 return;
@@ -220,7 +263,13 @@ impl ScanJoinEngine {
                         };
                         if ok {
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                         }
                     }
@@ -238,7 +287,12 @@ impl ScanJoinEngine {
                             if graph.has_multi_edge(v, v, types.types()) {
                                 assignment[vertex.index()] = v.0;
                                 self.recurse(
-                                    qg, steps, depth + 1, assignment, collector, deadline,
+                                    qg,
+                                    steps,
+                                    depth + 1,
+                                    assignment,
+                                    collector,
+                                    deadline,
                                     timed_out,
                                 );
                                 if *timed_out {
@@ -251,7 +305,13 @@ impl ScanJoinEngine {
                     v => {
                         if graph.has_multi_edge(VertexId(v), VertexId(v), types.types()) {
                             self.recurse(
-                                qg, steps, depth + 1, assignment, collector, deadline, timed_out,
+                                qg,
+                                steps,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
+                                timed_out,
                             );
                         }
                     }
@@ -337,7 +397,11 @@ impl SparqlEngine for ScanJoinEngine {
         let output_slots: Vec<usize> = qg
             .output_vars()
             .iter()
-            .map(|name| qg.vertex_by_name(name).expect("validated projection").index())
+            .map(|name| {
+                qg.vertex_by_name(name)
+                    .expect("validated projection")
+                    .index()
+            })
             .collect();
         let mut collector = RowCollector::new(
             output_slots,
@@ -420,11 +484,9 @@ mod tests {
              ?p <{PREFIX_Y}diedIn> ?c . \
              ?p <{PREFIX_Y}livedIn> <{PREFIX_X}United_States> . }}"
         );
-        let qg = amber_multigraph::QueryGraph::build(
-            &amber_sparql::parse_select(&q).unwrap(),
-            &rdf,
-        )
-        .unwrap();
+        let qg =
+            amber_multigraph::QueryGraph::build(&amber_sparql::parse_select(&q).unwrap(), &rdf)
+                .unwrap();
         let steps = steps_of(&qg);
         assert!(
             matches!(steps[0], Step::Iri { .. }),

@@ -17,7 +17,7 @@ use crate::common::{RowCollector, UNBOUND};
 use amber::{EngineError, ExecOptions, QueryOutcome, SparqlEngine};
 use amber_multigraph::RdfGraph;
 use amber_sparql::{SelectQuery, TermPattern};
-use amber_util::{FxHashMap, Deadline, Stopwatch};
+use amber_util::{Deadline, FxHashMap, Stopwatch};
 use std::sync::Arc;
 
 /// Column orders of the six permutations.
@@ -124,9 +124,7 @@ impl TripleStoreEngine {
     fn range(&self, perm: Perm, prefix: &[u32]) -> &[[u32; 3]] {
         let rows = &self.perms[perm as usize];
         let lo = rows.partition_point(|r| r[..prefix.len()] < *prefix);
-        let hi = rows.partition_point(|r| {
-            r[..prefix.len()] <= *prefix
-        });
+        let hi = rows.partition_point(|r| r[..prefix.len()] <= *prefix);
         &rows[lo..hi]
     }
 
@@ -171,9 +169,8 @@ impl TripleStoreEngine {
         let mut remaining: Vec<usize> = (0..patterns.len()).collect();
         let mut order = Vec::with_capacity(patterns.len());
         while !remaining.is_empty() {
-            let connected = |idx: usize| -> bool {
-                pattern_vars(&patterns[idx]).iter().any(|&v| bound[v])
-            };
+            let connected =
+                |idx: usize| -> bool { pattern_vars(&patterns[idx]).iter().any(|&v| bound[v]) };
             let any_connected = order.is_empty() || remaining.iter().any(|&i| connected(i));
             let (pos, &best) = remaining
                 .iter()
@@ -220,7 +217,12 @@ impl TripleStoreEngine {
                         // Fully bound: existence probe in SPO.
                         if !self.range(Perm::Spo, &[sv, *p, ov]).is_empty() {
                             self.recurse(
-                                patterns, order, depth + 1, assignment, collector, deadline,
+                                patterns,
+                                order,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
                                 timed_out,
                             );
                         }
@@ -230,7 +232,12 @@ impl TripleStoreEngine {
                         for row in self.range(Perm::Pso, &[*p, sv]) {
                             assignment[oi] = row[2];
                             self.recurse(
-                                patterns, order, depth + 1, assignment, collector, deadline,
+                                patterns,
+                                order,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
                                 timed_out,
                             );
                             if *timed_out {
@@ -244,7 +251,12 @@ impl TripleStoreEngine {
                         for row in self.range(Perm::Pos, &[*p, ov]) {
                             assignment[si] = row[2];
                             self.recurse(
-                                patterns, order, depth + 1, assignment, collector, deadline,
+                                patterns,
+                                order,
+                                depth + 1,
+                                assignment,
+                                collector,
+                                deadline,
                                 timed_out,
                             );
                             if *timed_out {
@@ -265,7 +277,12 @@ impl TripleStoreEngine {
                                 }
                                 assignment[si] = row[1];
                                 self.recurse(
-                                    patterns, order, depth + 1, assignment, collector, deadline,
+                                    patterns,
+                                    order,
+                                    depth + 1,
+                                    assignment,
+                                    collector,
+                                    deadline,
                                     timed_out,
                                 );
                                 if *timed_out {
@@ -278,7 +295,12 @@ impl TripleStoreEngine {
                                 assignment[si] = row[1];
                                 assignment[oi] = row[2];
                                 self.recurse(
-                                    patterns, order, depth + 1, assignment, collector, deadline,
+                                    patterns,
+                                    order,
+                                    depth + 1,
+                                    assignment,
+                                    collector,
+                                    deadline,
                                     timed_out,
                                 );
                                 if *timed_out {
@@ -293,13 +315,14 @@ impl TripleStoreEngine {
             }
             IdPattern::Attr { s, attr } => match s.value(assignment) {
                 Some(sv) => {
-                    if self
-                        .attr_by_vertex
-                        .binary_search(&[sv, *attr])
-                        .is_ok()
-                    {
+                    if self.attr_by_vertex.binary_search(&[sv, *attr]).is_ok() {
                         self.recurse(
-                            patterns, order, depth + 1, assignment, collector, deadline,
+                            patterns,
+                            order,
+                            depth + 1,
+                            assignment,
+                            collector,
+                            deadline,
                             timed_out,
                         );
                     }
@@ -311,7 +334,12 @@ impl TripleStoreEngine {
                     for row in &self.attr_by_attr[lo..hi] {
                         assignment[si] = row[1];
                         self.recurse(
-                            patterns, order, depth + 1, assignment, collector, deadline,
+                            patterns,
+                            order,
+                            depth + 1,
+                            assignment,
+                            collector,
+                            deadline,
                             timed_out,
                         );
                         if *timed_out {
@@ -532,7 +560,10 @@ mod tests {
         let q = format!("SELECT ?x WHERE {{ <{PREFIX_X}Amy_Winehouse> <{PREFIX_Y}livedIn> ?x . }}");
         let out = engine().execute_sparql(&q, &ExecOptions::new()).unwrap();
         assert_eq!(out.embedding_count, 1);
-        assert_eq!(out.bindings[0][0].as_ref(), format!("{PREFIX_X}United_States"));
+        assert_eq!(
+            out.bindings[0][0].as_ref(),
+            format!("{PREFIX_X}United_States")
+        );
     }
 
     #[test]
@@ -589,7 +620,11 @@ mod tests {
             "SELECT * WHERE {{ ?p <{PREFIX_Y}livedIn> ?x . ?b <{PREFIX_Y}hasName> \"MCA_Band\" . }}"
         ))
         .unwrap();
-        let Compiled::Patterns { patterns, variables } = e.compile(&query).unwrap() else {
+        let Compiled::Patterns {
+            patterns,
+            variables,
+        } = e.compile(&query).unwrap()
+        else {
             panic!("compiles");
         };
         let order = e.plan(&patterns, variables.len());

@@ -36,7 +36,12 @@ fn decomposition_ablation(c: &mut Criterion) {
     group.bench_function("amber_satellites", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(amber.execute_query(&q.query, &options).unwrap().embedding_count);
+                black_box(
+                    amber
+                        .execute_query(&q.query, &options)
+                        .unwrap()
+                        .embedding_count,
+                );
             }
         })
     });
@@ -115,11 +120,7 @@ fn make_connected(
     while !remaining.is_empty() {
         let pos = remaining
             .iter()
-            .position(|&u| {
-                qg.adjacency(u)
-                    .iter()
-                    .any(|a| order.contains(&a.neighbor))
-            })
+            .position(|&u| qg.adjacency(u).iter().any(|a| order.contains(&a.neighbor)))
             .unwrap_or(0);
         order.push(remaining.remove(pos));
     }

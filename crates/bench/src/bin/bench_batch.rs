@@ -30,7 +30,20 @@ struct StreamResult {
     sequential_ms: f64,
     batch_ms: f64,
     batch_nocache_ms: f64,
+    /// Batch with the full PR-5 plan subsystem (plan + result caches) on
+    /// top of the candidate/seed caches.
+    batch_plan_ms: f64,
+    /// Batch with only the prepared-plan cache (result cache off) —
+    /// isolates plan-derivation reuse from whole-result reuse.
+    batch_planonly_ms: f64,
     speedup: f64,
+    /// The `plan_cache` cell: plan+result caches vs the same batch with
+    /// the plan subsystem off (`batch_ms / batch_plan_ms`).
+    plan_speedup: f64,
+    /// Plan cache alone vs the plan subsystem off.
+    plan_only_speedup: f64,
+    plan_hit_rate: f64,
+    result_hit_rate: f64,
     cache_hit_rate: f64,
     cache_entries: usize,
     cache_evictions: u64,
@@ -128,9 +141,15 @@ fn run_stream(
     repeats: usize,
 ) -> StreamResult {
     let stream = repeat_stream(&distinct, repeats);
-    let options = ExecOptions::benchmark(BUDGET)
-        .with_candidate_cache(ExecOptions::DEFAULT_CACHE_CAPACITY);
+    let options =
+        ExecOptions::benchmark(BUDGET).with_candidate_cache(ExecOptions::DEFAULT_CACHE_CAPACITY);
     let options_nocache = ExecOptions::benchmark(BUDGET);
+    let options_planonly = options
+        .clone()
+        .with_plan_cache(ExecOptions::DEFAULT_PLAN_CACHE_CAPACITY);
+    let options_plan = options_planonly
+        .clone()
+        .with_result_cache(ExecOptions::DEFAULT_RESULT_CACHE_CAPACITY);
 
     // Warm the process (page cache, branch predictors, lazy index pages)
     // outside the measured window, identically for both modes.
@@ -145,7 +164,10 @@ fn run_stream(
     let mut sequential_ms = f64::INFINITY;
     let mut batch_ms = f64::INFINITY;
     let mut batch_nocache_ms = f64::INFINITY;
+    let mut batch_plan_ms = f64::INFINITY;
+    let mut batch_planonly_ms = f64::INFINITY;
     let mut batch = None;
+    let mut batch_plan = None;
     for _ in 0..5 {
         // One-shot path: N sequential execute calls, fresh state per query
         // — exactly what a caller without sessions pays.
@@ -170,8 +192,23 @@ fn run_stream(
         let nocache = engine.execute_batch(&stream, &options_nocache);
         batch_nocache_ms = batch_nocache_ms.min(sw.elapsed_ms());
         assert_eq!(nocache.stats.errors, 0, "{name}: no-cache batch errored");
+
+        // The PR-5 plan subsystem: prepared-plan cache alone, then plan +
+        // verbatim-result caches (fresh session each round, warmed over
+        // the stream like the other modes).
+        let sw = Stopwatch::start();
+        let planonly = engine.execute_batch(&stream, &options_planonly);
+        batch_planonly_ms = batch_planonly_ms.min(sw.elapsed_ms());
+        assert_eq!(planonly.stats.errors, 0, "{name}: plan-only batch errored");
+
+        let sw = Stopwatch::start();
+        let plan = engine.execute_batch(&stream, &options_plan);
+        batch_plan_ms = batch_plan_ms.min(sw.elapsed_ms());
+        assert_eq!(plan.stats.errors, 0, "{name}: plan batch errored");
+        batch_plan = Some(plan);
     }
     let batch = batch.expect("at least one batch round ran");
+    let batch_plan = batch_plan.expect("at least one plan round ran");
 
     StreamResult {
         name,
@@ -181,7 +218,13 @@ fn run_stream(
         sequential_ms,
         batch_ms,
         batch_nocache_ms,
+        batch_plan_ms,
+        batch_planonly_ms,
         speedup: sequential_ms / batch_ms,
+        plan_speedup: batch_ms / batch_plan_ms,
+        plan_only_speedup: batch_ms / batch_planonly_ms,
+        plan_hit_rate: batch_plan.stats.plans.plans.hit_rate(),
+        result_hit_rate: batch_plan.stats.plans.results.hit_rate(),
         cache_hit_rate: batch.stats.cache.hit_rate(),
         cache_entries: batch.stats.cache.entries,
         cache_evictions: batch.stats.cache.evictions,
@@ -226,15 +269,19 @@ fn main() {
         ),
     ];
 
-    let mut json = String::from(
-        "{\n  \"benchmark\": \"batch\",\n  \"unit\": \"ms\",\n  \"streams\": [\n",
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"batch\",\n  \"commit\": \"{}\",\n  \"unit\": \"ms\",\n  \"streams\": [\n",
+        amber_bench::report::git_sha(),
     );
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"name\": \"{}\", \"distinct\": {}, \"repeats\": {}, \"queries\": {}, \
              \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"batch_nocache_ms\": {:.3}, \
-             \"speedup\": {:.3}, \"cache_hit_rate\": {:.4}, \"cache_entries\": {}, \
+             \"batch_plan_ms\": {:.3}, \"batch_planonly_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"plan_speedup\": {:.3}, \"plan_only_speedup\": {:.3}, \
+             \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
+             \"cache_hit_rate\": {:.4}, \"cache_entries\": {}, \
              \"cache_evictions\": {}, \"seed_hit_rate\": {:.4}, \"seed_entries\": {}, \
              \"arena_peak_bytes\": {}, \"arena_reused_bytes\": {}}}",
             r.name,
@@ -244,7 +291,13 @@ fn main() {
             r.sequential_ms,
             r.batch_ms,
             r.batch_nocache_ms,
+            r.batch_plan_ms,
+            r.batch_planonly_ms,
             r.speedup,
+            r.plan_speedup,
+            r.plan_only_speedup,
+            r.plan_hit_rate,
+            r.result_hit_rate,
             r.cache_hit_rate,
             r.cache_entries,
             r.cache_evictions,
@@ -282,5 +335,25 @@ fn main() {
         constant_heavy.sequential_ms,
         constant_heavy.batch_ms,
         constant_heavy.seed_hit_rate * 100.0,
+    );
+
+    // PR-5 gate: the plan_cache cell. Plan derivation (QueryGraph build +
+    // decomposition + ordering + seed probes) was profiled as the largest
+    // non-search cost of this constant-heavy stream, and verbatim repeats
+    // skip execution entirely — together they must clear 1.3× over the
+    // same batch with the plan subsystem off (measured well above; the
+    // gate leaves headroom for CI noise, not for regressions).
+    const PLAN_FLOOR: f64 = 1.3;
+    assert!(
+        constant_heavy.plan_speedup >= PLAN_FLOOR,
+        "lubm_complex_repeat plan-cache speedup regressed to {:.3} (< {PLAN_FLOOR}): \
+         batch {:.3} ms vs plan-cached batch {:.3} ms (plan-only {:.3} ms, \
+         plan hit rate {:.1}%, result hit rate {:.1}%)",
+        constant_heavy.plan_speedup,
+        constant_heavy.batch_ms,
+        constant_heavy.batch_plan_ms,
+        constant_heavy.batch_planonly_ms,
+        constant_heavy.plan_hit_rate * 100.0,
+        constant_heavy.result_hit_rate * 100.0,
     );
 }

@@ -183,6 +183,11 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"benchmark\": \"kernels\",");
+    let _ = writeln!(
+        json,
+        "  \"commit\": \"{}\",",
+        amber_bench::report::git_sha()
+    );
     let _ = writeln!(json, "  \"dispatched_level\": \"{}\",", dispatched.name());
     let _ = writeln!(json, "  \"unit\": \"ns_per_op\",");
     let _ = writeln!(json, "  \"cases\": [");
@@ -209,8 +214,7 @@ fn main() {
         .map(|c| c.speedup)
         .collect();
     if !block.is_empty() {
-        let gmean =
-            (block.iter().map(|s| s.ln()).sum::<f64>() / block.len() as f64).exp();
+        let gmean = (block.iter().map(|s| s.ln()).sum::<f64>() / block.len() as f64).exp();
         eprintln!(
             "block-regime intersect speedup (geomean of {} cells, {} vs scalar): {:.2}x",
             block.len(),

@@ -98,15 +98,66 @@ fn main() {
     let dense_engine = AmberEngine::from_graph(Arc::clone(&dense));
 
     let results = [
-        run_workload("lubm_star_10", &lubm_engine, &lubm, QueryShape::Star, 10, 31, 20),
-        run_workload("lubm_star_20", &lubm_engine, &lubm, QueryShape::Star, 20, 32, 20),
-        run_workload("lubm_complex_8", &lubm_engine, &lubm, QueryShape::Complex, 8, 33, 20),
-        run_workload("lubm_complex_12", &lubm_engine, &lubm, QueryShape::Complex, 12, 34, 20),
-        run_workload("multi_edge_star_8", &dense_engine, &dense, QueryShape::Star, 8, 35, 20),
-        run_workload("multi_edge_complex_6", &dense_engine, &dense, QueryShape::Complex, 6, 36, 20),
+        run_workload(
+            "lubm_star_10",
+            &lubm_engine,
+            &lubm,
+            QueryShape::Star,
+            10,
+            31,
+            20,
+        ),
+        run_workload(
+            "lubm_star_20",
+            &lubm_engine,
+            &lubm,
+            QueryShape::Star,
+            20,
+            32,
+            20,
+        ),
+        run_workload(
+            "lubm_complex_8",
+            &lubm_engine,
+            &lubm,
+            QueryShape::Complex,
+            8,
+            33,
+            20,
+        ),
+        run_workload(
+            "lubm_complex_12",
+            &lubm_engine,
+            &lubm,
+            QueryShape::Complex,
+            12,
+            34,
+            20,
+        ),
+        run_workload(
+            "multi_edge_star_8",
+            &dense_engine,
+            &dense,
+            QueryShape::Star,
+            8,
+            35,
+            20,
+        ),
+        run_workload(
+            "multi_edge_complex_6",
+            &dense_engine,
+            &dense,
+            QueryShape::Complex,
+            6,
+            36,
+            20,
+        ),
     ];
 
-    let mut json = String::from("{\n  \"benchmark\": \"matcher\",\n  \"unit\": \"ms\",\n  \"workloads\": [\n");
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"matcher\",\n  \"commit\": \"{}\",\n  \"unit\": \"ms\",\n  \"workloads\": [\n",
+        amber_bench::report::git_sha(),
+    );
     for (i, r) in results.iter().enumerate() {
         let _ = write!(
             json,

@@ -94,10 +94,11 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
         &skewed::generate(config),
     ));
     let query = amber_sparql::parse_select(&skewed::chain_query(config)).expect("query parses");
-    let qg = engine.prepare(&query).expect("query graph builds");
+    let plan = engine.prepare(&query).expect("query graph builds");
+    let qg = plan.query_graph();
     let components = qg.connected_components();
     assert_eq!(components.len(), 1, "{name}: chain query is connected");
-    let matcher = ComponentMatcher::new(&qg, engine.rdf().graph(), engine.index(), &components[0]);
+    let matcher = ComponentMatcher::new(qg, engine.rdf().graph(), engine.index(), &components[0]);
 
     let deadline = Deadline::unlimited();
     let match_config = MatchConfig {
@@ -139,8 +140,12 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
         let mut session = QuerySession::new(0);
         let sw = Stopwatch::start();
         for _ in 0..REPEATS {
-            let r =
-                run_component_in_session(&matcher, &match_config, &sequential_options, &mut session);
+            let r = run_component_in_session(
+                &matcher,
+                &match_config,
+                &sequential_options,
+                &mut session,
+            );
             assert_eq!(r.count, sequential.count);
         }
         sequential_wall = sequential_wall.min(sw.elapsed_ms());
@@ -211,12 +216,13 @@ fn main() {
         run_workload("uniform_seeds", &SkewedConfig::uniform()),
     ];
 
-    let mut json = String::from(
-        "{\n  \"benchmark\": \"parallel\",\n  \"threads\": 8,\n  \"unit\": \"ms / nodes\",\n  \
+    let mut json = format!(
+        "{{\n  \"benchmark\": \"parallel\",\n  \"commit\": \"{}\",\n  \"threads\": 8,\n  \"unit\": \"ms / nodes\",\n  \
          \"note\": \"makespan = critical path in search-tree node units (max per-worker work); \
          equals wall-clock once every worker has a free core and is the hardware-independent \
          scheduling metric this benchmark gates on — wall times on core-starved CI hosts \
          serialize both schedulers\",\n  \"workloads\": [\n",
+        amber_bench::report::git_sha(),
     );
     for (i, r) in results.iter().enumerate() {
         let workers: Vec<String> = r.nodes_per_worker.iter().map(u64::to_string).collect();

@@ -49,9 +49,7 @@ fn main() {
         match flag {
             "--scale" => config.scale = value(&mut i).parse().expect("--scale N"),
             "--seed" => config.seed = value(&mut i).parse().expect("--seed N"),
-            "--queries" => {
-                config.queries_per_size = value(&mut i).parse().expect("--queries N")
-            }
+            "--queries" => config.queries_per_size = value(&mut i).parse().expect("--queries N"),
             "--sizes" => {
                 config.sizes = value(&mut i)
                     .split(',')

@@ -1,9 +1,7 @@
 //! The per-table / per-figure experiment drivers.
 
 use crate::report::{fmt_ms, sweep_tables, workload_table};
-use crate::runner::{
-    build_engines, load_benchmark, run_workload, HarnessConfig, WorkloadOutcome,
-};
+use crate::runner::{build_engines, load_benchmark, run_workload, HarnessConfig, WorkloadOutcome};
 use amber::AmberEngine;
 use amber_datagen::{Benchmark, QueryShape, WorkloadConfig, WorkloadGenerator};
 use amber_multigraph::RdfGraph;
@@ -47,7 +45,11 @@ pub fn table4(config: &HarnessConfig) -> String {
         config.scale, config.seed
     )
     .unwrap();
-    writeln!(out, "| Dataset | # Triples | # Vertices | # Edges | # Edge types |").unwrap();
+    writeln!(
+        out,
+        "| Dataset | # Triples | # Vertices | # Edges | # Edge types |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|").unwrap();
     let mut topology = String::new();
     for bench in Benchmark::ALL {
@@ -77,9 +79,13 @@ pub fn table4(config: &HarnessConfig) -> String {
         )
         .unwrap();
     }
-    writeln!(out, "
+    writeln!(
+        out,
+        "
 Topology (workload-relevant characteristics, §7.2):
-").unwrap();
+"
+    )
+    .unwrap();
     writeln!(
         out,
         "| Dataset | max degree | mean | p99 | ≥50-triple hubs | top-10% predicate share |"
@@ -136,10 +142,7 @@ pub fn figures(benchmark: Benchmark, shape: QueryShape, config: &HarnessConfig) 
     let mut gen = WorkloadGenerator::new(&rdf, config.seed);
     let mut sweep: Vec<(usize, WorkloadOutcome)> = Vec::new();
     for &size in &config.sizes {
-        let queries = gen.generate_many(
-            &WorkloadConfig::new(shape, size),
-            config.queries_per_size,
-        );
+        let queries = gen.generate_many(&WorkloadConfig::new(shape, size), config.queries_per_size);
         if queries.is_empty() {
             continue;
         }
@@ -164,8 +167,17 @@ pub fn figures(benchmark: Benchmark, shape: QueryShape, config: &HarnessConfig) 
 /// Returns a markdown report; panics on the first disagreement.
 pub fn agreement(config: &HarnessConfig) -> String {
     let mut out = String::new();
-    writeln!(out, "## Cross-engine agreement audit (scale {}, seed {})\n", config.scale, config.seed).unwrap();
-    writeln!(out, "| dataset | shape | size | queries | compared | agreed |").unwrap();
+    writeln!(
+        out,
+        "## Cross-engine agreement audit (scale {}, seed {})\n",
+        config.scale, config.seed
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "| dataset | shape | size | queries | compared | agreed |"
+    )
+    .unwrap();
     writeln!(out, "|---|---|---|---|---|---|").unwrap();
     for bench in Benchmark::ALL {
         let rdf = load_benchmark(bench, config);
@@ -191,14 +203,17 @@ pub fn agreement(config: &HarnessConfig) -> String {
                             )
                         })
                         .collect();
-                    let answered: Vec<_> =
-                        counts.iter().filter_map(|(n, c)| c.map(|c| (n, c))).collect();
+                    let answered: Vec<_> = counts
+                        .iter()
+                        .filter_map(|(n, c)| c.map(|c| (n, c)))
+                        .collect();
                     if answered.len() >= 2 {
                         compared += 1;
                         let reference = answered[0].1;
                         for (name, count) in &answered {
                             assert_eq!(
-                                *count, reference,
+                                *count,
+                                reference,
                                 "{name} disagrees on {} {} size {size}:\n{}",
                                 bench.name(),
                                 shape.name(),

@@ -14,6 +14,7 @@
 //! exercises the micro/ablation side (see `benches/`).
 
 pub mod experiments;
+pub mod minijson;
 pub mod report;
 pub mod runner;
 

@@ -52,11 +52,7 @@ impl HarnessConfig {
     }
 
     fn engine_enabled(&self, name: &str) -> bool {
-        self.engines.is_empty()
-            || self
-                .engines
-                .iter()
-                .any(|e| e.eq_ignore_ascii_case(name))
+        self.engines.is_empty() || self.engines.iter().any(|e| e.eq_ignore_ascii_case(name))
     }
 }
 
@@ -124,7 +120,11 @@ pub fn run_engine(
                 total_embeddings = total_embeddings.saturating_add(outcome.embedding_count);
             }
             Ok(_) => {} // unanswered within the budget
-            Err(e) => panic!("{} failed on generated query: {e}\n{}", engine.name(), q.text),
+            Err(e) => panic!(
+                "{} failed on generated query: {e}\n{}",
+                engine.name(),
+                q.text
+            ),
         }
     }
     let summary = Summary::of(&answered_ms);

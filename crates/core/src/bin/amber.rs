@@ -56,11 +56,7 @@ fn main() {
                 eprintln!("cannot write snapshot: {e}");
                 exit(1);
             }
-            println!(
-                "wrote {} ({} triples)",
-                out,
-                rdf.triple_count()
-            );
+            println!("wrote {} ({} triples)", out, rdf.triple_count());
         }
         "query" => {
             let sparql = read_query(args.get(2));
@@ -127,14 +123,17 @@ fn main() {
                     exit(1);
                 }
             };
-            let qg = match engine.prepare(&query) {
-                Ok(qg) => qg,
+            let plan = match engine.prepare(&query) {
+                Ok(plan) => plan,
                 Err(e) => {
                     eprintln!("{e}");
                     exit(1);
                 }
             };
-            print!("{}", QueryPlan::explain(&qg, engine.rdf(), engine.index()));
+            print!(
+                "{}",
+                QueryPlan::explain_prepared(&plan, &ExecOptions::new())
+            );
         }
         "bench" => {
             let sparql = read_query(args.get(2));

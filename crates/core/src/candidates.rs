@@ -81,13 +81,12 @@ pub fn process_vertex_seeded(
     // relative to the query vertex, hence the flip).
     let mut from_iris: Option<Vec<VertexId>> = None;
     for c in &vertex.iri_constraints {
-        let neighbors =
-            seeds.iri_neighbors(
-                &index.neighborhood,
-                c.data_vertex,
-                c.direction.flip(),
-                c.types.types(),
-            );
+        let neighbors = seeds.iri_neighbors(
+            &index.neighborhood,
+            c.data_vertex,
+            c.direction.flip(),
+            c.types.types(),
+        );
         match &mut from_iris {
             None => from_iris = Some(neighbors.to_vec()),
             Some(acc) => sorted::intersect_in_place(acc, neighbors),
@@ -203,6 +202,21 @@ impl CacheStats {
         self.evictions += other.evictions;
         self.entries += other.entries;
         self.result_bytes += other.result_bytes;
+    }
+
+    /// The flow counters accumulated since `before` was snapshotted (used
+    /// to report per-batch shares of a long-lived session). The *state*
+    /// gauges (`entries`, `result_bytes`) keep their current value — they
+    /// describe the cache, not the batch.
+    pub fn since(&self, before: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - before.hits,
+            misses: self.misses - before.misses,
+            bypasses: self.bypasses - before.bypasses,
+            evictions: self.evictions - before.evictions,
+            entries: self.entries,
+            result_bytes: self.result_bytes,
+        }
     }
 }
 
@@ -391,10 +405,7 @@ mod tests {
         let (_, qg, index) = setup();
         let u3 = qg.vertex_by_name("X3").unwrap();
         let c = process_vertex(&qg, u3, &index);
-        assert_eq!(
-            c,
-            Constraint::Candidates(vec![VertexId(1), VertexId(6)])
-        );
+        assert_eq!(c, Constraint::Candidates(vec![VertexId(1), VertexId(6)]));
     }
 
     #[test]
@@ -595,7 +606,10 @@ mod tests {
                     }
                 }
             }
-            assert!(cache.stats().evictions > 0, "capacity {capacity} never evicted");
+            assert!(
+                cache.stats().evictions > 0,
+                "capacity {capacity} never evicted"
+            );
         }
     }
 
@@ -663,11 +677,6 @@ mod tests {
         )
         .unwrap();
         let u2 = qg2.vertex_by_name("a").unwrap();
-        assert!(satisfies_self_loop(
-            &qg2,
-            u2,
-            rdf2.graph(),
-            VertexId(0)
-        ));
+        assert!(satisfies_self_loop(&qg2, u2, rdf2.graph(), VertexId(0)));
     }
 }

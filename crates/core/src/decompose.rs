@@ -41,12 +41,7 @@ impl Decomposition {
             let promoted = component
                 .iter()
                 .copied()
-                .max_by_key(|&u| {
-                    (
-                        qg.signature(u).edge_instance_count(),
-                        std::cmp::Reverse(u),
-                    )
-                })
+                .max_by_key(|&u| (qg.signature(u).edge_instance_count(), std::cmp::Reverse(u)))
                 .expect("component is non-empty");
             core.push(promoted);
         }

@@ -80,11 +80,7 @@ fn emit_components(
         if distinct && !seen.insert(key.clone()) {
             return false;
         }
-        rows.push(
-            key.iter()
-                .map(|&v| rdf.vertex_name(v).into())
-                .collect(),
-        );
+        rows.push(key.iter().map(|&v| rdf.vertex_name(v).into()).collect());
         return max.is_some_and(|m| rows.len() >= m);
     }
 

@@ -5,11 +5,16 @@ use crate::error::EngineError;
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
 use crate::options::ExecOptions;
 use crate::parallel::run_component_in_session;
+use crate::plan::{
+    canonical_fingerprint, effective_plan_capacity, effective_result_capacity, PreparedPlan,
+};
 use crate::result::{QueryOutcome, QueryStatus, SparqlEngine};
+use crate::seeds::SeedCache;
 use crate::session::{BatchOutcome, BatchStats, QuerySession};
 use amber_index::IndexSet;
-use amber_multigraph::{GroundCheck, QueryGraph, RdfGraph};
+use amber_multigraph::{QueryGraph, RdfGraph};
 use amber_util::{Deadline, HeapSize, Stopwatch};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Offline-stage measurements (the quantities of the paper's Table 5).
@@ -62,9 +67,7 @@ impl AmberEngine {
     }
 
     /// Offline stage from already-parsed triples.
-    pub fn from_triples<'a>(
-        triples: impl IntoIterator<Item = &'a rdf_model::Triple>,
-    ) -> Self {
+    pub fn from_triples<'a>(triples: impl IntoIterator<Item = &'a rdf_model::Triple>) -> Self {
         let sw = Stopwatch::start();
         let rdf = RdfGraph::from_triples(triples);
         Self::from_graph_with_build_time(rdf.into(), sw.elapsed())
@@ -118,21 +121,102 @@ impl AmberEngine {
         self.offline
     }
 
-    /// Transform a parsed query into its query multigraph (exposed for
-    /// diagnostics and the ablation benchmarks).
+    /// Derive the full immutable execution plan of a parsed query against
+    /// this engine: canonicalized cache key, query multigraph,
+    /// core/satellite decomposition, processing order, probe plans and
+    /// seed candidates — everything execution needs besides scratch state.
+    /// The plan is engine-bound (executing it elsewhere returns
+    /// [`EngineError::StalePlan`]) and valid for this engine's lifetime
+    /// (the loaded data is immutable).
     pub fn prepare(
         &self,
         query: &amber_sparql::SelectQuery,
-    ) -> Result<QueryGraph, EngineError> {
-        Ok(QueryGraph::build(query, &self.rdf)?)
+    ) -> Result<Arc<PreparedPlan>, EngineError> {
+        PreparedPlan::build(
+            query,
+            &self.rdf,
+            &self.index,
+            self.token,
+            &mut SeedCache::disabled(),
+        )
+        .map(Arc::new)
     }
 
-    /// A reusable [`QuerySession`] sized from `options` (the candidate-cache
-    /// knob). Feed it to [`Self::execute_in_session`] /
-    /// [`Self::execute_batch_in_session`] to amortize arenas and probe
-    /// results across many queries.
+    /// Parse SPARQL text and [`prepare`](Self::prepare) it.
+    pub fn prepare_sparql(&self, sparql: &str) -> Result<Arc<PreparedPlan>, EngineError> {
+        let query = amber_sparql::parse_select(sparql)?;
+        self.prepare(&query)
+    }
+
+    /// [`Self::prepare`] through a session's plan cache: an
+    /// alpha-equivalent repeat returns the hash-consed `Arc` without
+    /// re-deriving anything; a miss builds the plan against the session's
+    /// seed cache and stores it.
+    pub fn prepare_in_session(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        session: &mut QuerySession,
+    ) -> Result<Arc<PreparedPlan>, EngineError> {
+        session.bind_graph(self.graph_token());
+        let (canonical, fingerprint) = canonical_fingerprint(query);
+        self.resolve_plan(query, canonical, fingerprint, true, session)
+    }
+
+    /// Plan-cache lookup-or-build with the canonicalization already done.
+    /// `use_cache` additionally honors the *per-call* capacity knob: a
+    /// call passing `plan_cache_capacity == 0` opts out of the session's
+    /// store for that execution (the session cache itself is sized once,
+    /// at session creation).
+    fn resolve_plan(
+        &self,
+        source: &amber_sparql::SelectQuery,
+        canonical: amber_sparql::SelectQuery,
+        fingerprint: u64,
+        use_cache: bool,
+        session: &mut QuerySession,
+    ) -> Result<Arc<PreparedPlan>, EngineError> {
+        let token = self.token;
+        let (plans, seeds) = session.plan_and_seed_caches();
+        if !use_cache || !plans.is_enabled() {
+            plans.note_bypass();
+            return PreparedPlan::from_canonical(
+                canonical,
+                fingerprint,
+                source,
+                &self.rdf,
+                &self.index,
+                token,
+                seeds,
+            )
+            .map(Arc::new);
+        }
+        if let Some(plan) = plans.lookup(fingerprint, &canonical, token) {
+            return Ok(plan);
+        }
+        plans.note_miss();
+        let built = Arc::new(PreparedPlan::from_canonical(
+            canonical,
+            fingerprint,
+            source,
+            &self.rdf,
+            &self.index,
+            token,
+            seeds,
+        )?);
+        plans.insert(Arc::clone(&built));
+        Ok(built)
+    }
+
+    /// A reusable [`QuerySession`] sized from `options` (the candidate-,
+    /// plan-, and result-cache knobs). Feed it to
+    /// [`Self::execute_in_session`] / [`Self::execute_batch_in_session`] to
+    /// amortize arenas, probe results, and prepared plans across many
+    /// queries.
     pub fn create_session(&self, options: &ExecOptions) -> QuerySession {
-        let mut session = QuerySession::new(options.candidate_cache_capacity);
+        let mut session = QuerySession::new(options.candidate_cache_capacity).with_plan_caches(
+            effective_plan_capacity(options),
+            effective_result_capacity(options),
+        );
         session.bind_graph(self.graph_token());
         session
     }
@@ -148,7 +232,11 @@ impl AmberEngine {
     }
 
     /// Parse and execute SPARQL text.
-    pub fn execute(&self, sparql: &str, options: &ExecOptions) -> Result<QueryOutcome, EngineError> {
+    pub fn execute(
+        &self,
+        sparql: &str,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
         let query = amber_sparql::parse_select(sparql)?;
         self.execute_parsed(&query, options)
     }
@@ -169,8 +257,12 @@ impl AmberEngine {
     /// Execute a parsed query against a long-lived session: the matcher
     /// borrows the session's scratch arenas (grown high-water-mark style,
     /// never shrunk) and its candidate cache (probe results memoized across
-    /// components and queries). Handing a session filled by a *different*
-    /// engine is safe — its caches are cleared on first use here.
+    /// components and queries); when the session's plan/result caches are
+    /// enabled (see [`ExecOptions::with_plan_cache`] and
+    /// [`ExecOptions::with_result_cache`]), repeated queries reuse their
+    /// prepared plan — or their whole completed outcome — instead of
+    /// re-deriving it. Handing a session filled by a *different* engine is
+    /// safe — its caches are cleared on first use here.
     pub fn execute_in_session(
         &self,
         query: &amber_sparql::SelectQuery,
@@ -180,22 +272,173 @@ impl AmberEngine {
         let sw = Stopwatch::start();
         session.bind_graph(self.graph_token());
         session.begin_query();
-        let outcome = self.execute_prepared(query, options, session, &sw);
+        let outcome = self.execute_query_in_session(query, options, session, &sw);
         session.end_query();
         outcome
     }
 
-    fn execute_prepared(
+    /// Resolve the query's prepared plan (through the session plan cache
+    /// when enabled) and execute it (through the session result cache when
+    /// enabled).
+    fn execute_query_in_session(
         &self,
         query: &amber_sparql::SelectQuery,
         options: &ExecOptions,
         session: &mut QuerySession,
         sw: &Stopwatch,
     ) -> Result<QueryOutcome, EngineError> {
-        let qg = self.prepare(query)?;
-        let variables: Vec<Box<str>> = qg.output_vars().to_vec();
+        // Both caches off for this call: skip canonicalization and the
+        // PreparedPlan wrapper entirely — build the query graph from the
+        // source and run it, exactly the pre-PR-5 hot path (still the
+        // default for one-shot `execute` calls).
+        if effective_plan_capacity(options) == 0 && effective_result_capacity(options) == 0 {
+            let (plans, seeds) = session.plan_and_seed_caches();
+            plans.note_bypass();
+            let qg = QueryGraph::build(query, &self.rdf)?;
+            let variables: Vec<Box<str>> = qg.output_vars().to_vec();
+            let statically_empty =
+                qg.is_unsatisfiable() || !crate::plan::ground_checks_pass(&qg, self.rdf.graph());
+            let components: Vec<crate::matcher::ComponentPrep> = if statically_empty {
+                Vec::new()
+            } else {
+                qg.connected_components()
+                    .iter()
+                    .map(|c| {
+                        crate::matcher::ComponentPrep::build(
+                            &qg,
+                            self.rdf.graph(),
+                            &self.index,
+                            c,
+                            seeds,
+                        )
+                    })
+                    .collect()
+            };
+            session.result_cache_mut().note_bypass();
+            return self.run_components(&qg, &components, variables, options, session, sw);
+        }
 
-        if qg.is_unsatisfiable() || !self.ground_checks_pass(&qg) {
+        let (canonical, fingerprint) = canonical_fingerprint(query);
+        let use_plan_cache = effective_plan_capacity(options) > 0;
+        let plan = self.resolve_plan(query, canonical, fingerprint, use_plan_cache, session)?;
+        // The outcome always carries the *live caller's* variable names:
+        // alpha-equivalent queries share one plan but keep their headers.
+        let variables: Vec<Box<str>> = query
+            .output_variables()
+            .into_iter()
+            .map(Into::into)
+            .collect();
+        self.execute_plan_with_result_cache(&plan, variables, options, session, sw)
+    }
+
+    /// Result-cache consult → run → store-if-completed, shared by the text
+    /// and prepared entry points.
+    fn execute_plan_with_result_cache(
+        &self,
+        plan: &Arc<PreparedPlan>,
+        variables: Vec<Box<str>>,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+        sw: &Stopwatch,
+    ) -> Result<QueryOutcome, EngineError> {
+        let results_enabled =
+            effective_result_capacity(options) > 0 && session.result_cache_mut().is_enabled();
+        if results_enabled {
+            if let Some(cached) = session.result_cache_mut().lookup(plan, options) {
+                return Ok(QueryOutcome {
+                    status: cached.status,
+                    embedding_count: cached.embedding_count,
+                    variables,
+                    bindings: cached.bindings.clone(),
+                    elapsed: sw.elapsed(),
+                });
+            }
+            session.result_cache_mut().note_miss();
+        }
+        let outcome = self.run_plan(plan, variables, options, session, sw)?;
+        let results = session.result_cache_mut();
+        if !results_enabled || outcome.timed_out() {
+            // Partial (deadline-expired) outcomes are *bypassed*, never
+            // stored: a truncated count must not be served to a repeat.
+            results.note_bypass();
+        } else {
+            results.store(plan, options, Arc::new(outcome.clone()));
+        }
+        Ok(outcome)
+    }
+
+    /// Execute a prepared plan with transient state (a fresh single-query
+    /// session). The plan must have been produced by *this* engine.
+    pub fn execute_prepared(
+        &self,
+        plan: &Arc<PreparedPlan>,
+        options: &ExecOptions,
+    ) -> Result<QueryOutcome, EngineError> {
+        let mut session = self.create_session(options);
+        self.execute_prepared_in_session(plan, options, &mut session)
+    }
+
+    /// Execute a prepared plan against a long-lived session (the serving
+    /// loop of a prepared-statement workload: prepare once, execute per
+    /// request). Outcome variables are the plan's source-query names; the
+    /// session result cache applies when enabled.
+    pub fn execute_prepared_in_session(
+        &self,
+        plan: &Arc<PreparedPlan>,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> Result<QueryOutcome, EngineError> {
+        if plan.engine_token() != self.token {
+            return Err(EngineError::StalePlan);
+        }
+        let sw = Stopwatch::start();
+        session.bind_graph(self.graph_token());
+        session.begin_query();
+        let outcome = self.execute_plan_with_result_cache(
+            plan,
+            plan.variables().to_vec(),
+            options,
+            session,
+            &sw,
+        );
+        session.end_query();
+        outcome
+    }
+
+    /// The online stage proper: run a prepared plan's component searches
+    /// and assemble the outcome. Consumes only `&PreparedPlan` — nothing
+    /// about the query is re-derived here.
+    fn run_plan(
+        &self,
+        plan: &PreparedPlan,
+        variables: Vec<Box<str>>,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+        sw: &Stopwatch,
+    ) -> Result<QueryOutcome, EngineError> {
+        self.run_components(
+            plan.query_graph(),
+            plan.components(),
+            variables,
+            options,
+            session,
+            sw,
+        )
+    }
+
+    /// Run prepared component searches over `qg` and assemble the outcome
+    /// (an empty component list means the answer was proven empty at
+    /// prepare time).
+    fn run_components(
+        &self,
+        qg: &QueryGraph,
+        components: &[crate::matcher::ComponentPrep],
+        variables: Vec<Box<str>>,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+        sw: &Stopwatch,
+    ) -> Result<QueryOutcome, EngineError> {
+        if components.is_empty() {
             return Ok(QueryOutcome::empty(variables, sw.elapsed()));
         }
 
@@ -217,14 +460,8 @@ impl AmberEngine {
 
         let mut matches: Vec<ComponentMatch> = Vec::new();
         let mut timed_out = false;
-        for component in qg.connected_components() {
-            let matcher = ComponentMatcher::new_seeded(
-                &qg,
-                self.rdf.graph(),
-                &self.index,
-                &component,
-                session.seed_cache_mut(),
-            );
+        for prep in components {
+            let matcher = ComponentMatcher::from_prep(qg, self.rdf.graph(), &self.index, prep);
             let result = run_component_in_session(&matcher, &config, options, session);
             timed_out |= result.timed_out;
             let empty = result.count == 0;
@@ -243,13 +480,7 @@ impl AmberEngine {
         let bindings = if options.count_only || timed_out || embedding_count == 0 {
             Vec::new()
         } else {
-            materialize_bindings(
-                &qg,
-                &self.rdf,
-                &matches,
-                options.max_results,
-                qg.distinct(),
-            )
+            materialize_bindings(qg, &self.rdf, &matches, options.max_results, qg.distinct())
         };
 
         Ok(QueryOutcome {
@@ -287,11 +518,7 @@ impl AmberEngine {
         options: &ExecOptions,
         session: &mut QuerySession,
     ) -> BatchOutcome {
-        self.run_batch(
-            queries.iter().map(Ok::<_, EngineError>),
-            options,
-            session,
-        )
+        self.run_batch(queries.iter().map(Ok::<_, EngineError>), options, session)
     }
 
     /// Parse-and-batch convenience: each text is parsed independently (a
@@ -306,6 +533,36 @@ impl AmberEngine {
         self.run_batch(parsed.into_iter(), options, &mut session)
     }
 
+    /// Execute many *prepared* plans against one fresh session — the
+    /// prepared-statement serving loop in batch form. Plans prepared on a
+    /// different engine yield per-query [`EngineError::StalePlan`] entries
+    /// without aborting the rest.
+    pub fn execute_batch_prepared(
+        &self,
+        plans: &[Arc<PreparedPlan>],
+        options: &ExecOptions,
+    ) -> BatchOutcome {
+        let mut session = self.create_session(options);
+        self.execute_batch_prepared_in_session(plans, options, &mut session)
+    }
+
+    /// [`Self::execute_batch_prepared`] against a caller-owned session.
+    pub fn execute_batch_prepared_in_session(
+        &self,
+        plans: &[Arc<PreparedPlan>],
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> BatchOutcome {
+        self.drive_batch(
+            plans.len(),
+            options,
+            session,
+            |engine, i, options, session| {
+                engine.execute_prepared_in_session(&plans[i], options, session)
+            },
+        )
+    }
+
     /// The shared batch driver: runs each (possibly already-failed) input
     /// through the session, tallies per-outcome counters, and snapshots the
     /// session stats so the report covers only *this batch's* share — a
@@ -316,22 +573,50 @@ impl AmberEngine {
         options: &ExecOptions,
         session: &mut QuerySession,
     ) -> BatchOutcome {
+        let inputs: Vec<Result<Q, EngineError>> = inputs.collect();
+        self.drive_batch(inputs.len(), options, session, {
+            let mut inputs = inputs.into_iter();
+            move |engine, _i, options, session| {
+                inputs
+                    .next()
+                    .expect("one input per driven query")
+                    .and_then(|q| engine.execute_in_session(q.borrow(), options, session))
+            }
+        })
+    }
+
+    /// The batch engine shared by the parsed and prepared entry points:
+    /// runs `count` queries through `execute`, tallies per-outcome
+    /// counters, and snapshots every session statistic so the report
+    /// covers only *this batch's* share.
+    fn drive_batch(
+        &self,
+        count: usize,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+        mut execute: impl FnMut(
+            &Self,
+            usize,
+            &ExecOptions,
+            &mut QuerySession,
+        ) -> Result<QueryOutcome, EngineError>,
+    ) -> BatchOutcome {
         let sw = Stopwatch::start();
         let cache_before = {
             session.bind_graph(self.graph_token());
             session.cache_stats()
         };
         let seeds_before = session.seed_stats();
+        let plans_before = session.plan_stats();
         let pool_before = session.pool_stats().clone();
         let reused_before = session.arena_reused_bytes();
-        let mut outcomes = Vec::with_capacity(inputs.len());
+        let mut outcomes = Vec::with_capacity(count);
         let mut stats = BatchStats {
-            queries: inputs.len(),
+            queries: count,
             ..BatchStats::default()
         };
-        for input in inputs {
-            let outcome =
-                input.and_then(|q| self.execute_in_session(q.borrow(), options, session));
+        for i in 0..count {
+            let outcome = execute(self, i, options, session);
             match &outcome {
                 Ok(o) if o.timed_out() => stats.timed_out += 1,
                 Ok(_) => stats.completed += 1,
@@ -339,33 +624,14 @@ impl AmberEngine {
             }
             outcomes.push(outcome);
         }
-        let cache_after = session.cache_stats();
-        stats.cache = cache_after;
-        stats.cache.hits -= cache_before.hits;
-        stats.cache.misses -= cache_before.misses;
-        stats.cache.bypasses -= cache_before.bypasses;
-        stats.cache.evictions -= cache_before.evictions;
-        stats.seeds = session.seed_stats();
-        stats.seeds.hits -= seeds_before.hits;
-        stats.seeds.misses -= seeds_before.misses;
-        stats.seeds.bypasses -= seeds_before.bypasses;
-        stats.seeds.evictions -= seeds_before.evictions;
+        stats.cache = session.cache_stats().since(&cache_before);
+        stats.seeds = session.seed_stats().since(&seeds_before);
+        stats.plans = session.plan_stats().since(&plans_before);
         stats.pool = session.pool_stats().since(&pool_before);
         stats.arena_reused_bytes = session.arena_reused_bytes() - reused_before;
         stats.arena_peak_bytes = session.arena_peak_bytes();
         stats.elapsed = sw.elapsed();
         BatchOutcome { outcomes, stats }
-    }
-
-    /// Evaluate variable-free patterns (boolean guards).
-    fn ground_checks_pass(&self, qg: &QueryGraph) -> bool {
-        let graph = self.rdf.graph();
-        qg.ground_checks().iter().all(|check| match check {
-            GroundCheck::Edge { from, to, types } => {
-                graph.has_multi_edge(*from, *to, types.types())
-            }
-            GroundCheck::Attribute { vertex, attrs } => graph.has_attributes(*vertex, attrs),
-        })
     }
 }
 
@@ -407,11 +673,7 @@ mod tests {
 
         // Both embeddings agree on everything but ?X0 (homomorphism: Amy
         // may appear as both X0 and X3).
-        let x0: Vec<&str> = outcome
-            .bindings
-            .iter()
-            .map(|row| row[0].as_ref())
-            .collect();
+        let x0: Vec<&str> = outcome.bindings.iter().map(|row| row[0].as_ref()).collect();
         assert!(x0.contains(&format!("{PREFIX_X}Amy_Winehouse").as_str()));
         assert!(x0.contains(&format!("{PREFIX_X}Christopher_Nolan").as_str()));
         for row in &outcome.bindings {
@@ -619,9 +881,205 @@ mod tests {
         let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
         let options = ExecOptions::batch();
         let mut session = engine_a.create_session(&options);
-        let a = engine_a.execute_in_session(&q, &options, &mut session).unwrap();
-        let b = engine_b.execute_in_session(&q, &options, &mut session).unwrap();
+        let a = engine_a
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let b = engine_b
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
         assert_eq!(a.embedding_count, b.embedding_count);
+    }
+
+    #[test]
+    fn prepared_execution_matches_adhoc() {
+        let engine = engine();
+        let plan = engine.prepare_sparql(&paper_query_text()).unwrap();
+        let adhoc = engine
+            .execute(&paper_query_text(), &ExecOptions::new())
+            .unwrap();
+        let prepared = engine.execute_prepared(&plan, &ExecOptions::new()).unwrap();
+        assert_eq!(prepared.embedding_count, adhoc.embedding_count);
+        assert_eq!(prepared.variables, adhoc.variables);
+        let (mut a, mut b) = (prepared.bindings.clone(), adhoc.bindings.clone());
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepared_plan_refuses_foreign_engine() {
+        let engine_a = engine();
+        let engine_b = engine();
+        let plan = engine_a.prepare_sparql(&paper_query_text()).unwrap();
+        assert!(matches!(
+            engine_b.execute_prepared(&plan, &ExecOptions::new()),
+            Err(EngineError::StalePlan)
+        ));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_alpha_equivalent_repeats() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        let engine = engine();
+        let q1 = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let renamed = paper_query_text().replace("?X", "?Renamed");
+        let q2 = amber_sparql::parse_select(&renamed).unwrap();
+        let options = ExecOptions::batch();
+        let batch = engine.execute_batch(&[q1.clone(), q2.clone(), q1], &options);
+        assert_eq!(batch.stats.completed, 3);
+        assert_eq!(batch.stats.plans.plans.misses, 1, "one derivation");
+        assert_eq!(
+            batch.stats.plans.plans.hits, 2,
+            "two alpha-equivalent reuses"
+        );
+        // The renamed query must still answer under *its own* headers.
+        let renamed_outcome = batch.outcomes[1].as_ref().unwrap();
+        assert!(renamed_outcome.variables[0].contains("Renamed"));
+    }
+
+    #[test]
+    fn result_cache_serves_verbatim_repeats() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let batch = engine.execute_batch(&vec![q; 4], &options);
+        assert_eq!(batch.stats.completed, 4);
+        assert_eq!(batch.stats.plans.results.misses, 1);
+        assert_eq!(batch.stats.plans.results.hits, 3);
+        let counts: Vec<u128> = batch
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().embedding_count)
+            .collect();
+        assert_eq!(counts, vec![PAPER_QUERY_EMBEDDINGS as u128; 4]);
+        let rows: Vec<usize> = batch
+            .outcomes
+            .iter()
+            .map(|o| o.as_ref().unwrap().bindings.len())
+            .collect();
+        assert_eq!(rows, vec![2; 4], "served bindings are complete");
+    }
+
+    #[test]
+    fn timed_out_result_is_never_served_to_a_repeat() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        // Regression guard for the cache-poisoning bug class: a
+        // deadline-expired (partial) outcome must be *bypassed*, so an
+        // uncapped repeat of the same query recomputes and gets the full
+        // answer.
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+
+        let strangled = options.clone().with_timeout(Duration::ZERO);
+        let first = engine
+            .execute_in_session(&q, &strangled, &mut session)
+            .unwrap();
+        assert_eq!(first.status, QueryStatus::TimedOut);
+
+        let repeat = engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        assert_eq!(repeat.status, QueryStatus::Completed);
+        assert_eq!(repeat.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+        let stats = session.plan_stats();
+        assert!(
+            stats.results.bypasses >= 1,
+            "the timed-out outcome must be recorded as a bypass: {stats:?}"
+        );
+
+        // The asymmetry is deliberate: once a *completed* outcome is
+        // cached, even a zero-budget repeat may be served the full answer
+        // (a complete result is correct under any budget) — but a partial
+        // result never flows the other way.
+        let strangled_repeat = engine
+            .execute_in_session(&q, &strangled, &mut session)
+            .unwrap();
+        assert_eq!(strangled_repeat.status, QueryStatus::Completed);
+        assert_eq!(
+            strangled_repeat.embedding_count,
+            PAPER_QUERY_EMBEDDINGS as u128
+        );
+    }
+
+    #[test]
+    fn capped_result_is_never_served_to_an_uncapped_repeat() {
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+        let capped = engine
+            .execute_in_session(&q, &options.clone().with_max_results(1), &mut session)
+            .unwrap();
+        assert_eq!(capped.bindings.len(), 1);
+        let uncapped = engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        assert_eq!(uncapped.bindings.len(), 2, "caps are part of the cache key");
+    }
+
+    #[test]
+    fn per_call_zero_capacity_opts_out_of_warm_session_caches() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+        // Warm the caches with one normal execution.
+        engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let warm = session.plan_stats();
+        // A repeat that sets the *per-call* result capacity to 0 must not
+        // be served from the warm session store (and must not store).
+        let opted_out = options.clone().with_result_cache(0);
+        let outcome = engine
+            .execute_in_session(&q, &opted_out, &mut session)
+            .unwrap();
+        assert_eq!(outcome.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+        let after = session.plan_stats();
+        assert_eq!(after.results.hits, warm.results.hits, "no result-cache hit");
+        assert_eq!(after.results.entries, warm.results.entries, "no store");
+        // Same for the plan cache: per-call 0 bypasses the lookup.
+        let plan_opted_out = options.clone().with_plan_cache(0).with_result_cache(0);
+        let before = session.plan_stats();
+        engine
+            .execute_in_session(&q, &plan_opted_out, &mut session)
+            .unwrap();
+        let after = session.plan_stats();
+        assert_eq!(after.plans.hits, before.plans.hits, "no plan-cache hit");
+        assert!(after.plans.bypasses > before.plans.bypasses);
+    }
+
+    #[test]
+    fn batch_prepared_matches_batch_parsed() {
+        let engine = engine();
+        let q1 = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let q2 = amber_sparql::parse_select(&format!(
+            "SELECT * WHERE {{ ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . }}"
+        ))
+        .unwrap();
+        let queries = vec![q1.clone(), q2.clone(), q1];
+        let options = ExecOptions::batch();
+        let plans: Vec<_> = queries.iter().map(|q| engine.prepare(q).unwrap()).collect();
+        let parsed = engine.execute_batch(&queries, &options);
+        let prepared = engine.execute_batch_prepared(&plans, &options);
+        assert_eq!(prepared.stats.completed, 3);
+        for (a, b) in parsed.outcomes.iter().zip(&prepared.outcomes) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.embedding_count, b.embedding_count);
+            assert_eq!(a.variables, b.variables);
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@ pub enum EngineError {
     Turtle(TurtleParseError),
     /// The query AST is malformed (variable predicate, literal subject…).
     QueryGraph(QueryGraphError),
+    /// A prepared plan was executed against an engine other than the one
+    /// it was prepared on (plans embed data-dependent seed candidates and
+    /// constraint lists, so they never transfer).
+    StalePlan,
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +33,12 @@ impl fmt::Display for EngineError {
             EngineError::NtParse(e) => e.fmt(f),
             EngineError::Turtle(e) => e.fmt(f),
             EngineError::QueryGraph(e) => e.fmt(f),
+            EngineError::StalePlan => {
+                write!(
+                    f,
+                    "prepared plan belongs to a different engine (re-prepare it)"
+                )
+            }
         }
     }
 }
@@ -40,6 +50,7 @@ impl std::error::Error for EngineError {
             EngineError::NtParse(e) => Some(e),
             EngineError::Turtle(e) => Some(e),
             EngineError::QueryGraph(e) => Some(e),
+            EngineError::StalePlan => None,
         }
     }
 }

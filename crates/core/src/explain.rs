@@ -12,6 +12,7 @@ use crate::decompose::Decomposition;
 use crate::matcher::ComponentMatcher;
 use crate::options::ExecOptions;
 use crate::parallel::{dispatch_for, Dispatch};
+use crate::plan::PreparedPlan;
 use amber_index::IndexSet;
 use amber_multigraph::{QueryGraph, RdfGraph};
 use std::fmt;
@@ -62,6 +63,17 @@ pub struct QueryPlan {
     pub ground_checks: usize,
     /// Per-component plans.
     pub components: Vec<ComponentPlan>,
+    /// The prepared-plan cache fingerprint (whitespace/variable-name
+    /// insensitive canonical hash) when the plan was derived through
+    /// [`QueryPlan::explain_prepared`] — two queries printing the same
+    /// fingerprint share one cached plan, and verbatim repeats are
+    /// result-cache eligible. `None` for the legacy entry points.
+    pub fingerprint: Option<u64>,
+    /// `true` when prepare proved the answer empty without being
+    /// *unsatisfiable* — a variable-free (ground) pattern is absent from
+    /// the data, so the plan carries no components and execution
+    /// short-circuits.
+    pub failed_ground_check: bool,
 }
 
 impl QueryPlan {
@@ -85,6 +97,8 @@ impl QueryPlan {
                 unsatisfiable: Some(reason.to_string()),
                 ground_checks: qg.ground_checks().len(),
                 components: Vec::new(),
+                fingerprint: None,
+                failed_ground_check: false,
             };
         }
         let components = qg
@@ -139,6 +153,78 @@ impl QueryPlan {
             unsatisfiable: None,
             ground_checks: qg.ground_checks().len(),
             components,
+            fingerprint: None,
+            failed_ground_check: false,
+        }
+    }
+
+    /// Derive the plan report straight from a [`PreparedPlan`] — nothing
+    /// is rebuilt: core orders, decompositions, seed candidate counts, and
+    /// constraint sizes all come from the prepared components, and the
+    /// cache fingerprint is surfaced so repeated-stream cacheability is
+    /// inspectable before running the query.
+    pub fn explain_prepared(plan: &PreparedPlan, options: &ExecOptions) -> Self {
+        let qg = plan.query_graph();
+        if let Some(reason) = qg.unsat_reason() {
+            return Self {
+                unsatisfiable: Some(reason.to_string()),
+                ground_checks: qg.ground_checks().len(),
+                components: Vec::new(),
+                fingerprint: Some(plan.fingerprint()),
+                failed_ground_check: false,
+            };
+        }
+        let components = plan
+            .components()
+            .iter()
+            .map(|prep| {
+                let decomp = prep.decomposition();
+                let core_order: Vec<String> = prep
+                    .core_order()
+                    .iter()
+                    .map(|&u| plan.source_name(u).to_string())
+                    .collect();
+                let satellites = prep
+                    .core_order()
+                    .iter()
+                    .map(|&u| {
+                        decomp
+                            .satellites_of(u)
+                            .iter()
+                            .map(|&s| plan.source_name(s).to_string())
+                            .collect()
+                    })
+                    .collect();
+                let mut members: Vec<_> = decomp.core.iter().chain(&decomp.satellites).collect();
+                members.sort_unstable();
+                let vertex_constraints = members
+                    .into_iter()
+                    .map(|&u| {
+                        let vertex = qg.vertex(u);
+                        VertexConstraintSummary {
+                            variable: plan.source_name(u).to_string(),
+                            attributes: vertex.attrs.len(),
+                            iri_constraints: vertex.iri_constraints.len(),
+                            candidate_count: prep.constrained_candidate_count(u),
+                        }
+                    })
+                    .collect();
+                ComponentPlan {
+                    core_order,
+                    satellites,
+                    initial_candidates: prep.initial_candidates().len(),
+                    cacheable_probes: prep.cacheable_probe_count(),
+                    dispatch: dispatch_for(prep.initial_candidates().len(), options),
+                    vertex_constraints,
+                }
+            })
+            .collect();
+        Self {
+            unsatisfiable: None,
+            ground_checks: qg.ground_checks().len(),
+            components,
+            fingerprint: Some(plan.fingerprint()),
+            failed_ground_check: plan.statically_empty(),
         }
     }
 }
@@ -148,8 +234,21 @@ impl fmt::Display for QueryPlan {
         if let Some(reason) = &self.unsatisfiable {
             return writeln!(f, "UNSATISFIABLE: {reason}");
         }
+        if let Some(fingerprint) = self.fingerprint {
+            writeln!(
+                f,
+                "plan fingerprint: {fingerprint:#018x} (plan-cache key; verbatim repeats are result-cacheable)"
+            )?;
+        }
         if self.ground_checks > 0 {
             writeln!(f, "ground checks: {}", self.ground_checks)?;
+        }
+        if self.failed_ground_check {
+            writeln!(
+                f,
+                "STATICALLY EMPTY: a ground (variable-free) pattern is absent from the data — \
+                 no component plans were built"
+            )?;
         }
         for (i, component) in self.components.iter().enumerate() {
             writeln!(f, "component {i}:")?;
@@ -259,6 +358,51 @@ mod tests {
             Dispatch::Pooled { workers: 4, .. }
         ));
         assert!(plan.to_string().contains("work-stealing pool"));
+    }
+
+    #[test]
+    fn explain_prepared_matches_legacy_and_adds_fingerprint() {
+        use crate::engine::AmberEngine;
+        let rdf = paper_graph();
+        let engine = AmberEngine::from_graph(rdf);
+        let query = parse_select(&paper_query_text()).unwrap();
+        let prepared = engine.prepare(&query).unwrap();
+        let options = ExecOptions::new();
+        let plan = QueryPlan::explain_prepared(&prepared, &options);
+        assert_eq!(plan.fingerprint, Some(prepared.fingerprint()));
+        assert_eq!(plan.components.len(), 1);
+        // The prepared report must agree with the legacy derivation over
+        // the *source* query graph — including the source variable
+        // spellings (the prepared qg itself is canonical internally).
+        let source_qg = amber_multigraph::QueryGraph::build(&query, engine.rdf()).unwrap();
+        let legacy =
+            QueryPlan::explain_with_options(&source_qg, engine.rdf(), engine.index(), &options);
+        let (a, b) = (&plan.components[0], &legacy.components[0]);
+        assert_eq!(a.core_order, b.core_order);
+        assert_eq!(a.satellites, b.satellites);
+        assert_eq!(a.initial_candidates, b.initial_candidates);
+        assert_eq!(a.cacheable_probes, b.cacheable_probes);
+        let text = plan.to_string();
+        assert!(text.contains("plan fingerprint: 0x"));
+    }
+
+    #[test]
+    fn failed_ground_check_is_reported_not_silent() {
+        use crate::engine::AmberEngine;
+        use amber_multigraph::paper::{PREFIX_X, PREFIX_Y};
+        let engine = AmberEngine::from_graph(paper_graph());
+        // A false ground pattern (England is not part of London) next to a
+        // satisfiable variable pattern: prepare proves the answer empty.
+        let q = format!(
+            "SELECT * WHERE {{ <{PREFIX_X}England> <{PREFIX_Y}isPartOf> <{PREFIX_X}London> . \
+             ?p <{PREFIX_Y}wasBornIn> <{PREFIX_X}London> . }}"
+        );
+        let prepared = engine.prepare(&parse_select(&q).unwrap()).unwrap();
+        assert!(prepared.statically_empty());
+        let plan = QueryPlan::explain_prepared(&prepared, &ExecOptions::new());
+        assert!(plan.unsatisfiable.is_none());
+        assert!(plan.failed_ground_check);
+        assert!(plan.to_string().contains("STATICALLY EMPTY"));
     }
 
     #[test]

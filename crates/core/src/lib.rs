@@ -42,6 +42,7 @@ pub mod matcher;
 pub mod options;
 pub mod ordering;
 pub mod parallel;
+pub mod plan;
 pub mod result;
 pub mod seeds;
 pub mod session;
@@ -52,6 +53,7 @@ pub use error::EngineError;
 pub use explain::QueryPlan;
 pub use options::{ExecOptions, Scheduler};
 pub use parallel::{dispatch_for, Dispatch};
+pub use plan::{plan_cache_enabled, PlanCache, PlanCacheStats, PreparedPlan, ResultCache};
 pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
 pub use seeds::SeedCache;
 pub use session::{BatchOutcome, BatchStats, PoolStats, QuerySession};

@@ -56,9 +56,7 @@ use crate::decompose::Decomposition;
 use crate::ordering::order_core_vertices;
 use crate::seeds::SeedCache;
 use amber_index::IndexSet;
-use amber_multigraph::{
-    DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId,
-};
+use amber_multigraph::{DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId};
 use amber_util::{sorted, Deadline};
 
 /// One full assignment of a component: every core vertex pinned to a data
@@ -109,7 +107,7 @@ pub struct MatchConfig<'d> {
 /// A probe against the neighbourhood index, seen from an already-matched
 /// vertex: "neighbours of ψ(prior) in `direction` through `types`".
 #[derive(Debug, Clone)]
-struct NeighborProbe {
+pub(crate) struct NeighborProbe {
     /// Position of the already-matched core vertex in the order.
     prior_position: usize,
     /// Direction of the probe relative to the *matched* vertex.
@@ -120,7 +118,7 @@ struct NeighborProbe {
 
 /// Everything needed to resolve one satellite of a core vertex.
 #[derive(Debug)]
-struct SatellitePlan {
+pub(crate) struct SatellitePlan {
     vertex: QVertexId,
     /// Probes relative to the core vertex's match.
     probes: Vec<(Direction, Vec<EdgeTypeId>)>,
@@ -131,7 +129,7 @@ struct SatellitePlan {
 
 /// Per-ordered-core-vertex matching plan.
 #[derive(Debug)]
-struct CorePlan {
+pub(crate) struct CorePlan {
     vertex: QVertexId,
     /// Probes from earlier-ordered neighbours (empty for the initial vertex).
     probes: Vec<NeighborProbe>,
@@ -141,68 +139,126 @@ struct CorePlan {
     satellites: Vec<SatellitePlan>,
 }
 
-/// Matcher for one connected component of the query multigraph.
-pub struct ComponentMatcher<'a> {
-    graph: &'a DataGraph,
-    index: &'a IndexSet,
-    qg: &'a QueryGraph,
-    order: Vec<QVertexId>,
-    plans: Vec<CorePlan>,
+/// The immutable matching plan of one connected component — everything
+/// [`ComponentMatcher`] derives *before* the search runs: the core/satellite
+/// decomposition, the processing order, per-position probe plans
+/// (`ProcessVertex` constraints resolved and cached inline), and the seed
+/// candidates of the initial vertex.
+///
+/// A `ComponentPrep` owns all of its data (no borrows of the query graph),
+/// so a [`PreparedPlan`](crate::plan::PreparedPlan) can hold it behind an
+/// `Arc` and hand it to any number of later executions: the matcher becomes
+/// a cheap per-run *view* over a prep built once.
+#[derive(Debug)]
+pub struct ComponentPrep {
+    pub(crate) order: Vec<QVertexId>,
+    pub(crate) decomp: Decomposition,
+    pub(crate) plans: Vec<CorePlan>,
     /// `C^S ∩ ProcessVertex` of the initial vertex.
-    initial: Vec<VertexId>,
+    pub(crate) initial: Vec<VertexId>,
 }
 
-impl<'a> ComponentMatcher<'a> {
-    /// Build the matching plan for one component (vertex ids ascending)
-    /// with transient seed state. One-shot callers and tests use this; the
-    /// session path goes through [`Self::new_seeded`].
-    pub fn new(
-        qg: &'a QueryGraph,
-        graph: &'a DataGraph,
-        index: &'a IndexSet,
-        component: &[QVertexId],
-    ) -> Self {
-        Self::new_seeded(qg, graph, index, component, &mut SeedCache::disabled())
-    }
-
-    /// Build the matching plan against a session [`SeedCache`]: the
-    /// signature-index seed lookup and every `ProcessVertex`
-    /// attribute/IRI probe resolve through the cache, so repeated
-    /// constant-heavy queries stop paying plan-construction index walks.
-    pub fn new_seeded(
-        qg: &'a QueryGraph,
-        graph: &'a DataGraph,
-        index: &'a IndexSet,
+impl ComponentPrep {
+    /// Build the plan for one component (vertex ids ascending), resolving
+    /// seed probes through `seeds` (pass
+    /// [`SeedCache::disabled`] for transient one-shot state).
+    pub fn build(
+        qg: &QueryGraph,
+        graph: &DataGraph,
+        index: &IndexSet,
         component: &[QVertexId],
         seeds: &mut SeedCache,
     ) -> Self {
         let decomp = Decomposition::of_component(qg, component);
         let order = order_core_vertices(qg, &decomp);
-        Self::with_order(qg, graph, index, decomp, order, seeds)
+        Self::build_with_order(qg, graph, index, decomp, order, seeds)
     }
 
-    /// Build the plan with an explicit core order — the hook used by the
-    /// ordering-heuristic ablation benchmark. `order` must be a permutation
-    /// of the component's core vertices in which every vertex (after the
-    /// first) is adjacent to an earlier one.
-    pub fn new_with_order(
-        qg: &'a QueryGraph,
-        graph: &'a DataGraph,
-        index: &'a IndexSet,
-        component: &[QVertexId],
-        order: Vec<QVertexId>,
-    ) -> Self {
-        let decomp = Decomposition::of_component(qg, component);
-        let mut sorted = order.clone();
-        sorted.sort_unstable();
-        assert_eq!(sorted, decomp.core, "order must permute the core vertices");
-        Self::with_order(qg, graph, index, decomp, order, &mut SeedCache::disabled())
+    /// The ordered core vertices (`U_c^ord`).
+    pub fn core_order(&self) -> &[QVertexId] {
+        &self.order
     }
 
-    fn with_order(
-        qg: &'a QueryGraph,
-        graph: &'a DataGraph,
-        index: &'a IndexSet,
+    /// The core/satellite decomposition this plan was built from.
+    pub fn decomposition(&self) -> &Decomposition {
+        &self.decomp
+    }
+
+    /// The seed candidates of the initial vertex (`CandInit`).
+    pub fn initial_candidates(&self) -> &[VertexId] {
+        &self.initial
+    }
+
+    /// Plan probes the session candidate cache can memoize (see
+    /// [`ComponentMatcher::cacheable_probe_count`]).
+    pub fn cacheable_probe_count(&self) -> usize {
+        let cacheable = |len: usize| len != 1 && len <= crate::candidates::MAX_CACHED_TYPES;
+        self.plans
+            .iter()
+            .map(|plan| {
+                plan.probes
+                    .iter()
+                    .filter(|p| cacheable(p.types.len()))
+                    .count()
+                    + plan
+                        .satellites
+                        .iter()
+                        .flat_map(|s| &s.probes)
+                        .filter(|(_, types)| cacheable(types.len()))
+                        .count()
+            })
+            .sum()
+    }
+
+    /// The constraint computed for a core/satellite vertex of this
+    /// component, if it is finite (`None` for unconstrained vertices and
+    /// vertices outside the component).
+    pub fn constrained_candidate_count(&self, u: QVertexId) -> Option<usize> {
+        let of = |c: &Constraint| match c {
+            Constraint::Unconstrained => None,
+            Constraint::Candidates(list) => Some(list.len()),
+        };
+        for plan in &self.plans {
+            if plan.vertex == u {
+                return of(&plan.constraint);
+            }
+            for sat in &plan.satellites {
+                if sat.vertex == u {
+                    return of(&sat.constraint);
+                }
+            }
+        }
+        None
+    }
+
+    /// Approximate retained heap bytes (for plan-cache accounting).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let vid = std::mem::size_of::<VertexId>();
+        let constraint_bytes = |c: &Constraint| match c {
+            Constraint::Unconstrained => 0,
+            Constraint::Candidates(list) => list.capacity() * vid,
+        };
+        let mut bytes = self.order.capacity() * std::mem::size_of::<QVertexId>()
+            + self.initial.capacity() * vid;
+        for plan in &self.plans {
+            bytes += std::mem::size_of::<CorePlan>() + constraint_bytes(&plan.constraint);
+            for probe in &plan.probes {
+                bytes += probe.types.capacity() * std::mem::size_of::<EdgeTypeId>();
+            }
+            for sat in &plan.satellites {
+                bytes += std::mem::size_of::<SatellitePlan>() + constraint_bytes(&sat.constraint);
+                for (_, types) in &sat.probes {
+                    bytes += types.capacity() * std::mem::size_of::<EdgeTypeId>();
+                }
+            }
+        }
+        bytes
+    }
+
+    fn build_with_order(
+        qg: &QueryGraph,
+        graph: &DataGraph,
+        index: &IndexSet,
         decomp: Decomposition,
         order: Vec<QVertexId>,
         seeds: &mut SeedCache,
@@ -281,23 +337,129 @@ impl<'a> ComponentMatcher<'a> {
         }
 
         Self {
+            order,
+            decomp,
+            plans,
+            initial,
+        }
+    }
+}
+
+/// The component plan a matcher executes: owned (built on the spot by the
+/// one-shot constructors) or borrowed from a cached
+/// [`PreparedPlan`](crate::plan::PreparedPlan).
+enum PrepRef<'a> {
+    Owned(Box<ComponentPrep>),
+    Borrowed(&'a ComponentPrep),
+}
+
+/// Matcher for one connected component of the query multigraph.
+pub struct ComponentMatcher<'a> {
+    graph: &'a DataGraph,
+    index: &'a IndexSet,
+    qg: &'a QueryGraph,
+    prep: PrepRef<'a>,
+}
+
+impl<'a> ComponentMatcher<'a> {
+    /// Build the matching plan for one component (vertex ids ascending)
+    /// with transient seed state. One-shot callers and tests use this; the
+    /// session path goes through [`Self::new_seeded`] (or reuses a cached
+    /// prep via [`Self::from_prep`]).
+    pub fn new(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+    ) -> Self {
+        Self::new_seeded(qg, graph, index, component, &mut SeedCache::disabled())
+    }
+
+    /// Build the matching plan against a session [`SeedCache`]: the
+    /// signature-index seed lookup and every `ProcessVertex`
+    /// attribute/IRI probe resolve through the cache, so repeated
+    /// constant-heavy queries stop paying plan-construction index walks.
+    pub fn new_seeded(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+        seeds: &mut SeedCache,
+    ) -> Self {
+        let prep = ComponentPrep::build(qg, graph, index, component, seeds);
+        Self {
             graph,
             index,
             qg,
+            prep: PrepRef::Owned(Box::new(prep)),
+        }
+    }
+
+    /// Build the plan with an explicit core order — the hook used by the
+    /// ordering-heuristic ablation benchmark. `order` must be a permutation
+    /// of the component's core vertices in which every vertex (after the
+    /// first) is adjacent to an earlier one.
+    pub fn new_with_order(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        component: &[QVertexId],
+        order: Vec<QVertexId>,
+    ) -> Self {
+        let decomp = Decomposition::of_component(qg, component);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, decomp.core, "order must permute the core vertices");
+        let prep = ComponentPrep::build_with_order(
+            qg,
+            graph,
+            index,
+            decomp,
             order,
-            plans,
-            initial,
+            &mut SeedCache::disabled(),
+        );
+        Self {
+            graph,
+            index,
+            qg,
+            prep: PrepRef::Owned(Box::new(prep)),
+        }
+    }
+
+    /// A matcher view over a component plan built earlier (the
+    /// prepared-plan execution path: no decomposition, ordering, or seed
+    /// probes run here — the prep already holds them).
+    pub fn from_prep(
+        qg: &'a QueryGraph,
+        graph: &'a DataGraph,
+        index: &'a IndexSet,
+        prep: &'a ComponentPrep,
+    ) -> Self {
+        Self {
+            graph,
+            index,
+            qg,
+            prep: PrepRef::Borrowed(prep),
+        }
+    }
+
+    /// The component plan this matcher executes.
+    #[inline]
+    fn prep(&self) -> &ComponentPrep {
+        match &self.prep {
+            PrepRef::Owned(prep) => prep,
+            PrepRef::Borrowed(prep) => prep,
         }
     }
 
     /// The ordered core vertices (`U_c^ord`).
     pub fn core_order(&self) -> &[QVertexId] {
-        &self.order
+        &self.prep().order
     }
 
     /// The seed candidates of the initial vertex (`CandInit`).
     pub fn initial_candidates(&self) -> &[VertexId] {
-        &self.initial
+        &self.prep().initial
     }
 
     /// Number of plan probes that are *cacheable* by the session candidate
@@ -307,28 +469,12 @@ impl<'a> ComponentMatcher<'a> {
     /// bypass too. Surfaced by `EXPLAIN` so "will a candidate cache help
     /// this query?" is answerable before running it.
     pub fn cacheable_probe_count(&self) -> usize {
-        let cacheable =
-            |len: usize| len != 1 && len <= crate::candidates::MAX_CACHED_TYPES;
-        self.plans
-            .iter()
-            .map(|plan| {
-                plan.probes
-                    .iter()
-                    .filter(|p| cacheable(p.types.len()))
-                    .count()
-                    + plan
-                        .satellites
-                        .iter()
-                        .flat_map(|s| &s.probes)
-                        .filter(|(_, types)| cacheable(types.len()))
-                        .count()
-            })
-            .sum()
+        self.prep().cacheable_probe_count()
     }
 
     /// Run the full search over all initial candidates.
     pub fn run(&self, config: &MatchConfig<'_>) -> ComponentMatch {
-        self.run_on(&self.initial, config)
+        self.run_on(&self.prep().initial, config)
     }
 
     /// Run the search over a slice of initial candidates with self-contained
@@ -386,12 +532,12 @@ impl<'a> ComponentMatcher<'a> {
         cache: &mut CandidateCache,
         split: Option<(&mut (dyn SplitSink + 's), usize)>,
     ) -> ComponentMatch {
-        arenas.prepare(&self.plans);
+        arenas.prepare(&self.prep().plans);
         debug_assert_eq!(prefix.len(), depth);
         // Never split the deepest order position: its candidates have no
         // recursion below them (satellite checks + record only), so carving
         // them yields tasks whose scheduling overhead exceeds their work.
-        let max_useful_cutoff = self.order.len().saturating_sub(1);
+        let max_useful_cutoff = self.prep().order.len().saturating_sub(1);
         let (sink, split_depth) = match split {
             Some((sink, cutoff)) if cutoff.min(max_useful_cutoff) > 0 => {
                 (Some(sink), cutoff.min(max_useful_cutoff))
@@ -399,7 +545,7 @@ impl<'a> ComponentMatcher<'a> {
             _ => (None, 0),
         };
         let sources = if sink.is_some() {
-            vec![LevelSource::Inactive; self.order.len()]
+            vec![LevelSource::Inactive; self.prep().order.len()]
         } else {
             Vec::new()
         };
@@ -443,7 +589,7 @@ impl<'a> ComponentMatcher<'a> {
         v: VertexId,
         state: &mut SearchState<'_, '_, '_>,
     ) -> bool {
-        let plan = &self.plans[pos];
+        let plan = &self.prep().plans[pos];
         for (k, sat) in plan.satellites.iter().enumerate() {
             let SearchState { arenas, cache, .. } = &mut *state;
             let DepthScratch {
@@ -589,11 +735,11 @@ impl<'a> ComponentMatcher<'a> {
             state.result.timed_out = true;
             return;
         }
-        if pos == self.order.len() {
+        if pos == self.prep().order.len() {
             self.record(state);
             return;
         }
-        let plan = &self.plans[pos];
+        let plan = &self.prep().plans[pos];
 
         // Fast path: one single-type probe feeding an unconstrained vertex
         // needs no materialization at all — iterate the inverted list
@@ -603,10 +749,10 @@ impl<'a> ComponentMatcher<'a> {
                 (probe.types.as_slice(), &plan.constraint, plan.has_self_loop)
             {
                 let matched = state.arenas.assignment[probe.prior_position];
-                let list = self
-                    .index
-                    .neighborhood
-                    .neighbors_with_type(matched, probe.direction, *t);
+                let list =
+                    self.index
+                        .neighborhood
+                        .neighbors_with_type(matched, probe.direction, *t);
                 self.iterate_level(pos, list, state, false);
                 return;
             }
@@ -747,8 +893,9 @@ impl<'a> ComponentMatcher<'a> {
         // Session arenas can be *larger* than this component's plan (they
         // are grown high-water-mark style and never shrunk), so every walk
         // zips against the plans — stale deeper/extra buffers are ignored.
+        let prep = self.prep();
         let mut embeddings: u128 = 1;
-        for (plan, depth) in self.plans.iter().zip(&state.arenas.depths) {
+        for (plan, depth) in prep.plans.iter().zip(&state.arenas.depths) {
             for (_, resolved) in plan.satellites.iter().zip(&depth.satellites) {
                 embeddings = embeddings.saturating_mul(resolved.len() as u128);
             }
@@ -760,12 +907,12 @@ impl<'a> ComponentMatcher<'a> {
             .is_none_or(|cap| state.result.solutions.len() < cap);
         if keep {
             state.result.solutions.push(ComponentSolution {
-                core: state.arenas.assignment[..self.order.len()]
+                core: state.arenas.assignment[..prep.order.len()]
                     .iter()
                     .enumerate()
-                    .map(|(pos, &v)| (self.order[pos], v))
+                    .map(|(pos, &v)| (prep.order[pos], v))
                     .collect(),
-                satellites: self
+                satellites: prep
                     .plans
                     .iter()
                     .zip(&state.arenas.depths)
@@ -907,7 +1054,11 @@ impl SearchArenas {
     /// reuses instead of reallocating per query.
     pub fn heap_bytes(&self) -> usize {
         self.assignment.capacity() * std::mem::size_of::<VertexId>()
-            + self.depths.iter().map(DepthScratch::heap_bytes).sum::<usize>()
+            + self
+                .depths
+                .iter()
+                .map(DepthScratch::heap_bytes)
+                .sum::<usize>()
     }
 }
 

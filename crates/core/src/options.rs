@@ -38,6 +38,21 @@ pub struct ExecOptions {
     /// and transient per-`execute` sessions both size their caches from
     /// this knob.
     pub candidate_cache_capacity: usize,
+    /// Capacity (canonical queries) of the session prepared-plan cache:
+    /// parsed query multigraph + decomposition + processing order + seed
+    /// candidates, derived once and reused on every repeat (keyed
+    /// whitespace/variable-name-insensitively). `0` disables plan reuse
+    /// (every execution re-derives, the pre-PR-5 behaviour). The
+    /// `AMBER_PLAN_CACHE=off` environment variable pins this to 0
+    /// process-wide.
+    pub plan_cache_capacity: usize,
+    /// Capacity (plan × options digests) of the session verbatim-result
+    /// cache: completed outcomes of repeated identical queries are served
+    /// without searching at all. Timed-out (partial) outcomes are never
+    /// stored, and result caps are part of the key, so truncation can
+    /// never leak across option sets. `0` disables result reuse; gated by
+    /// `AMBER_PLAN_CACHE` alongside the plan cache.
+    pub result_cache_capacity: usize,
     /// Minimum initial candidates *per worker* before the parallel
     /// extension distributes seed chunks: fewer than
     /// `parallel_seed_factor × threads` seeds run sequentially (unless the
@@ -78,6 +93,8 @@ impl Default for ExecOptions {
             count_only: false,
             threads: 0,
             candidate_cache_capacity: 0,
+            plan_cache_capacity: 0,
+            result_cache_capacity: 0,
             parallel_seed_factor: Self::DEFAULT_PARALLEL_SEED_FACTOR,
             split_depth: Self::DEFAULT_SPLIT_DEPTH,
             scheduler: Scheduler::Auto,
@@ -106,15 +123,28 @@ impl ExecOptions {
         }
     }
 
-    /// Batch-execution preset: like [`Self::new`] but with a default-sized
-    /// candidate cache, the configuration
+    /// Batch-execution preset: like [`Self::new`] but with default-sized
+    /// candidate, prepared-plan, and verbatim-result caches — the
+    /// configuration
     /// [`execute_batch`](crate::AmberEngine::execute_batch) is designed for.
     pub fn batch() -> Self {
-        Self::new().with_candidate_cache(Self::DEFAULT_CACHE_CAPACITY)
+        Self::new()
+            .with_candidate_cache(Self::DEFAULT_CACHE_CAPACITY)
+            .with_plan_cache(Self::DEFAULT_PLAN_CACHE_CAPACITY)
+            .with_result_cache(Self::DEFAULT_RESULT_CACHE_CAPACITY)
     }
 
     /// Default candidate-cache capacity of the [`Self::batch`] preset.
     pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+    /// Default prepared-plan cache capacity of the [`Self::batch`] preset.
+    /// Plans are per-query objects (not per-probe), so a few hundred
+    /// distinct statements cover realistic serving mixes.
+    pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 256;
+
+    /// Default verbatim-result cache capacity of the [`Self::batch`]
+    /// preset.
+    pub const DEFAULT_RESULT_CACHE_CAPACITY: usize = 256;
 
     /// Default [`Self::parallel_seed_factor`]: dispatch parallel chunking
     /// only with at least two initial candidates per worker (the threshold
@@ -155,6 +185,18 @@ impl ExecOptions {
     /// Builder: size the per-worker candidate cache (`0` disables it).
     pub fn with_candidate_cache(mut self, capacity: usize) -> Self {
         self.candidate_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder: size the session prepared-plan cache (`0` disables it).
+    pub fn with_plan_cache(mut self, capacity: usize) -> Self {
+        self.plan_cache_capacity = capacity;
+        self
+    }
+
+    /// Builder: size the session verbatim-result cache (`0` disables it).
+    pub fn with_result_cache(mut self, capacity: usize) -> Self {
+        self.result_cache_capacity = capacity;
         self
     }
 
@@ -211,11 +253,24 @@ mod tests {
     fn cache_disabled_by_default_enabled_in_batch_preset() {
         assert_eq!(ExecOptions::new().candidate_cache_capacity, 0);
         assert_eq!(ExecOptions::default().candidate_cache_capacity, 0);
+        assert_eq!(ExecOptions::new().plan_cache_capacity, 0);
+        assert_eq!(ExecOptions::new().result_cache_capacity, 0);
         assert_eq!(
             ExecOptions::batch().candidate_cache_capacity,
             ExecOptions::DEFAULT_CACHE_CAPACITY
         );
+        assert_eq!(
+            ExecOptions::batch().plan_cache_capacity,
+            ExecOptions::DEFAULT_PLAN_CACHE_CAPACITY
+        );
+        assert_eq!(
+            ExecOptions::batch().result_cache_capacity,
+            ExecOptions::DEFAULT_RESULT_CACHE_CAPACITY
+        );
         assert_eq!(ExecOptions::batch().effective_threads(), 1);
+        let tuned = ExecOptions::new().with_plan_cache(7).with_result_cache(9);
+        assert_eq!(tuned.plan_cache_capacity, 7);
+        assert_eq!(tuned.result_cache_capacity, 9);
     }
 
     #[test]

@@ -15,7 +15,12 @@ use crate::decompose::Decomposition;
 use amber_multigraph::{QVertexId, QueryGraph};
 
 /// Rank pair for one vertex under the applicable priority.
-fn rank(qg: &QueryGraph, decomp: &Decomposition, u: QVertexId, satellite_first: bool) -> (usize, usize) {
+fn rank(
+    qg: &QueryGraph,
+    decomp: &Decomposition,
+    u: QVertexId,
+    satellite_first: bool,
+) -> (usize, usize) {
     let r1 = decomp.r1(u);
     let r2 = qg.signature(u).edge_instance_count();
     if satellite_first {
@@ -45,11 +50,7 @@ pub fn order_core_vertices(qg: &QueryGraph, decomp: &Decomposition) -> Vec<QVert
         let next = remaining
             .iter()
             .copied()
-            .filter(|&u| {
-                qg.adjacency(u)
-                    .iter()
-                    .any(|a| order.contains(&a.neighbor))
-            })
+            .filter(|&u| qg.adjacency(u).iter().any(|a| order.contains(&a.neighbor)))
             .max_by_key(|&u| (rank(qg, decomp, u, satellite_first), std::cmp::Reverse(u)));
         match next {
             Some(u) => {

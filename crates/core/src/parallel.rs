@@ -31,6 +31,14 @@
 //! and indexes, never scratch memory or its cache lines. When the session
 //! outlives the query — the batch-execution path — worker arenas *and*
 //! worker caches stay warm across queries under both schedulers.
+//!
+//! Since the prepared-plan PR both schedulers consume an immutable
+//! [`ComponentPrep`](crate::matcher::ComponentPrep) through the matcher
+//! view: the seed list, processing order, and probe plans a pooled run
+//! distributes may come straight out of a cached
+//! [`PreparedPlan`](crate::plan::PreparedPlan) — nothing here re-derives
+//! per call, and plan sharing across queries is invisible to the
+//! schedulers because the prep is read-only.
 
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig, SplitSink};
 use crate::options::{ExecOptions, Scheduler};
@@ -432,10 +440,8 @@ mod tests {
 
     fn paper_matcher_fixture() -> (amber_multigraph::RdfGraph, QueryGraph) {
         let rdf = paper_graph();
-        let query = parse_select(&format!(
-            "SELECT * WHERE {{ ?a <{PREFIX_Y}livedIn> ?b . }}"
-        ))
-        .unwrap();
+        let query =
+            parse_select(&format!("SELECT * WHERE {{ ?a <{PREFIX_Y}livedIn> ?b . }}")).unwrap();
         let qg = QueryGraph::build(&query, &rdf).unwrap();
         (rdf, qg)
     }

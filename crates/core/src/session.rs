@@ -23,6 +23,7 @@
 
 use crate::candidates::{CacheStats, CandidateCache};
 use crate::matcher::SearchArenas;
+use crate::plan::{PlanCache, PlanCacheStats, ResultCache};
 use crate::result::QueryOutcome;
 use crate::seeds::SeedCache;
 use std::fmt;
@@ -153,6 +154,13 @@ pub struct QuerySession {
     /// matcher plan construction). Main-thread only: plans are built before
     /// the parallel extension forks, so one store per session suffices.
     seeds: SeedCache,
+    /// Prepared-plan cache: fully-derived query plans keyed by
+    /// canonicalized query text, reused across repeats. Main-thread only,
+    /// like the seed cache.
+    plans: PlanCache,
+    /// Verbatim-result cache: completed outcomes of repeated identical
+    /// queries, served without searching.
+    results: ResultCache,
     /// Work-stealing pool counters accumulated across this session's
     /// parallel component runs.
     pool: PoolStats,
@@ -172,19 +180,30 @@ pub struct QuerySession {
 impl QuerySession {
     /// A session whose per-worker candidate caches hold at most
     /// `cache_capacity` probe results each (0 disables caching; arenas are
-    /// still reused).
+    /// still reused). Plan and result caches start disabled; size them with
+    /// [`Self::with_plan_caches`].
     pub fn new(cache_capacity: usize) -> Self {
         Self {
             cache_capacity,
             main: SessionCore::new(cache_capacity),
             workers: Vec::new(),
             seeds: SeedCache::new(cache_capacity),
+            plans: PlanCache::new(0),
+            results: ResultCache::new(0),
             pool: PoolStats::default(),
             graph_token: None,
             queries: 0,
             arena_reused_bytes: 0,
             arena_peak_bytes: 0,
         }
+    }
+
+    /// Builder: size the prepared-plan and verbatim-result caches (0
+    /// disables either). Replaces the stores, so call it before executing.
+    pub fn with_plan_caches(mut self, plan_capacity: usize, result_capacity: usize) -> Self {
+        self.plans = PlanCache::new(plan_capacity);
+        self.results = ResultCache::new(result_capacity);
+        self
     }
 
     /// The configured per-worker cache capacity.
@@ -207,6 +226,14 @@ impl QuerySession {
         self.seeds.stats()
     }
 
+    /// Counters of the prepared-plan and verbatim-result caches.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            plans: self.plans.stats(),
+            results: self.results.stats(),
+        }
+    }
+
     /// Work-stealing pool counters accumulated over this session's
     /// lifetime (tasks, splits, steals, per-worker balance).
     pub fn pool_stats(&self) -> &PoolStats {
@@ -220,13 +247,18 @@ impl QuerySession {
         nodes_per_worker: &[u64],
         critical_path_nodes: u64,
     ) {
-        self.pool.record_run(stats, nodes_per_worker, critical_path_nodes);
+        self.pool
+            .record_run(stats, nodes_per_worker, critical_path_nodes);
     }
 
     /// Heap bytes currently retained by all arenas (main + workers).
     pub fn arena_bytes(&self) -> usize {
         self.main.arenas.heap_bytes()
-            + self.workers.iter().map(|w| w.arenas.heap_bytes()).sum::<usize>()
+            + self
+                .workers
+                .iter()
+                .map(|w| w.arenas.heap_bytes())
+                .sum::<usize>()
     }
 
     /// Queries executed through this session so far.
@@ -245,14 +277,16 @@ impl QuerySession {
         self.arena_peak_bytes
     }
 
-    /// Drop all cached probe and seed results (arenas are kept — they hold
-    /// no graph-dependent data between runs).
+    /// Drop all cached probe, seed, plan, and result state (arenas are
+    /// kept — they hold no graph-dependent data between runs).
     pub fn clear_cache(&mut self) {
         self.main.cache.clear();
         for worker in &mut self.workers {
             worker.cache.clear();
         }
         self.seeds.clear();
+        self.plans.clear();
+        self.results.clear();
     }
 
     /// Bind the session to a data graph identity; a change of graph clears
@@ -285,9 +319,15 @@ impl QuerySession {
         &mut self.main
     }
 
-    /// The seed-probe memo, lent to matcher plan construction.
-    pub(crate) fn seed_cache_mut(&mut self) -> &mut SeedCache {
-        &mut self.seeds
+    /// The prepared-plan cache and the seed cache together (plan building
+    /// on a cache miss needs both mutably).
+    pub(crate) fn plan_and_seed_caches(&mut self) -> (&mut PlanCache, &mut SeedCache) {
+        (&mut self.plans, &mut self.seeds)
+    }
+
+    /// The verbatim-result cache.
+    pub(crate) fn result_cache_mut(&mut self) -> &mut ResultCache {
+        &mut self.results
     }
 
     /// At least `count` worker cores, each with its own arena + cache.
@@ -316,6 +356,10 @@ pub struct BatchStats {
     /// Seed-probe memo counters (signature / attribute / IRI lookups of
     /// plan construction).
     pub seeds: CacheStats,
+    /// Prepared-plan and verbatim-result cache counters (a plan hit skips
+    /// query-graph build + decomposition + ordering + seed probes; a
+    /// result hit skips the execution entirely).
+    pub plans: PlanCacheStats,
     /// Work-stealing pool counters (zero when every query ran
     /// sequentially or on the fork-per-chunk fallback).
     pub pool: PoolStats,
@@ -358,6 +402,26 @@ impl fmt::Display for BatchStats {
             self.seeds.bypasses,
             self.seeds.entries,
             self.seeds.result_bytes,
+        )?;
+        writeln!(
+            f,
+            "plans: {:.1}% hit rate ({} hits / {} misses / {} bypasses), {} plans cached, {} evictions",
+            self.plans.plans.hit_rate() * 100.0,
+            self.plans.plans.hits,
+            self.plans.plans.misses,
+            self.plans.plans.bypasses,
+            self.plans.plans.entries,
+            self.plans.plans.evictions,
+        )?;
+        writeln!(
+            f,
+            "results: {:.1}% hit rate ({} hits / {} misses / {} bypasses), {} outcomes cached, {} result bytes",
+            self.plans.results.hit_rate() * 100.0,
+            self.plans.results.hits,
+            self.plans.results.misses,
+            self.plans.results.bypasses,
+            self.plans.results.entries,
+            self.plans.results.result_bytes,
         )?;
         if self.pool.runs > 0 {
             writeln!(

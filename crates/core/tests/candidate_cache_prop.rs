@@ -23,7 +23,9 @@ const VERTICES: u64 = 12;
 /// A dense random multigraph over few vertices and predicates, so vertex
 /// pairs carry parallel edge types and multi-type probes are non-trivial.
 fn dense_graph(seed: u64, triples: usize) -> RdfGraph {
-    let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+    let mut state = seed
+        .wrapping_mul(2862933555777941757)
+        .wrapping_add(3037000493);
     let mut next = move || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -35,7 +37,9 @@ fn dense_graph(seed: u64, triples: usize) -> RdfGraph {
         let s = next() % VERTICES;
         let p = next() % PREDICATES as u64;
         let o = next() % VERTICES;
-        doc.push_str(&format!("<http://c/v{s}> <http://c/p{p}> <http://c/v{o}> .\n"));
+        doc.push_str(&format!(
+            "<http://c/v{s}> <http://c/p{p}> <http://c/v{o}> .\n"
+        ));
     }
     RdfGraph::parse_ntriples(&doc).expect("generated n-triples parse")
 }

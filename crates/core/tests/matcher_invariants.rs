@@ -11,8 +11,8 @@ use amber_util::Deadline;
 
 fn prepared_queries(shape: QueryShape, size: usize, n: usize) -> (RdfGraph, Vec<QueryGraph>) {
     let rdf = RdfGraph::from_triples(&Benchmark::Lubm.generate(1, 31));
-    let queries = WorkloadGenerator::new(&rdf, 32)
-        .generate_many(&WorkloadConfig::new(shape, size), n);
+    let queries =
+        WorkloadGenerator::new(&rdf, 32).generate_many(&WorkloadConfig::new(shape, size), n);
     let prepared = queries
         .iter()
         .map(|q| QueryGraph::build(&q.query, &rdf).unwrap())

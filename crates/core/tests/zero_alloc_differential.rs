@@ -16,9 +16,7 @@ use amber::ordering::order_core_vertices;
 use amber_datagen::synthetic::{self, SyntheticConfig};
 use amber_datagen::{QueryShape, WorkloadConfig, WorkloadGenerator};
 use amber_index::IndexSet;
-use amber_multigraph::{
-    DataGraph, QVertexId, QueryGraph, RdfGraph, VertexId,
-};
+use amber_multigraph::{DataGraph, QVertexId, QueryGraph, RdfGraph, VertexId};
 use amber_sparql::parse_select;
 use amber_util::{sorted, Deadline};
 
@@ -69,7 +67,12 @@ impl<'a> Reference<'a> {
     }
 
     /// Probes of `u` seen from already-matched core `prior` (owned lists).
-    fn probe_from(&self, prior: QVertexId, prior_match: VertexId, u: QVertexId) -> Vec<Vec<VertexId>> {
+    fn probe_from(
+        &self,
+        prior: QVertexId,
+        prior_match: VertexId,
+        u: QVertexId,
+    ) -> Vec<Vec<VertexId>> {
         let mut lists = Vec::new();
         for adj in self.qg.adjacency(prior) {
             if adj.neighbor != u {
@@ -149,8 +152,7 @@ impl<'a> Reference<'a> {
                     });
                 }
             }
-            let candidates =
-                self.refine(next, acc.expect("ordered vertex touches an earlier one"));
+            let candidates = self.refine(next, acc.expect("ordered vertex touches an earlier one"));
             for &cand in &candidates {
                 self.descend(pos + 1, cand, assignment, satellite_sets, result);
             }
@@ -259,7 +261,9 @@ fn multi_type_edge_queries_agree() {
     // API (multi-type `QueryNeighIndex`) must stay exact.
     let mut state = 0xA5EEDu64;
     let mut next = move || {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (state >> 33) as usize
     };
     let mut doc = String::new();
@@ -267,7 +271,9 @@ fn multi_type_edge_queries_agree() {
         let s = next() % 14;
         let p = next() % 5;
         let o = next() % 14;
-        doc.push_str(&format!("<http://m/v{s}> <http://m/p{p}> <http://m/v{o}> .\n"));
+        doc.push_str(&format!(
+            "<http://m/v{s}> <http://m/p{p}> <http://m/v{o}> .\n"
+        ));
     }
     let rdf = RdfGraph::parse_ntriples(&doc).unwrap();
 
@@ -311,5 +317,8 @@ fn probe_directions_cover_both_orientations() {
         assert_matcher_equals_reference(&rdf, &qg, &q.text);
         checked += 1;
     }
-    assert!(checked > 0, "workload generation produced nothing to compare");
+    assert!(
+        checked > 0,
+        "workload generation produced nothing to compare"
+    );
 }

@@ -30,6 +30,9 @@ mod tests {
     fn triples_use_dbpedia_namespaces() {
         let triples = generate(1, 11);
         let t = &triples[0];
-        assert!(t.predicate.as_str().starts_with("http://dbpedia.org/ontology/"));
+        assert!(t
+            .predicate
+            .as_str()
+            .starts_with("http://dbpedia.org/ontology/"));
     }
 }

@@ -55,7 +55,11 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
 
     for u in 0..universities {
         let univ = Iri::new(format!("{DATA}University{u}"));
-        triples.push(Triple::new(univ.clone(), pred("rdf_type"), class("University")));
+        triples.push(Triple::new(
+            univ.clone(),
+            pred("rdf_type"),
+            class("University"),
+        ));
         triples.push(Triple::new(
             univ.clone(),
             Iri::new(format!("{UB}name")),
@@ -65,7 +69,11 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
         let departments = rng.gen_range(3..=8);
         for d in 0..departments {
             let dept = Iri::new(format!("{DATA}University{u}/Department{d}"));
-            triples.push(Triple::new(dept.clone(), pred("rdf_type"), class("Department")));
+            triples.push(Triple::new(
+                dept.clone(),
+                pred("rdf_type"),
+                class("Department"),
+            ));
             triples.push(Triple::new(
                 dept.clone(),
                 pred("subOrganizationOf"),
@@ -77,9 +85,7 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
             let mut professor_iris = Vec::with_capacity(professors);
             let mut courses = Vec::new();
             for p in 0..professors {
-                let prof = Iri::new(format!(
-                    "{DATA}University{u}/Department{d}/Professor{p}"
-                ));
+                let prof = Iri::new(format!("{DATA}University{u}/Department{d}/Professor{p}"));
                 let rank = match p {
                     0 => "FullProfessor",
                     _ if p % 3 == 0 => "AssociateProfessor",
@@ -99,8 +105,11 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
                 ));
                 // Degrees from random universities (creates inter-university
                 // links, LUBM's signature cross-referencing).
-                for degree in ["undergraduateDegreeFrom", "mastersDegreeFrom", "doctoralDegreeFrom"]
-                {
+                for degree in [
+                    "undergraduateDegreeFrom",
+                    "mastersDegreeFrom",
+                    "doctoralDegreeFrom",
+                ] {
                     let from = rng.gen_range(0..universities);
                     triples.push(Triple::new(
                         prof.clone(),
@@ -115,10 +124,13 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
                 // Courses taught.
                 let course_count = rng.gen_range(1..=3);
                 for c in 0..course_count {
-                    let course = Iri::new(format!(
-                        "{DATA}University{u}/Department{d}/Course{p}_{c}"
+                    let course =
+                        Iri::new(format!("{DATA}University{u}/Department{d}/Course{p}_{c}"));
+                    triples.push(Triple::new(
+                        course.clone(),
+                        pred("rdf_type"),
+                        class("Course"),
                     ));
-                    triples.push(Triple::new(course.clone(), pred("rdf_type"), class("Course")));
                     triples.push(Triple::new(prof.clone(), pred("teacherOf"), course.clone()));
                     courses.push(course);
                 }
@@ -146,9 +158,7 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
             // Students.
             let students = rng.gen_range(20..=60);
             for s in 0..students {
-                let student = Iri::new(format!(
-                    "{DATA}University{u}/Department{d}/Student{s}"
-                ));
+                let student = Iri::new(format!("{DATA}University{u}/Department{d}/Student{s}"));
                 let is_grad = s % 4 == 0;
                 triples.push(Triple::new(
                     student.clone(),
@@ -180,7 +190,11 @@ pub fn generate(scale: u32, seed: u64) -> Vec<Triple> {
                 // Graduate students have advisors and may TA.
                 if is_grad {
                     let advisor = &professor_iris[rng.gen_range(0..professor_iris.len())];
-                    triples.push(Triple::new(student.clone(), pred("advisor"), advisor.clone()));
+                    triples.push(Triple::new(
+                        student.clone(),
+                        pred("advisor"),
+                        advisor.clone(),
+                    ));
                     if s % 8 == 0 && !courses.is_empty() {
                         let course = &courses[rng.gen_range(0..courses.len())];
                         triples.push(Triple::new(
@@ -204,7 +218,11 @@ mod tests {
     #[test]
     fn exactly_13_resource_predicates() {
         let rdf = RdfGraph::from_triples(&generate(2, 3));
-        assert_eq!(rdf.stats().edge_types, 13, "Table 4: LUBM has 13 edge types");
+        assert_eq!(
+            rdf.stats().edge_types,
+            13,
+            "Table 4: LUBM has 13 edge types"
+        );
     }
 
     #[test]
@@ -238,7 +256,9 @@ mod tests {
         let rdf = RdfGraph::from_triples(&generate(1, 3));
         let g = rdf.graph();
         // every department is subOrganizationOf some university
-        let sub = rdf.edge_type_by_iri(&format!("{UB}subOrganizationOf")).unwrap();
+        let sub = rdf
+            .edge_type_by_iri(&format!("{UB}subOrganizationOf"))
+            .unwrap();
         let dept_class = rdf.vertex_by_key(&format!("{UB}Department")).unwrap();
         let type_pred = rdf.edge_type_by_iri(&format!("{UB}rdf_type")).unwrap();
         for entry in g.in_edges(dept_class) {
@@ -246,10 +266,7 @@ mod tests {
                 continue;
             }
             let dept = entry.neighbor;
-            let has_parent = g
-                .out_edges(dept)
-                .iter()
-                .any(|e| e.types.contains(sub));
+            let has_parent = g.out_edges(dept).iter().any(|e| e.types.contains(sub));
             assert!(has_parent, "department without university");
         }
     }

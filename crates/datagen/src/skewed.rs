@@ -218,13 +218,9 @@ mod tests {
         assert_eq!(a, b);
         // hubs × (1 src + 2·children + children·grandchildren + grandchildren tails)
         //   + trivial × 3
-        let per_hub = 1 + 2 * config.children
-            + config.children * config.grandchildren
-            + config.grandchildren;
-        assert_eq!(
-            a.len(),
-            config.hubs * per_hub + config.trivial_seeds * 3
-        );
+        let per_hub =
+            1 + 2 * config.children + config.children * config.grandchildren + config.grandchildren;
+        assert_eq!(a.len(), config.hubs * per_hub + config.trivial_seeds * 3);
     }
 
     #[test]

@@ -238,8 +238,7 @@ impl<'g> WorkloadGenerator<'g> {
                 };
                 used.insert(unit_key(entity, unit));
                 let entity_term = builder.variable_for(entity);
-                let new_variable =
-                    builder.push_unit(entity, entity_term, unit, &mut self.rng);
+                let new_variable = builder.push_unit(entity, entity_term, unit, &mut self.rng);
                 if let Some(v) = new_variable {
                     frontier.push(v);
                 }
@@ -450,11 +449,13 @@ mod tests {
         let mut config = WorkloadConfig::new(QueryShape::Complex, 20);
         config.constant_iri_probability = 0.9;
         let q = gen.generate(&config).unwrap();
-        let has_constant_iri = q
-            .query
-            .patterns
-            .iter()
-            .any(|p| matches!(&p.subject, TermPattern::Iri(_)) || matches!(&p.object, TermPattern::Iri(_)));
-        assert!(has_constant_iri, "high constant probability must inject IRIs:\n{}", q.text);
+        let has_constant_iri = q.query.patterns.iter().any(|p| {
+            matches!(&p.subject, TermPattern::Iri(_)) || matches!(&p.object, TermPattern::Iri(_))
+        });
+        assert!(
+            has_constant_iri,
+            "high constant probability must inject IRIs:\n{}",
+            q.text
+        );
     }
 }

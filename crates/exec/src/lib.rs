@@ -217,7 +217,9 @@ impl PoolInner {
         }
         for offset in 1..threads {
             let victim = (slot + offset) % threads;
-            let mut queue = self.queues[victim].lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self.queues[victim]
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if queue.is_empty() {
                 continue;
             }
@@ -228,7 +230,9 @@ impl PoolInner {
             self.queued.fetch_sub(1, Ordering::Relaxed);
             let first = grabbed.pop_front().expect("take >= 1");
             if !grabbed.is_empty() {
-                let mut own = self.queues[slot].lock().unwrap_or_else(PoisonError::into_inner);
+                let mut own = self.queues[slot]
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
                 own.extend(grabbed);
                 drop(own);
                 self.bump_signal_and_notify();
@@ -392,7 +396,10 @@ impl ExecPool {
     {
         let threads = threads.clamp(1, MAX_THREADS);
         let inner = &self.inner;
-        let _run = inner.run_lock.lock().unwrap_or_else(PoisonError::into_inner);
+        let _run = inner
+            .run_lock
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
 
         // Reset per-run state (quiescent: the previous run fully drained
         // before releasing the run lock).

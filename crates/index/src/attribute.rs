@@ -27,9 +27,7 @@ impl AttributeIndex {
         }
         // Vertices are visited in increasing id order, so each list is
         // already sorted and duplicate-free (attribute sets are sets).
-        debug_assert!(lists
-            .iter()
-            .all(|l| l.windows(2).all(|w| w[0] < w[1])));
+        debug_assert!(lists.iter().all(|l| l.windows(2).all(|w| w[0] < w[1])));
         Self {
             lists: lists.into_iter().map(Vec::into_boxed_slice).collect(),
         }

@@ -287,12 +287,7 @@ impl NeighborhoodIndex {
     /// Does `v` have any neighbour through `required` in `direction`?
     /// Answers from list lengths and first-hit intersection checks without
     /// materializing any neighbour list.
-    pub fn has_neighbor(
-        &self,
-        v: VertexId,
-        direction: Direction,
-        required: &[EdgeTypeId],
-    ) -> bool {
+    pub fn has_neighbor(&self, v: VertexId, direction: Direction, required: &[EdgeTypeId]) -> bool {
         let dir = self.dir(direction);
         match required {
             [] => !dir.entries(v).is_empty(),
@@ -323,7 +318,11 @@ impl NeighborhoodIndex {
 fn smallest_two(dir: &DirIndex, v: VertexId, many: &[EdgeTypeId]) -> Option<(usize, usize)> {
     debug_assert!(many.len() >= 2);
     let len_of = |i: usize| dir.list(v, many[i]).len();
-    let (mut first, mut second) = if len_of(0) <= len_of(1) { (0, 1) } else { (1, 0) };
+    let (mut first, mut second) = if len_of(0) <= len_of(1) {
+        (0, 1)
+    } else {
+        (1, 0)
+    };
     for i in 2..many.len() {
         let l = len_of(i);
         if l < len_of(first) {
@@ -421,10 +420,7 @@ mod tests {
         // v2's in-neighbours: v0 (wasFormedIn), v1 (died+born), v3
         // (hasCapital), v7 (wasBornIn).
         let c = n.neighbors(VertexId(2), Direction::Incoming, &[]);
-        assert_eq!(
-            c,
-            vec![VertexId(0), VertexId(1), VertexId(3), VertexId(7)]
-        );
+        assert_eq!(c, vec![VertexId(0), VertexId(1), VertexId(3), VertexId(7)]);
     }
 
     #[test]
@@ -438,7 +434,10 @@ mod tests {
             &[EdgeTypeId(5)],
             &mut spill,
         );
-        assert_eq!(result, ProbeResult::Borrowed(&[VertexId(1), VertexId(7)][..]));
+        assert_eq!(
+            result,
+            ProbeResult::Borrowed(&[VertexId(1), VertexId(7)][..])
+        );
         assert_eq!(spill, vec![VertexId(999)]);
         assert_eq!(result.as_slice(&spill), &[VertexId(1), VertexId(7)]);
     }

@@ -78,14 +78,8 @@ impl Mbr {
 
 #[derive(Debug)]
 enum Node {
-    Leaf {
-        mbr: Mbr,
-        entries: Vec<Entry>,
-    },
-    Inner {
-        mbr: Mbr,
-        children: Vec<Node>,
-    },
+    Leaf { mbr: Mbr, entries: Vec<Entry> },
+    Inner { mbr: Mbr, children: Vec<Node> },
 }
 
 impl Node {
@@ -298,7 +292,10 @@ mod tests {
         let tree = RTree::bulk_load(entries.clone());
         // A zero query is dominated by synopses with non-negative fields
         // only; mirror against the oracle.
-        assert_eq!(tree.dominating(&Synopsis::zero()), linear(&entries, &Synopsis::zero()));
+        assert_eq!(
+            tree.dominating(&Synopsis::zero()),
+            linear(&entries, &Synopsis::zero())
+        );
     }
 
     #[test]

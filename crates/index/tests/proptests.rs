@@ -1,8 +1,8 @@
 //! Property-based tests for the index structures: each index is checked
 //! against a brute-force oracle on randomly generated inputs.
 
-use amber_index::{AttributeIndex, NeighborhoodIndex, RTree, SignatureIndex};
 use amber_index::rtree::Entry;
+use amber_index::{AttributeIndex, NeighborhoodIndex, RTree, SignatureIndex};
 use amber_multigraph::{
     AttrId, Direction, EdgeTypeId, RdfGraph, Synopsis, VertexId, VertexSignature,
 };

@@ -69,11 +69,7 @@ impl GraphBuilder {
     }
 
     /// Pre-intern an attribute (see [`GraphBuilder::declare_vertex`]).
-    pub fn declare_attribute(
-        &mut self,
-        predicate: &str,
-        literal: &rdf_model::Literal,
-    ) -> AttrId {
+    pub fn declare_attribute(&mut self, predicate: &str, literal: &rdf_model::Literal) -> AttrId {
         AttrId(
             self.dicts
                 .attributes
@@ -110,7 +106,10 @@ impl GraphBuilder {
                 };
                 let object = self.vertex(&object_key);
                 let edge_type = EdgeTypeId(self.dicts.edge_types.intern(triple.predicate.as_str()));
-                self.pairs.entry((subject, object)).or_default().push(edge_type);
+                self.pairs
+                    .entry((subject, object))
+                    .or_default()
+                    .push(edge_type);
             }
         }
     }

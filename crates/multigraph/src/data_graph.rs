@@ -215,12 +215,7 @@ impl DataGraph {
 
     /// Does `(from, to)` carry every type in (sorted) `required`?
     /// (Definition 2, condition 2.)
-    pub fn has_multi_edge(
-        &self,
-        from: VertexId,
-        to: VertexId,
-        required: &[EdgeTypeId],
-    ) -> bool {
+    pub fn has_multi_edge(&self, from: VertexId, to: VertexId, required: &[EdgeTypeId]) -> bool {
         self.multi_edge(from, to)
             .is_some_and(|m| m.contains_all(required))
     }

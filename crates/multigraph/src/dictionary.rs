@@ -160,10 +160,7 @@ mod tests {
     fn attribute_keys_distinguish_literal_kinds() {
         let plain = attribute_key("http://y/name", &Literal::plain("A"));
         let lang = attribute_key("http://y/name", &Literal::lang("A", "en"));
-        let typed = attribute_key(
-            "http://y/name",
-            &Literal::typed("A", Iri::new("http://t")),
-        );
+        let typed = attribute_key("http://y/name", &Literal::typed("A", Iri::new("http://t")));
         assert_ne!(plain, lang);
         assert_ne!(plain, typed);
         assert_ne!(lang, typed);

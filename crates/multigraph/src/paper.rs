@@ -63,7 +63,11 @@ pub fn paper_triples() -> Vec<Triple> {
             &y("wasMarriedTo"),
             &x("Blake_Fielder-Civil"),
         ),
-        Triple::resource(&x("Blake_Fielder-Civil"), &y("livedIn"), &x("United_States")),
+        Triple::resource(
+            &x("Blake_Fielder-Civil"),
+            &y("livedIn"),
+            &x("United_States"),
+        ),
     ]
 }
 
@@ -206,15 +210,15 @@ mod tests {
         let rdf = paper_graph();
         let g = rdf.graph();
         let expected: [[i64; 8]; 9] = [
-            [1, 1, -7, 7, 1, 1, -6, 6],  // v0 Music_Band
-            [0, 0, 0, 0, 2, 5, -3, 8],   // v1 Amy_Winehouse
-            [2, 4, -1, 6, 1, 2, 0, 2],   // v2 London
-            [1, 2, 0, 3, 1, 1, -1, 1],   // v3 England
-            [1, 1, -2, 2, 0, 0, 0, 0],   // v4 WembleyStadium
-            [1, 1, -3, 3, 0, 0, 0, 0],   // v5 United_States
-            [1, 1, -8, 8, 1, 1, -3, 3],  // v6 Blake_Fielder-Civil
-            [0, 0, 0, 0, 1, 3, 0, 5],    // v7 Christopher_Nolan
-            [1, 1, 0, 0, 0, 0, 0, 0],    // v8 Dark_Knight_Trilogy
+            [1, 1, -7, 7, 1, 1, -6, 6], // v0 Music_Band
+            [0, 0, 0, 0, 2, 5, -3, 8],  // v1 Amy_Winehouse
+            [2, 4, -1, 6, 1, 2, 0, 2],  // v2 London
+            [1, 2, 0, 3, 1, 1, -1, 1],  // v3 England
+            [1, 1, -2, 2, 0, 0, 0, 0],  // v4 WembleyStadium
+            [1, 1, -3, 3, 0, 0, 0, 0],  // v5 United_States
+            [1, 1, -8, 8, 1, 1, -3, 3], // v6 Blake_Fielder-Civil
+            [0, 0, 0, 0, 1, 3, 0, 5],   // v7 Christopher_Nolan
+            [1, 1, 0, 0, 0, 0, 0, 0],   // v8 Dark_Knight_Trilogy
         ];
         for (i, row) in expected.iter().enumerate() {
             let syn = VertexSignature::of_data_vertex(g, VertexId(i as u32)).synopsis();

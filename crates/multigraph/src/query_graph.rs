@@ -21,8 +21,8 @@ use crate::builder::RdfGraph;
 use crate::data_graph::{Direction, MultiEdge};
 use crate::ids::{AttrId, EdgeTypeId, QVertexId, VertexId};
 use crate::signature::VertexSignature;
-use amber_util::FxHashMap;
 use amber_sparql::{SelectQuery, TermPattern};
+use amber_util::FxHashMap;
 use std::fmt;
 
 /// Construction failure (malformed AST, not data-dependent).
@@ -645,7 +645,9 @@ mod tests {
 
     #[test]
     fn iri_constraints_carry_direction() {
-        let q = qg("SELECT * WHERE { ?a <http://p/e1> <http://x/B> . <http://x/A> <http://p/e1> ?a . }");
+        let q = qg(
+            "SELECT * WHERE { ?a <http://p/e1> <http://x/B> . <http://x/A> <http://p/e1> ?a . }",
+        );
         let a = q.vertex(QVertexId(0));
         assert_eq!(a.iri_constraints.len(), 2);
         let outgoing = a

@@ -42,7 +42,10 @@ impl VertexSignature {
 
     /// Compute the 8-field synopsis (Table 3).
     pub fn synopsis(&self) -> Synopsis {
-        let (in_f, out_f) = (direction_features(&self.incoming), direction_features(&self.outgoing));
+        let (in_f, out_f) = (
+            direction_features(&self.incoming),
+            direction_features(&self.outgoing),
+        );
         Synopsis([
             in_f[0], in_f[1], in_f[2], in_f[3], out_f[0], out_f[1], out_f[2], out_f[3],
         ])
@@ -89,7 +92,11 @@ fn direction_features(multi_edges: &[MultiEdge]) -> [i64; 4] {
     if multi_edges.is_empty() {
         return [0; 4];
     }
-    let f1 = multi_edges.iter().map(|m| m.len() as i64).max().unwrap_or(0);
+    let f1 = multi_edges
+        .iter()
+        .map(|m| m.len() as i64)
+        .max()
+        .unwrap_or(0);
     let mut distinct: Vec<u32> = multi_edges
         .iter()
         .flat_map(|m| m.types().iter().map(|t| t.0))

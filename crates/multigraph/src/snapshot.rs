@@ -226,12 +226,8 @@ impl RdfGraph {
             adj.into_iter().map(Vec::into_boxed_slice).collect()
         };
         let edge_type_count = dicts.edge_types.len();
-        let graph = DataGraph::from_parts(
-            finalize(out_adj),
-            finalize(in_adj),
-            attrs,
-            edge_type_count,
-        );
+        let graph =
+            DataGraph::from_parts(finalize(out_adj), finalize(in_adj), attrs, edge_type_count);
         Ok(Self::from_restored(graph, dicts, triple_count, config))
     }
 

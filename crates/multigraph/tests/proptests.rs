@@ -6,11 +6,7 @@ use proptest::prelude::*;
 use rdf_model::{Iri, Literal, Triple};
 
 fn arb_triples() -> impl Strategy<Value = Vec<Triple>> {
-    prop::collection::vec(
-        (0u8..10, 0u8..5, 0u8..12, any::<bool>()),
-        0..80,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0u8..10, 0u8..5, 0u8..12, any::<bool>()), 0..80).prop_map(|rows| {
         rows.into_iter()
             .map(|(s, p, o, literal)| {
                 if literal {

@@ -41,7 +41,11 @@ pub struct NtParseError {
 
 impl fmt::Display for NtParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "N-Triples parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -170,7 +174,9 @@ impl Scanner {
             Some('<') => Ok(Object::Iri(self.iri()?)),
             Some('_') => Ok(Object::Blank(self.blank_node()?)),
             Some('"') => Ok(Object::Literal(self.literal()?)),
-            Some(c) => Err(self.error(format!("expected IRI, blank node or literal object, found '{c}'"))),
+            Some(c) => Err(self.error(format!(
+                "expected IRI, blank node or literal object, found '{c}'"
+            ))),
             None => Err(self.error("expected object, found end of line")),
         }
     }
@@ -182,7 +188,16 @@ impl Scanner {
             match self.bump() {
                 Some('>') => break,
                 Some('\\') => out.push(self.unicode_escape()?),
-                Some(c) if c > ' ' && c != '<' && c != '"' && c != '{' && c != '}' && c != '|' && c != '^' && c != '`' => {
+                Some(c)
+                    if c > ' '
+                        && c != '<'
+                        && c != '"'
+                        && c != '{'
+                        && c != '}'
+                        && c != '|'
+                        && c != '^'
+                        && c != '`' =>
+                {
                     out.push(c);
                 }
                 Some(c) => return Err(self.error(format!("character '{c}' not allowed in IRI"))),
@@ -361,7 +376,8 @@ mod tests {
 
     #[test]
     fn parses_typed_literal() {
-        let t = one("<http://x/W> <http://y/cap> \"90000\"^^<http://www.w3.org/2001/XMLSchema#int> .");
+        let t =
+            one("<http://x/W> <http://y/cap> \"90000\"^^<http://www.w3.org/2001/XMLSchema#int> .");
         let Object::Literal(lit) = t.object else {
             panic!("expected literal")
         };

@@ -32,8 +32,7 @@ impl PrefixMap {
 
     /// Register `prefix:` → `namespace`. Re-inserting a prefix replaces it.
     pub fn insert(&mut self, prefix: &str, namespace: &str) {
-        self.by_prefix
-            .insert(prefix.into(), namespace.into());
+        self.by_prefix.insert(prefix.into(), namespace.into());
         self.namespaces.retain(|(_, p)| p.as_ref() != prefix);
         self.namespaces.push((namespace.into(), prefix.into()));
         // Longest namespace wins on compression ties.
@@ -70,9 +69,7 @@ impl PrefixMap {
 
     /// Iterate `(prefix, namespace)` pairs in insertion-independent order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
-        self.by_prefix
-            .iter()
-            .map(|(p, n)| (p.as_ref(), n.as_ref()))
+        self.by_prefix.iter().map(|(p, n)| (p.as_ref(), n.as_ref()))
     }
 }
 

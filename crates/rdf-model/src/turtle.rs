@@ -38,7 +38,11 @@ pub struct TurtleParseError {
 
 impl fmt::Display for TurtleParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Turtle parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "Turtle parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -316,9 +320,7 @@ impl<'a> TurtleParser<'a> {
         loop {
             match self.bump() {
                 Some('>') => break,
-                Some(c) if c.is_whitespace() => {
-                    return Err(self.error("whitespace inside IRI"))
-                }
+                Some(c) if c.is_whitespace() => return Err(self.error("whitespace inside IRI")),
                 Some(c) => iri.push(c),
                 None => return Err(self.error("unterminated IRI")),
             }
@@ -523,7 +525,9 @@ x:Music_Band y:hasName "MCA_Band" ;
             panic!("expected literal");
         };
         assert_eq!(year.lexical(), "1994");
-        assert!(matches!(year.suffix(), LiteralSuffix::Datatype(dt) if dt.as_str().ends_with("integer")));
+        assert!(
+            matches!(year.suffix(), LiteralSuffix::Datatype(dt) if dt.as_str().ends_with("integer"))
+        );
     }
 
     #[test]
@@ -536,7 +540,9 @@ ex:s a ex:Klass ;
         let triples = parse_turtle(doc).unwrap();
         assert_eq!(triples.len(), 4);
         assert_eq!(triples[0].predicate, Iri::new(RDF_TYPE));
-        assert!(triples[1..].iter().all(|t| t.predicate == Iri::new("http://ex/knows")));
+        assert!(triples[1..]
+            .iter()
+            .all(|t| t.predicate == Iri::new("http://ex/knows")));
     }
 
     #[test]
@@ -604,7 +610,8 @@ ex:a ex:label "London"@en-GB ;
 
     #[test]
     fn equivalent_to_ntriples_for_shared_subset() {
-        let nt = "<http://ex/a> <http://ex/p> <http://ex/b> .\n<http://ex/a> <http://ex/q> \"lit\" .";
+        let nt =
+            "<http://ex/a> <http://ex/p> <http://ex/b> .\n<http://ex/a> <http://ex/q> \"lit\" .";
         let from_nt = crate::ntriples::parse_ntriples(nt).unwrap();
         let from_ttl = parse_turtle(nt).unwrap();
         assert_eq!(from_nt, from_ttl);
@@ -614,9 +621,6 @@ ex:a ex:label "London"@en-GB ;
     fn dotted_local_names() {
         let doc = "@prefix ex: <http://ex/> .\nex:a.b ex:p ex:c .";
         let triples = parse_turtle(doc).unwrap();
-        assert_eq!(
-            triples[0].subject.dictionary_key(),
-            "http://ex/a.b"
-        );
+        assert_eq!(triples[0].subject.dictionary_key(), "http://ex/a.b");
     }
 }

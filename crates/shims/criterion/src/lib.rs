@@ -156,9 +156,7 @@ impl Criterion {
     /// often-expensive setup of skipped groups is skipped too).
     pub fn from_args() -> Self {
         Self {
-            filter: std::env::args()
-                .skip(1)
-                .find(|arg| !arg.starts_with('-')),
+            filter: std::env::args().skip(1).find(|arg| !arg.starts_with('-')),
         }
     }
 

@@ -471,7 +471,11 @@ fn parse_quantifier(chars: &[char], pos: &mut usize, atom: RegexNode) -> RegexNo
                 while chars[*pos].is_ascii_digit() {
                     *pos += 1;
                 }
-                chars[start..*pos].iter().collect::<String>().parse().unwrap()
+                chars[start..*pos]
+                    .iter()
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
             };
             let min = read_number(pos);
             let max = if chars[*pos] == ',' {
@@ -537,8 +541,8 @@ impl Strategy for &'static str {
 /// Everything test files glob-import.
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
-        proptest, Any, BoxedStrategy, Just, ProptestConfig, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, BoxedStrategy, Just, ProptestConfig, Strategy,
     };
 }
 
@@ -596,7 +600,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }
@@ -605,11 +611,7 @@ macro_rules! prop_assert_ne {
 /// Exists so the `proptest!` expansion gets the closure's argument type
 /// from inference instead of an explicit annotation.
 #[doc(hidden)]
-pub fn run_case<S, F>(
-    strategy: &S,
-    rng: &mut TestRng,
-    body: F,
-) -> Result<(), TestCaseError>
+pub fn run_case<S, F>(strategy: &S, rng: &mut TestRng, body: F) -> Result<(), TestCaseError>
 where
     S: Strategy,
     F: FnOnce(S::Value) -> Result<(), TestCaseError>,
@@ -694,7 +696,9 @@ mod tests {
             assert!(printable.chars().all(|c| (' '..='~').contains(&c)));
 
             let with_newline = Strategy::sample(&"[ -~\\n]{0,120}", &mut rng);
-            assert!(with_newline.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+            assert!(with_newline
+                .chars()
+                .all(|c| (' '..='~').contains(&c) || c == '\n'));
         }
     }
 

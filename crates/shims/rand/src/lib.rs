@@ -189,7 +189,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 50-element shuffle staying sorted is ~impossible");
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle staying sorted is ~impossible"
+        );
         assert!(v.choose(&mut rng).is_some());
         let empty: [u32; 0] = [];
         assert!(empty.choose(&mut rng).is_none());

@@ -89,7 +89,7 @@ impl fmt::Display for TriplePattern {
 }
 
 /// The SELECT projection: `*` or an explicit variable list.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub enum Projection {
     /// `SELECT *` — every variable of the pattern, in first-occurrence order.
     #[default]
@@ -99,7 +99,7 @@ pub enum Projection {
 }
 
 /// A parsed `SELECT … WHERE { … }` query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SelectQuery {
     /// Projection list.
     pub projection: Projection,

@@ -51,7 +51,11 @@ impl fmt::Display for SparqlError {
             SparqlErrorKind::Syntax => "syntax error",
             SparqlErrorKind::Unsupported => "unsupported feature",
         };
-        write!(f, "SPARQL {kind} at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "SPARQL {kind} at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 

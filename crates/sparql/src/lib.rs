@@ -18,12 +18,14 @@
 //! [`SparqlErrorKind::Unsupported`] rather than mis-parsed.
 
 pub mod ast;
+pub mod canonical;
 pub mod error;
 pub mod parser;
 pub mod printer;
 pub mod token;
 
 pub use ast::{Projection, SelectQuery, TermPattern, TriplePattern};
+pub use canonical::canonicalize;
 pub use error::{SparqlError, SparqlErrorKind};
 pub use parser::parse_select;
 pub use printer::to_sparql;

@@ -28,9 +28,27 @@ const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
 
 /// Keywords that are valid SPARQL but outside the paper's fragment.
 const UNSUPPORTED_KEYWORDS: &[&str] = &[
-    "FILTER", "OPTIONAL", "UNION", "GRAPH", "GROUP", "ORDER", "LIMIT", "OFFSET", "HAVING", "BIND",
-    "VALUES", "MINUS", "SERVICE", "CONSTRUCT", "ASK", "DESCRIBE", "INSERT", "DELETE", "EXISTS",
-    "REDUCED", "FROM",
+    "FILTER",
+    "OPTIONAL",
+    "UNION",
+    "GRAPH",
+    "GROUP",
+    "ORDER",
+    "LIMIT",
+    "OFFSET",
+    "HAVING",
+    "BIND",
+    "VALUES",
+    "MINUS",
+    "SERVICE",
+    "CONSTRUCT",
+    "ASK",
+    "DESCRIBE",
+    "INSERT",
+    "DELETE",
+    "EXISTS",
+    "REDUCED",
+    "FROM",
 ];
 
 /// Parse a `SELECT … WHERE { … }` query.
@@ -59,16 +77,18 @@ fn scan_unsupported_keywords(input: &str) -> Result<(), SparqlError> {
     let mut chars = input.chars().peekable();
 
     let flush = |word: &mut String,
-                     is_name: &mut bool,
-                     line: usize,
-                     column: usize|
+                 is_name: &mut bool,
+                 line: usize,
+                 column: usize|
      -> Result<(), SparqlError> {
         let upper = word.to_ascii_uppercase();
         if !*is_name && UNSUPPORTED_KEYWORDS.contains(&upper.as_str()) {
             return Err(SparqlError::unsupported(
                 line,
                 column,
-                format!("'{upper}' is outside the SELECT/WHERE fragment the engine supports (paper §1)"),
+                format!(
+                    "'{upper}' is outside the SELECT/WHERE fragment the engine supports (paper §1)"
+                ),
             ));
         }
         word.clear();
@@ -264,7 +284,9 @@ impl Parser {
     fn prologue(&mut self) -> Result<(), SparqlError> {
         while self.at_keyword("PREFIX") || self.at_keyword("BASE") {
             if self.at_keyword("BASE") {
-                return Err(self.unsupported("'BASE' declarations are not supported; use full IRIs"));
+                return Err(
+                    self.unsupported("'BASE' declarations are not supported; use full IRIs")
+                );
             }
             self.bump();
             let Some(Spanned {
@@ -348,10 +370,7 @@ impl Parser {
         Ok(patterns)
     }
 
-    fn triples_same_subject(
-        &mut self,
-        out: &mut Vec<TriplePattern>,
-    ) -> Result<(), SparqlError> {
+    fn triples_same_subject(&mut self, out: &mut Vec<TriplePattern>) -> Result<(), SparqlError> {
         let subject = self.term()?;
         if matches!(subject, TermPattern::Literal(_)) {
             return Err(self.syntax("literals cannot appear in subject position"));
@@ -582,15 +601,18 @@ mod tests {
 
     #[test]
     fn iri_subject_and_object_constants() {
-        let q = parse_select("SELECT ?o WHERE { <http://x/A> <http://p> ?o . ?o <http://q> <http://x/B> . }")
-            .unwrap();
+        let q = parse_select(
+            "SELECT ?o WHERE { <http://x/A> <http://p> ?o . ?o <http://q> <http://x/B> . }",
+        )
+        .unwrap();
         assert_eq!(q.patterns[0].subject, TermPattern::iri("http://x/A"));
         assert_eq!(q.patterns[1].object, TermPattern::iri("http://x/B"));
     }
 
     #[test]
     fn base_is_unsupported() {
-        let err = parse_select("BASE <http://x/> SELECT * WHERE { ?s <http://p> ?o . }").unwrap_err();
+        let err =
+            parse_select("BASE <http://x/> SELECT * WHERE { ?s <http://p> ?o . }").unwrap_err();
         assert_eq!(err.kind, SparqlErrorKind::Unsupported);
     }
 

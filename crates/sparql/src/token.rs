@@ -167,8 +167,7 @@ impl<'a> Lexer<'a> {
                     match self.peek() {
                         Some('@') => {
                             self.bump();
-                            let lang =
-                                self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
+                            let lang = self.take_while(|c| c.is_ascii_alphanumeric() || c == '-');
                             if lang.is_empty() {
                                 return Err(self.error("empty language tag"));
                             }
@@ -197,7 +196,12 @@ impl<'a> Lexer<'a> {
                 }
                 c if c.is_ascii_digit() || c == '-' || c == '+' => {
                     let body = self.take_while(|c| {
-                        c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'
+                        c.is_ascii_digit()
+                            || c == '.'
+                            || c == '-'
+                            || c == '+'
+                            || c == 'e'
+                            || c == 'E'
                     });
                     // A trailing "." is the statement terminator, not part of
                     // the number; give it back to the stream as Dot tokens.
@@ -205,7 +209,11 @@ impl<'a> Lexer<'a> {
                     let dots_trimmed = body.len() - trimmed.len();
                     out.push(Spanned {
                         token: numeric_token(trimmed, || {
-                            SparqlError::syntax(line, column, format!("bad numeric literal '{body}'"))
+                            SparqlError::syntax(
+                                line,
+                                column,
+                                format!("bad numeric literal '{body}'"),
+                            )
                         })?,
                         line,
                         column,
@@ -307,9 +315,9 @@ impl<'a> Lexer<'a> {
                     Some('"') => s.push('"'),
                     Some('\'') => s.push('\''),
                     Some('\\') => s.push('\\'),
-                    Some('u') | Some('U') => {
-                        return Err(self.error("\\u escapes in SPARQL literals are not supported; use the raw character"))
-                    }
+                    Some('u') | Some('U') => return Err(self.error(
+                        "\\u escapes in SPARQL literals are not supported; use the raw character",
+                    )),
                     Some(c) => return Err(self.error(format!("invalid escape '\\{c}'"))),
                     None => return Err(self.error("unterminated string")),
                 },
@@ -345,7 +353,11 @@ mod tests {
     use super::*;
 
     fn toks(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|s| s.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .collect()
     }
 
     #[test]

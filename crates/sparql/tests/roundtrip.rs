@@ -43,27 +43,28 @@ fn arb_pattern() -> impl Strategy<Value = TriplePattern> {
 }
 
 fn arb_query() -> impl Strategy<Value = SelectQuery> {
-    (prop::collection::vec(arb_pattern(), 1..12), any::<bool>()).prop_map(
-        |(patterns, distinct)| {
-            // Projection: Star, or a prefix of the pattern variables.
-            let query = SelectQuery {
-                projection: Projection::Star,
-                distinct,
-                patterns,
-            };
-            let vars: Vec<Box<str>> = query
-                .pattern_variables()
-                .into_iter()
-                .map(Into::into)
-                .collect();
-            let projection = if vars.is_empty() {
-                Projection::Star
-            } else {
-                Projection::Variables(vars.into_iter().take(3).collect())
-            };
-            SelectQuery { projection, ..query }
-        },
-    )
+    (prop::collection::vec(arb_pattern(), 1..12), any::<bool>()).prop_map(|(patterns, distinct)| {
+        // Projection: Star, or a prefix of the pattern variables.
+        let query = SelectQuery {
+            projection: Projection::Star,
+            distinct,
+            patterns,
+        };
+        let vars: Vec<Box<str>> = query
+            .pattern_variables()
+            .into_iter()
+            .map(Into::into)
+            .collect();
+        let projection = if vars.is_empty() {
+            Projection::Star
+        } else {
+            Projection::Variables(vars.into_iter().take(3).collect())
+        };
+        SelectQuery {
+            projection,
+            ..query
+        }
+    })
 }
 
 proptest! {

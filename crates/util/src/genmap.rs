@@ -57,6 +57,17 @@ impl<K: Eq + Hash + Copy, V> GenerationalMap<K, V> {
         self.hot.get(key)
     }
 
+    /// Look up `key` mutably, promoting a cold hit back into the hot
+    /// generation (same residency semantics as [`Self::get`]). Used by
+    /// callers that store collision *chains* as values and need to extend
+    /// them in place.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if let Some(entry) = self.cold.remove(key) {
+            self.hot.insert(*key, entry);
+        }
+        self.hot.get_mut(key)
+    }
+
     /// Promote `key` into the hot generation if resident; returns whether
     /// it is. For functions that must *return* a borrow: NLL cannot end a
     /// returned borrow early, so they check residency here and then
@@ -138,6 +149,18 @@ mod tests {
         assert_eq!(map.get(&1), Some(&10));
         assert_eq!(map.get(&3), None);
         assert_eq!(map.len(), 2);
+    }
+
+    #[test]
+    fn get_mut_promotes_and_allows_in_place_edits() {
+        let mut map: GenerationalMap<u32, Vec<u32>> = GenerationalMap::new(4);
+        map.insert(1, vec![10], |_| {});
+        // Rotate 1 into the cold generation.
+        map.insert(2, vec![20], |_| {});
+        map.insert(3, vec![30], |_| {});
+        map.get_mut(&1).expect("cold entry resident").push(11);
+        assert_eq!(map.get(&1), Some(&vec![10, 11]));
+        assert_eq!(map.get_mut(&99), None);
     }
 
     #[test]

@@ -35,7 +35,23 @@ macro_rules! impl_heap_size_for_copy {
 }
 
 impl_heap_size_for_copy!(
-    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool, char, ()
+    u8,
+    u16,
+    u32,
+    u64,
+    u128,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    i128,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
 );
 
 impl<T: HeapSize> HeapSize for Option<T> {
@@ -65,8 +81,7 @@ impl<T: HeapSize> HeapSize for Vec<T> {
 
 impl<T: HeapSize> HeapSize for Box<[T]> {
     fn heap_size(&self) -> usize {
-        self.len() * std::mem::size_of::<T>()
-            + self.iter().map(HeapSize::heap_size).sum::<usize>()
+        self.len() * std::mem::size_of::<T>() + self.iter().map(HeapSize::heap_size).sum::<usize>()
     }
 }
 

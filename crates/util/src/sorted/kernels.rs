@@ -178,10 +178,16 @@ pub fn intersect_into_at(level: KernelLevel, a: &[u32], b: &[u32], out: &mut Vec
         // capacity for every possible write; `dst` does not alias `a`/`b`.
         let n = unsafe {
             match level {
-                KernelLevel::Avx2 => {
-                    x86::intersect_avx2::<false>(a.as_ptr(), a.len(), b.as_ptr(), b.len(), out.as_mut_ptr())
+                KernelLevel::Avx2 => x86::intersect_avx2::<false>(
+                    a.as_ptr(),
+                    a.len(),
+                    b.as_ptr(),
+                    b.len(),
+                    out.as_mut_ptr(),
+                ),
+                _ => {
+                    x86::intersect_sse2(a.as_ptr(), a.len(), b.as_ptr(), b.len(), out.as_mut_ptr())
                 }
-                _ => x86::intersect_sse2(a.as_ptr(), a.len(), b.as_ptr(), b.len(), out.as_mut_ptr()),
             }
         };
         // SAFETY: the kernel initialized exactly `n <= capacity` elements.
@@ -242,9 +248,13 @@ pub fn intersect_in_place_at(level: KernelLevel, acc: &mut Vec<u32>, other: &[u3
         // register / spilled to the stack before the tail re-reads it).
         let n = unsafe {
             match level {
-                KernelLevel::Avx2 => {
-                    x86::intersect_avx2::<true>(p.cast_const(), acc.len(), other.as_ptr(), other.len(), p)
-                }
+                KernelLevel::Avx2 => x86::intersect_avx2::<true>(
+                    p.cast_const(),
+                    acc.len(),
+                    other.as_ptr(),
+                    other.len(),
+                    p,
+                ),
                 _ => x86::intersect_sse2(p.cast_const(), acc.len(), other.as_ptr(), other.len(), p),
             }
         };
@@ -490,8 +500,7 @@ mod x86 {
                 }
                 let mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as usize;
                 if mask != 0 {
-                    let perm =
-                        _mm256_loadu_si256(COMPACT8[mask].as_ptr() as *const __m256i);
+                    let perm = _mm256_loadu_si256(COMPACT8[mask].as_ptr() as *const __m256i);
                     let packed = _mm256_permutevar8x32_epi32(va, perm);
                     let count = mask.count_ones() as usize;
                     if EXACT {
@@ -778,5 +787,4 @@ mod x86 {
         }
         crate::sorted::scalar::is_subset(&needle[i..], &hay[j..])
     }
-
 }

@@ -315,10 +315,20 @@ mod tests {
         let expected: Vec<u32> = (0..100u32).filter(|x| x % 6 == 0).collect();
         assert_eq!(acc, expected);
         // Second call with dirty buffers must start clean.
-        assert!(intersect_many_into(&[&b, &a], &mut order, &mut acc, &mut scratch));
+        assert!(intersect_many_into(
+            &[&b, &a],
+            &mut order,
+            &mut acc,
+            &mut scratch
+        ));
         let evens_below_100: Vec<u32> = (0..100u32).filter(|x| x % 2 == 0).collect();
         assert_eq!(acc, evens_below_100);
-        assert!(!intersect_many_into::<u32>(&[], &mut order, &mut acc, &mut scratch));
+        assert!(!intersect_many_into::<u32>(
+            &[],
+            &mut order,
+            &mut acc,
+            &mut scratch
+        ));
         assert!(acc.is_empty());
     }
 

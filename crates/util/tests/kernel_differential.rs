@@ -94,12 +94,12 @@ fn check_level(level: KernelLevel, a: &[u32], b: &[u32]) -> Result<(), TestCaseE
 /// ranges set up dense (all-hit-ish) and sparse (all-miss-ish) regimes.
 fn list_strategy() -> impl Strategy<Value = Vec<u32>> {
     prop_oneof![
-        prop::collection::vec(0u32..40, 0..4),          // empty / singleton / tiny
-        prop::collection::vec(0u32..60, 2..11),         // straddles one SSE2 block
-        prop::collection::vec(0u32..200, 12..20),       // straddles SIMD_MIN_LEN (16)
-        prop::collection::vec(0u32..400, 56..72),       // multi-block, dense hits
+        prop::collection::vec(0u32..40, 0..4), // empty / singleton / tiny
+        prop::collection::vec(0u32..60, 2..11), // straddles one SSE2 block
+        prop::collection::vec(0u32..200, 12..20), // straddles SIMD_MIN_LEN (16)
+        prop::collection::vec(0u32..400, 56..72), // multi-block, dense hits
         prop::collection::vec(0u32..1_000_000, 56..72), // multi-block, sparse
-        prop::collection::vec(0u32..4000, 220..300),    // long, interleaved runs
+        prop::collection::vec(0u32..4000, 220..300), // long, interleaved runs
     ]
 }
 
@@ -190,9 +190,9 @@ fn crafted_adversarial_cases() {
         (vec![], vec![1]),
         (vec![5], vec![5]),
         (vec![5], vec![6]),
-        (evens.clone(), evens.clone()),    // identical: all-hit
-        (evens.clone(), odds.clone()),     // interleaved: all-miss
-        (evens, (64..128).collect()),      // disjoint ranges
+        (evens.clone(), evens.clone()), // identical: all-hit
+        (evens.clone(), odds.clone()),  // interleaved: all-miss
+        (evens, (64..128).collect()),   // disjoint ranges
     ];
     // Every length pair around the block sizes and the SIMD threshold…
     for a_len in [3usize, 4, 5, 7, 8, 9, 15, 16, 17, 31, 32, 33] {

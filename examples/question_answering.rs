@@ -93,7 +93,11 @@ fn main() {
             "  {size:>2} triple patterns → {} embeddings in {:.2?}{}",
             outcome.embedding_count,
             outcome.elapsed,
-            if outcome.timed_out() { " (timeout)" } else { "" }
+            if outcome.timed_out() {
+                " (timeout)"
+            } else {
+                ""
+            }
         );
     }
 }

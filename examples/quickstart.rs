@@ -43,7 +43,11 @@ fn main() {
         "{} embeddings in {:?} ({})",
         outcome.embedding_count,
         outcome.elapsed,
-        if outcome.timed_out() { "timed out" } else { "complete" },
+        if outcome.timed_out() {
+            "timed out"
+        } else {
+            "complete"
+        },
     );
 
     // Pretty-print bindings with the paper's prefixes.
@@ -57,5 +61,8 @@ fn main() {
         println!("{}", compact.join("\t| "));
     }
 
-    assert_eq!(outcome.embedding_count, paper::PAPER_QUERY_EMBEDDINGS as u128);
+    assert_eq!(
+        outcome.embedding_count,
+        paper::PAPER_QUERY_EMBEDDINGS as u128
+    );
 }

@@ -50,7 +50,12 @@ fn max_results_caps_bindings_uniformly() {
         let capped = engine
             .execute_sparql(&query(), &ExecOptions::new().with_max_results(1))
             .unwrap();
-        assert_eq!(capped.embedding_count, 2, "{} count unaffected", engine.name());
+        assert_eq!(
+            capped.embedding_count,
+            2,
+            "{} count unaffected",
+            engine.name()
+        );
         assert_eq!(capped.bindings.len(), 1, "{} rows capped", engine.name());
     }
 }
@@ -62,7 +67,8 @@ fn distinct_collapses_rows_uniformly() {
             .execute_sparql(&distinct_query(), &ExecOptions::new())
             .unwrap();
         assert_eq!(
-            outcome.embedding_count, 2,
+            outcome.embedding_count,
+            2,
             "{} keeps bag-semantics count",
             engine.name()
         );
@@ -100,7 +106,12 @@ fn threads_option_is_accepted_by_all_engines() {
         let par = engine
             .execute_sparql(&query(), &ExecOptions::new().with_threads(4))
             .unwrap();
-        assert_eq!(seq.embedding_count, par.embedding_count, "{}", engine.name());
+        assert_eq!(
+            seq.embedding_count,
+            par.embedding_count,
+            "{}",
+            engine.name()
+        );
         let mut a = seq.bindings.clone();
         let mut b = par.bindings.clone();
         a.sort();

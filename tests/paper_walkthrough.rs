@@ -6,9 +6,7 @@ use amber_index::IndexSet;
 use amber_multigraph::paper::{
     paper_graph, paper_query_text, paper_triples, PAPER_QUERY_EMBEDDINGS, PREFIX_X,
 };
-use amber_multigraph::{
-    Direction, EdgeTypeId, MultiEdge, QueryGraph, VertexId, VertexSignature,
-};
+use amber_multigraph::{Direction, EdgeTypeId, MultiEdge, QueryGraph, VertexId, VertexSignature};
 use rdf_model::{parse_ntriples, write_ntriples};
 
 #[test]

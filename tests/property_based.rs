@@ -14,7 +14,11 @@ fn arb_triple() -> impl Strategy<Value = Triple> {
     let entity = (0u8..8).prop_map(|i| format!("http://t/e{i}"));
     let predicate = (0u8..4).prop_map(|i| format!("http://t/p{i}"));
     let literal = (0u8..4).prop_map(|i| format!("lit{i}"));
-    (entity.clone(), predicate, prop_oneof![entity, literal.prop_map(|l| format!("\"{l}\""))])
+    (
+        entity.clone(),
+        predicate,
+        prop_oneof![entity, literal.prop_map(|l| format!("\"{l}\""))],
+    )
         .prop_map(|(s, p, o)| {
             if let Some(lex) = o.strip_prefix('"') {
                 Triple::new(

@@ -119,7 +119,12 @@ fn long_chain_query() {
     // A 40-deep path query over a cycle graph: recursion depth stress.
     let n = 60;
     let doc: String = (0..n)
-        .map(|i| format!("<http://x/n{i}> <http://p/next> <http://x/n{}> .\n", (i + 1) % n))
+        .map(|i| {
+            format!(
+                "<http://x/n{i}> <http://p/next> <http://x/n{}> .\n",
+                (i + 1) % n
+            )
+        })
         .collect();
     let rdf = Arc::new(RdfGraph::parse_ntriples(&doc).unwrap());
     let mut patterns = String::new();
@@ -168,7 +173,9 @@ fn duplicate_patterns_do_not_double_count() {
     // And the same across baselines.
     let rdf = Arc::new(paper_graph());
     for engine in all_engines(rdf) {
-        let out = engine.execute_sparql(&doubled, &ExecOptions::new()).unwrap();
+        let out = engine
+            .execute_sparql(&doubled, &ExecOptions::new())
+            .unwrap();
         assert_eq!(out.embedding_count, a.embedding_count, "{}", engine.name());
     }
 }

@@ -54,7 +54,11 @@ fn dbpedia_scale_5_table1_style() {
     let options = ExecOptions::benchmark(Duration::from_secs(60));
     let mut answered = 0;
     for q in &queries {
-        if !engine.execute_query(&q.query, &options).unwrap().timed_out() {
+        if !engine
+            .execute_query(&q.query, &options)
+            .unwrap()
+            .timed_out()
+        {
             answered += 1;
         }
     }
@@ -86,8 +90,8 @@ fn batch_session_at_scale_with_evicting_cache() {
         .collect();
 
     for cache_capacity in [0usize, 8, 4096] {
-        let options = ExecOptions::benchmark(Duration::from_secs(15))
-            .with_candidate_cache(cache_capacity);
+        let options =
+            ExecOptions::benchmark(Duration::from_secs(15)).with_candidate_cache(cache_capacity);
         let batch = engine.execute_batch(&queries, &options);
         assert_eq!(batch.stats.errors, 0, "capacity {cache_capacity}");
         // The complex half of the stream has the paper's heavy tail (the

@@ -36,8 +36,7 @@ x:Blake_Fielder-Civil y:livedIn x:United_States .
 #[test]
 fn turtle_and_ntriples_loads_agree() {
     let from_turtle = AmberEngine::load_turtle(&paper_turtle()).expect("turtle parses");
-    let from_nt =
-        AmberEngine::load_ntriples(&write_ntriples(&paper_triples())).expect("nt parses");
+    let from_nt = AmberEngine::load_ntriples(&write_ntriples(&paper_triples())).expect("nt parses");
     assert_eq!(from_turtle.rdf().stats(), from_nt.rdf().stats());
 
     let a = from_turtle

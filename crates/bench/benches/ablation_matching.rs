@@ -93,10 +93,7 @@ fn ordering_ablation(c: &mut Criterion) {
                     ComponentMatcher::new(qg, rdf.graph(), &index, &component)
                 };
                 let deadline = Deadline::new(Some(Duration::from_millis(250)));
-                let result = matcher.run(&MatchConfig {
-                    deadline: &deadline,
-                    solution_cap: Some(0),
-                });
+                let result = matcher.run(&MatchConfig::new(&deadline, Some(0)));
                 black_box(result.count);
             }
         }

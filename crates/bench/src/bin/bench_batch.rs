@@ -8,7 +8,7 @@
 //!
 //! Usage: `cargo run --release -p amber_bench --bin bench_batch [out.json]`
 
-use amber::{AmberEngine, ExecOptions};
+use amber::{AmberEngine, CancelToken, ExecOptions};
 use amber_datagen::synthetic::{self, SyntheticConfig};
 use amber_datagen::{Benchmark, QueryShape, WorkloadConfig, WorkloadGenerator};
 use amber_multigraph::{EdgeTypeId, RdfGraph};
@@ -42,6 +42,11 @@ struct StreamResult {
     plan_speedup: f64,
     /// Plan cache alone vs the plan subsystem off.
     plan_only_speedup: f64,
+    /// Batch with the PR-6 resource governor armed (memory budget + live
+    /// cancel token) — measures the robustness plumbing's overhead.
+    governed_ms: f64,
+    /// `batch_ms / governed_ms`: ≥ 0.98 means the governor costs < 2%.
+    governed_speedup: f64,
     plan_hit_rate: f64,
     result_hit_rate: f64,
     cache_hit_rate: f64,
@@ -150,6 +155,13 @@ fn run_stream(
     let options_plan = options_planonly
         .clone()
         .with_result_cache(ExecOptions::DEFAULT_RESULT_CACHE_CAPACITY);
+    // The governed mode: same caches as `options`, plus a (never-hit)
+    // 4 GiB memory budget and a live (never-fired) cancel token — every
+    // cooperative checkpoint pays the poll, no query ever degrades.
+    let options_governed = options
+        .clone()
+        .with_memory_budget(4 << 30)
+        .with_cancel(CancelToken::new());
 
     // Warm the process (page cache, branch predictors, lazy index pages)
     // outside the measured window, identically for both modes.
@@ -166,6 +178,7 @@ fn run_stream(
     let mut batch_nocache_ms = f64::INFINITY;
     let mut batch_plan_ms = f64::INFINITY;
     let mut batch_planonly_ms = f64::INFINITY;
+    let mut governed_ms = f64::INFINITY;
     let mut batch = None;
     let mut batch_plan = None;
     for _ in 0..5 {
@@ -206,6 +219,18 @@ fn run_stream(
         batch_plan_ms = batch_plan_ms.min(sw.elapsed_ms());
         assert_eq!(plan.stats.errors, 0, "{name}: plan batch errored");
         batch_plan = Some(plan);
+
+        // Governed batch: the answers must be untouched (no degradation
+        // fired), only the checkpoint overhead is being measured.
+        let sw = Stopwatch::start();
+        let governed = engine.execute_batch(&stream, &options_governed);
+        governed_ms = governed_ms.min(sw.elapsed_ms());
+        assert_eq!(governed.stats.errors, 0, "{name}: governed batch errored");
+        assert_eq!(
+            governed.stats.completed,
+            stream.len(),
+            "{name}: a 4 GiB budget must never degrade these streams"
+        );
     }
     let batch = batch.expect("at least one batch round ran");
     let batch_plan = batch_plan.expect("at least one plan round ran");
@@ -223,6 +248,8 @@ fn run_stream(
         speedup: sequential_ms / batch_ms,
         plan_speedup: batch_ms / batch_plan_ms,
         plan_only_speedup: batch_ms / batch_planonly_ms,
+        governed_ms,
+        governed_speedup: batch_ms / governed_ms,
         plan_hit_rate: batch_plan.stats.plans.plans.hit_rate(),
         result_hit_rate: batch_plan.stats.plans.results.hit_rate(),
         cache_hit_rate: batch.stats.cache.hit_rate(),
@@ -279,7 +306,9 @@ fn main() {
             "    {{\"name\": \"{}\", \"distinct\": {}, \"repeats\": {}, \"queries\": {}, \
              \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"batch_nocache_ms\": {:.3}, \
              \"batch_plan_ms\": {:.3}, \"batch_planonly_ms\": {:.3}, \
+             \"governed_ms\": {:.3}, \
              \"speedup\": {:.3}, \"plan_speedup\": {:.3}, \"plan_only_speedup\": {:.3}, \
+             \"governed_speedup\": {:.3}, \
              \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
              \"cache_hit_rate\": {:.4}, \"cache_entries\": {}, \
              \"cache_evictions\": {}, \"seed_hit_rate\": {:.4}, \"seed_entries\": {}, \
@@ -293,9 +322,11 @@ fn main() {
             r.batch_nocache_ms,
             r.batch_plan_ms,
             r.batch_planonly_ms,
+            r.governed_ms,
             r.speedup,
             r.plan_speedup,
             r.plan_only_speedup,
+            r.governed_speedup,
             r.plan_hit_rate,
             r.result_hit_rate,
             r.cache_hit_rate,
@@ -355,5 +386,20 @@ fn main() {
         constant_heavy.batch_planonly_ms,
         constant_heavy.plan_hit_rate * 100.0,
         constant_heavy.result_hit_rate * 100.0,
+    );
+
+    // PR-6 gate: an armed-but-idle governor (memory budget + cancel token
+    // polled at every checkpoint, no fault ever firing) must cost < 2% on
+    // the constant-heavy stream — the same noise floor as the batching
+    // gate, so a genuine slowdown in the checkpoint path trips it while
+    // CI wall-clock jitter does not.
+    assert!(
+        constant_heavy.governed_speedup >= NOISE_FLOOR,
+        "lubm_complex_repeat governed overhead regressed: governed {:.3} ms vs \
+         batch {:.3} ms (ratio {:.3} < {NOISE_FLOOR}) — the cooperative \
+         checkpoint (cancel poll + governor measurement) got too expensive",
+        constant_heavy.governed_ms,
+        constant_heavy.batch_ms,
+        constant_heavy.governed_speedup,
     );
 }

@@ -206,6 +206,9 @@ fn check_batch(checks: &mut Vec<Check>, baseline: &Json, fresh: &Json) {
                 "seed_hit_rate",
                 "plan_hit_rate",
                 "result_hit_rate",
+                // PR-6 overhead cell: batch_ms / governed_ms, < 2% governor
+                // overhead keeps it ≥ 0.98 (also hard-asserted in-binary).
+                "governed_speedup",
             ] {
                 check_metric(
                     checks,

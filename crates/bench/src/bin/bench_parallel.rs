@@ -101,14 +101,12 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
     let matcher = ComponentMatcher::new(qg, engine.rdf().graph(), engine.index(), &components[0]);
 
     let deadline = Deadline::unlimited();
-    let match_config = MatchConfig {
-        deadline: &deadline,
-        solution_cap: Some(0), // counting mode: scheduling is the variable
-    };
+    // Counting mode: scheduling is the variable.
+    let match_config = MatchConfig::new(&deadline, Some(0));
 
     // Ground truth: exact count, total work, per-seed work.
     let sequential = matcher.run(&match_config);
-    assert!(!sequential.timed_out);
+    assert!(!sequential.timed_out());
     assert_eq!(
         sequential.count,
         config.expected_embeddings(),
@@ -145,7 +143,8 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
                 &match_config,
                 &sequential_options,
                 &mut session,
-            );
+            )
+            .expect("sequential round must not trap a panic");
             assert_eq!(r.count, sequential.count);
         }
         sequential_wall = sequential_wall.min(sw.elapsed_ms());
@@ -154,7 +153,8 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
         let sw = Stopwatch::start();
         for _ in 0..REPEATS {
             let r =
-                run_component_in_session(&matcher, &match_config, &chunked_options, &mut session);
+                run_component_in_session(&matcher, &match_config, &chunked_options, &mut session)
+                    .expect("chunked round must not trap a panic");
             assert_eq!(r.count, sequential.count);
         }
         chunked_wall = chunked_wall.min(sw.elapsed_ms());
@@ -162,7 +162,8 @@ fn run_workload(name: &'static str, config: &SkewedConfig) -> WorkloadResult {
         let sw = Stopwatch::start();
         for _ in 0..REPEATS {
             let r =
-                run_component_in_session(&matcher, &match_config, &pool_options, &mut pool_session);
+                run_component_in_session(&matcher, &match_config, &pool_options, &mut pool_session)
+                    .expect("pool round must not trap a panic");
             assert_eq!(r.count, sequential.count);
             assert_eq!(r.nodes, sequential.nodes, "{name}: exact work partition");
             pool_runs += 1;

@@ -17,6 +17,7 @@
 use crate::seeds::SeedCache;
 use amber_index::{IndexSet, NeighborhoodIndex};
 use amber_multigraph::{DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId};
+use amber_util::fault::{self, FaultPoint};
 use amber_util::{sorted, GenerationalMap};
 
 /// The per-vertex constraint computed by `ProcessVertex`.
@@ -361,10 +362,16 @@ impl CandidateCache {
             return self.store.hot_get(&key).expect("promoted entry is hot");
         }
         self.misses += 1;
+        // Chaos hooks: panic/delay faults fire at the index walk and the
+        // store mutation (alloc-fail/storm signals are interpreted only at
+        // the matcher/pool points, so the returned signals are dropped).
+        let _ = fault::inject(FaultPoint::IndexProbe);
         let computed: Box<[VertexId]> = n.neighbors(v, direction, required).into_boxed_slice();
         self.result_bytes += computed.len() * std::mem::size_of::<VertexId>();
         let result_bytes = &mut self.result_bytes;
+        let _ = fault::inject(FaultPoint::CacheInsert);
         self.store.insert(key, computed, |dropped| {
+            let _ = fault::inject(FaultPoint::CacheEvict);
             *result_bytes =
                 result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
         })

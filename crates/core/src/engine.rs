@@ -2,7 +2,8 @@
 
 use crate::embedding::{materialize_bindings, total_count};
 use crate::error::EngineError;
-use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig};
+use crate::governor::MemoryGovernor;
+use crate::matcher::{Abort, ComponentMatch, ComponentMatcher, MatchConfig};
 use crate::options::ExecOptions;
 use crate::parallel::run_component_in_session;
 use crate::plan::{
@@ -272,7 +273,23 @@ impl AmberEngine {
         let sw = Stopwatch::start();
         session.bind_graph(self.graph_token());
         session.begin_query();
-        let outcome = self.execute_query_in_session(query, options, session, &sw);
+        // Top-level panic quarantine: plan/prep construction (including
+        // session seed probes) runs outside the matcher-level traps, so a
+        // panic anywhere in this query must still poison only this query —
+        // the session and engine stay usable for the next one.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_query_in_session(query, options, session, &sw)
+        }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                session.record_trapped_panic();
+                Err(EngineError::Internal {
+                    task: "query execution".to_string(),
+                    payload: amber_exec::payload_message(&*payload),
+                })
+            }
+        };
         session.end_query();
         outcome
     }
@@ -356,10 +373,18 @@ impl AmberEngine {
             session.result_cache_mut().note_miss();
         }
         let outcome = self.run_plan(plan, variables, options, session, sw)?;
+        let shed = session.result_cache_shed();
         let results = session.result_cache_mut();
-        if !results_enabled || outcome.timed_out() {
-            // Partial (deadline-expired) outcomes are *bypassed*, never
-            // stored: a truncated count must not be served to a repeat.
+        if shed {
+            // The memory governor reached its first ladder rung during
+            // this query: drop retained outcomes and stop storing for the
+            // rest of the query.
+            results.shed();
+        }
+        if !results_enabled || shed || !outcome.status.is_complete() {
+            // Partial outcomes (timeout, cancellation, blown budget) are
+            // *bypassed*, never stored: a truncated count must not be
+            // served to a repeat. Shedding bypasses too.
             results.note_bypass();
         } else {
             results.store(plan, options, Arc::new(outcome.clone()));
@@ -394,13 +419,27 @@ impl AmberEngine {
         let sw = Stopwatch::start();
         session.bind_graph(self.graph_token());
         session.begin_query();
-        let outcome = self.execute_plan_with_result_cache(
-            plan,
-            plan.variables().to_vec(),
-            options,
-            session,
-            &sw,
-        );
+        // Same top-level quarantine as `execute_in_session`: a panic while
+        // serving a prepared plan poisons only this execution.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.execute_plan_with_result_cache(
+                plan,
+                plan.variables().to_vec(),
+                options,
+                session,
+                &sw,
+            )
+        }));
+        let outcome = match caught {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                session.record_trapped_panic();
+                Err(EngineError::Internal {
+                    task: "prepared execution".to_string(),
+                    payload: amber_exec::payload_message(&*payload),
+                })
+            }
+        };
         session.end_query();
         outcome
     }
@@ -453,41 +492,57 @@ impl AmberEngine {
         } else {
             options.max_results
         };
+        let governor = options.memory_budget.map(MemoryGovernor::new);
         let config = MatchConfig {
             deadline: &deadline,
             solution_cap,
+            cancel: options.cancel.as_ref(),
+            governor: governor.as_ref(),
         };
 
         let mut matches: Vec<ComponentMatch> = Vec::new();
-        let mut timed_out = false;
+        let mut abort: Option<Abort> = None;
         for prep in components {
             let matcher = ComponentMatcher::from_prep(qg, self.rdf.graph(), &self.index, prep);
-            let result = run_component_in_session(&matcher, &config, options, session);
-            timed_out |= result.timed_out;
+            let result = run_component_in_session(&matcher, &config, options, session)?;
+            abort = abort.max(result.abort);
             let empty = result.count == 0;
             matches.push(result);
-            if empty || timed_out {
+            if empty || abort.is_some() {
                 break; // zero answers or blown budget: no need to continue
             }
         }
 
+        // Apply the governor's ladder to the session after the searches:
+        // probe caches are shed here (they survive the query otherwise),
+        // result-cache shedding is flagged for the store site, and the
+        // steps feed the robustness statistics.
+        if let Some(governor) = &governor {
+            session.apply_governor(governor);
+        }
+        if abort == Some(Abort::Cancelled) {
+            session.record_cancellation();
+        }
+
+        let partial = abort.is_some();
         let embedding_count = if matches.iter().any(|m| m.count == 0) {
             0
         } else {
             total_count(&matches)
         };
 
-        let bindings = if options.count_only || timed_out || embedding_count == 0 {
+        let bindings = if options.count_only || partial || embedding_count == 0 {
             Vec::new()
         } else {
             materialize_bindings(qg, &self.rdf, &matches, options.max_results, qg.distinct())
         };
 
         Ok(QueryOutcome {
-            status: if timed_out {
-                QueryStatus::TimedOut
-            } else {
-                QueryStatus::Completed
+            status: match abort {
+                None => QueryStatus::Completed,
+                Some(Abort::TimedOut) => QueryStatus::TimedOut,
+                Some(Abort::Cancelled) => QueryStatus::Cancelled,
+                Some(Abort::BudgetExceeded) => QueryStatus::BudgetExceeded,
             },
             embedding_count,
             variables,
@@ -618,8 +673,12 @@ impl AmberEngine {
         for i in 0..count {
             let outcome = execute(self, i, options, session);
             match &outcome {
-                Ok(o) if o.timed_out() => stats.timed_out += 1,
-                Ok(_) => stats.completed += 1,
+                Ok(o) => match o.status {
+                    QueryStatus::Completed => stats.completed += 1,
+                    QueryStatus::TimedOut => stats.timed_out += 1,
+                    QueryStatus::Cancelled => stats.cancelled += 1,
+                    QueryStatus::BudgetExceeded => stats.budget_exceeded += 1,
+                },
                 Err(_) => stats.errors += 1,
             }
             outcomes.push(outcome);

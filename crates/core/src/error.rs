@@ -24,6 +24,16 @@ pub enum EngineError {
     /// it was prepared on (plans embed data-dependent seed candidates and
     /// constraint lists, so they never transfer).
     StalePlan,
+    /// A worker panicked during execution and was quarantined: the panic
+    /// poisoned only this query (the pool drained and stays reusable).
+    /// `task` names the execution context that trapped the payload.
+    Internal {
+        /// Which execution context trapped the panic (e.g. `pool worker`,
+        /// `fork-per-chunk worker`).
+        task: String,
+        /// The panic payload, rendered as text.
+        payload: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -39,6 +49,12 @@ impl fmt::Display for EngineError {
                     "prepared plan belongs to a different engine (re-prepare it)"
                 )
             }
+            EngineError::Internal { task, payload } => {
+                write!(
+                    f,
+                    "internal error: {task} panicked (quarantined): {payload}"
+                )
+            }
         }
     }
 }
@@ -50,7 +66,7 @@ impl std::error::Error for EngineError {
             EngineError::NtParse(e) => Some(e),
             EngineError::Turtle(e) => Some(e),
             EngineError::QueryGraph(e) => Some(e),
-            EngineError::StalePlan => None,
+            EngineError::StalePlan | EngineError::Internal { .. } => None,
         }
     }
 }
@@ -89,6 +105,20 @@ mod tests {
         assert!(e.to_string().contains("SPARQL"));
         let e = EngineError::NtParse(rdf_model::parse_ntriples("nope").unwrap_err());
         assert!(e.to_string().contains("N-Triples"));
+    }
+
+    #[test]
+    fn internal_error_carries_task_and_payload() {
+        let e = EngineError::Internal {
+            task: "pool worker".to_string(),
+            payload: "boom".to_string(),
+        };
+        let text = e.to_string();
+        assert!(
+            text.contains("pool worker") && text.contains("boom"),
+            "{text}"
+        );
+        assert!(std::error::Error::source(&e).is_none());
     }
 
     #[test]

@@ -231,6 +231,12 @@ impl QueryPlan {
 
 impl fmt::Display for QueryPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(spec) = amber_util::fault::active_spec() {
+            writeln!(
+                f,
+                "CHAOS ACTIVE: {spec} (fault injection armed; see docs/robustness.md)"
+            )?;
+        }
         if let Some(reason) = &self.unsatisfiable {
             return writeln!(f, "UNSATISFIABLE: {reason}");
         }
@@ -384,6 +390,34 @@ mod tests {
         assert_eq!(a.cacheable_probes, b.cacheable_probes);
         let text = plan.to_string();
         assert!(text.contains("plan fingerprint: 0x"));
+    }
+
+    #[test]
+    fn explain_reports_active_chaos_spec() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+        let plan = QueryPlan::explain(&qg, &rdf, &index);
+        {
+            let _guard = amber_util::fault::override_spec("7:matcher-candidate=delay@64")
+                .expect("spec parses");
+            let text = plan.to_string();
+            assert!(
+                text.contains("CHAOS ACTIVE: 7:matcher-candidate=delay@64"),
+                "armed EXPLAIN must surface the spec: {text}"
+            );
+        }
+        // Guard dropped: the ambient configuration returns (no banner in a
+        // normal run; the env-derived spec's banner under an AMBER_CHAOS
+        // test lane).
+        match amber_util::fault::active_spec() {
+            None => assert!(!plan.to_string().contains("CHAOS ACTIVE")),
+            Some(ambient) => {
+                assert!(plan
+                    .to_string()
+                    .contains(&format!("CHAOS ACTIVE: {ambient}")))
+            }
+        }
     }
 
     #[test]

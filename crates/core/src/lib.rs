@@ -38,6 +38,7 @@ pub mod embedding;
 pub mod engine;
 pub mod error;
 pub mod explain;
+pub mod governor;
 pub mod matcher;
 pub mod options;
 pub mod ordering;
@@ -51,9 +52,12 @@ pub use candidates::{CacheStats, CandidateCache};
 pub use engine::{AmberEngine, OfflineStats};
 pub use error::EngineError;
 pub use explain::QueryPlan;
+pub use governor::{MemoryGovernor, Pressure};
 pub use options::{ExecOptions, Scheduler};
 pub use parallel::{dispatch_for, Dispatch};
 pub use plan::{plan_cache_enabled, PlanCache, PlanCacheStats, PreparedPlan, ResultCache};
 pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
 pub use seeds::SeedCache;
 pub use session::{BatchOutcome, BatchStats, PoolStats, QuerySession};
+
+pub use amber_util::CancelToken;

@@ -53,11 +53,13 @@
 
 use crate::candidates::{process_vertex_seeded, satisfies_self_loop, CandidateCache, Constraint};
 use crate::decompose::Decomposition;
+use crate::governor::MemoryGovernor;
 use crate::ordering::order_core_vertices;
 use crate::seeds::SeedCache;
 use amber_index::IndexSet;
 use amber_multigraph::{DataGraph, Direction, EdgeTypeId, QVertexId, QueryGraph, VertexId};
-use amber_util::{sorted, Deadline};
+use amber_util::fault::{self, FaultPoint};
+use amber_util::{sorted, CancelToken, Deadline};
 
 /// One full assignment of a component: every core vertex pinned to a data
 /// vertex, every satellite carrying its independent candidate set.
@@ -78,20 +80,47 @@ impl ComponentSolution {
     }
 }
 
+/// Why a search stopped before enumerating every embedding. Ordered by
+/// merge precedence: when parallel workers abort for different reasons the
+/// *highest* variant wins (a cancellation is more meaningful to the caller
+/// than the timeout that raced with it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Abort {
+    /// The shared wall-clock deadline expired.
+    TimedOut,
+    /// The memory governor's budget was exhausted.
+    BudgetExceeded,
+    /// The caller's [`CancelToken`] fired.
+    Cancelled,
+}
+
 /// The result of matching one component.
 #[derive(Debug, Clone, Default)]
 pub struct ComponentMatch {
-    /// Exact embedding count (saturating u128), partial if `timed_out`.
+    /// Exact embedding count (saturating u128), partial if `abort` is set.
     pub count: u128,
     /// Retained solutions (up to the configured cap).
     pub solutions: Vec<ComponentSolution>,
-    /// `true` when the deadline expired mid-search.
-    pub timed_out: bool,
+    /// Why the search stopped early (`None` = ran to completion).
+    pub abort: Option<Abort>,
     /// Search-tree nodes visited (candidate attempts). The parallel
     /// extension partitions the candidate iteration exactly, so the summed
     /// node count of a parallel run equals the sequential one — the
     /// hardware-independent work measure the scheduling benchmarks balance.
     pub nodes: u64,
+}
+
+impl ComponentMatch {
+    /// `true` when the deadline expired mid-search.
+    pub fn timed_out(&self) -> bool {
+        self.abort == Some(Abort::TimedOut)
+    }
+
+    /// Fold another worker's abort reason into this result (highest
+    /// [`Abort`] wins — see the enum ordering).
+    pub fn merge_abort(&mut self, other: Option<Abort>) {
+        self.abort = self.abort.max(other);
+    }
 }
 
 /// Search configuration.
@@ -102,6 +131,25 @@ pub struct MatchConfig<'d> {
     /// Maximum number of [`ComponentSolution`]s to retain (counting always
     /// runs to completion). `None` retains all.
     pub solution_cap: Option<usize>,
+    /// Cooperative cancellation flag, polled at the same checkpoints as the
+    /// deadline. `None` = not cancellable.
+    pub cancel: Option<&'d CancelToken>,
+    /// Per-query memory governor; workers charge their search-state growth
+    /// at checkpoints and obey its degradation ladder. `None` = ungoverned.
+    pub governor: Option<&'d MemoryGovernor>,
+}
+
+impl<'d> MatchConfig<'d> {
+    /// A config with only a deadline and an optional solution cap (the
+    /// pre-governor constructor shape — tests and one-shot callers).
+    pub fn new(deadline: &'d Deadline, solution_cap: Option<usize>) -> Self {
+        Self {
+            deadline,
+            solution_cap,
+            cancel: None,
+            governor: None,
+        }
+    }
 }
 
 /// A probe against the neighbourhood index, seen from an already-matched
@@ -549,6 +597,14 @@ impl<'a> ComponentMatcher<'a> {
         } else {
             Vec::new()
         };
+        let governor_reported = if config.governor.is_some() {
+            // Baseline the usage estimate at task entry so only *growth*
+            // during this task is charged (prepared arenas are session
+            // memory already accounted by whichever query grew them).
+            arenas.heap_bytes()
+        } else {
+            0
+        };
         let mut state = SearchState {
             arenas,
             cache,
@@ -559,6 +615,9 @@ impl<'a> ComponentMatcher<'a> {
             root_depth: depth,
             sources,
             split_paid_nodes: 0,
+            governor_reported,
+            governor_ticks: 0,
+            storm: false,
         };
         // Replay the stolen prefix (no-op for root tasks).
         for (pos, &v) in prefix.iter().enumerate() {
@@ -573,6 +632,22 @@ impl<'a> ComponentMatcher<'a> {
         // per-candidate deadline check (this loop runs once per initial /
         // stolen candidate, so precision matters more than the clock read).
         self.iterate_level(depth, seeds, &mut state, true);
+        // Settle the governor before handing the result back: the
+        // counter-gated checkpoints may never have measured on a short
+        // task, but the budget contract must hold for any task length.
+        // (Deadline/cancel are deliberately NOT re-polled — the work is
+        // already done; only the memory accounting must be made whole.)
+        if let Some(governor) = state.config.governor {
+            let usage = state.arenas.heap_bytes()
+                + state.result.solutions.len() * std::mem::size_of::<ComponentSolution>();
+            let delta = usage.saturating_sub(state.governor_reported);
+            if delta > 0 {
+                governor.charge(delta);
+            }
+            if governor.exhausted() {
+                state.result.merge_abort(Some(Abort::BudgetExceeded));
+            }
+        }
         state.result
     }
 
@@ -611,11 +686,74 @@ impl<'a> ComponentMatcher<'a> {
     /// initial vertex, Algorithm 4 lines 9-20 beyond).
     fn try_candidate<'s>(&'s self, pos: usize, v: VertexId, state: &mut SearchState<'_, '_, 's>) {
         state.result.nodes += 1;
+        // Chaos-harness hook: one relaxed atomic load when disarmed. A
+        // `Panic` fault unwinds from here into the pool's task trap; an
+        // `AllocFail` signal escalates the governor; a `Storm` signal
+        // forces the next split decision.
+        let signal = fault::inject(FaultPoint::MatcherCandidate);
+        if signal.alloc_fail {
+            if let Some(governor) = state.config.governor {
+                governor.exhaust();
+            }
+        }
+        if signal.storm {
+            state.storm = true;
+        }
         if !self.resolve_satellites(pos, v, state) {
             return;
         }
         state.arenas.assignment[pos] = v;
         self.recurse(pos + 1, state);
+    }
+
+    /// How many checkpoints pass between governor usage measurements
+    /// (power of two; the measurement walks the depth arenas, so it is
+    /// amortized the same way [`Deadline`] amortizes clock reads).
+    const GOVERNOR_CHECK_MASK: u32 = 0xFF;
+
+    /// Cooperative checkpoint: deadline, cancellation, and memory-budget
+    /// checks in one place. Returns `true` (after recording the abort
+    /// reason) when the search must stop. `precise` consults the uncached
+    /// clock and forces a governor measurement — task-root loops only.
+    fn check_abort(&self, state: &mut SearchState<'_, '_, '_>, precise: bool) -> bool {
+        // Cancellation is polled before the deadline: when both fire, the
+        // explicit user abort is the status the caller should see (the
+        // `Abort` merge ordering agrees — `Cancelled` outranks `TimedOut`).
+        if let Some(cancel) = state.config.cancel {
+            if cancel.is_cancelled() {
+                state.result.merge_abort(Some(Abort::Cancelled));
+                return true;
+            }
+        }
+        let expired = if precise {
+            state.config.deadline.exceeded_now()
+        } else {
+            state.config.deadline.exceeded()
+        };
+        if expired {
+            state.result.merge_abort(Some(Abort::TimedOut));
+            return true;
+        }
+        if let Some(governor) = state.config.governor {
+            state.governor_ticks = state.governor_ticks.wrapping_add(1);
+            if precise || state.governor_ticks & Self::GOVERNOR_CHECK_MASK == 0 {
+                // Approximate this worker's live search state: arena heap
+                // plus retained solution headers (solution payloads grow
+                // the satellite buffers the arena walk already covers).
+                let usage = state.arenas.heap_bytes()
+                    + state.result.solutions.len() * std::mem::size_of::<ComponentSolution>();
+                let delta = usage.saturating_sub(state.governor_reported);
+                if delta > 0 {
+                    governor.charge(delta);
+                    state.governor_reported = usage;
+                }
+            }
+            if governor.exhausted() {
+                state.result.merge_abort(Some(Abort::BudgetExceeded));
+                return true;
+            }
+        }
+        false
     }
 
     /// Nodes a task must have executed since its last split before it pays
@@ -637,7 +775,18 @@ impl<'a> ComponentMatcher<'a> {
     /// tail of this task's enumeration order, which is what keeps the
     /// published-key merge order identical to sequential enumeration.
     fn maybe_split(&self, pos: usize, state: &mut SearchState<'_, '_, '_>) {
-        if state.result.nodes < state.split_paid_nodes + Self::SPLIT_AMORTIZE_NODES {
+        // A chaos `Storm` signal forces the next split through both the
+        // amortization and the hungry-poll gate (split-storm stress); the
+        // governor's RefuseSplits rung overrides even that — published
+        // suffixes clone candidate state, which is exactly the memory the
+        // ladder is trying to stop growing.
+        let forced = std::mem::take(&mut state.storm);
+        if let Some(governor) = state.config.governor {
+            if governor.refuses_splits() {
+                return;
+            }
+        }
+        if !forced && state.result.nodes < state.split_paid_nodes + Self::SPLIT_AMORTIZE_NODES {
             return;
         }
         let SearchState {
@@ -650,7 +799,7 @@ impl<'a> ComponentMatcher<'a> {
         let Some(sink) = sink.as_deref_mut() else {
             return;
         };
-        if !sink.wants_work() {
+        if !forced && !sink.wants_work() {
             return;
         }
         // Indexed loop on purpose: `p` addresses three parallel arrays
@@ -731,8 +880,7 @@ impl<'a> ComponentMatcher<'a> {
 
     /// HomomorphicMatch (Algorithm 4).
     fn recurse<'s>(&'s self, pos: usize, state: &mut SearchState<'_, '_, 's>) {
-        if state.config.deadline.exceeded() {
-            state.result.timed_out = true;
+        if self.check_abort(state, false) {
             return;
         }
         if pos == self.prep().order.len() {
@@ -839,7 +987,7 @@ impl<'a> ComponentMatcher<'a> {
                 self.maybe_split(pos, state);
             }
             self.try_candidate(pos, v, state);
-            if state.result.timed_out {
+            if state.result.abort.is_some() {
                 return;
             }
         }
@@ -870,8 +1018,7 @@ impl<'a> ComponentMatcher<'a> {
             if level.next >= level.limit {
                 return;
             }
-            if precise_deadline && state.config.deadline.exceeded_now() {
-                state.result.timed_out = true;
+            if precise_deadline && self.check_abort(state, true) {
                 return;
             }
             let v = source[level.next];
@@ -880,7 +1027,7 @@ impl<'a> ComponentMatcher<'a> {
                 self.maybe_split(pos, state);
             }
             self.try_candidate(pos, v, state);
-            if state.result.timed_out {
+            if state.result.abort.is_some() {
                 return;
             }
         }
@@ -1085,6 +1232,14 @@ struct SearchState<'c, 'd, 's> {
     /// `result.nodes` at the last split publication — the amortization
     /// baseline ([`ComponentMatcher::SPLIT_AMORTIZE_NODES`]).
     split_paid_nodes: u64,
+    /// Last usage estimate reported to the governor (deltas only are
+    /// charged; see [`MemoryGovernor::charge`]).
+    governor_reported: usize,
+    /// Checkpoint counter gating governor measurements
+    /// ([`ComponentMatcher::GOVERNOR_CHECK_MASK`]).
+    governor_ticks: u32,
+    /// One-shot "force the next split" flag set by a chaos `Storm` signal.
+    storm: bool,
 }
 
 #[cfg(test)]
@@ -1106,11 +1261,8 @@ mod tests {
         let comps = qg.connected_components();
         let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
         let deadline = Deadline::unlimited();
-        let result = matcher.run(&MatchConfig {
-            deadline: &deadline,
-            solution_cap: None,
-        });
-        assert!(!result.timed_out);
+        let result = matcher.run(&MatchConfig::new(&deadline, None));
+        assert!(result.abort.is_none());
         assert_eq!(result.count, 2);
     }
 }

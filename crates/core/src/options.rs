@@ -1,5 +1,6 @@
 //! Execution options shared by all engines in the workspace.
 
+use amber_util::CancelToken;
 use std::time::Duration;
 
 /// Which parallel scheduler executes a multi-threaded query.
@@ -80,6 +81,19 @@ pub struct ExecOptions {
     pub split_depth: usize,
     /// Scheduler selection for `threads > 1` (default [`Scheduler::Auto`]).
     pub scheduler: Scheduler,
+    /// Cooperative cancellation: the engine polls this token at the same
+    /// checkpoints as the deadline and aborts with
+    /// [`QueryStatus::Cancelled`](crate::QueryStatus::Cancelled) once it
+    /// fires. `None` (the default) disables the poll.
+    pub cancel: Option<CancelToken>,
+    /// Per-query memory budget in bytes for the search state (arenas,
+    /// materialized solutions, probe-cache payloads). When pressure builds,
+    /// the engine degrades gracefully — shed result cache, shed
+    /// candidate/seed caches, refuse split publication — before returning a
+    /// partial outcome with
+    /// [`QueryStatus::BudgetExceeded`](crate::QueryStatus::BudgetExceeded).
+    /// `None` (the default) leaves memory unbounded.
+    pub memory_budget: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -98,6 +112,8 @@ impl Default for ExecOptions {
             parallel_seed_factor: Self::DEFAULT_PARALLEL_SEED_FACTOR,
             split_depth: Self::DEFAULT_SPLIT_DEPTH,
             scheduler: Scheduler::Auto,
+            cancel: None,
+            memory_budget: None,
         }
     }
 }
@@ -219,6 +235,19 @@ impl ExecOptions {
         self
     }
 
+    /// Builder: attach a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Builder: bound search-state memory to `bytes` (see
+    /// [`Self::memory_budget`]).
+    pub fn with_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
     /// Effective thread count (0 is treated as 1).
     pub fn effective_threads(&self) -> usize {
         self.threads.max(1)
@@ -271,6 +300,20 @@ mod tests {
         let tuned = ExecOptions::new().with_plan_cache(7).with_result_cache(9);
         assert_eq!(tuned.plan_cache_capacity, 7);
         assert_eq!(tuned.result_cache_capacity, 9);
+    }
+
+    #[test]
+    fn cancel_and_budget_default_off_and_compose() {
+        let o = ExecOptions::new();
+        assert!(o.cancel.is_none());
+        assert!(o.memory_budget.is_none());
+        let token = CancelToken::new();
+        let o = ExecOptions::new()
+            .with_cancel(token.clone())
+            .with_memory_budget(1 << 20);
+        assert_eq!(o.memory_budget, Some(1 << 20));
+        token.cancel();
+        assert!(o.cancel.as_ref().is_some_and(CancelToken::is_cancelled));
     }
 
     #[test]

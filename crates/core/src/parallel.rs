@@ -40,12 +40,16 @@
 //! per call, and plan sharing across queries is invisible to the
 //! schedulers because the prep is read-only.
 
+use crate::error::EngineError;
+use crate::governor::MemoryGovernor;
 use crate::matcher::{ComponentMatch, ComponentMatcher, MatchConfig, SplitSink};
 use crate::options::{ExecOptions, Scheduler};
 use crate::session::{QuerySession, SessionCore};
 use amber_multigraph::VertexId;
+use amber_util::CancelToken;
 use std::marker::PhantomData;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, PoisonError};
 
 /// How one component run will be scheduled (derived from the seed count and
 /// the options; surfaced by `EXPLAIN` so scheduling is inspectable before
@@ -110,7 +114,7 @@ pub fn run_component(
     matcher: &ComponentMatcher<'_>,
     threads: usize,
     config: &MatchConfig<'_>,
-) -> ComponentMatch {
+) -> Result<ComponentMatch, EngineError> {
     let options = ExecOptions::new().with_threads(threads);
     let mut session = QuerySession::new(0);
     run_component_in_session(matcher, config, &options, &mut session)
@@ -121,17 +125,37 @@ pub fn run_component(
 /// core; both parallel paths borrow one session-owned
 /// [`SessionCore`](QuerySession) per worker slot, so worker arenas and
 /// caches persist across the queries of a batch.
+///
+/// A panic inside the search (the chaos harness injects them; a genuine
+/// matcher bug would look the same) is **quarantined** on every path: it
+/// poisons only this component run, surfacing as
+/// [`EngineError::Internal`], and leaves the session and the global pool
+/// reusable.
 pub fn run_component_in_session(
     matcher: &ComponentMatcher<'_>,
     config: &MatchConfig<'_>,
     options: &ExecOptions,
     session: &mut QuerySession,
-) -> ComponentMatch {
+) -> Result<ComponentMatch, EngineError> {
     let initial = matcher.initial_candidates();
     match dispatch_for(initial.len(), options) {
         Dispatch::Sequential => {
-            let core = session.main_core();
-            matcher.run_on_with(initial, config, &mut core.arenas, &mut core.cache)
+            // Arena/cache state abandoned mid-panic is only scratch memory:
+            // every later run re-`prepare`s and rewrites it, so resuming
+            // with the same session after the error is sound.
+            let run = {
+                let core = session.main_core();
+                catch_unwind(AssertUnwindSafe(|| {
+                    matcher.run_on_with(initial, config, &mut core.arenas, &mut core.cache)
+                }))
+            };
+            run.map_err(|payload| {
+                session.record_trapped_panic();
+                EngineError::Internal {
+                    task: "sequential matcher".to_string(),
+                    payload: amber_exec::payload_message(&*payload),
+                }
+            })
         }
         Dispatch::Chunked { workers } => fork_per_chunk(matcher, workers, config, session),
         Dispatch::Pooled {
@@ -196,6 +220,8 @@ struct PoolShared<'run, 'd> {
     matcher: &'run ComponentMatcher<'run>,
     root_deadline: &'d amber_util::Deadline,
     solution_cap: Option<usize>,
+    cancel: Option<&'d CancelToken>,
+    governor: Option<&'d MemoryGovernor>,
     split_depth: usize,
     slots: CoreSlots<'run>,
     results: Mutex<Vec<TaskResult>>,
@@ -275,6 +301,8 @@ fn spawn_task<'scope, 'run: 'scope, 'd: 'scope>(
         let config = MatchConfig {
             deadline: &deadline,
             solution_cap: shared.solution_cap,
+            cancel: shared.cancel,
+            governor: shared.governor,
         };
         let (depth, prefix, seeds): (usize, &[VertexId], &[VertexId]) = match &work {
             TaskWork::Root(seeds) => (0, &[], seeds),
@@ -299,10 +327,13 @@ fn spawn_task<'scope, 'run: 'scope, 'd: 'scope>(
             &mut core.cache,
             Some((&mut sink, shared.split_depth)),
         );
+        // Poison-robust on purpose: a quarantined task panic poisons this
+        // mutex for every later task of the run, but the sink only ever
+        // holds fully-pushed `TaskResult`s, so the data is never torn.
         shared
             .results
             .lock()
-            .expect("pool result sink poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .push(TaskResult {
                 key,
                 slot: scope.slot(),
@@ -318,7 +349,7 @@ fn run_pooled(
     split_depth: usize,
     config: &MatchConfig<'_>,
     session: &mut QuerySession,
-) -> ComponentMatch {
+) -> Result<ComponentMatch, EngineError> {
     let initial = matcher.initial_candidates();
     let pool = amber_exec::ExecPool::global();
     let cores = session.worker_cores(workers);
@@ -326,12 +357,17 @@ fn run_pooled(
         matcher,
         root_deadline: config.deadline,
         solution_cap: config.solution_cap,
+        cancel: config.cancel,
+        governor: config.governor,
         split_depth,
         slots: CoreSlots::new(cores),
         results: Mutex::new(Vec::new()),
     };
     let chunk = initial.len().div_ceil(workers).max(1);
-    let stats = pool.run(workers, |scope| {
+    // `run_trapping` drains the pool even when a task panics: the payload
+    // is quarantined to this query instead of unwinding through the
+    // process-global pool (which must outlive the query and stay healthy).
+    let (stats, trapped) = pool.run_trapping(workers, |scope| {
         for (i, seeds) in initial.chunks(chunk).enumerate() {
             spawn_task(scope, &shared, vec![i as u32], TaskWork::Root(seeds));
         }
@@ -340,7 +376,7 @@ fn run_pooled(
     let mut results = shared
         .results
         .into_inner()
-        .expect("pool result sink poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     // The schedule's critical path: greedy list-schedule of the task
     // decomposition this run actually produced (in completion order, i.e.
     // before the key sort) onto `workers` identical machines. Thread
@@ -353,8 +389,18 @@ fn run_pooled(
         nodes_per_worker[r.slot] = nodes_per_worker[r.slot].saturating_add(r.result.nodes);
     }
     session.record_pool_run(&stats, &nodes_per_worker, critical_path);
+    if let Some(payload) = trapped {
+        session.record_trapped_panic();
+        return Err(EngineError::Internal {
+            task: "pool worker".to_string(),
+            payload: amber_exec::payload_message(&*payload),
+        });
+    }
     results.sort_by(|a, b| a.key.cmp(&b.key));
-    merge(results.into_iter().map(|r| r.result), config.solution_cap)
+    Ok(merge(
+        results.into_iter().map(|r| r.result),
+        config.solution_cap,
+    ))
 }
 
 /// Makespan of scheduling `task_nodes` (in arrival order) greedily onto
@@ -380,7 +426,7 @@ fn fork_per_chunk(
     threads: usize,
     config: &MatchConfig<'_>,
     session: &mut QuerySession,
-) -> ComponentMatch {
+) -> Result<ComponentMatch, EngineError> {
     let initial = matcher.initial_candidates();
     let chunk_size = initial.len().div_ceil(threads);
     // Fork the deadline per worker: same expiry instant, core-local poll
@@ -389,37 +435,59 @@ fn fork_per_chunk(
     let chunks: Vec<&[VertexId]> = initial.chunks(chunk_size).collect();
     let deadlines: Vec<_> = chunks.iter().map(|_| config.deadline.fork()).collect();
     let cores = session.worker_cores(chunks.len());
-    let results: Vec<ComponentMatch> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .zip(&deadlines)
-            .zip(cores.iter_mut())
-            .map(|((chunk, deadline), core)| {
-                let worker_config = MatchConfig {
-                    deadline,
-                    solution_cap: config.solution_cap,
-                };
-                scope.spawn(move || {
-                    matcher.run_on_with(chunk, &worker_config, &mut core.arenas, &mut core.cache)
+    let results: Vec<Result<ComponentMatch, Box<dyn std::any::Any + Send>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .iter()
+                .zip(&deadlines)
+                .zip(cores.iter_mut())
+                .map(|((chunk, deadline), core)| {
+                    let worker_config = MatchConfig {
+                        deadline,
+                        solution_cap: config.solution_cap,
+                        cancel: config.cancel,
+                        governor: config.governor,
+                    };
+                    scope.spawn(move || {
+                        matcher.run_on_with(
+                            chunk,
+                            &worker_config,
+                            &mut core.arenas,
+                            &mut core.cache,
+                        )
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("matcher worker panicked"))
-            .collect()
-    });
+                .collect();
+            // `join` hands a panicking worker's payload back instead of
+            // unwinding here, so one poisoned chunk cannot tear down the
+            // scope before its siblings finish.
+            handles.into_iter().map(|h| h.join()).collect()
+        });
 
-    merge(results.into_iter(), config.solution_cap)
+    let mut merged_ok = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(m) => merged_ok.push(m),
+            Err(payload) => {
+                session.record_trapped_panic();
+                return Err(EngineError::Internal {
+                    task: "fork-per-chunk worker".to_string(),
+                    payload: amber_exec::payload_message(&*payload),
+                });
+            }
+        }
+    }
+    Ok(merge(merged_ok.into_iter(), config.solution_cap))
 }
 
-/// Merge per-task results, in enumeration order: counts add, timeout flags
-/// OR, node counts add, retained solutions concatenate up to the cap.
+/// Merge per-task results, in enumeration order: counts add, abort reasons
+/// fold by precedence ([`crate::matcher::Abort`]), node counts add,
+/// retained solutions concatenate up to the cap.
 fn merge(results: impl Iterator<Item = ComponentMatch>, cap: Option<usize>) -> ComponentMatch {
     let mut merged = ComponentMatch::default();
     for r in results {
         merged.count = merged.count.saturating_add(r.count);
-        merged.timed_out |= r.timed_out;
+        merged.merge_abort(r.abort);
         merged.nodes = merged.nodes.saturating_add(r.nodes);
         merged.solutions.extend(r.solutions);
     }
@@ -453,13 +521,10 @@ mod tests {
         let comps = qg.connected_components();
         let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
         let deadline = Deadline::unlimited();
-        let config = MatchConfig {
-            deadline: &deadline,
-            solution_cap: None,
-        };
+        let config = MatchConfig::new(&deadline, None);
         let seq = matcher.run(&config);
         for threads in [2, 3, 8] {
-            let par = run_component(&matcher, threads, &config);
+            let par = run_component(&matcher, threads, &config).unwrap();
             assert_eq!(par.count, seq.count, "threads = {threads}");
         }
     }
@@ -471,10 +536,7 @@ mod tests {
         let comps = qg.connected_components();
         let matcher = ComponentMatcher::new(&qg, rdf.graph(), &index, &comps[0]);
         let deadline = Deadline::unlimited();
-        let config = MatchConfig {
-            deadline: &deadline,
-            solution_cap: None,
-        };
+        let config = MatchConfig::new(&deadline, None);
         let seq = matcher.run(&config);
         for scheduler in [Scheduler::Pool, Scheduler::ForkPerChunk] {
             for threads in [2, 4] {
@@ -485,7 +547,8 @@ mod tests {
                         .with_parallel_seed_factor(1)
                         .with_split_depth(split_depth);
                     let mut session = QuerySession::new(0);
-                    let par = run_component_in_session(&matcher, &config, &options, &mut session);
+                    let par = run_component_in_session(&matcher, &config, &options, &mut session)
+                        .unwrap();
                     assert_eq!(par.count, seq.count, "{scheduler:?} t{threads}");
                     assert_eq!(par.solutions, seq.solutions, "{scheduler:?} t{threads}");
                     // The candidate iteration partitions exactly: parallel
@@ -537,7 +600,7 @@ mod tests {
 
     #[test]
     fn merge_respects_cap_and_flags() {
-        use crate::matcher::ComponentSolution;
+        use crate::matcher::{Abort, ComponentSolution};
         use amber_multigraph::{QVertexId, VertexId};
         let solution = ComponentSolution {
             core: vec![(QVertexId(0), VertexId(0))],
@@ -546,18 +609,38 @@ mod tests {
         let a = ComponentMatch {
             count: 2,
             solutions: vec![solution.clone(), solution.clone()],
-            timed_out: false,
+            abort: None,
             nodes: 0,
         };
         let b = ComponentMatch {
             count: 3,
             solutions: vec![solution.clone()],
-            timed_out: true,
+            abort: Some(Abort::TimedOut),
             nodes: 0,
         };
         let merged = merge(vec![a, b].into_iter(), Some(2));
         assert_eq!(merged.count, 5);
-        assert!(merged.timed_out);
+        assert!(merged.timed_out());
         assert_eq!(merged.solutions.len(), 2);
+    }
+
+    #[test]
+    fn merge_abort_precedence_prefers_cancellation() {
+        use crate::matcher::Abort;
+        let of = |abort| ComponentMatch {
+            abort,
+            ..ComponentMatch::default()
+        };
+        let merged = merge(
+            vec![
+                of(Some(Abort::TimedOut)),
+                of(Some(Abort::Cancelled)),
+                of(Some(Abort::BudgetExceeded)),
+                of(None),
+            ]
+            .into_iter(),
+            None,
+        );
+        assert_eq!(merged.abort, Some(Abort::Cancelled));
     }
 }

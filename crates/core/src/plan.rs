@@ -541,9 +541,17 @@ impl ResultCache {
         self.misses += 1;
     }
 
-    /// Store a **completed** outcome. Callers must never pass a timed-out
-    /// outcome — partial counts/bindings would poison verbatim repeats;
-    /// debug builds assert it.
+    /// Drop every outcome on the memory governor's orders (the
+    /// shed-results rung of the degradation ladder): identical to
+    /// [`Self::clear`] today, named separately so the shed has its own
+    /// call site and semantics (a governor shed, not a graph rebind).
+    pub(crate) fn shed(&mut self) {
+        self.clear();
+    }
+
+    /// Store a **completed** outcome. Callers must never pass a partial
+    /// one — a timed-out, cancelled, or budget-exceeded count/binding set
+    /// would poison verbatim repeats; debug builds assert it.
     pub(crate) fn store(
         &mut self,
         plan: &Arc<PreparedPlan>,
@@ -551,8 +559,8 @@ impl ResultCache {
         outcome: Arc<QueryOutcome>,
     ) {
         debug_assert!(
-            !outcome.timed_out(),
-            "timed-out (partial) outcomes must bypass the result cache"
+            outcome.status.is_complete(),
+            "partial outcomes (timeout/cancel/budget) must bypass the result cache"
         );
         let key = ResultKey::new(plan.fingerprint(), options);
         let bytes = outcome_bytes(&outcome);

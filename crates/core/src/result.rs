@@ -13,6 +13,20 @@ pub enum QueryStatus {
     /// The wall-clock budget expired; counts/bindings are partial. The
     /// paper's robustness metric counts such queries as *unanswered*.
     TimedOut,
+    /// The caller's [`CancelToken`](crate::CancelToken) fired before
+    /// enumeration finished; counts/bindings are partial.
+    Cancelled,
+    /// The per-query memory budget was exhausted after the degradation
+    /// ladder ran out of things to shed; counts/bindings are partial.
+    BudgetExceeded,
+}
+
+impl QueryStatus {
+    /// `true` when enumeration ran to the end (the only status whose
+    /// counts are exact and whose outcome may be result-cached).
+    pub fn is_complete(self) -> bool {
+        self == QueryStatus::Completed
+    }
 }
 
 /// The result of one query execution.
@@ -54,6 +68,12 @@ impl QueryOutcome {
     /// `true` when the budget expired before enumeration finished.
     pub fn timed_out(&self) -> bool {
         self.status == QueryStatus::TimedOut
+    }
+
+    /// `true` when the outcome is partial for any reason (timeout,
+    /// cancellation, or memory-budget exhaustion).
+    pub fn is_partial(&self) -> bool {
+        !self.status.is_complete()
     }
 }
 

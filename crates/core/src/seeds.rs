@@ -26,6 +26,7 @@
 use crate::candidates::{CacheStats, ProbeKey, MAX_CACHED_TYPES};
 use amber_index::{AttributeIndex, NeighborhoodIndex, SignatureIndex};
 use amber_multigraph::{AttrId, Direction, EdgeTypeId, Synopsis, VertexId};
+use amber_util::fault::{self, FaultPoint};
 use amber_util::GenerationalMap;
 
 /// Largest attribute set a seed-cache key can carry; longer (rare) sets
@@ -158,11 +159,14 @@ impl SeedCache {
         }
         self.hits -= 1;
         self.misses += 1;
+        let _ = fault::inject(FaultPoint::IndexProbe);
         let computed = index.candidates(synopsis);
         self.note_stored(computed.len());
         let result_bytes = &mut self.result_bytes;
+        let _ = fault::inject(FaultPoint::CacheInsert);
         self.signatures
             .insert(*synopsis, computed.clone().into_boxed_slice(), |dropped| {
+                let _ = fault::inject(FaultPoint::CacheEvict);
                 *result_bytes =
                     result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
             });
@@ -195,11 +199,14 @@ impl SeedCache {
         }
         self.hits -= 1;
         self.misses += 1;
+        let _ = fault::inject(FaultPoint::IndexProbe);
         index.candidates_into(attrs, &mut self.order, &mut self.acc, &mut self.scratch);
         self.note_stored(self.acc.len());
         let result_bytes = &mut self.result_bytes;
         let boxed: Box<[VertexId]> = self.acc.as_slice().into();
+        let _ = fault::inject(FaultPoint::CacheInsert);
         let stored = self.attrs.insert(key, boxed, |dropped| {
+            let _ = fault::inject(FaultPoint::CacheEvict);
             *result_bytes =
                 result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
         });
@@ -239,10 +246,13 @@ impl SeedCache {
             return self.probes.hot_get(&key).expect("promoted entry is hot");
         }
         self.misses += 1;
+        let _ = fault::inject(FaultPoint::IndexProbe);
         let computed: Box<[VertexId]> = n.neighbors(v, direction, required).into_boxed_slice();
         self.note_stored(computed.len());
         let result_bytes = &mut self.result_bytes;
+        let _ = fault::inject(FaultPoint::CacheInsert);
         self.probes.insert(key, computed, |dropped| {
+            let _ = fault::inject(FaultPoint::CacheEvict);
             *result_bytes =
                 result_bytes.saturating_sub(dropped.len() * std::mem::size_of::<VertexId>());
         })

@@ -22,6 +22,7 @@
 //! (cache hit rate, arena reuse bytes) next to the per-query outcomes.
 
 use crate::candidates::{CacheStats, CandidateCache};
+use crate::governor::MemoryGovernor;
 use crate::matcher::SearchArenas;
 use crate::plan::{PlanCache, PlanCacheStats, ResultCache};
 use crate::result::QueryOutcome;
@@ -53,6 +54,14 @@ pub struct PoolStats {
     /// wall-clock converges to once every worker has a free core, and the
     /// quantity the scheduling benchmarks gate on.
     pub critical_path_nodes: u64,
+    /// Worker panics trapped and quarantined (each poisoned exactly one
+    /// query; the pool stayed up).
+    pub trapped_panics: u64,
+    /// Queries that ended via cooperative cancellation.
+    pub cancellations: u64,
+    /// Σ over governed queries of memory-governor ladder steps taken
+    /// (0–4 per query; see [`crate::governor::Pressure`]).
+    pub degradation_steps: u64,
 }
 
 impl PoolStats {
@@ -92,6 +101,9 @@ impl PoolStats {
             split_tasks: self.split_tasks - before.split_tasks,
             steals: self.steals - before.steals,
             critical_path_nodes: self.critical_path_nodes - before.critical_path_nodes,
+            trapped_panics: self.trapped_panics - before.trapped_panics,
+            cancellations: self.cancellations - before.cancellations,
+            degradation_steps: self.degradation_steps - before.degradation_steps,
             tasks_per_worker: subtract(&self.tasks_per_worker, &before.tasks_per_worker),
             nodes_per_worker: subtract(&self.nodes_per_worker, &before.nodes_per_worker),
         }
@@ -170,6 +182,10 @@ pub struct QuerySession {
     graph_token: Option<u64>,
     /// Queries executed through this session.
     queries: u64,
+    /// Set when the current query's memory governor reached the
+    /// shed-results rung; consulted (and the shed applied) at the
+    /// result-cache store site, reset at query start.
+    result_shed: bool,
     /// Sum over queries of arena bytes already allocated at query start —
     /// memory the session *reused* instead of reallocating.
     arena_reused_bytes: u64,
@@ -193,6 +209,7 @@ impl QuerySession {
             pool: PoolStats::default(),
             graph_token: None,
             queries: 0,
+            result_shed: false,
             arena_reused_bytes: 0,
             arena_peak_bytes: 0,
         }
@@ -304,6 +321,7 @@ impl QuerySession {
     /// inherits.
     pub(crate) fn begin_query(&mut self) {
         self.queries += 1;
+        self.result_shed = false;
         self.arena_reused_bytes = self
             .arena_reused_bytes
             .saturating_add(self.arena_bytes() as u64);
@@ -330,6 +348,41 @@ impl QuerySession {
         &mut self.results
     }
 
+    /// Record one quarantined worker panic (the query it poisoned already
+    /// surfaced the typed error; this is the session-level tally).
+    pub(crate) fn record_trapped_panic(&mut self) {
+        self.pool.trapped_panics += 1;
+    }
+
+    /// Record one cooperative cancellation.
+    pub(crate) fn record_cancellation(&mut self) {
+        self.pool.cancellations += 1;
+    }
+
+    /// Apply a finished query's governor verdict to the session: tally the
+    /// ladder steps, flag the result cache for shedding, and shed the
+    /// probe caches (candidate + seed) when the ladder said so — those
+    /// caches outlive the query, so the shed must happen here rather than
+    /// inside the search.
+    pub(crate) fn apply_governor(&mut self, governor: &MemoryGovernor) {
+        self.pool.degradation_steps += governor.steps_taken();
+        if governor.shed_results() {
+            self.result_shed = true;
+        }
+        if governor.shed_probe_caches() {
+            self.main.cache.clear();
+            for worker in &mut self.workers {
+                worker.cache.clear();
+            }
+            self.seeds.clear();
+        }
+    }
+
+    /// Did the current query's governor request a result-cache shed?
+    pub(crate) fn result_cache_shed(&self) -> bool {
+        self.result_shed
+    }
+
     /// At least `count` worker cores, each with its own arena + cache.
     pub(crate) fn worker_cores(&mut self, count: usize) -> &mut [SessionCore] {
         while self.workers.len() < count {
@@ -349,7 +402,14 @@ pub struct BatchStats {
     pub completed: usize,
     /// Queries whose wall-clock budget expired.
     pub timed_out: usize,
-    /// Queries that failed before matching (query-graph build errors).
+    /// Queries ended early by a [`CancelToken`](crate::CancelToken).
+    pub cancelled: usize,
+    /// Queries whose memory budget was exhausted (degradation ladder ran
+    /// out of things to shed).
+    pub budget_exceeded: usize,
+    /// Queries that failed before matching (query-graph build errors) or
+    /// were quarantined after a worker panic
+    /// ([`EngineError::Internal`](crate::EngineError::Internal)).
     pub errors: usize,
     /// Aggregated candidate-cache counters (main + worker cores).
     pub cache: CacheStats,
@@ -436,6 +496,21 @@ impl fmt::Display for BatchStats {
                 self.pool.critical_path_nodes,
                 self.pool.total_nodes(),
                 self.pool.nodes_per_worker.len(),
+            )?;
+        }
+        let robustness_events = self.cancelled
+            + self.budget_exceeded
+            + (self.pool.trapped_panics + self.pool.cancellations + self.pool.degradation_steps)
+                as usize;
+        if robustness_events > 0 {
+            writeln!(
+                f,
+                "robustness: {} cancelled, {} budget-exceeded, {} trapped panics, \
+                 {} degradation steps",
+                self.cancelled,
+                self.budget_exceeded,
+                self.pool.trapped_panics,
+                self.pool.degradation_steps,
             )?;
         }
         write!(

@@ -80,10 +80,7 @@ fn solutions_are_valid_homomorphisms() {
         for component in qg.connected_components() {
             let matcher = ComponentMatcher::new(qg, graph, &index, &component);
             let deadline = Deadline::unlimited();
-            let result = matcher.run(&MatchConfig {
-                deadline: &deadline,
-                solution_cap: Some(20),
-            });
+            let result = matcher.run(&MatchConfig::new(&deadline, Some(20)));
             for solution in &result.solutions {
                 // Reconstruct one concrete embedding: cores as pinned,
                 // satellites by their first candidate.
@@ -140,14 +137,8 @@ fn solution_cap_caps_solutions_not_count() {
         for component in qg.connected_components() {
             let matcher = ComponentMatcher::new(qg, rdf.graph(), &index, &component);
             let deadline = Deadline::unlimited();
-            let uncapped = matcher.run(&MatchConfig {
-                deadline: &deadline,
-                solution_cap: None,
-            });
-            let capped = matcher.run(&MatchConfig {
-                deadline: &deadline,
-                solution_cap: Some(1),
-            });
+            let uncapped = matcher.run(&MatchConfig::new(&deadline, None));
+            let capped = matcher.run(&MatchConfig::new(&deadline, Some(1)));
             assert_eq!(uncapped.count, capped.count, "cap changed the count");
             assert!(capped.solutions.len() <= 1);
             assert_eq!(
@@ -176,10 +167,7 @@ fn initial_candidates_respect_lemma_1() {
         for component in qg.connected_components() {
             let matcher = ComponentMatcher::new(qg, rdf.graph(), &index, &component);
             let deadline = Deadline::unlimited();
-            let result = matcher.run(&MatchConfig {
-                deadline: &deadline,
-                solution_cap: None,
-            });
+            let result = matcher.run(&MatchConfig::new(&deadline, None));
             let u_init = matcher.core_order()[0];
             for solution in &result.solutions {
                 let (_, v) = solution

@@ -172,14 +172,11 @@ fn assert_matcher_equals_reference(rdf: &RdfGraph, qg: &QueryGraph, context: &st
     }
     let index = IndexSet::build(rdf);
     let deadline = Deadline::unlimited();
-    let config = MatchConfig {
-        deadline: &deadline,
-        solution_cap: None,
-    };
+    let config = MatchConfig::new(&deadline, None);
     for component in qg.connected_components() {
         let matcher = ComponentMatcher::new(qg, rdf.graph(), &index, &component);
         let fast = matcher.run(&config);
-        assert!(!fast.timed_out);
+        assert!(!fast.timed_out());
         let reference = Reference::new(qg, rdf.graph(), &index, &component).run();
         assert_eq!(
             fast.count, reference.count,

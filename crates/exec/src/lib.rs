@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-//! A persistent, dependency-free work-stealing thread pool.
+//! A persistent work-stealing thread pool.
 //!
 //! The paper's parallel extension (§8) was first implemented as
 //! fork-per-chunk: `std::thread::scope` spawns one worker per contiguous
@@ -20,6 +20,11 @@
 //! * **scoped, structured runs** — [`ExecPool::run`] blocks until every
 //!   task (including tasks spawned by tasks) has completed, so task
 //!   closures may borrow from the caller's stack, rayon-scope style;
+//! * **panic quarantine** — a panicking task is trapped, the run drains,
+//!   and [`ExecPool::run_trapping`] hands the first payload back as a value
+//!   instead of unwinding, so a long-lived pool survives a hostile query
+//!   and is immediately reusable ([`ExecPool::run`] keeps the historical
+//!   rethrow behaviour for callers that want it);
 //! * **process-global instance** — [`ExecPool::global`] lazily creates one
 //!   pool for the whole process (workers are spawned on demand and reused),
 //!   mirroring how the SIMD kernel dispatcher caches its detection result.
@@ -34,6 +39,7 @@
 //! matcher-specific — session cores, candidate ranges, deterministic result
 //! merging — lives in `amber::parallel` on top of this API.
 
+use amber_util::fault::{self, FaultPoint};
 use std::any::Any;
 use std::collections::VecDeque;
 use std::marker::PhantomData;
@@ -174,6 +180,7 @@ impl<'scope> Scope<'scope> {
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
     {
+        let _ = fault::inject(FaultPoint::PoolSpawn);
         let boxed: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(task);
         let erased: BoxedTask = unsafe { std::mem::transmute(boxed) };
         if self.seeding {
@@ -223,7 +230,22 @@ impl PoolInner {
             if queue.is_empty() {
                 continue;
             }
-            let take = queue.len().div_ceil(2);
+            // A chaos steal storm degrades steal-half to steal-one, so the
+            // backlog is rebalanced through maximally many steal events. An
+            // injected panic here runs outside the task catch_unwind, so it
+            // is trapped in place (quarantined like a task panic) — letting
+            // it unwind would kill the worker thread and wedge the run.
+            let take = match catch_unwind(|| fault::inject(FaultPoint::PoolSteal)) {
+                Ok(signal) if signal.storm => 1,
+                Ok(_) => queue.len().div_ceil(2),
+                Err(payload) => {
+                    self.panic
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .get_or_insert(payload);
+                    queue.len().div_ceil(2)
+                }
+            };
             let mut grabbed: VecDeque<BoxedTask> = queue.drain(..take).collect();
             drop(queue);
             self.steals.fetch_add(1, Ordering::Relaxed);
@@ -394,12 +416,44 @@ impl ExecPool {
     where
         F: FnOnce(&Scope<'scope>),
     {
+        let (stats, trapped) = self.run_trapping(threads, seed);
+        if let Some(payload) = trapped {
+            resume_unwind(payload);
+        }
+        stats
+    }
+
+    /// [`ExecPool::run`] with panic *quarantine* instead of rethrow: a
+    /// panicking task (or seeding closure) poisons only this run — the pool
+    /// drains, stays healthy, and the first trapped payload is returned as
+    /// a value for the caller to convert into a typed error. The engine
+    /// uses this so one hostile query cannot unwind through a shared pool.
+    pub fn run_trapping<'scope, F>(
+        &self,
+        threads: usize,
+        seed: F,
+    ) -> (RunStats, Option<Box<dyn Any + Send>>)
+    where
+        F: FnOnce(&Scope<'scope>),
+    {
         let threads = threads.clamp(1, MAX_THREADS);
         let inner = &self.inner;
         let _run = inner
             .run_lock
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+
+        // Chaos hook for the run boundary; an injected panic aborts the run
+        // before any task exists, trapped like everything else.
+        if let Err(payload) = catch_unwind(|| fault::inject(FaultPoint::PoolRun)) {
+            return (
+                RunStats {
+                    threads,
+                    ..RunStats::default()
+                },
+                Some(payload),
+            );
+        }
 
         // Reset per-run state (quiescent: the previous run fully drained
         // before releasing the run lock).
@@ -443,8 +497,13 @@ impl ExecPool {
             }
             inner.pending.store(0, Ordering::Relaxed);
             inner.queued.store(0, Ordering::Relaxed);
-            drop(_run); // release the run lock before unwinding
-            resume_unwind(payload);
+            return (
+                RunStats {
+                    threads,
+                    ..RunStats::default()
+                },
+                Some(payload),
+            );
         }
 
         // Open the run and wake the workers. From this instant every run
@@ -485,12 +544,8 @@ impl ExecPool {
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .take();
-        if let Some(payload) = trapped {
-            drop(_run); // release the run lock before unwinding
-            resume_unwind(payload);
-        }
 
-        RunStats {
+        let stats = RunStats {
             threads,
             root_tasks: inner.root_tasks.load(Ordering::Relaxed),
             split_tasks: inner.split_tasks.load(Ordering::Relaxed),
@@ -499,7 +554,8 @@ impl ExecPool {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
-        }
+        };
+        (stats, trapped)
     }
 }
 
@@ -515,6 +571,21 @@ impl Drop for ExecPool {
         sync.shutdown = true;
         drop(sync);
         self.inner.work_cv.notify_all();
+    }
+}
+
+/// Render a trapped panic payload as text: `panic!` literals and formatted
+/// messages downcast to `&str`/`String`; anything else gets a placeholder.
+/// Used to build typed `Internal` errors out of quarantined payloads
+/// without dragging `dyn Any` through the error type (which must stay
+/// `Clone + Eq`).
+pub fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -682,6 +753,71 @@ mod tests {
             });
         });
         assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn run_trapping_quarantines_and_pool_stays_healthy() {
+        let pool = ExecPool::new();
+        let survivors = AtomicU32::new(0);
+        let (stats, trapped) = pool.run_trapping(2, |scope| {
+            scope.spawn(|_| panic!("quarantine me"));
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    survivors.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        let payload = trapped.expect("panic payload is returned, not rethrown");
+        assert_eq!(payload_message(payload.as_ref()), "quarantine me");
+        assert_eq!(
+            survivors.load(Ordering::Relaxed),
+            8,
+            "siblings of a panicking task still run"
+        );
+        assert_eq!(stats.root_tasks, 9);
+        // The same pool serves the next run cleanly.
+        let counter = AtomicU32::new(0);
+        let (_, trapped) = pool.run_trapping(2, |scope| {
+            for _ in 0..4 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert!(trapped.is_none());
+        assert_eq!(counter.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    fn run_trapping_traps_seed_panics_too() {
+        let pool = ExecPool::new();
+        let (stats, trapped) = pool.run_trapping(2, |scope| {
+            scope.spawn(|_| {});
+            panic!("seed failed");
+        });
+        assert_eq!(
+            payload_message(trapped.expect("trapped").as_ref()),
+            "seed failed"
+        );
+        assert_eq!(stats.tasks(), 0, "aborted run executes nothing");
+        // Queues were cleared; the pool is reusable.
+        let counter = AtomicU32::new(0);
+        pool.run(2, |scope| {
+            scope.spawn(|_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn payload_message_covers_common_shapes() {
+        let boxed: Box<dyn std::any::Any + Send> = Box::new("literal");
+        assert_eq!(payload_message(boxed.as_ref()), "literal");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(format!("formatted {}", 7));
+        assert_eq!(payload_message(boxed.as_ref()), "formatted 7");
+        let boxed: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(payload_message(boxed.as_ref()), "non-string panic payload");
     }
 
     #[test]

@@ -1,0 +1,76 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheaply cloneable handle around one shared flag:
+//! the caller keeps a clone, hands another to the engine via `ExecOptions`,
+//! and may flip it at any time from any thread. The engine polls the token
+//! at the same cooperative checkpoints as the [`Deadline`](crate::Deadline)
+//! (matcher recursion entry, per-candidate loops, pool task boundaries), so
+//! a cancelled query aborts promptly with a partial answer instead of
+//! waiting for its wall-clock budget.
+//!
+//! Polling is a single relaxed atomic load — cheap enough to sit on the hot
+//! path without the counter gating the deadline needs for its clock reads.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag (see module docs).
+///
+/// Clones observe the same flag; [`CancelToken::cancel`] is sticky — there
+/// is deliberately no way to un-cancel, so a token is single-use per query
+/// wave (create a fresh one to run again).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request cancellation. Safe to call from any thread, any number of
+    /// times; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`cancel`](Self::cancel) has been called on any clone.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        t.cancel();
+        assert!(clone.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_visible_across_threads() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        let handle = std::thread::spawn(move || {
+            clone.cancel();
+            clone.cancel();
+        });
+        handle.join().unwrap();
+        assert!(t.is_cancelled());
+    }
+}

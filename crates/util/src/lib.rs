@@ -15,8 +15,14 @@
 //!   of the session probe/seed caches.
 //! * [`timing`] — stopwatch and cooperative deadline used to implement the
 //!   paper's 60-second query budget.
+//! * [`cancel`] — the cooperative cancellation token polled at the same
+//!   checkpoints as the deadline.
+//! * [`fault`] — the deterministic fault-injection harness
+//!   (`AMBER_CHAOS`), an inlined no-op unless armed.
 //! * [`stats`] — summary statistics for the experiment harness.
 
+pub mod cancel;
+pub mod fault;
 pub mod fxhash;
 pub mod genmap;
 pub mod heap_size;
@@ -24,6 +30,7 @@ pub mod sorted;
 pub mod stats;
 pub mod timing;
 
+pub use cancel::CancelToken;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use genmap::GenerationalMap;
 pub use heap_size::HeapSize;

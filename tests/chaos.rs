@@ -1,0 +1,234 @@
+//! Chaos differential tests: under any injected fault — panics, scheduling
+//! delays, spurious allocation failures, split/steal storms — a query must
+//! return either the bit-identical clean answer or a clean typed
+//! error/partial status. Never a wrong answer, never a hang, never a
+//! poisoned engine.
+//!
+//! Chaos arming is process-global (`amber_util::fault`), so every test in
+//! this binary serializes on [`SERIAL`]; unarmed suites live in their own
+//! binaries (separate processes) and never observe an armed window.
+
+use amber::{AmberEngine, EngineError, ExecOptions, QueryStatus, Scheduler};
+use amber_multigraph::paper::{paper_graph, paper_query_text, PAPER_QUERY_EMBEDDINGS};
+use amber_util::fault;
+use proptest::prelude::*;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Serializes the whole binary: a test's clean (unarmed) phase must never
+/// overlap another test's armed window.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    // A poisoned lock just means an earlier test failed; the serialization
+    // it provides is still sound.
+    SERIAL.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Run `f` with a panic hook that swallows the expected `chaos: injected
+/// panic` messages (they are trapped and re-surfaced as typed errors; the
+/// default hook would spam stderr once per injection). Every other panic
+/// still reports normally.
+fn with_quiet_chaos_panics<T>(f: impl FnOnce() -> T) -> T {
+    let default = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        if !msg.starts_with("chaos:") {
+            eprintln!("{info}");
+        }
+    }));
+    let out = f();
+    let _ = std::panic::take_hook();
+    std::panic::set_hook(default);
+    out
+}
+
+const POINTS: [&str; 7] = [
+    "matcher-candidate",
+    "pool-spawn",
+    "pool-steal",
+    "pool-run",
+    "cache-insert",
+    "cache-evict",
+    "index-probe",
+];
+const KINDS: [&str; 4] = ["panic", "delay", "alloc-fail", "storm"];
+const RATES: [u64; 3] = [1, 7, 64];
+const SCHEDULERS: [Scheduler; 3] = [Scheduler::Auto, Scheduler::Pool, Scheduler::ForkPerChunk];
+const THREADS: [usize; 3] = [1, 2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole property: any fault spec, any scheduler, any thread
+    /// count — the outcome is the clean answer, a clean partial, or a
+    /// typed quarantined error. Afterwards the same session serves the
+    /// query correctly.
+    #[test]
+    fn chaos_yields_answer_or_typed_error(
+        point in 0..POINTS.len(),
+        kind in 0..KINDS.len(),
+        rate in 0..RATES.len(),
+        seed in 1..10_000u64,
+        mode in 0..SCHEDULERS.len() * THREADS.len(),
+        cached in 0..2u8,
+    ) {
+        let _serial = serial();
+        let (point, kind, rate) = (POINTS[point], KINDS[kind], RATES[rate]);
+        let (sched, threads) = (mode / THREADS.len(), mode % THREADS.len());
+        let engine = AmberEngine::from_graph(paper_graph());
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let base = if cached == 1 { ExecOptions::batch() } else { ExecOptions::new() };
+        let options = base
+            .with_scheduler(SCHEDULERS[sched])
+            .with_threads(THREADS[threads])
+            // A generous budget arms the governor without organic pressure:
+            // only an injected alloc-fail can exhaust it.
+            .with_memory_budget(1 << 30);
+
+        let baseline = engine.execute_parsed(&q, &options).unwrap();
+        prop_assert_eq!(baseline.status, QueryStatus::Completed);
+        prop_assert_eq!(baseline.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+
+        let mut session = engine.create_session(&options);
+        let spec = format!("{seed}:{point}={kind}@{rate}");
+        let chaotic = {
+            let _guard = fault::override_spec(&spec).expect("spec parses");
+            with_quiet_chaos_panics(|| engine.execute_in_session(&q, &options, &mut session))
+        };
+        match chaotic {
+            Ok(out) => match out.status {
+                QueryStatus::Completed => {
+                    prop_assert_eq!(out.embedding_count, baseline.embedding_count,
+                        "wrong answer under {}", &spec);
+                    prop_assert_eq!(&out.bindings, &baseline.bindings,
+                        "wrong bindings under {}", &spec);
+                }
+                QueryStatus::BudgetExceeded => {
+                    prop_assert_eq!(kind, "alloc-fail",
+                        "only alloc-fail may exhaust a 1 GiB budget ({})", &spec);
+                    prop_assert!(out.bindings.is_empty(), "partials carry no bindings");
+                }
+                other => prop_assert!(false,
+                    "unexpected status {:?} under {} (no deadline, no token)", other, &spec),
+            },
+            Err(EngineError::Internal { task, payload }) => {
+                prop_assert_eq!(kind, "panic",
+                    "only panic faults may surface as Internal ({}: {} / {})",
+                    &spec, task, payload);
+            }
+            Err(other) => prop_assert!(false, "untyped failure under {}: {}", &spec, other),
+        }
+
+        // Disarmed epilogue: the session (and its pool) must be reusable
+        // and correct — a quarantined panic poisons only its own query.
+        let clean = engine.execute_in_session(&q, &options, &mut session).unwrap();
+        prop_assert_eq!(clean.status, QueryStatus::Completed);
+        prop_assert_eq!(clean.embedding_count, baseline.embedding_count);
+        prop_assert_eq!(&clean.bindings, &baseline.bindings);
+    }
+}
+
+#[test]
+fn pool_that_trapped_a_panic_serves_the_next_query() {
+    let _serial = serial();
+    let engine = AmberEngine::from_graph(paper_graph());
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    let options = ExecOptions::new()
+        .with_scheduler(Scheduler::Pool)
+        .with_threads(8);
+    let mut session = engine.create_session(&options);
+
+    let err = {
+        let _guard = fault::override_spec("1:pool-run=panic@1").unwrap();
+        with_quiet_chaos_panics(|| engine.execute_in_session(&q, &options, &mut session))
+    };
+    match err {
+        Err(EngineError::Internal { payload, .. }) => {
+            assert!(payload.contains("chaos"), "payload: {payload}")
+        }
+        other => panic!("expected a quarantined Internal error, got {other:?}"),
+    }
+    assert!(
+        session.pool_stats().trapped_panics >= 1,
+        "the quarantine must be visible in PoolStats: {:?}",
+        session.pool_stats()
+    );
+
+    // Same session, same pool: the next query is served in full.
+    let clean = engine
+        .execute_in_session(&q, &options, &mut session)
+        .unwrap();
+    assert_eq!(clean.status, QueryStatus::Completed);
+    assert_eq!(clean.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+}
+
+#[test]
+fn delay_chaos_never_changes_answers() {
+    let _serial = serial();
+    let engine = AmberEngine::from_graph(paper_graph());
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    for scheduler in SCHEDULERS {
+        let options = ExecOptions::new().with_scheduler(scheduler).with_threads(4);
+        let baseline = engine.execute_parsed(&q, &options).unwrap();
+        let _guard = fault::override_spec("11:delay@1").unwrap();
+        let delayed = engine.execute_parsed(&q, &options).unwrap();
+        assert_eq!(delayed.status, QueryStatus::Completed);
+        assert_eq!(delayed.embedding_count, baseline.embedding_count);
+        assert_eq!(delayed.bindings, baseline.bindings);
+    }
+}
+
+#[test]
+fn storm_forces_splits_without_changing_answers() {
+    let _serial = serial();
+    let engine = AmberEngine::from_graph(paper_graph());
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    let options = ExecOptions::new()
+        .with_scheduler(Scheduler::Pool)
+        .with_threads(4);
+    let baseline = engine.execute_parsed(&q, &options).unwrap();
+    let _guard = fault::override_spec("5:matcher-candidate=storm@1").unwrap();
+    let stormed = engine.execute_parsed(&q, &options).unwrap();
+    assert_eq!(stormed.status, QueryStatus::Completed);
+    assert_eq!(stormed.embedding_count, baseline.embedding_count);
+    assert_eq!(stormed.bindings, baseline.bindings);
+}
+
+#[test]
+fn alloc_fail_without_a_governor_is_inert() {
+    let _serial = serial();
+    let engine = AmberEngine::from_graph(paper_graph());
+    // No memory budget → no governor → the spurious alloc-failure signal
+    // has nowhere to land and must be ignored, not crash.
+    let options = ExecOptions::new();
+    let _guard = fault::override_spec("3:alloc-fail@1").unwrap();
+    let outcome = engine.execute(&paper_query_text(), &options).unwrap();
+    assert_eq!(outcome.status, QueryStatus::Completed);
+    assert_eq!(outcome.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+}
+
+#[test]
+fn alloc_fail_with_a_governor_degrades_cleanly() {
+    let _serial = serial();
+    let engine = AmberEngine::from_graph(paper_graph());
+    let options = ExecOptions::new().with_memory_budget(1 << 30);
+    let mut session = engine.create_session(&options);
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    let outcome = {
+        let _guard = fault::override_spec("3:matcher-candidate=alloc-fail@1").unwrap();
+        engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap()
+    };
+    assert_eq!(outcome.status, QueryStatus::BudgetExceeded);
+    assert!(
+        session.pool_stats().degradation_steps >= 1,
+        "exhaustion takes the whole ladder: {:?}",
+        session.pool_stats()
+    );
+}

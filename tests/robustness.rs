@@ -2,9 +2,9 @@
 //! query shapes, zero budgets, empty graphs, unicode — the "production
 //! quality" envelope around the paper's algorithm.
 
-use amber::{AmberEngine, EngineError, ExecOptions, QueryStatus};
+use amber::{AmberEngine, CancelToken, EngineError, ExecOptions, QueryStatus};
 use amber_baselines::all_engines;
-use amber_multigraph::paper::paper_graph;
+use amber_multigraph::paper::{paper_graph, paper_query_text, PAPER_QUERY_EMBEDDINGS};
 use amber_multigraph::RdfGraph;
 use std::sync::Arc;
 use std::time::Duration;
@@ -178,6 +178,133 @@ fn duplicate_patterns_do_not_double_count() {
             .unwrap();
         assert_eq!(out.embedding_count, a.embedding_count, "{}", engine.name());
     }
+}
+
+#[test]
+fn pre_cancelled_token_yields_cancelled_status() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let token = CancelToken::new();
+    token.cancel();
+    let options = ExecOptions::new().with_cancel(token);
+    let outcome = engine
+        .execute(&paper_query_text(), &options)
+        .expect("cancellation is a status, not an error");
+    assert_eq!(outcome.status, QueryStatus::Cancelled);
+    assert!(outcome.is_partial());
+    assert!(
+        outcome.bindings.is_empty(),
+        "a cancelled query must not materialize bindings"
+    );
+}
+
+#[test]
+fn cancellation_is_distinct_from_timeout() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let token = CancelToken::new();
+    token.cancel();
+    // Both pressures at once: cancellation wins the status (the user asked
+    // for the abort; the deadline is incidental).
+    let options = ExecOptions::new()
+        .with_cancel(token)
+        .with_timeout(Duration::ZERO);
+    let outcome = engine.execute(&paper_query_text(), &options).unwrap();
+    assert_eq!(outcome.status, QueryStatus::Cancelled);
+    assert!(!outcome.timed_out());
+}
+
+#[test]
+fn unfired_token_changes_nothing() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let token = CancelToken::new();
+    let options = ExecOptions::new().with_cancel(token.clone());
+    let outcome = engine.execute(&paper_query_text(), &options).unwrap();
+    assert_eq!(outcome.status, QueryStatus::Completed);
+    assert_eq!(outcome.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+    assert!(!token.is_cancelled());
+}
+
+#[test]
+fn cancelled_query_never_stores_into_the_result_cache() {
+    // Regression guard (mirrors the timed-out variant in the engine unit
+    // tests): a cancelled partial outcome must be *bypassed* by the result
+    // cache, so a clean repeat recomputes the full answer.
+    let engine = AmberEngine::from_graph(paper_graph());
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    let options = ExecOptions::batch();
+    let mut session = engine.create_session(&options);
+
+    let token = CancelToken::new();
+    token.cancel();
+    let cancelled = engine
+        .execute_in_session(&q, &options.clone().with_cancel(token), &mut session)
+        .unwrap();
+    assert_eq!(cancelled.status, QueryStatus::Cancelled);
+
+    let repeat = engine
+        .execute_in_session(&q, &options, &mut session)
+        .unwrap();
+    assert_eq!(repeat.status, QueryStatus::Completed);
+    assert_eq!(repeat.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+    let stats = session.plan_stats();
+    assert_eq!(
+        stats.results.hits, 0,
+        "the cancelled outcome must not be served to anyone: {stats:?}"
+    );
+    assert_eq!(session.pool_stats().cancellations, 1);
+}
+
+#[test]
+fn tiny_memory_budget_degrades_to_a_typed_partial() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    // One byte: the governor blows through every rung of the ladder on the
+    // first checkpoint. The query must come back as a clean partial, never
+    // an abort or a wrong answer.
+    let options = ExecOptions::new().with_memory_budget(1);
+    let outcome = engine
+        .execute(&paper_query_text(), &options)
+        .expect("budget exhaustion is a status, not an error");
+    assert_eq!(outcome.status, QueryStatus::BudgetExceeded);
+    assert!(outcome.is_partial());
+}
+
+#[test]
+fn generous_memory_budget_is_invisible() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let baseline = engine
+        .execute(&paper_query_text(), &ExecOptions::new())
+        .unwrap();
+    let governed = engine
+        .execute(
+            &paper_query_text(),
+            &ExecOptions::new().with_memory_budget(1 << 30),
+        )
+        .unwrap();
+    assert_eq!(governed.status, QueryStatus::Completed);
+    assert_eq!(governed.embedding_count, baseline.embedding_count);
+    assert_eq!(governed.bindings, baseline.bindings);
+}
+
+#[test]
+fn budget_degradation_is_recorded_in_session_stats() {
+    let engine = AmberEngine::from_graph(paper_graph());
+    let options = ExecOptions::new().with_memory_budget(1);
+    let mut session = engine.create_session(&options);
+    let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+    let outcome = engine
+        .execute_in_session(&q, &options, &mut session)
+        .unwrap();
+    assert_eq!(outcome.status, QueryStatus::BudgetExceeded);
+    assert!(
+        session.pool_stats().degradation_steps >= 1,
+        "the governor's ladder steps must surface in PoolStats: {:?}",
+        session.pool_stats()
+    );
+    // The session survives: an ungoverned repeat gets the full answer.
+    let clean = engine
+        .execute_in_session(&q, &ExecOptions::new(), &mut session)
+        .unwrap();
+    assert_eq!(clean.status, QueryStatus::Completed);
+    assert_eq!(clean.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
 }
 
 #[test]

@@ -301,6 +301,52 @@ fn check_parallel(checks: &mut Vec<Check>, baseline: &Json, fresh: &Json) {
     );
 }
 
+fn check_serve(checks: &mut Vec<Check>, baseline: &Json, fresh: &Json) {
+    check_section(
+        checks,
+        "BENCH_serve.json",
+        baseline,
+        fresh,
+        "serving",
+        &["name"],
+        |checks, key, base, new| {
+            // Fairness and cache-sharing ratios: deterministic replays, so
+            // they only move when dispatch or cache behaviour changes.
+            for metric in [
+                "light_service_headroom",
+                "shared_plan_hit_rate",
+                "result_hit_rate",
+            ] {
+                check_metric(
+                    checks,
+                    "BENCH_serve.json",
+                    key,
+                    metric,
+                    base,
+                    new,
+                    Direction::HigherIsBetter,
+                    true, // absent/zero in the concurrent_streams entry
+                );
+            }
+            // Exact counters: served volume and the one-derivation-per-
+            // distinct-query pin (the zero-copy byte gauge is hard-asserted
+            // to 0 inside bench_serve itself).
+            for metric in ["requests", "shared_plan_misses"] {
+                check_metric(
+                    checks,
+                    "BENCH_serve.json",
+                    key,
+                    metric,
+                    base,
+                    new,
+                    Direction::Deterministic,
+                    false,
+                );
+            }
+        },
+    );
+}
+
 fn load(dir: &Path, name: &str) -> Option<Json> {
     let path = dir.join(name);
     let text = std::fs::read_to_string(&path).ok()?;
@@ -343,11 +389,12 @@ fn main() {
     }
 
     type Checker = fn(&mut Vec<Check>, &Json, &Json);
-    let trackers: [(&str, Checker); 4] = [
+    let trackers: [(&str, Checker); 5] = [
         ("BENCH_matcher.json", check_matcher),
         ("BENCH_batch.json", check_batch),
         ("BENCH_kernels.json", check_kernels),
         ("BENCH_parallel.json", check_parallel),
+        ("BENCH_serve.json", check_serve),
     ];
 
     let mut checks: Vec<Check> = Vec::new();

@@ -8,8 +8,9 @@ use crate::options::ExecOptions;
 use crate::parallel::run_component_in_session;
 use crate::plan::{
     canonical_fingerprint, effective_plan_capacity, effective_result_capacity, PreparedPlan,
+    SharedPlanStats, SharedPlanStore,
 };
-use crate::result::{QueryOutcome, QueryStatus, SparqlEngine};
+use crate::result::{Bindings, QueryOutcome, QueryStatus, SparqlEngine};
 use crate::seeds::SeedCache;
 use crate::session::{BatchOutcome, BatchStats, QuerySession};
 use amber_index::IndexSet;
@@ -42,6 +43,11 @@ pub struct AmberEngine {
     offline: OfflineStats,
     /// Monotonic engine identity (see [`Self::graph_token`]).
     token: u64,
+    /// The engine-wide hash-consed plan store (L2 behind every session's
+    /// plan cache): one derivation per distinct canonical query, shared by
+    /// all sessions and one-shot executions. `Arc`-shared so serving
+    /// layers can snapshot stats without borrowing the engine.
+    plans: Arc<SharedPlanStore>,
 }
 
 /// Source of unique engine identities. A pointer-based token (e.g.
@@ -99,6 +105,9 @@ impl AmberEngine {
                 index_bytes,
             },
             token: ENGINE_TOKENS.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            plans: Arc::new(SharedPlanStore::new(
+                ExecOptions::DEFAULT_PLAN_CACHE_CAPACITY,
+            )),
         }
     }
 
@@ -133,14 +142,27 @@ impl AmberEngine {
         &self,
         query: &amber_sparql::SelectQuery,
     ) -> Result<Arc<PreparedPlan>, EngineError> {
-        PreparedPlan::build(
+        let (canonical, fingerprint) = canonical_fingerprint(query);
+        // Serve from the engine-wide store, but only a plan whose *source*
+        // spellings are the caller's own: `prepare` hands the plan itself
+        // to the user (headers, EXPLAIN names), so an alpha-equivalent
+        // plan with different spellings is rebuilt rather than reused.
+        if let Some(plan) = self.plans.lookup(fingerprint, &canonical, self.token) {
+            if plan.source_spellings_match(query) {
+                return Ok(plan);
+            }
+        }
+        let built = Arc::new(PreparedPlan::from_canonical(
+            canonical,
+            fingerprint,
             query,
             &self.rdf,
             &self.index,
             self.token,
             &mut SeedCache::disabled(),
-        )
-        .map(Arc::new)
+        )?);
+        self.plans.insert(Arc::clone(&built));
+        Ok(built)
     }
 
     /// Parse SPARQL text and [`prepare`](Self::prepare) it.
@@ -166,8 +188,14 @@ impl AmberEngine {
     /// Plan-cache lookup-or-build with the canonicalization already done.
     /// `use_cache` additionally honors the *per-call* capacity knob: a
     /// call passing `plan_cache_capacity == 0` opts out of the session's
-    /// store for that execution (the session cache itself is sized once,
-    /// at session creation).
+    /// cache **and** the engine-wide store for that execution (the session
+    /// cache itself is sized once, at session creation).
+    ///
+    /// Cache layering: the session [`PlanCache`](crate::PlanCache) is the
+    /// lock-free L1; the engine's [`SharedPlanStore`] is the mutex-guarded
+    /// L2 every session falls back to, so a plan derived by one tenant is
+    /// a lookup (never a re-derivation) for all others. An L2 hit is
+    /// hash-consed into L1 so the session never locks for that plan again.
     fn resolve_plan(
         &self,
         source: &amber_sparql::SelectQuery,
@@ -178,7 +206,8 @@ impl AmberEngine {
     ) -> Result<Arc<PreparedPlan>, EngineError> {
         let token = self.token;
         let (plans, seeds) = session.plan_and_seed_caches();
-        if !use_cache || !plans.is_enabled() {
+        if !use_cache {
+            // Per-call opt-out: bypass both layers.
             plans.note_bypass();
             return PreparedPlan::from_canonical(
                 canonical,
@@ -191,10 +220,22 @@ impl AmberEngine {
             )
             .map(Arc::new);
         }
-        if let Some(plan) = plans.lookup(fingerprint, &canonical, token) {
+        if plans.is_enabled() {
+            if let Some(plan) = plans.lookup(fingerprint, &canonical, token) {
+                return Ok(plan);
+            }
+            plans.note_miss();
+        } else {
+            // No session cache (transient one-shot sessions): the shared
+            // store still deduplicates derivations across calls.
+            plans.note_bypass();
+        }
+        if let Some(plan) = self.plans.lookup(fingerprint, &canonical, token) {
+            if plans.is_enabled() {
+                plans.insert(Arc::clone(&plan));
+            }
             return Ok(plan);
         }
-        plans.note_miss();
         let built = Arc::new(PreparedPlan::from_canonical(
             canonical,
             fingerprint,
@@ -204,7 +245,10 @@ impl AmberEngine {
             token,
             seeds,
         )?);
-        plans.insert(Arc::clone(&built));
+        if plans.is_enabled() {
+            plans.insert(Arc::clone(&built));
+        }
+        self.plans.insert(Arc::clone(&built));
         Ok(built)
     }
 
@@ -220,6 +264,26 @@ impl AmberEngine {
         );
         session.bind_graph(self.graph_token());
         session
+    }
+
+    /// A single-query scratch session: arenas and the candidate cache are
+    /// sized from `options`, but the session-level plan and result caches
+    /// stay **disabled** — a one-shot execution would only cold-miss and
+    /// store into structures dropped microseconds later. Plan reuse still
+    /// happens through the engine-wide [`SharedPlanStore`] inside
+    /// [`Self::resolve_plan`]; this is what makes `execute_parsed` /
+    /// `execute_prepared` cheap per call instead of building three caches
+    /// each time.
+    fn transient_session(&self, options: &ExecOptions) -> QuerySession {
+        let mut session = QuerySession::new(options.candidate_cache_capacity);
+        session.bind_graph(self.graph_token());
+        session
+    }
+
+    /// Counters of the engine-wide shared plan store (hit rate = fraction
+    /// of derivations avoided across all sessions).
+    pub fn shared_plan_stats(&self) -> SharedPlanStats {
+        self.plans.stats()
     }
 
     /// Identity of this engine (and thus the graph + indexes sessions cache
@@ -251,7 +315,7 @@ impl AmberEngine {
         query: &amber_sparql::SelectQuery,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
-        let mut session = self.create_session(options);
+        let mut session = self.transient_session(options);
         self.execute_in_session(query, options, &mut session)
     }
 
@@ -362,13 +426,21 @@ impl AmberEngine {
             effective_result_capacity(options) > 0 && session.result_cache_mut().is_enabled();
         if results_enabled {
             if let Some(cached) = session.result_cache_mut().lookup(plan, options) {
-                return Ok(QueryOutcome {
-                    status: cached.status,
+                // Zero-copy serve: the outcome's rows are the cached `Arc`
+                // allocation itself (only Completed outcomes are ever
+                // stored, so the status is unconditional). `record_serve`
+                // audits the sharing at runtime — copied bytes stay 0.
+                let outcome = QueryOutcome {
+                    status: QueryStatus::Completed,
                     embedding_count: cached.embedding_count,
                     variables,
-                    bindings: cached.bindings.clone(),
+                    bindings: cached.rows.clone(),
                     elapsed: sw.elapsed(),
-                });
+                };
+                session
+                    .result_cache_mut()
+                    .record_serve(&cached.rows, &outcome.bindings);
+                return Ok(outcome);
             }
             session.result_cache_mut().note_miss();
         }
@@ -387,7 +459,8 @@ impl AmberEngine {
             // served to a repeat. Shedding bypasses too.
             results.note_bypass();
         } else {
-            results.store(plan, options, Arc::new(outcome.clone()));
+            // Storing shares the outcome's row `Arc` — no deep copy.
+            results.store(plan, options, &outcome);
         }
         Ok(outcome)
     }
@@ -399,7 +472,7 @@ impl AmberEngine {
         plan: &Arc<PreparedPlan>,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
-        let mut session = self.create_session(options);
+        let mut session = self.transient_session(options);
         self.execute_prepared_in_session(plan, options, &mut session)
     }
 
@@ -532,9 +605,15 @@ impl AmberEngine {
         };
 
         let bindings = if options.count_only || partial || embedding_count == 0 {
-            Vec::new()
+            Bindings::default()
         } else {
-            materialize_bindings(qg, &self.rdf, &matches, options.max_results, qg.distinct())
+            Bindings::new(materialize_bindings(
+                qg,
+                &self.rdf,
+                &matches,
+                options.max_results,
+                qg.distinct(),
+            ))
         };
 
         Ok(QueryOutcome {
@@ -873,8 +952,8 @@ mod tests {
                 assert_eq!(batched.embedding_count, solo.embedding_count);
                 assert_eq!(batched.status, solo.status);
                 assert_eq!(batched.variables, solo.variables);
-                let mut a = batched.bindings.clone();
-                let mut b = solo.bindings.clone();
+                let mut a = batched.bindings.to_vec();
+                let mut b = solo.bindings.to_vec();
                 a.sort();
                 b.sort();
                 assert_eq!(a, b);
@@ -959,7 +1038,7 @@ mod tests {
         let prepared = engine.execute_prepared(&plan, &ExecOptions::new()).unwrap();
         assert_eq!(prepared.embedding_count, adhoc.embedding_count);
         assert_eq!(prepared.variables, adhoc.variables);
-        let (mut a, mut b) = (prepared.bindings.clone(), adhoc.bindings.clone());
+        let (mut a, mut b) = (prepared.bindings.to_vec(), adhoc.bindings.to_vec());
         a.sort();
         b.sort();
         assert_eq!(a, b);
@@ -1121,6 +1200,119 @@ mod tests {
     }
 
     #[test]
+    fn result_cache_hits_share_rows_without_copying() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+        let first = engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let second = engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let third = engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let stats = session.plan_stats();
+        assert_eq!(stats.results.hits, 2, "verbatim repeats hit");
+        // The zero-copy contract, gated structurally and by counter: every
+        // served outcome aliases the one row allocation the miss stored.
+        assert!(
+            second.bindings.shares_rows(&first.bindings),
+            "a hit must serve the stored Arc allocation, not a clone"
+        );
+        assert!(third.bindings.shares_rows(&first.bindings));
+        assert_eq!(
+            stats.result_hit_copied_bytes, 0,
+            "serving hits must copy zero row bytes: {stats:?}"
+        );
+        assert_eq!(second.embedding_count, first.embedding_count);
+        assert_eq!(second.variables, first.variables);
+    }
+
+    #[test]
+    fn one_shot_executions_share_plans_through_the_engine_store() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        // The per-session re-derivation bugfix, pinned on the one-shot
+        // path: two `execute_parsed` calls (each a fresh transient
+        // session) must derive the plan once and share it through the
+        // engine-wide store.
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let a = engine.execute_parsed(&q, &options).unwrap();
+        let b = engine.execute_parsed(&q, &options).unwrap();
+        assert_eq!(a.embedding_count, b.embedding_count);
+        let stats = engine.shared_plan_stats();
+        assert_eq!(stats.misses, 1, "exactly one derivation: {stats:?}");
+        assert!(
+            stats.hits >= 1,
+            "the repeat is a shared-store hit: {stats:?}"
+        );
+        assert_eq!(stats.entries, 1);
+
+        // Fresh *sessions* share through the store too (the cross-tenant
+        // serving case): a new session's first execution is an L2 hit.
+        let mut session = engine.create_session(&options);
+        engine
+            .execute_in_session(&q, &options, &mut session)
+            .unwrap();
+        let after = engine.shared_plan_stats();
+        assert_eq!(after.misses, 1, "still exactly one derivation: {after:?}");
+        assert!(after.hits >= 2);
+    }
+
+    #[test]
+    fn transient_sessions_skip_the_per_call_cache_build() {
+        // The `execute_prepared` / `execute_parsed` fix: one-shot sessions
+        // must not carry plan/result caches that die with the call.
+        let engine = engine();
+        let mut transient = engine.transient_session(&ExecOptions::batch());
+        let (plans, _) = transient.plan_and_seed_caches();
+        assert!(
+            !plans.is_enabled(),
+            "transient sessions must not build a plan cache"
+        );
+        assert!(
+            !transient.result_cache_mut().is_enabled(),
+            "transient sessions must not build a result cache"
+        );
+        // Prepared one-shots still work and stay correct through it.
+        let plan = engine.prepare_sparql(&paper_query_text()).unwrap();
+        let outcome = engine
+            .execute_prepared(&plan, &ExecOptions::batch())
+            .unwrap();
+        assert_eq!(outcome.embedding_count, PAPER_QUERY_EMBEDDINGS as u128);
+    }
+
+    #[test]
+    fn prepare_shares_derivations_but_keeps_caller_spellings() {
+        if !crate::plan::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane: the subsystem under test is pinned off
+        }
+        let engine = engine();
+        let q = amber_sparql::parse_select(&paper_query_text()).unwrap();
+        let p1 = engine.prepare(&q).unwrap();
+        let p2 = engine.prepare(&q).unwrap();
+        assert!(
+            Arc::ptr_eq(&p1, &p2),
+            "verbatim re-prepare returns the hash-consed plan"
+        );
+        // An alpha-equivalent spelling must get its *own* headers back,
+        // never the first caller's.
+        let renamed = paper_query_text().replace("?X", "?Other");
+        let p3 = engine.prepare_sparql(&renamed).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert!(p3.variables()[0].contains("Other"));
+    }
+
+    #[test]
     fn batch_prepared_matches_batch_parsed() {
         let engine = engine();
         let q1 = amber_sparql::parse_select(&paper_query_text()).unwrap();
@@ -1151,8 +1343,8 @@ mod tests {
             .execute(&paper_query_text(), &ExecOptions::new().with_threads(4))
             .unwrap();
         assert_eq!(seq.embedding_count, par.embedding_count);
-        let mut seq_rows = seq.bindings.clone();
-        let mut par_rows = par.bindings.clone();
+        let mut seq_rows = seq.bindings.to_vec();
+        let mut par_rows = par.bindings.to_vec();
         seq_rows.sort();
         par_rows.sort();
         assert_eq!(seq_rows, par_rows);

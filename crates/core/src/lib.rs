@@ -55,8 +55,11 @@ pub use explain::QueryPlan;
 pub use governor::{MemoryGovernor, Pressure};
 pub use options::{ExecOptions, Scheduler};
 pub use parallel::{dispatch_for, Dispatch};
-pub use plan::{plan_cache_enabled, PlanCache, PlanCacheStats, PreparedPlan, ResultCache};
-pub use result::{QueryOutcome, QueryStatus, SparqlEngine};
+pub use plan::{
+    plan_cache_enabled, PlanCache, PlanCacheStats, PreparedPlan, ResultCache, SharedPlanStats,
+    SharedPlanStore,
+};
+pub use result::{BindingRow, Bindings, QueryOutcome, QueryStatus, SparqlEngine};
 pub use seeds::SeedCache;
 pub use session::{BatchOutcome, BatchStats, PoolStats, QuerySession};
 

@@ -40,14 +40,15 @@ use crate::candidates::CacheStats;
 use crate::error::EngineError;
 use crate::matcher::ComponentPrep;
 use crate::options::ExecOptions;
-use crate::result::QueryOutcome;
+use crate::result::{Bindings, QueryOutcome};
 use crate::seeds::SeedCache;
 use amber_index::IndexSet;
 use amber_multigraph::{DataGraph, GroundCheck, QueryGraph, RdfGraph};
 use amber_sparql::{canonicalize, SelectQuery};
 use amber_util::{FxHasher, GenerationalMap};
 use std::hash::{Hash, Hasher};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Is the prepared-plan subsystem enabled for this process? Reads the
 /// `AMBER_PLAN_CACHE` environment variable once (`off` / `0` / `false`
@@ -138,32 +139,11 @@ pub struct PreparedPlan {
 }
 
 impl PreparedPlan {
-    /// Derive a plan: canonicalize, build the query multigraph, evaluate
-    /// ground checks, decompose/order/probe every component. Seed lookups
-    /// resolve through `seeds` (pass [`SeedCache::disabled`] for one-shot
-    /// callers).
-    pub(crate) fn build(
-        query: &SelectQuery,
-        rdf: &RdfGraph,
-        index: &IndexSet,
-        engine_token: u64,
-        seeds: &mut SeedCache,
-    ) -> Result<Self, EngineError> {
-        let (canonical, fingerprint) = canonical_fingerprint(query);
-        Self::from_canonical(
-            canonical,
-            fingerprint,
-            query,
-            rdf,
-            index,
-            engine_token,
-            seeds,
-        )
-    }
-
-    /// [`Self::build`] with the canonicalization already done (the
-    /// plan-cache miss path, which needed the canonical form for the
-    /// lookup itself).
+    /// Derive a plan with the canonicalization already done (every caller
+    /// needed the canonical form for a cache/store lookup first):
+    /// build the query multigraph, evaluate ground checks,
+    /// decompose/order/probe every component. Seed lookups resolve through
+    /// `seeds` (pass [`SeedCache::disabled`] for one-shot callers).
     pub(crate) fn from_canonical(
         canonical: SelectQuery,
         fingerprint: u64,
@@ -261,6 +241,31 @@ impl PreparedPlan {
     /// Identity of the engine this plan belongs to.
     pub(crate) fn engine_token(&self) -> u64 {
         self.engine_token
+    }
+
+    /// `true` when this plan's recorded *source* spellings (projection
+    /// header + pattern-variable names) match `source`'s. Alpha-equivalent
+    /// queries share a canonical plan but differ here; callers that hand
+    /// the plan itself to the user (e.g. [`AmberEngine::prepare`]
+    /// consulting the shared store) only reuse a plan whose spellings are
+    /// the caller's own.
+    ///
+    /// [`AmberEngine::prepare`]: crate::AmberEngine::prepare
+    pub(crate) fn source_spellings_match(&self, source: &SelectQuery) -> bool {
+        let vars = source.output_variables();
+        let names = source.pattern_variables();
+        self.variables.len() == vars.len()
+            && self
+                .variables
+                .iter()
+                .zip(&vars)
+                .all(|(a, b)| a.as_ref() == *b)
+            && self.source_names.len() == names.len()
+            && self
+                .source_names
+                .iter()
+                .zip(&names)
+                .all(|(a, b)| a.as_ref() == *b)
     }
 
     /// Approximate retained heap bytes (plan-cache accounting).
@@ -441,11 +446,25 @@ impl ResultKey {
 }
 
 /// One cached outcome, tagged with the plan it answered (structural
-/// comparison guards against fingerprint collisions).
+/// comparison guards against fingerprint collisions). Only the parts a
+/// repeat actually reuses are retained: the exact embedding count and the
+/// `Arc`-shared rows. Status is implicitly `Completed` (partials are never
+/// stored), and the header/elapsed fields belong to the live caller.
 #[derive(Debug)]
 struct CachedResult {
     plan: Arc<PreparedPlan>,
-    outcome: Arc<QueryOutcome>,
+    embedding_count: u128,
+    rows: Bindings,
+}
+
+/// What a result-cache hit hands back: everything the engine needs to
+/// assemble a served [`QueryOutcome`] without touching the row data.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedOutcome {
+    /// Exact embedding count of the completed execution.
+    pub(crate) embedding_count: u128,
+    /// The cached rows, `Arc`-shared — cloning this is a refcount bump.
+    pub(crate) rows: Bindings,
 }
 
 /// A bounded cache of completed outcomes for verbatim-repeated queries
@@ -462,6 +481,12 @@ pub struct ResultCache {
     bypasses: u64,
     stored: usize,
     result_bytes: usize,
+    /// Row bytes that were **deep-copied** while serving hits. The
+    /// zero-copy contract says this stays 0 forever: a hit serves the
+    /// cached `Arc` allocation itself. Measured at serve time (not assumed)
+    /// so any future regression to cloning trips the counter-gated tests
+    /// and `bench_serve`.
+    hit_copied_bytes: u64,
 }
 
 impl ResultCache {
@@ -475,6 +500,7 @@ impl ResultCache {
             bypasses: 0,
             stored: 0,
             result_bytes: 0,
+            hit_copied_bytes: 0,
         }
     }
 
@@ -508,18 +534,19 @@ impl ResultCache {
         self.map.clear(|chain| {
             *stored = stored.saturating_sub(chain.len());
             for cached in chain {
-                *bytes = bytes.saturating_sub(outcome_bytes(&cached.outcome));
+                *bytes = bytes.saturating_sub(cached_bytes(cached));
             }
         });
     }
 
     /// Serve a completed outcome for a verbatim repeat of `plan` under the
-    /// same result-shaping options, if one is cached.
+    /// same result-shaping options, if one is cached. The returned rows
+    /// share the cached allocation — serving a hit copies zero row bytes.
     pub(crate) fn lookup(
         &mut self,
         plan: &Arc<PreparedPlan>,
         options: &ExecOptions,
-    ) -> Option<Arc<QueryOutcome>> {
+    ) -> Option<CachedOutcome> {
         let key = ResultKey::new(plan.fingerprint(), options);
         let chain = self.map.get(&key)?;
         let hit = chain
@@ -529,7 +556,10 @@ impl ResultCache {
                     || (cached.plan.engine_token() == plan.engine_token()
                         && cached.plan.canonical() == plan.canonical())
             })
-            .map(|cached| Arc::clone(&cached.outcome));
+            .map(|cached| CachedOutcome {
+                embedding_count: cached.embedding_count,
+                rows: cached.rows.clone(),
+            });
         if hit.is_some() {
             self.hits += 1;
         }
@@ -541,6 +571,21 @@ impl ResultCache {
         self.misses += 1;
     }
 
+    /// Audit one served hit: if the outcome handed to the caller does not
+    /// share the cached row allocation, something deep-copied — charge the
+    /// copied bytes so the regression gates can see it.
+    pub(crate) fn record_serve(&mut self, cached: &Bindings, served: &Bindings) {
+        if !cached.shares_rows(served) {
+            self.hit_copied_bytes += served.approx_heap_bytes() as u64;
+        }
+    }
+
+    /// Total row bytes deep-copied while serving hits (0 under the
+    /// zero-copy contract).
+    pub fn hit_copied_bytes(&self) -> u64 {
+        self.hit_copied_bytes
+    }
+
     /// Drop every outcome on the memory governor's orders (the
     /// shed-results rung of the degradation ladder): identical to
     /// [`Self::clear`] today, named separately so the shed has its own
@@ -549,25 +594,27 @@ impl ResultCache {
         self.clear();
     }
 
-    /// Store a **completed** outcome. Callers must never pass a partial
-    /// one — a timed-out, cancelled, or budget-exceeded count/binding set
-    /// would poison verbatim repeats; debug builds assert it.
+    /// Store a **completed** outcome (the rows are `Arc`-shared into the
+    /// cache — no copy). Callers must never pass a partial one — a
+    /// timed-out, cancelled, or budget-exceeded count/binding set would
+    /// poison verbatim repeats; debug builds assert it.
     pub(crate) fn store(
         &mut self,
         plan: &Arc<PreparedPlan>,
         options: &ExecOptions,
-        outcome: Arc<QueryOutcome>,
+        outcome: &QueryOutcome,
     ) {
         debug_assert!(
             outcome.status.is_complete(),
             "partial outcomes (timeout/cancel/budget) must bypass the result cache"
         );
         let key = ResultKey::new(plan.fingerprint(), options);
-        let bytes = outcome_bytes(&outcome);
         let entry = CachedResult {
             plan: Arc::clone(plan),
-            outcome,
+            embedding_count: outcome.embedding_count,
+            rows: outcome.bindings.clone(),
         };
+        let bytes = cached_bytes(&entry);
         if let Some(chain) = self.map.get_mut(&key) {
             if let Some(existing) = chain.iter_mut().find(|cached| {
                 Arc::ptr_eq(&cached.plan, plan)
@@ -576,7 +623,7 @@ impl ResultCache {
             }) {
                 self.result_bytes = self
                     .result_bytes
-                    .saturating_sub(outcome_bytes(&existing.outcome))
+                    .saturating_sub(cached_bytes(existing))
                     .saturating_add(bytes);
                 *existing = entry;
             } else {
@@ -592,27 +639,16 @@ impl ResultCache {
         self.map.insert(key, vec![entry], |chain| {
             *stored = stored.saturating_sub(chain.len());
             for dropped in chain {
-                *total = total.saturating_sub(outcome_bytes(&dropped.outcome));
+                *total = total.saturating_sub(cached_bytes(dropped));
             }
         });
     }
 }
 
-/// Approximate retained bytes of one cached outcome.
-fn outcome_bytes(outcome: &QueryOutcome) -> usize {
-    let strings: usize = outcome
-        .bindings
-        .iter()
-        .flat_map(|row| row.iter())
-        .map(|s| s.len() + std::mem::size_of::<Box<str>>())
-        .sum();
-    strings
-        + outcome.bindings.len() * std::mem::size_of::<Vec<Box<str>>>()
-        + outcome
-            .variables
-            .iter()
-            .map(|v| v.len() + std::mem::size_of::<Box<str>>())
-            .sum::<usize>()
+/// Approximate retained bytes of one cached entry (rows only — headers
+/// and counts are a few machine words).
+fn cached_bytes(cached: &CachedResult) -> usize {
+    cached.rows.approx_heap_bytes()
 }
 
 /// Combined plan-subsystem counters reported per batch
@@ -623,6 +659,10 @@ pub struct PlanCacheStats {
     pub plans: CacheStats,
     /// Verbatim-result cache counters (hits = whole executions skipped).
     pub results: CacheStats,
+    /// Row bytes deep-copied while serving result-cache hits. The
+    /// zero-copy contract pins this at 0; `bench_serve` and the regression
+    /// tests gate on it.
+    pub result_hit_copied_bytes: u64,
 }
 
 impl PlanCacheStats {
@@ -632,7 +672,168 @@ impl PlanCacheStats {
         PlanCacheStats {
             plans: self.plans.since(&before.plans),
             results: self.results.since(&before.results),
+            result_hit_copied_bytes: self
+                .result_hit_copied_bytes
+                .saturating_sub(before.result_hit_copied_bytes),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared (cross-session) plan store.
+// ---------------------------------------------------------------------------
+
+/// Counters of the process-wide [`SharedPlanStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharedPlanStats {
+    /// Lookups answered from the store (a full plan derivation skipped for
+    /// some session that never built this plan itself).
+    pub hits: u64,
+    /// Lookups that found nothing — each one corresponds to an actual
+    /// plan derivation somewhere (the store is consulted exactly once per
+    /// derivation in the cached execution paths).
+    pub misses: u64,
+    /// Plans currently retained.
+    pub entries: usize,
+}
+
+impl SharedPlanStats {
+    /// Hit rate over all consultations (0.0 when never consulted).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The **engine-wide, hash-consed plan store**: one `Arc`-shared,
+/// thread-safe map from canonicalized query to [`PreparedPlan`], consulted
+/// by every session (and every one-shot execution) before deriving a plan
+/// from scratch. This is the fix for the "plans re-derived per session"
+/// defect: under a concurrent serving layer, N tenants asking
+/// alpha-equivalent queries share **one** derivation instead of N.
+///
+/// Layering: the session-owned [`PlanCache`] stays as a lock-free L1 (its
+/// lookups take no mutex); this store is the L2 behind a [`Mutex`]. An L1
+/// miss consults L2; an L2 hit is copied (an `Arc` clone) into L1 so the
+/// session never locks for that plan again.
+///
+/// Invalidation: none needed. Plans embed the `engine_token` of the engine
+/// they were derived against and lookups filter on it, the store is owned
+/// by (and dies with) its engine, and engine data is immutable after
+/// build — so a stored plan can never go stale. `AMBER_PLAN_CACHE=off`
+/// pins the store disabled (capacity 0) like both session caches.
+///
+/// The mutex is poison-robust: a panicking thread (chaos injection,
+/// quarantined worker) leaves the map in a consistent state because every
+/// critical section is a single map operation, so waiters simply take the
+/// lock over (`PoisonError::into_inner`) instead of wedging every tenant.
+#[derive(Debug)]
+pub struct SharedPlanStore {
+    /// Maximum fingerprint buckets retained; 0 disables the store.
+    capacity: usize,
+    map: Mutex<GenerationalMap<u64, Vec<Arc<PreparedPlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stored: AtomicUsize,
+}
+
+impl SharedPlanStore {
+    /// A store retaining at most `capacity` fingerprint buckets; forced to
+    /// 0 (disabled) when `AMBER_PLAN_CACHE=off` pins the subsystem off.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = if plan_cache_enabled() { capacity } else { 0 };
+        Self {
+            capacity,
+            map: Mutex::new(GenerationalMap::new(capacity.max(1))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stored: AtomicUsize::new(0),
+        }
+    }
+
+    /// `true` when plans can actually be shared through this store.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SharedPlanStats {
+        SharedPlanStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.stored.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Take the map lock, recovering from poison (see type docs).
+    fn lock(&self) -> std::sync::MutexGuard<'_, GenerationalMap<u64, Vec<Arc<PreparedPlan>>>> {
+        self.map.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Look up a plan by canonical form, filtered by `engine_token`.
+    /// Counts a miss when nothing matches — callers consult the store
+    /// exactly once per derivation, so `misses` equals the number of
+    /// plans actually built.
+    pub(crate) fn lookup(
+        &self,
+        fingerprint: u64,
+        canonical: &SelectQuery,
+        engine_token: u64,
+    ) -> Option<Arc<PreparedPlan>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let hit = {
+            let mut map = self.lock();
+            map.get(&fingerprint).and_then(|chain| {
+                chain
+                    .iter()
+                    .find(|plan| {
+                        plan.engine_token() == engine_token && plan.canonical() == canonical
+                    })
+                    .cloned()
+            })
+        };
+        match hit {
+            Some(plan) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(plan)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a freshly-built plan (fingerprint collisions chain; a
+    /// structurally-equal duplicate from a racing builder replaces — both
+    /// copies are equivalent, so last-writer-wins is sound).
+    pub(crate) fn insert(&self, plan: Arc<PreparedPlan>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut map = self.lock();
+        if let Some(chain) = map.get_mut(&plan.fingerprint()) {
+            if let Some(existing) = chain.iter_mut().find(|p| {
+                p.canonical() == plan.canonical() && p.engine_token() == plan.engine_token()
+            }) {
+                *existing = plan;
+            } else {
+                chain.push(plan);
+                self.stored.fetch_add(1, Ordering::Relaxed);
+            }
+            return;
+        }
+        self.stored.fetch_add(1, Ordering::Relaxed);
+        let stored = &self.stored;
+        map.insert(plan.fingerprint(), vec![plan], |chain| {
+            stored.fetch_sub(chain.len(), Ordering::Relaxed);
+        });
     }
 }
 
@@ -646,8 +847,18 @@ mod tests {
         let rdf = paper_graph();
         let index = IndexSet::build(&rdf);
         let query = parse_select(text).unwrap();
+        let (canonical, fingerprint) = canonical_fingerprint(&query);
         Arc::new(
-            PreparedPlan::build(&query, &rdf, &index, token, &mut SeedCache::disabled()).unwrap(),
+            PreparedPlan::from_canonical(
+                canonical,
+                fingerprint,
+                &query,
+                &rdf,
+                &index,
+                token,
+                &mut SeedCache::disabled(),
+            )
+            .unwrap(),
         )
     }
 
@@ -667,8 +878,17 @@ mod tests {
         let rdf = paper_graph();
         let index = IndexSet::build(&rdf);
         let query = parse_select("SELECT * WHERE { ?a <http://nowhere/p> ?b . }").unwrap();
-        let plan =
-            PreparedPlan::build(&query, &rdf, &index, 7, &mut SeedCache::disabled()).unwrap();
+        let (canonical, fingerprint) = canonical_fingerprint(&query);
+        let plan = PreparedPlan::from_canonical(
+            canonical,
+            fingerprint,
+            &query,
+            &rdf,
+            &index,
+            7,
+            &mut SeedCache::disabled(),
+        )
+        .unwrap();
         assert!(plan.statically_empty());
         assert!(plan.components().is_empty());
     }
@@ -741,10 +961,10 @@ mod tests {
     fn result_cache_keys_on_result_shaping_options() {
         let plan = plan_for(&paper_query_text(), 1);
         let mut cache = ResultCache::new(8);
-        let outcome = Arc::new(QueryOutcome::empty(vec!["0".into()], Default::default()));
+        let outcome = QueryOutcome::empty(vec!["0".into()], Default::default());
         let uncapped = ExecOptions::new();
         let capped = ExecOptions::new().with_max_results(1);
-        cache.store(&plan, &capped, Arc::clone(&outcome));
+        cache.store(&plan, &capped, &outcome);
         assert!(
             cache.lookup(&plan, &uncapped).is_none(),
             "a capped result must never serve an uncapped repeat"
@@ -772,13 +992,70 @@ mod tests {
         });
         let mut cache = ResultCache::new(8);
         let options = ExecOptions::new();
-        let outcome_a = Arc::new(QueryOutcome::empty(vec!["a".into()], Default::default()));
-        cache.store(&a, &options, outcome_a);
+        let outcome_a = QueryOutcome::empty(vec!["a".into()], Default::default());
+        cache.store(&a, &options, &outcome_a);
         assert!(
             cache.lookup(&b_collided, &options).is_none(),
             "a fingerprint collision must miss, not serve the other query's answer"
         );
         assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn shared_store_round_trips_and_respects_tokens() {
+        let store = SharedPlanStore::new(8);
+        let plan = plan_for(&paper_query_text(), 1);
+        if !plan_cache_enabled() {
+            // Knob lane: the store must be inert, not wrong.
+            assert!(!store.is_enabled());
+            store.insert(Arc::clone(&plan));
+            assert!(store
+                .lookup(plan.fingerprint(), plan.canonical(), 1)
+                .is_none());
+            assert_eq!(store.stats(), SharedPlanStats::default());
+            return;
+        }
+        assert!(store
+            .lookup(plan.fingerprint(), plan.canonical(), 1)
+            .is_none());
+        store.insert(Arc::clone(&plan));
+        let hit = store
+            .lookup(plan.fingerprint(), plan.canonical(), 1)
+            .unwrap();
+        assert!(Arc::ptr_eq(&hit, &plan));
+        // Same canonical form, wrong engine token: never served.
+        assert!(store
+            .lookup(plan.fingerprint(), plan.canonical(), 2)
+            .is_none());
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 2, 1));
+        assert!((stats.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_store_survives_a_poisoned_lock() {
+        let store = Arc::new(SharedPlanStore::new(8));
+        let plan = plan_for(&paper_query_text(), 1);
+        store.insert(Arc::clone(&plan));
+        // Poison the mutex: panic while holding it (hook silenced — the
+        // panic is the test fixture, not a failure).
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let poisoner = Arc::clone(&store);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let _guard = poisoner.map.lock().unwrap();
+            panic!("poison the shared plan store");
+        }));
+        std::panic::set_hook(default);
+        // Every operation must keep working over the poisoned lock.
+        if plan_cache_enabled() {
+            let hit = store
+                .lookup(plan.fingerprint(), plan.canonical(), 1)
+                .expect("poisoned lock must not wedge lookups");
+            assert!(Arc::ptr_eq(&hit, &plan));
+        }
+        store.insert(Arc::clone(&plan));
+        let _ = store.stats();
     }
 
     #[test]

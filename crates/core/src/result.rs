@@ -3,6 +3,8 @@
 use crate::error::EngineError;
 use crate::options::ExecOptions;
 use amber_sparql::SelectQuery;
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How an execution ended.
@@ -29,6 +31,103 @@ impl QueryStatus {
     }
 }
 
+/// One materialized binding row: data-vertex names in projection order.
+pub type BindingRow = Vec<Box<str>>;
+
+/// `Arc`-shared binding rows — the zero-copy result payload.
+///
+/// Serving layers hand the same completed outcome to many clients (and the
+/// verbatim-result cache re-serves it to every repeat), so the rows live
+/// behind one shared allocation: cloning a [`Bindings`] — and therefore
+/// cloning a whole [`QueryOutcome`] — bumps a reference count instead of
+/// deep-copying every string. The rows themselves are immutable once
+/// materialized; reads go through `Deref<Target = [BindingRow]>`, so
+/// indexing, iteration, and `len()` look exactly like the `Vec` this type
+/// replaced. Callers that need to mutate (tests sorting rows for
+/// order-insensitive comparison) take an owned copy via
+/// [`Bindings::to_vec`].
+#[derive(Clone, Default)]
+pub struct Bindings {
+    rows: Arc<Vec<BindingRow>>,
+}
+
+impl Bindings {
+    /// Wrap freshly materialized rows (the only allocation this type ever
+    /// performs; every subsequent clone is a reference-count bump).
+    pub fn new(rows: Vec<BindingRow>) -> Self {
+        Self {
+            rows: Arc::new(rows),
+        }
+    }
+
+    /// `true` when `self` and `other` share one underlying row allocation —
+    /// the observable zero-copy guarantee the result cache is gated on.
+    pub fn shares_rows(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.rows, &other.rows)
+    }
+
+    /// An owned deep copy of the rows (for callers that need to mutate,
+    /// e.g. sorting for order-insensitive comparison).
+    pub fn to_vec(&self) -> Vec<BindingRow> {
+        self.rows.as_ref().clone()
+    }
+
+    /// Approximate heap bytes retained by the rows (cache accounting and
+    /// the copied-bytes regression counters).
+    pub fn approx_heap_bytes(&self) -> usize {
+        let strings: usize = self
+            .rows
+            .iter()
+            .flat_map(|row| row.iter())
+            .map(|s| s.len() + std::mem::size_of::<Box<str>>())
+            .sum();
+        strings + self.rows.len() * std::mem::size_of::<BindingRow>()
+    }
+}
+
+impl Deref for Bindings {
+    type Target = [BindingRow];
+
+    fn deref(&self) -> &Self::Target {
+        &self.rows
+    }
+}
+
+impl From<Vec<BindingRow>> for Bindings {
+    fn from(rows: Vec<BindingRow>) -> Self {
+        Self::new(rows)
+    }
+}
+
+impl PartialEq for Bindings {
+    fn eq(&self, other: &Self) -> bool {
+        self.shares_rows(other) || *self.rows == *other.rows
+    }
+}
+
+impl Eq for Bindings {}
+
+impl std::fmt::Debug for Bindings {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.rows.iter()).finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bindings {
+    type Item = &'a BindingRow;
+    type IntoIter = std::slice::Iter<'a, BindingRow>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rows.iter()
+    }
+}
+
+impl FromIterator<BindingRow> for Bindings {
+    fn from_iter<I: IntoIterator<Item = BindingRow>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
 /// The result of one query execution.
 #[derive(Debug, Clone)]
 pub struct QueryOutcome {
@@ -42,8 +141,9 @@ pub struct QueryOutcome {
     /// Materialized bindings (rows of data-vertex names resolved through
     /// `Mv⁻¹`), capped by [`ExecOptions::max_results`]; empty in
     /// `count_only` mode. `SELECT DISTINCT` deduplicates these rows (the
-    /// embedding count stays bag-semantics).
-    pub bindings: Vec<Vec<Box<str>>>,
+    /// embedding count stays bag-semantics). `Arc`-shared: cloning an
+    /// outcome never copies row data.
+    pub bindings: Bindings,
     /// Wall-clock execution time.
     pub elapsed: Duration,
 }
@@ -55,7 +155,7 @@ impl QueryOutcome {
             status: QueryStatus::Completed,
             embedding_count: 0,
             variables,
-            bindings: Vec::new(),
+            bindings: Bindings::default(),
             elapsed,
         }
     }

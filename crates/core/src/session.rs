@@ -248,6 +248,7 @@ impl QuerySession {
         PlanCacheStats {
             plans: self.plans.stats(),
             results: self.results.stats(),
+            result_hit_copied_bytes: self.results.hit_copied_bytes(),
         }
     }
 

@@ -1,5 +1,5 @@
 #![warn(missing_docs)]
-//! A persistent work-stealing thread pool.
+//! A persistent work-stealing thread pool with **concurrent runs**.
 //!
 //! The paper's parallel extension (§8) was first implemented as
 //! fork-per-chunk: `std::thread::scope` spawns one worker per contiguous
@@ -8,23 +8,33 @@
 //! and idle. This crate replaces that model with a long-lived pool the
 //! matcher can *rebalance through*:
 //!
-//! * **per-worker LIFO deques** — each worker owns a deque; it pushes and
-//!   pops at the back (freshly split subtrees stay cache-warm), thieves
+//! * **per-worker LIFO deques** — each run slot owns a deque; a slot pushes
+//!   and pops at the back (freshly split subtrees stay cache-warm), thieves
 //!   steal from the front (the oldest entries are the coarsest tasks);
 //! * **steal-half** — a thief takes half of a victim's queue in one lock
 //!   acquisition, executes the first stolen task and publishes the surplus
 //!   in its own deque, so a single steal rebalances a whole backlog;
-//! * **parking / wakeup** — out-of-work workers publish themselves in the
-//!   [`hungry`](Scope::hungry) counter (the signal the matcher's split hook
-//!   polls) and park on a condvar; task submission wakes them;
-//! * **scoped, structured runs** — [`ExecPool::run`] blocks until every
-//!   task (including tasks spawned by tasks) has completed, so task
-//!   closures may borrow from the caller's stack, rayon-scope style;
-//! * **panic quarantine** — a panicking task is trapped, the run drains,
-//!   and [`ExecPool::run_trapping`] hands the first payload back as a value
-//!   instead of unwinding, so a long-lived pool survives a hostile query
-//!   and is immediately reusable ([`ExecPool::run`] keeps the historical
-//!   rethrow behaviour for callers that want it);
+//! * **concurrent, structured runs** — each [`ExecPool::run`] owns its own
+//!   [`RunState`] (queues, slot bitmap, counters, panic quarantine);
+//!   independent runs issued from different threads *interleave on the same
+//!   worker threads* instead of serializing behind a pool-wide run lock.
+//!   Workers roam a registry of active runs, claim a free run slot with a
+//!   CAS, work it dry, release it, and move to the next run that needs
+//!   help. Statistics and panic attribution stay per-run by construction;
+//! * **scoped runs** — [`ExecPool::run`] blocks until every task of *its*
+//!   run (including tasks spawned by tasks) has completed, so task closures
+//!   may borrow from the caller's stack, rayon-scope style;
+//! * **parking / wakeup** — out-of-work workers park on a pool-wide condvar
+//!   behind a wakeup epoch; run registration, task submission, and run
+//!   completion bump the epoch. The [`hungry`](Scope::hungry) signal the
+//!   matcher's split hook polls is per-run free *capacity* (slots not
+//!   currently executing), deliberately independent of OS scheduling;
+//! * **panic quarantine** — a panicking task is trapped in its run, the run
+//!   drains, and [`ExecPool::run_trapping`] hands the first payload back as
+//!   a value instead of unwinding, so a long-lived pool survives a hostile
+//!   query — and a panic in one tenant's run is invisible to every
+//!   concurrent run ([`ExecPool::run`] keeps the historical rethrow
+//!   behaviour for callers that want it);
 //! * **process-global instance** — [`ExecPool::global`] lazily creates one
 //!   pool for the whole process (workers are spawned on demand and reused),
 //!   mirroring how the SIMD kernel dispatcher caches its detection result.
@@ -34,7 +44,7 @@
 //!   uses.
 //!
 //! The pool is deliberately engine-agnostic: tasks are plain closures that
-//! receive a [`Scope`] (their worker slot, the hungry signal, and
+//! receive a [`Scope`] (their run slot, the hungry signal, and
 //! [`Scope::spawn`] for publishing further tasks). Everything
 //! matcher-specific — session cores, candidate ranges, deterministic result
 //! merging — lives in `amber::parallel` on top of this API.
@@ -47,73 +57,84 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 
-/// Hard cap on worker slots (slot 0 is the caller; 1.. are pool threads).
-/// Sixty-four covers every host this workspace targets; requests beyond it
-/// are clamped.
+/// Hard cap on run slots (slot 0 is the caller; 1.. are pool threads).
+/// Sixty-four covers every host this workspace targets — and matches the
+/// width of the per-run slot bitmap; requests beyond it are clamped.
 pub const MAX_THREADS: usize = 64;
 
 /// A task as stored in the deques: lifetime-erased to `'static` (see the
 /// safety argument on [`Scope::spawn`]).
 type BoxedTask = Box<dyn FnOnce(&Scope<'static>) + Send + 'static>;
 
-/// Mutable pool state guarded by one mutex (the cold path: run start/stop,
-/// parking). Hot-path counters are separate atomics.
+/// Pool-wide mutable state guarded by one mutex (the cold path: worker
+/// spawning, parking, shutdown). Per-run hot state lives in [`RunState`].
 struct PoolSync {
     /// Pool is shutting down (owner dropped); workers exit.
     shutdown: bool,
-    /// A run is currently active.
-    run_active: bool,
-    /// Monotonic run id; workers join each run at most once.
-    run_gen: u64,
-    /// Worker slots participating in the active run (caller slot included).
-    run_threads: usize,
-    /// Pool worker threads spawned so far (slots `1..=spawned`).
+    /// Pool worker threads spawned so far.
     spawned: usize,
-    /// Pool workers currently inside [`PoolInner::participate`]. The next
-    /// run does not start until the previous run's participants have left,
-    /// so a task can never leak across runs (worker slots index into
-    /// caller-owned per-run state).
-    participants: usize,
-    /// Wakeup epoch: bumped whenever new work may be visible, so parked
-    /// workers can distinguish "woken for work" from spurious wakeups.
+    /// Wakeup epoch: bumped whenever new work may be visible (a run
+    /// registered, a task spawned, a run completed), so parked workers can
+    /// distinguish "woken for work" from spurious wakeups.
     signals: u64,
 }
 
-struct PoolInner {
-    /// One deque per worker slot (fixed size: stable addresses).
-    queues: Vec<Mutex<VecDeque<BoxedTask>>>,
+/// State shared by the pool owner, its worker threads, and every active
+/// run.
+struct PoolShared {
     sync: Mutex<PoolSync>,
     work_cv: Condvar,
-    /// Tasks spawned but not yet completed in the active run. Zero means
-    /// the run is over (tasks are the only spawners, so 0 is final).
+    /// Active runs, in registration order. Workers scan this to find a run
+    /// with a free slot and queued work. A run is pushed *after* seeding
+    /// (so the first steals see fully-populated deques) and removed by its
+    /// caller once drained.
+    runs: Mutex<Vec<Arc<RunState>>>,
+}
+
+/// All state of one structured run: queues, slot ownership, counters, and
+/// the panic quarantine. Created per [`ExecPool::run_trapping`] call and
+/// dropped when the last `Arc` (caller or a roaming worker) lets go —
+/// which is what makes concurrent runs trivially isolated: there is no
+/// pool-level mutable run state to serialize over.
+struct RunState {
+    pool: Arc<PoolShared>,
+    /// Run slots (caller included); fixed at run start.
+    threads: usize,
+    /// Slot-ownership bitmap: bit `i` set means run slot `i` is claimed.
+    /// Bit 0 is pre-claimed by the caller; workers CAS-claim bits
+    /// `1..threads`, giving each slot at most one executor at a time (the
+    /// exclusivity per-slot session state relies on).
+    claimed: AtomicU64,
+    /// One deque per run slot (fixed size: stable addresses).
+    queues: Vec<Mutex<VecDeque<BoxedTask>>>,
+    /// Tasks spawned but not yet completed, plus one guard held while
+    /// seeding. Zero means the run is over (tasks are the only spawners
+    /// after seeding, so 0 is final).
     pending: AtomicUsize,
     /// Tasks sitting in deques (spawned, not yet picked up).
     queued: AtomicUsize,
-    /// Free worker capacity: run slots *not* currently executing a task.
-    /// Set to the run's thread count at run start (a slot is capacity from
-    /// the moment the run opens, whether or not its thread has physically
-    /// woken yet — on oversubscribed hosts workers may not get scheduled
-    /// for a full timeslice, and the split signal must not depend on OS
-    /// timing) and decremented around task execution. `idle > 0` is the
-    /// [`Scope::hungry`] "publish a split" signal; it is only meaningful
-    /// while a run is active (stale between runs, re-stored at the next
-    /// run start).
+    /// Free capacity: run slots *not* currently executing a task. Set to
+    /// the run's thread count at run start (a slot is capacity from the
+    /// moment the run opens, whether or not a thread has physically
+    /// claimed it yet — on oversubscribed hosts workers may not get
+    /// scheduled for a full timeslice, and the split signal must not
+    /// depend on OS timing) and decremented around task execution.
+    /// `idle > 0` is the [`Scope::hungry`] "publish a split" signal.
     idle: AtomicUsize,
-    /// First panic payload observed in a task; rethrown by the caller.
+    /// First panic payload observed in a task of *this* run; concurrent
+    /// runs never see it.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
-    // Per-run statistics, reset at run start.
+    // Per-run statistics.
     root_tasks: AtomicU64,
     split_tasks: AtomicU64,
     steals: AtomicU64,
     executed: Vec<AtomicU64>,
-    /// Serializes runs (one scoped run at a time per pool).
-    run_lock: Mutex<()>,
 }
 
 /// Counters of one [`ExecPool::run`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct RunStats {
-    /// Worker slots the run was allowed to use (caller included).
+    /// Run slots the run was allowed to use (caller included).
     pub threads: usize,
     /// Tasks spawned by the seeding closure.
     pub root_tasks: u64,
@@ -121,7 +142,7 @@ pub struct RunStats {
     pub split_tasks: u64,
     /// Successful steal events (each may move several tasks at once).
     pub steals: u64,
-    /// Tasks executed per worker slot (`len == threads`).
+    /// Tasks executed per run slot (`len == threads`).
     pub tasks_per_worker: Vec<u64>,
 }
 
@@ -132,10 +153,10 @@ impl RunStats {
     }
 }
 
-/// The capability handed to the seeding closure and to every task: its
-/// worker slot, the hungry signal, and task submission.
+/// The capability handed to the seeding closure and to every task: its run
+/// slot, the hungry signal, and task submission.
 pub struct Scope<'scope> {
-    inner: &'scope PoolInner,
+    run: &'scope RunState,
     slot: usize,
     /// Spawns from the seeding closure are root tasks; spawns from tasks
     /// are splits.
@@ -146,36 +167,37 @@ pub struct Scope<'scope> {
 }
 
 impl<'scope> Scope<'scope> {
-    /// The executing worker slot (`0..threads`; 0 is the calling thread).
-    /// Each slot runs at most one task at a time, so per-slot state handed
-    /// to the run (e.g. session cores) is exclusively owned for the
-    /// duration of a task.
+    /// The executing run slot (`0..threads`; 0 is the calling thread).
+    /// Each slot runs at most one task at a time — slot ownership is a CAS
+    /// on the run's bitmap — so per-slot state handed to the run (e.g.
+    /// session cores) is exclusively owned for the duration of a task.
     pub fn slot(&self) -> usize {
         self.slot
     }
 
-    /// `true` while the run has free worker capacity (slots not currently
+    /// `true` while this run has free capacity (slots not currently
     /// executing a task) — the cheap signal (one relaxed atomic load)
     /// cooperative producers poll before paying for a split. Deliberately
     /// *not* suppressed by queued tasks: a queued task may be arbitrarily
     /// small, so "the deque is non-empty" says nothing about whether the
     /// capacity will stay fed — producers amortize split cost against work
-    /// done instead (see the matcher's split hook). On a saturated pool
+    /// done instead (see the matcher's split hook). On a saturated run
     /// (every slot executing) this is `false` and no splits are paid for.
     pub fn hungry(&self) -> bool {
-        self.inner.idle.load(Ordering::Relaxed) > 0
+        self.run.idle.load(Ordering::Relaxed) > 0
     }
 
     /// Submit a task to the current run. The task is pushed on this slot's
-    /// own deque (LIFO end) and a parked worker, if any, is woken.
+    /// own deque (LIFO end) and parked workers, if any, are woken.
     ///
     /// ## Safety argument (lifetime erasure)
     ///
     /// The closure is boxed with bound `'scope` and transmuted to `'static`
     /// for storage. This is sound because [`ExecPool::run`] does not return
-    /// until `pending` reaches zero — i.e. until every spawned closure has
-    /// been executed and dropped — and `'scope` outlives that call by
-    /// construction, so no task can observe a dangling borrow.
+    /// until its run's `pending` reaches zero — i.e. until every spawned
+    /// closure has been executed and dropped (or, on a seed panic, cleared
+    /// from the queues) — and `'scope` outlives that call by construction,
+    /// so no task can observe a dangling borrow.
     pub fn spawn<F>(&self, task: F)
     where
         F: FnOnce(&Scope<'scope>) + Send + 'scope,
@@ -184,26 +206,31 @@ impl<'scope> Scope<'scope> {
         let boxed: Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope> = Box::new(task);
         let erased: BoxedTask = unsafe { std::mem::transmute(boxed) };
         if self.seeding {
-            self.inner.root_tasks.fetch_add(1, Ordering::Relaxed);
+            self.run.root_tasks.fetch_add(1, Ordering::Relaxed);
         } else {
-            self.inner.split_tasks.fetch_add(1, Ordering::Relaxed);
+            self.run.split_tasks.fetch_add(1, Ordering::Relaxed);
         }
-        self.inner.pending.fetch_add(1, Ordering::Relaxed);
-        self.inner.queued.fetch_add(1, Ordering::Relaxed);
-        self.inner.queues[self.slot]
+        self.run.pending.fetch_add(1, Ordering::Relaxed);
+        self.run.queued.fetch_add(1, Ordering::Relaxed);
+        self.run.queues[self.slot]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
             .push_back(erased);
-        self.inner.bump_signal_and_notify();
+        if !self.seeding {
+            // While seeding the run is not registered yet — no worker can
+            // help, so waking the pool would be noise.
+            self.run.pool.bump_signal_and_notify();
+        }
     }
 }
 
-impl PoolInner {
+impl PoolShared {
     fn lock_sync(&self) -> MutexGuard<'_, PoolSync> {
         self.sync.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Make newly published work visible to parked workers.
+    /// Make newly published work (or a state change worth re-checking)
+    /// visible to parked threads.
     fn bump_signal_and_notify(&self) {
         let mut sync = self.lock_sync();
         sync.signals = sync.signals.wrapping_add(1);
@@ -211,9 +238,118 @@ impl PoolInner {
         self.work_cv.notify_all();
     }
 
-    /// Pop from the own deque (back = LIFO) or steal half of a victim's
-    /// (front = coarsest tasks), publishing any stolen surplus.
-    fn acquire(&self, slot: usize, threads: usize) -> Option<BoxedTask> {
+    /// Snapshot the active-run registry.
+    fn snapshot_runs(&self) -> Vec<Arc<RunState>> {
+        self.runs
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// Ensure enough worker threads exist to cover the summed demand of
+    /// all active runs (each run can use `threads - 1` workers beside its
+    /// caller). Workers are global and roam between runs, so this only
+    /// ever grows, up to `MAX_THREADS - 1`.
+    fn ensure_workers(self: &Arc<Self>) {
+        let demand: usize = self
+            .snapshot_runs()
+            .iter()
+            .map(|run| run.threads.saturating_sub(1))
+            .sum();
+        let target = demand.min(MAX_THREADS - 1);
+        let mut sync = self.lock_sync();
+        while sync.spawned < target {
+            let id = sync.spawned + 1;
+            let shared = Arc::clone(self);
+            std::thread::Builder::new()
+                .name(format!("amber-exec-{id}"))
+                .spawn(move || worker_main(shared))
+                .expect("spawn pool worker");
+            sync.spawned += 1;
+        }
+    }
+
+    /// Remove a drained run from the registry.
+    fn deregister(&self, run: &Arc<RunState>) {
+        let mut runs = self.runs.lock().unwrap_or_else(PoisonError::into_inner);
+        runs.retain(|r| !Arc::ptr_eq(r, run));
+    }
+}
+
+/// Pool worker thread body: roam the run registry, claim a free slot on a
+/// run with queued work, work it dry, release the slot, repeat; park on
+/// the pool condvar when nothing anywhere needs help.
+fn worker_main(shared: Arc<PoolShared>) {
+    loop {
+        let seen = {
+            let sync = shared.lock_sync();
+            if sync.shutdown {
+                return;
+            }
+            sync.signals
+        };
+        let mut worked = false;
+        for run in shared.snapshot_runs() {
+            if run.queued.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            if let Some(slot) = run.claim_slot() {
+                worked |= run.work(slot);
+                run.release_slot(slot);
+            }
+        }
+        if worked {
+            continue;
+        }
+        // Nothing to do anywhere: park until the epoch moves. A task
+        // spawned (or run registered) after our scan bumped the epoch
+        // under the lock, so it cannot be missed — we either see
+        // `signals != seen` here or get notified while waiting.
+        let mut sync = shared.lock_sync();
+        while !sync.shutdown && sync.signals == seen {
+            sync = shared
+                .work_cv
+                .wait(sync)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if sync.shutdown {
+            return;
+        }
+    }
+}
+
+impl RunState {
+    /// CAS-claim a free worker slot (`1..threads`); `None` when the run is
+    /// fully staffed. Slot 0 belongs to the caller by construction.
+    fn claim_slot(&self) -> Option<usize> {
+        loop {
+            let current = self.claimed.load(Ordering::Relaxed);
+            let free = (1..self.threads).find(|&i| current & (1u64 << i) == 0)?;
+            if self
+                .claimed
+                .compare_exchange_weak(
+                    current,
+                    current | (1u64 << free),
+                    Ordering::Acquire,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                return Some(free);
+            }
+        }
+    }
+
+    /// Release a previously claimed worker slot.
+    fn release_slot(&self, slot: usize) {
+        self.claimed.fetch_and(!(1u64 << slot), Ordering::Release);
+    }
+
+    /// Pop from the slot's own deque (back = LIFO) or steal half of a
+    /// victim's (front = coarsest tasks), publishing any stolen surplus.
+    /// All queues are this run's own — concurrent runs never exchange
+    /// tasks.
+    fn acquire(&self, slot: usize) -> Option<BoxedTask> {
         if let Some(task) = self.queues[slot]
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -222,8 +358,8 @@ impl PoolInner {
             self.queued.fetch_sub(1, Ordering::Relaxed);
             return Some(task);
         }
-        for offset in 1..threads {
-            let victim = (slot + offset) % threads;
+        for offset in 1..self.threads {
+            let victim = (slot + offset) % self.threads;
             let mut queue = self.queues[victim]
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
@@ -257,103 +393,72 @@ impl PoolInner {
                     .unwrap_or_else(PoisonError::into_inner);
                 own.extend(grabbed);
                 drop(own);
-                self.bump_signal_and_notify();
+                self.pool.bump_signal_and_notify();
             }
             return Some(first);
         }
         None
     }
 
-    /// Execute one task on `slot`, trapping panics (the first payload is
-    /// rethrown by the caller once the run has drained).
+    /// Execute one task on `slot`, trapping panics in this run's
+    /// quarantine (the first payload is surfaced by the run's caller once
+    /// the run has drained).
     fn execute(&self, task: BoxedTask, slot: usize) {
         self.executed[slot].fetch_add(1, Ordering::Relaxed);
         let scope = Scope {
-            // Erase the borrow to match `BoxedTask`'s signature; `self`
-            // outlives the run (it is kept alive by the pool / worker Arcs).
-            inner: unsafe { &*(self as *const PoolInner) },
+            // Erase the borrow to match `BoxedTask`'s signature; the run
+            // outlives the task (it is kept alive by the caller's and the
+            // workers' Arcs).
+            run: unsafe { &*(self as *const RunState) },
             slot,
             seeding: false,
             _marker: PhantomData,
         };
         if let Err(payload) = catch_unwind(AssertUnwindSafe(|| task(&scope))) {
-            let mut slot = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
-            slot.get_or_insert(payload);
+            let mut quarantine = self.panic.lock().unwrap_or_else(PoisonError::into_inner);
+            quarantine.get_or_insert(payload);
         }
     }
 
-    /// The per-run worker loop: hunt for tasks, execute, park when dry,
-    /// return when the run is over. `gen` pins the worker to one run.
-    fn participate(&self, slot: usize, threads: usize, gen: u64) {
-        let caller = slot == 0;
-        let mut seen_signals = {
-            let sync = self.lock_sync();
-            sync.signals
-        };
-        loop {
-            if let Some(task) = self.acquire(slot, threads) {
-                self.idle.fetch_sub(1, Ordering::Relaxed);
-                self.execute(task, slot);
-                let left = self.pending.fetch_sub(1, Ordering::Relaxed) - 1;
-                self.idle.fetch_add(1, Ordering::Relaxed);
-                if left == 0 {
-                    // Run complete: wake parked participants (and the
-                    // caller) so they can observe `pending == 0`.
-                    self.bump_signal_and_notify();
-                    if caller {
-                        return;
-                    }
-                }
-                continue;
+    /// Drain this run from `slot` until no task is acquirable. Returns
+    /// whether any task was executed. The last task completion wakes the
+    /// (possibly parked) caller.
+    fn work(&self, slot: usize) -> bool {
+        let mut worked = false;
+        while let Some(task) = self.acquire(slot) {
+            worked = true;
+            self.idle.fetch_sub(1, Ordering::Relaxed);
+            self.execute(task, slot);
+            let left = self.pending.fetch_sub(1, Ordering::AcqRel) - 1;
+            self.idle.fetch_add(1, Ordering::Relaxed);
+            if left == 0 {
+                self.pool.bump_signal_and_notify();
             }
-            // Out of work: park, or leave once the run is over.
-            let mut sync = self.lock_sync();
+        }
+        worked
+    }
+
+    /// The caller's participation loop (run slot 0): work, park while
+    /// in-flight tasks may still spawn more, return when the run drains.
+    fn caller_participate(&self) {
+        loop {
+            self.work(0);
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            let mut sync = self.pool.lock_sync();
             loop {
-                let run_over = self.pending.load(Ordering::Relaxed) == 0
-                    || (!caller && (!sync.run_active || sync.run_gen != gen));
-                if run_over && (!caller || self.pending.load(Ordering::Relaxed) == 0) {
+                if self.pending.load(Ordering::Acquire) == 0 {
                     return;
                 }
-                if self.queued.load(Ordering::Relaxed) > 0 || sync.signals != seen_signals {
-                    seen_signals = sync.signals;
+                if self.queued.load(Ordering::Relaxed) > 0 {
                     break; // retry the hunt
                 }
                 sync = self
+                    .pool
                     .work_cv
                     .wait(sync)
                     .unwrap_or_else(PoisonError::into_inner);
-            }
-        }
-    }
-
-    /// Pool worker thread body: join each run once, participate, repeat.
-    fn worker_main(self: Arc<Self>, slot: usize) {
-        let mut last_gen = 0u64;
-        loop {
-            let (gen, threads) = {
-                let mut sync = self.lock_sync();
-                loop {
-                    if sync.shutdown {
-                        return;
-                    }
-                    if sync.run_active && sync.run_gen != last_gen && slot < sync.run_threads {
-                        sync.participants += 1;
-                        break (sync.run_gen, sync.run_threads);
-                    }
-                    sync = self
-                        .work_cv
-                        .wait(sync)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
-            };
-            last_gen = gen;
-            self.participate(slot, threads, gen);
-            let mut sync = self.lock_sync();
-            sync.participants -= 1;
-            let drained = sync.participants == 0;
-            drop(sync);
-            if drained {
-                self.work_cv.notify_all();
             }
         }
     }
@@ -362,38 +467,24 @@ impl PoolInner {
 /// A work-stealing pool. Most callers use the process-global
 /// [`ExecPool::global`]; owned pools exist for tests and isolation.
 pub struct ExecPool {
-    inner: Arc<PoolInner>,
+    shared: Arc<PoolShared>,
 }
 
 impl ExecPool {
     /// A fresh pool. Worker threads are spawned lazily, on the first run
     /// that needs them, and are reused (parked) between runs.
     pub fn new() -> Self {
-        let inner = Arc::new(PoolInner {
-            queues: (0..MAX_THREADS)
-                .map(|_| Mutex::new(VecDeque::new()))
-                .collect(),
-            sync: Mutex::new(PoolSync {
-                shutdown: false,
-                run_active: false,
-                run_gen: 0,
-                run_threads: 0,
-                spawned: 0,
-                participants: 0,
-                signals: 0,
+        Self {
+            shared: Arc::new(PoolShared {
+                sync: Mutex::new(PoolSync {
+                    shutdown: false,
+                    spawned: 0,
+                    signals: 0,
+                }),
+                work_cv: Condvar::new(),
+                runs: Mutex::new(Vec::new()),
             }),
-            work_cv: Condvar::new(),
-            pending: AtomicUsize::new(0),
-            queued: AtomicUsize::new(0),
-            idle: AtomicUsize::new(0),
-            panic: Mutex::new(None),
-            root_tasks: AtomicU64::new(0),
-            split_tasks: AtomicU64::new(0),
-            steals: AtomicU64::new(0),
-            executed: (0..MAX_THREADS).map(|_| AtomicU64::new(0)).collect(),
-            run_lock: Mutex::new(()),
-        });
-        Self { inner }
+        }
     }
 
     /// The process-global pool, created on first use (workers spawn on
@@ -404,14 +495,15 @@ impl ExecPool {
         GLOBAL.get_or_init(ExecPool::new)
     }
 
-    /// Run one structured, scoped job on up to `threads` worker slots
+    /// Run one structured, scoped job on up to `threads` run slots
     /// (clamped to `1..=`[`MAX_THREADS`]): `seed` submits the root tasks
     /// via [`Scope::spawn`]; the calling thread participates as slot 0;
     /// the call returns — with the run's counters — only when every task,
     /// including tasks spawned by tasks, has completed. A panicking task
     /// does not abort its siblings; the first payload is rethrown here
-    /// after the run drains. Runs are serialized per pool; re-entrant runs
-    /// (from inside a task) would self-deadlock and must not be issued.
+    /// after the run drains. Independent runs issued from different
+    /// threads execute concurrently and interleave on the shared workers;
+    /// issuing a run from *inside* a task of another run is not supported.
     pub fn run<'scope, F>(&self, threads: usize, seed: F) -> RunStats
     where
         F: FnOnce(&Scope<'scope>),
@@ -424,10 +516,11 @@ impl ExecPool {
     }
 
     /// [`ExecPool::run`] with panic *quarantine* instead of rethrow: a
-    /// panicking task (or seeding closure) poisons only this run — the pool
-    /// drains, stays healthy, and the first trapped payload is returned as
-    /// a value for the caller to convert into a typed error. The engine
-    /// uses this so one hostile query cannot unwind through a shared pool.
+    /// panicking task (or seeding closure) poisons only this run — the run
+    /// drains, the pool stays healthy (concurrent runs never observe the
+    /// panic), and the first trapped payload is returned as a value for
+    /// the caller to convert into a typed error. The engine uses this so
+    /// one hostile query cannot unwind through a shared pool.
     pub fn run_trapping<'scope, F>(
         &self,
         threads: usize,
@@ -437,11 +530,6 @@ impl ExecPool {
         F: FnOnce(&Scope<'scope>),
     {
         let threads = threads.clamp(1, MAX_THREADS);
-        let inner = &self.inner;
-        let _run = inner
-            .run_lock
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
 
         // Chaos hook for the run boundary; an injected panic aborts the run
         // before any task exists, trapped like everything else.
@@ -455,48 +543,41 @@ impl ExecPool {
             );
         }
 
-        // Reset per-run state (quiescent: the previous run fully drained
-        // before releasing the run lock).
-        debug_assert_eq!(inner.pending.load(Ordering::Relaxed), 0);
-        debug_assert_eq!(inner.queued.load(Ordering::Relaxed), 0);
-        inner.root_tasks.store(0, Ordering::Relaxed);
-        inner.split_tasks.store(0, Ordering::Relaxed);
-        inner.steals.store(0, Ordering::Relaxed);
-        for counter in &inner.executed[..threads] {
-            counter.store(0, Ordering::Relaxed);
-        }
-        *inner.panic.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let run = Arc::new(RunState {
+            pool: Arc::clone(&self.shared),
+            threads,
+            // Bit 0: the caller owns slot 0 for the whole run.
+            claimed: AtomicU64::new(1),
+            queues: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            // One guard held while seeding, so a racing worker can never
+            // observe a transient pending == 0 mid-seed.
+            pending: AtomicUsize::new(1),
+            queued: AtomicUsize::new(0),
+            // Every slot is free capacity from the instant the run exists —
+            // the split signal reflects the schedule, not the host's
+            // timeslicing.
+            idle: AtomicUsize::new(threads),
+            panic: Mutex::new(None),
+            root_tasks: AtomicU64::new(0),
+            split_tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            executed: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+        });
 
-        // Make sure the pool threads for slots 1..threads exist.
-        {
-            let mut sync = inner.lock_sync();
-            while sync.spawned + 1 < threads {
-                let slot = sync.spawned + 1;
-                let arc = Arc::clone(inner);
-                std::thread::Builder::new()
-                    .name(format!("amber-exec-{slot}"))
-                    .spawn(move || arc.worker_main(slot))
-                    .expect("spawn pool worker");
-                sync.spawned += 1;
-            }
-        }
-
-        // Seed root tasks before workers are admitted, so the first steals
-        // see fully-populated deques.
+        // Seed root tasks before the run is visible to workers, so the
+        // first steals see fully-populated deques.
         let seed_scope = Scope {
-            inner: unsafe { &*(Arc::as_ptr(inner)) },
+            run: unsafe { &*(Arc::as_ptr(&run)) },
             slot: 0,
             seeding: true,
             _marker: PhantomData,
         };
-        let seeded = catch_unwind(AssertUnwindSafe(|| seed(&seed_scope)));
-        if let Err(payload) = seeded {
-            // Abort the run before it starts: drop the queued tasks.
-            for queue in &inner.queues[..threads] {
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| seed(&seed_scope))) {
+            // Abort the run before it starts: drop the queued tasks (they
+            // borrow `'scope`, so they must not outlive this call).
+            for queue in &run.queues {
                 queue.lock().unwrap_or_else(PoisonError::into_inner).clear();
             }
-            inner.pending.store(0, Ordering::Relaxed);
-            inner.queued.store(0, Ordering::Relaxed);
             return (
                 RunStats {
                     threads,
@@ -505,41 +586,32 @@ impl ExecPool {
                 Some(payload),
             );
         }
+        let seeded = run.pending.fetch_sub(1, Ordering::AcqRel) - 1;
 
-        // Open the run and wake the workers. From this instant every run
-        // slot counts as free capacity (`idle`), whether or not its thread
-        // has been scheduled yet — the split signal reflects the schedule,
-        // not the host's timeslicing.
-        inner.idle.store(threads, Ordering::Relaxed);
-        let gen = {
-            let mut sync = inner.lock_sync();
-            sync.run_gen = sync.run_gen.wrapping_add(1);
-            sync.run_active = true;
-            sync.run_threads = threads;
-            sync.signals = sync.signals.wrapping_add(1);
-            sync.run_gen
-        };
-        inner.work_cv.notify_all();
-
-        // Work as slot 0 until the run drains.
-        inner.participate(0, threads, gen);
-
-        // Close the run and wait for pool workers to leave it, so the next
-        // run can never hand a stale worker a task meant for fewer slots.
-        {
-            let mut sync = inner.lock_sync();
-            sync.run_active = false;
-            sync.signals = sync.signals.wrapping_add(1);
-            inner.work_cv.notify_all();
-            while sync.participants > 0 {
-                sync = inner
-                    .work_cv
-                    .wait(sync)
+        if seeded > 0 && threads > 1 {
+            // Open the run to the workers and make sure enough exist.
+            {
+                let mut runs = self
+                    .shared
+                    .runs
+                    .lock()
                     .unwrap_or_else(PoisonError::into_inner);
+                runs.push(Arc::clone(&run));
             }
+            self.shared.ensure_workers();
+            self.shared.bump_signal_and_notify();
+
+            // Work as slot 0 until the run drains, then close it.
+            run.caller_participate();
+            self.shared.deregister(&run);
+        } else if seeded > 0 {
+            // Single-slot run: never registered, the caller drains its own
+            // queue inline — all tasks execute on the calling thread.
+            run.work(0);
+            debug_assert_eq!(run.pending.load(Ordering::Relaxed), 0);
         }
 
-        let trapped = inner
+        let trapped = run
             .panic
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
@@ -547,10 +619,11 @@ impl ExecPool {
 
         let stats = RunStats {
             threads,
-            root_tasks: inner.root_tasks.load(Ordering::Relaxed),
-            split_tasks: inner.split_tasks.load(Ordering::Relaxed),
-            steals: inner.steals.load(Ordering::Relaxed),
-            tasks_per_worker: inner.executed[..threads]
+            root_tasks: run.root_tasks.load(Ordering::Relaxed),
+            split_tasks: run.split_tasks.load(Ordering::Relaxed),
+            steals: run.steals.load(Ordering::Relaxed),
+            tasks_per_worker: run
+                .executed
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
@@ -567,10 +640,10 @@ impl Default for ExecPool {
 
 impl Drop for ExecPool {
     fn drop(&mut self) {
-        let mut sync = self.inner.lock_sync();
+        let mut sync = self.shared.lock_sync();
         sync.shutdown = true;
         drop(sync);
-        self.inner.work_cv.notify_all();
+        self.shared.work_cv.notify_all();
     }
 }
 
@@ -619,6 +692,7 @@ pub fn pool_enabled() -> bool {
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
 
     #[test]
     fn runs_all_root_tasks_once() {
@@ -842,6 +916,83 @@ mod tests {
         if off_caller > 0 {
             assert!(stats.steals > 0, "off-caller tasks require steals");
         }
+    }
+
+    #[test]
+    fn independent_runs_interleave_on_one_pool() {
+        // The run_lock regression test: two runs issued from two threads
+        // against ONE pool must overlap in time. Each run's only task
+        // blocks at a rendezvous until the other run's task has started —
+        // under run-serializing scheduling the second run can never start,
+        // the rendezvous times out, and the assertion fires (rather than
+        // hanging the suite).
+        let pool = ExecPool::new();
+        let started = Mutex::new(0u32);
+        let both_started = Condvar::new();
+        let rendezvous = || {
+            pool.run(2, |scope| {
+                scope.spawn(|_| {
+                    let mut n = started.lock().unwrap();
+                    *n += 1;
+                    both_started.notify_all();
+                    let (_guard, timeout) = both_started
+                        .wait_timeout_while(n, Duration::from_secs(10), |n| *n < 2)
+                        .unwrap();
+                    assert!(
+                        !timeout.timed_out(),
+                        "two independent runs never overlapped on the shared pool"
+                    );
+                });
+            });
+        };
+        std::thread::scope(|s| {
+            s.spawn(rendezvous);
+            s.spawn(rendezvous);
+        });
+    }
+
+    #[test]
+    fn concurrent_runs_keep_stats_and_panics_separate() {
+        // Two overlapping runs: one is poisoned by a panicking task, the
+        // other must drain cleanly with its own counters — quarantine and
+        // attribution are per-run, not per-pool.
+        let pool = ExecPool::new();
+        let clean_counter = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            let poisoned = s.spawn(|| {
+                pool.run_trapping(2, |scope| {
+                    for i in 0..8 {
+                        scope.spawn(move |_| {
+                            if i == 3 {
+                                panic!("poison one run only");
+                            }
+                        });
+                    }
+                })
+            });
+            let clean = s.spawn(|| {
+                pool.run_trapping(2, |scope| {
+                    for _ in 0..16 {
+                        scope.spawn(|_| {
+                            clean_counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                })
+            });
+            let (poisoned_stats, trapped) = poisoned.join().unwrap();
+            let (clean_stats, clean_trapped) = clean.join().unwrap();
+            assert_eq!(
+                payload_message(trapped.expect("the panic is trapped").as_ref()),
+                "poison one run only"
+            );
+            assert!(
+                clean_trapped.is_none(),
+                "a concurrent run must never observe another run's panic"
+            );
+            assert_eq!(poisoned_stats.root_tasks, 8);
+            assert_eq!(clean_stats.root_tasks, 16);
+            assert_eq!(clean_counter.load(Ordering::Relaxed), 16);
+        });
     }
 
     #[test]

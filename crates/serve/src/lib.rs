@@ -1,0 +1,740 @@
+#![warn(missing_docs)]
+//! A concurrent, multi-tenant serving layer over one shared
+//! [`AmberEngine`].
+//!
+//! The paper's engine answers one query at a time; a serving deployment
+//! multiplexes many client streams onto one in-memory graph. This crate is
+//! the thin, dependency-free layer that makes that safe and fair — a
+//! thread-per-core request loop over an in-process queue, **no async
+//! runtime**:
+//!
+//! * **shared engine, per-tenant sessions** — all tenants execute against
+//!   one [`AmberEngine`] (one graph, one index set, one shared plan store,
+//!   so plan derivations are paid once across the whole fleet), but each
+//!   tenant owns a private [`QuerySession`] (arenas, candidate cache, plan
+//!   and result caches). A tenant's requests are serialized onto its
+//!   session — sessions are `&mut` state — while different tenants'
+//!   requests interleave freely on the worker pool, which the concurrent
+//!   [`amber_exec`](https://docs.rs) runs underneath make actually
+//!   parallel;
+//! * **admission control** — the server holds at most
+//!   [`ServeConfig::queue_capacity`] queued requests; beyond that,
+//!   [`Server::submit`] fails *immediately* with the typed
+//!   [`ServeError::Overloaded`] instead of buffering unboundedly or
+//!   blocking the client;
+//! * **fair dispatch** — queued tenants are served round-robin (one
+//!   request per turn), so a tenant with a deep backlog cannot starve
+//!   light interactive tenants behind it;
+//! * **panic and failure isolation** — a query that fails (or panics; the
+//!   engine quarantines panics into typed
+//!   [`EngineError::Internal`](amber::EngineError) values) poisons only
+//!   its own [`Ticket`]; the tenant's session and every other tenant keep
+//!   serving. All serving-layer locks recover from poisoning
+//!   (`PoisonError::into_inner`) rather than propagating it;
+//! * **graceful drain** — [`Server::shutdown`] stops admission, serves
+//!   everything already queued, joins the workers, and returns a
+//!   [`ServeReport`] with per-tenant counts and the aggregated cache
+//!   statistics (including the zero-copy counter
+//!   `result_hit_copied_bytes`, which the serving benchmark pins at 0).
+//!
+//! ```
+//! use amber::AmberEngine;
+//! use amber_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(AmberEngine::load_ntriples(
+//!     "<http://e/a> <http://e/p> <http://e/b> .",
+//! ).unwrap());
+//! let server = Server::start(engine, ServeConfig::default());
+//! let ticket = server
+//!     .submit_sparql("tenant-a", "SELECT * WHERE { ?s <http://e/p> ?o . }")
+//!     .unwrap();
+//! let outcome = ticket.wait().unwrap();
+//! assert_eq!(outcome.embedding_count, 1);
+//! let report = server.shutdown();
+//! assert_eq!(report.served(), 1);
+//! ```
+
+use amber::{
+    AmberEngine, CacheStats, EngineError, ExecOptions, PlanCacheStats, QueryOutcome, QuerySession,
+    SharedPlanStats,
+};
+use amber_sparql::SelectQuery;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+
+/// Knobs of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Serving worker threads (each runs the request loop; clamped to at
+    /// least 1). Parallelism *within* a query is separate — it comes from
+    /// the engine's execution pool via [`ServeConfig::options`].
+    pub workers: usize,
+    /// Admission bound: maximum requests queued (not yet dispatched)
+    /// across all tenants. A full queue rejects with
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Start with dispatch paused: requests queue up (admission still
+    /// applies) until [`Server::resume`]. Lets tests and benchmarks build
+    /// a deterministic backlog before any dispatch happens.
+    pub paused: bool,
+    /// Record the tenant of every dispatch, in order, for the
+    /// [`ServeReport`] — the observable fairness is asserted on this.
+    pub record_dispatch: bool,
+    /// Execution options for every request; also sizes each tenant's
+    /// session caches. Defaults to [`ExecOptions::batch`] (plan + result
+    /// caches on — a serving deployment is exactly the repeated-query
+    /// workload they exist for).
+    pub options: ExecOptions,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 256,
+            paused: false,
+            record_dispatch: false,
+            options: ExecOptions::batch(),
+        }
+    }
+}
+
+/// Typed serving-layer failure. Engine failures pass through; the serving
+/// layer adds only admission outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The query was dispatched and the engine failed it (parse error,
+    /// quarantined panic, cancellation, …).
+    Engine(EngineError),
+    /// Rejected at admission: the server already holds `capacity` queued
+    /// requests. Back off and retry; nothing was enqueued.
+    Overloaded {
+        /// The configured [`ServeConfig::queue_capacity`].
+        capacity: usize,
+    },
+    /// Rejected because the server is draining for shutdown.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "server overloaded: {capacity} requests already queued")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+/// One accepted request's completion slot.
+struct TicketInner {
+    slot: Mutex<Option<Result<QueryOutcome, ServeError>>>,
+    done: Condvar,
+}
+
+/// Handle to one accepted request; redeem it with [`Ticket::wait`].
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let completed = self
+            .inner
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .is_some();
+        f.debug_struct("Ticket")
+            .field("completed", &completed)
+            .finish()
+    }
+}
+
+impl Ticket {
+    /// Block until the request completes and take its result. Each
+    /// accepted request completes exactly once — even across shutdown,
+    /// since drain serves the whole backlog before the workers exit.
+    pub fn wait(self) -> Result<QueryOutcome, ServeError> {
+        let mut slot = self
+            .inner
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .inner
+                .done
+                .wait(slot)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+}
+
+/// A queued request (tenant is the queue key, so only query + ticket).
+struct Request {
+    query: SelectQuery,
+    ticket: Arc<TicketInner>,
+}
+
+/// Per-tenant serving state.
+#[derive(Default)]
+struct TenantState {
+    /// FIFO of this tenant's admitted, not-yet-dispatched requests.
+    queue: VecDeque<Request>,
+    /// The tenant's session, present while no request of this tenant is in
+    /// flight (a worker takes it for the duration of a dispatch — that
+    /// hand-off is what serializes a tenant's stream onto its `&mut`
+    /// session). `None` before the first dispatch completes, too.
+    session: Option<QuerySession>,
+    /// A request of this tenant is currently executing.
+    busy: bool,
+    /// Requests completed (successfully or with an engine error).
+    served: u64,
+}
+
+/// Dispatcher state under the one serving-layer mutex.
+struct DispatchState {
+    tenants: HashMap<Arc<str>, TenantState>,
+    /// Round-robin ring: tenants with queued work and no request in
+    /// flight. A tenant appears at most once; it re-enters at the *back*
+    /// after each dispatch, which is the entire fairness mechanism.
+    rotation: VecDeque<Arc<str>>,
+    /// Total queued (not yet dispatched) requests — the admission gauge.
+    queued: usize,
+    paused: bool,
+    draining: bool,
+    rejected: u64,
+    dispatch_order: Vec<Arc<str>>,
+}
+
+struct ServerShared {
+    state: Mutex<DispatchState>,
+    /// Wakes workers: new work queued, rotation refilled, resume, drain.
+    work_cv: Condvar,
+}
+
+impl ServerShared {
+    fn lock(&self) -> MutexGuard<'_, DispatchState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A running serving layer over one shared engine. Submission is `&self`
+/// (share the server across client threads with `std::thread::scope` or an
+/// `Arc`); shutdown consumes the server, so no submission can race the
+/// drain.
+pub struct Server {
+    engine: Arc<AmberEngine>,
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+    config: ServeConfig,
+}
+
+impl Server {
+    /// Spawn the serving workers and start accepting requests (paused if
+    /// [`ServeConfig::paused`]).
+    pub fn start(engine: Arc<AmberEngine>, config: ServeConfig) -> Self {
+        let shared = Arc::new(ServerShared {
+            state: Mutex::new(DispatchState {
+                tenants: HashMap::new(),
+                rotation: VecDeque::new(),
+                queued: 0,
+                paused: config.paused,
+                draining: false,
+                rejected: 0,
+                dispatch_order: Vec::new(),
+            }),
+            work_cv: Condvar::new(),
+        });
+        let worker_count = config.workers.max(1);
+        let workers = (0..worker_count)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                let engine = Arc::clone(&engine);
+                let options = config.options.clone();
+                let record_dispatch = config.record_dispatch;
+                std::thread::Builder::new()
+                    .name(format!("amber-serve-{id}"))
+                    .spawn(move || serve_loop(&engine, &shared, &options, record_dispatch))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Self {
+            engine,
+            shared,
+            workers,
+            config,
+        }
+    }
+
+    /// Submit one parsed query for `tenant`. Returns a [`Ticket`]
+    /// immediately on admission; rejects with
+    /// [`ServeError::Overloaded`] when the queue is full. Requests of one
+    /// tenant complete in submission order; requests of different tenants
+    /// are scheduled round-robin.
+    pub fn submit(&self, tenant: &str, query: SelectQuery) -> Result<Ticket, ServeError> {
+        let mut state = self.shared.lock();
+        if state.draining {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.queued >= self.config.queue_capacity {
+            state.rejected += 1;
+            return Err(ServeError::Overloaded {
+                capacity: self.config.queue_capacity,
+            });
+        }
+        let inner = Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let key: Arc<str> = match state.tenants.keys().find(|k| ***k == *tenant) {
+            Some(existing) => Arc::clone(existing),
+            None => Arc::from(tenant),
+        };
+        let entry = state.tenants.entry(Arc::clone(&key)).or_default();
+        let was_idle = entry.queue.is_empty() && !entry.busy;
+        entry.queue.push_back(Request {
+            query,
+            ticket: Arc::clone(&inner),
+        });
+        state.queued += 1;
+        if was_idle {
+            state.rotation.push_back(key);
+        }
+        drop(state);
+        self.shared.work_cv.notify_all();
+        Ok(Ticket { inner })
+    }
+
+    /// Parse SPARQL text and [`submit`](Self::submit) it. Parse errors are
+    /// reported synchronously (nothing is enqueued for them).
+    pub fn submit_sparql(&self, tenant: &str, sparql: &str) -> Result<Ticket, ServeError> {
+        let query = amber_sparql::parse_select(sparql).map_err(EngineError::from)?;
+        self.submit(tenant, query)
+    }
+
+    /// Pause dispatch: admitted requests queue up but are not started.
+    /// In-flight requests finish normally.
+    pub fn pause(&self) {
+        self.shared.lock().paused = true;
+    }
+
+    /// Resume dispatch after [`Server::pause`] (or a paused start).
+    pub fn resume(&self) {
+        self.shared.lock().paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Requests currently queued (admitted, not yet dispatched).
+    pub fn queued(&self) -> usize {
+        self.shared.lock().queued
+    }
+
+    /// Stop admission, serve everything already queued (resuming dispatch
+    /// if paused), join the workers, and report. Every admitted ticket is
+    /// completed before this returns.
+    pub fn shutdown(mut self) -> ServeReport {
+        {
+            let mut state = self.shared.lock();
+            state.draining = true;
+            // A paused server still owes answers for its backlog.
+            state.paused = false;
+        }
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let state = self.shared.lock();
+        let mut tenants: Vec<TenantReport> = state
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantReport {
+                tenant: name.to_string(),
+                served: t.served,
+                plan_stats: t
+                    .session
+                    .as_ref()
+                    .map(|s| s.plan_stats())
+                    .unwrap_or_default(),
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        let mut aggregate = PlanCacheStats::default();
+        for tenant in &tenants {
+            accumulate_cache(&mut aggregate.plans, &tenant.plan_stats.plans);
+            accumulate_cache(&mut aggregate.results, &tenant.plan_stats.results);
+            aggregate.result_hit_copied_bytes += tenant.plan_stats.result_hit_copied_bytes;
+        }
+        ServeReport {
+            tenants,
+            rejected: state.rejected,
+            plan_stats: aggregate,
+            shared_plans: self.engine.shared_plan_stats(),
+            dispatch_order: state.dispatch_order.iter().map(|t| t.to_string()).collect(),
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // `shutdown` drains `workers`; a dropped-without-shutdown server
+        // still drains its backlog (every ticket is owed an answer).
+        if self.workers.is_empty() {
+            return;
+        }
+        {
+            let mut state = self.shared.lock();
+            state.draining = true;
+            state.paused = false;
+        }
+        self.shared.work_cv.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Sum `extra` into `total` (counter-wise; gauges take the sum too, since
+/// per-tenant caches are disjoint).
+fn accumulate_cache(total: &mut CacheStats, extra: &CacheStats) {
+    total.hits += extra.hits;
+    total.misses += extra.misses;
+    total.bypasses += extra.bypasses;
+    total.evictions += extra.evictions;
+    total.entries += extra.entries;
+    total.result_bytes += extra.result_bytes;
+}
+
+/// The request loop each serving worker runs: pick the next tenant off the
+/// rotation, take its session, execute outside the lock, hand the session
+/// back, answer the ticket.
+fn serve_loop(
+    engine: &AmberEngine,
+    shared: &ServerShared,
+    options: &ExecOptions,
+    record_dispatch: bool,
+) {
+    loop {
+        // Acquire one dispatch (or exit once the drain is complete).
+        let (tenant, request, session) = {
+            let mut state = shared.lock();
+            loop {
+                if state.draining && state.queued == 0 {
+                    return;
+                }
+                if !state.paused {
+                    if let Some(tenant) = state.rotation.pop_front() {
+                        let entry = state
+                            .tenants
+                            .get_mut(&tenant)
+                            .expect("rotation entries have tenant state");
+                        let request = entry
+                            .queue
+                            .pop_front()
+                            .expect("rotation entries have queued work");
+                        entry.busy = true;
+                        let session = entry.session.take();
+                        state.queued -= 1;
+                        if record_dispatch {
+                            state.dispatch_order.push(Arc::clone(&tenant));
+                        }
+                        break (tenant, request, session);
+                    }
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+
+        // Execute outside the serving lock — this is where concurrent
+        // tenants actually overlap. A panic inside the engine is already
+        // quarantined into a typed `Internal` error; the session survives.
+        let mut session = session.unwrap_or_else(|| engine.create_session(options));
+        let result = engine
+            .execute_in_session(&request.query, options, &mut session)
+            .map_err(ServeError::Engine);
+
+        // Hand the session back and re-enter the rotation before
+        // answering, so a client chaining requests observes its tenant
+        // ready for the next one.
+        {
+            let mut state = shared.lock();
+            let entry = state
+                .tenants
+                .get_mut(&tenant)
+                .expect("tenant state outlives its dispatches");
+            entry.session = Some(session);
+            entry.busy = false;
+            entry.served += 1;
+            if !entry.queue.is_empty() {
+                state.rotation.push_back(Arc::clone(&tenant));
+            }
+        }
+        shared.work_cv.notify_all();
+
+        let mut slot = request
+            .ticket
+            .slot
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *slot = Some(result);
+        drop(slot);
+        request.ticket.done.notify_all();
+    }
+}
+
+/// Per-tenant slice of a [`ServeReport`].
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// The tenant's identifier as passed to [`Server::submit`].
+    pub tenant: String,
+    /// Requests completed for this tenant (including engine errors;
+    /// admission rejections are *not* served and count in
+    /// [`ServeReport::rejected`]).
+    pub served: u64,
+    /// The tenant session's plan/result cache counters.
+    pub plan_stats: PlanCacheStats,
+}
+
+/// What a drained [`Server`] observed, returned by [`Server::shutdown`].
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Per-tenant breakdown, sorted by tenant name.
+    pub tenants: Vec<TenantReport>,
+    /// Requests rejected at admission ([`ServeError::Overloaded`]).
+    pub rejected: u64,
+    /// All tenants' plan/result cache counters summed — includes
+    /// `result_hit_copied_bytes`, the zero-copy regression gauge.
+    pub plan_stats: PlanCacheStats,
+    /// The engine-wide shared plan store counters (cross-tenant plan
+    /// reuse).
+    pub shared_plans: SharedPlanStats,
+    /// Tenant of every dispatch in dispatch order (empty unless
+    /// [`ServeConfig::record_dispatch`]).
+    pub dispatch_order: Vec<String>,
+}
+
+impl ServeReport {
+    /// Total requests served across all tenants.
+    pub fn served(&self) -> u64 {
+        self.tenants.iter().map(|t| t.served).sum()
+    }
+
+    /// The served count of one tenant (0 if never seen).
+    pub fn served_for(&self, tenant: &str) -> u64 {
+        self.tenants
+            .iter()
+            .find(|t| t.tenant == tenant)
+            .map_or(0, |t| t.served)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_engine() -> Arc<AmberEngine> {
+        let triples = "\
+<http://e/a> <http://e/p> <http://e/b> .\n\
+<http://e/b> <http://e/p> <http://e/c> .\n\
+<http://e/c> <http://e/q> <http://e/a> .\n";
+        Arc::new(AmberEngine::load_ntriples(triples).expect("demo graph parses"))
+    }
+
+    const CHAIN: &str = "SELECT * WHERE { ?x <http://e/p> ?y . ?y <http://e/p> ?z . }";
+    const EDGE: &str = "SELECT * WHERE { ?s <http://e/q> ?o . }";
+
+    #[test]
+    fn serves_multiple_tenants_correctly() {
+        let engine = demo_engine();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let a = server.submit_sparql("a", CHAIN).unwrap();
+        let b = server.submit_sparql("b", EDGE).unwrap();
+        assert_eq!(a.wait().unwrap().embedding_count, 1);
+        assert_eq!(b.wait().unwrap().embedding_count, 1);
+        let report = server.shutdown();
+        assert_eq!(report.served(), 2);
+        assert_eq!(report.served_for("a"), 1);
+        assert_eq!(report.served_for("b"), 1);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn overload_rejects_typed_and_immediately() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 2,
+                paused: true, // nothing dispatches: the queue must fill
+                ..ServeConfig::default()
+            },
+        );
+        let t1 = server.submit_sparql("a", CHAIN).unwrap();
+        let t2 = server.submit_sparql("b", EDGE).unwrap();
+        let rejected = server.submit_sparql("c", EDGE);
+        assert_eq!(rejected.err(), Some(ServeError::Overloaded { capacity: 2 }));
+        server.resume();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        let report = server.shutdown();
+        assert_eq!(report.rejected, 1);
+        assert_eq!(report.served(), 2);
+        assert_eq!(report.served_for("c"), 0);
+    }
+
+    #[test]
+    fn dispatch_is_round_robin_across_tenants() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1, // one dispatcher → the order is deterministic
+                paused: true,
+                record_dispatch: true,
+                ..ServeConfig::default()
+            },
+        );
+        // A heavy tenant piles up 3 requests before two light tenants
+        // submit one each.
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            tickets.push(server.submit_sparql("heavy", CHAIN).unwrap());
+        }
+        tickets.push(server.submit_sparql("light-1", EDGE).unwrap());
+        tickets.push(server.submit_sparql("light-2", EDGE).unwrap());
+        server.resume();
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let report = server.shutdown();
+        assert_eq!(
+            report.dispatch_order,
+            vec!["heavy", "light-1", "light-2", "heavy", "heavy"],
+            "light tenants are served after ONE heavy request, not after its whole backlog"
+        );
+    }
+
+    #[test]
+    fn per_tenant_requests_complete_in_order() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 4,
+                ..ServeConfig::default()
+            },
+        );
+        // Interleave two tenants' streams; each stream must come back in
+        // submission order (tickets are redeemed in submission order and
+        // each must be complete).
+        let mut tickets = Vec::new();
+        for _ in 0..10 {
+            tickets.push(server.submit_sparql("a", CHAIN).unwrap());
+            tickets.push(server.submit_sparql("b", EDGE).unwrap());
+        }
+        for ticket in tickets {
+            ticket.wait().unwrap();
+        }
+        let report = server.shutdown();
+        assert_eq!(report.served_for("a"), 10);
+        assert_eq!(report.served_for("b"), 10);
+    }
+
+    #[test]
+    fn failures_poison_only_their_ticket() {
+        let engine = demo_engine();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        // An unparseable query fails synchronously, nothing queued.
+        assert!(matches!(
+            server.submit_sparql("a", "SELECT nonsense"),
+            Err(ServeError::Engine(_))
+        ));
+        // The tenant keeps serving.
+        let ok = server.submit_sparql("a", CHAIN).unwrap();
+        assert_eq!(ok.wait().unwrap().embedding_count, 1);
+        let report = server.shutdown();
+        assert_eq!(report.served_for("a"), 1);
+    }
+
+    #[test]
+    fn shutdown_drains_a_paused_backlog() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                paused: true,
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|_| server.submit_sparql("a", CHAIN).unwrap())
+            .collect();
+        // Never resumed: shutdown itself must serve the backlog.
+        let report = server.shutdown();
+        assert_eq!(report.served_for("a"), 5);
+        for ticket in tickets {
+            assert!(ticket.wait().is_ok(), "every admitted ticket is answered");
+        }
+    }
+
+    #[test]
+    fn warm_tenants_hit_their_result_cache_without_copying() {
+        if !amber::plan_cache_enabled() {
+            return; // AMBER_PLAN_CACHE=off lane pins cache counters to zero
+        }
+        let engine = demo_engine();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        for _ in 0..4 {
+            server.submit_sparql("a", CHAIN).unwrap().wait().unwrap();
+        }
+        let report = server.shutdown();
+        let stats = &report.plan_stats;
+        assert!(stats.results.hits >= 3, "verbatim repeats hit: {stats:?}");
+        assert_eq!(
+            stats.result_hit_copied_bytes, 0,
+            "result-cache hits must serve shared rows, not copies"
+        );
+    }
+
+    #[test]
+    fn tenants_share_plans_through_the_engine_store() {
+        if !amber::plan_cache_enabled() {
+            return;
+        }
+        let engine = demo_engine();
+        let before = engine.shared_plan_stats();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        for tenant in ["a", "b", "c"] {
+            server.submit_sparql(tenant, CHAIN).unwrap().wait().unwrap();
+        }
+        let report = server.shutdown();
+        let shared = report.shared_plans;
+        assert_eq!(
+            shared.misses - before.misses,
+            1,
+            "one derivation serves all tenants: {shared:?}"
+        );
+        assert!(shared.hits - before.hits >= 2, "{shared:?}");
+    }
+}

@@ -17,6 +17,7 @@ pub use amber_baselines as baselines;
 pub use amber_datagen as datagen;
 pub use amber_index as index;
 pub use amber_multigraph as multigraph;
+pub use amber_serve as serve;
 pub use amber_sparql as sparql;
 pub use amber_util as util;
 pub use rdf_model;

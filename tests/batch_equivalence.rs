@@ -54,7 +54,7 @@ fn build_stream(base: &[GeneratedQuery], dup: usize, shuffle_seed: u64) -> Vec<G
 type Fingerprint = (u128, bool, Vec<Box<str>>, Vec<Vec<Box<str>>>);
 
 fn normalized(outcome: &QueryOutcome) -> Fingerprint {
-    let mut rows = outcome.bindings.clone();
+    let mut rows = outcome.bindings.to_vec();
     rows.sort();
     (
         outcome.embedding_count,

@@ -10,9 +10,10 @@
 
 use amber::{AmberEngine, EngineError, ExecOptions, QueryStatus, Scheduler};
 use amber_multigraph::paper::{paper_graph, paper_query_text, PAPER_QUERY_EMBEDDINGS};
+use amber_serve::{ServeConfig, ServeError, Server};
 use amber_util::fault;
 use proptest::prelude::*;
-use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Serializes the whole binary: a test's clean (unarmed) phase must never
 /// overlap another test's armed window.
@@ -197,6 +198,89 @@ fn storm_forces_splits_without_changing_answers() {
     assert_eq!(stormed.status, QueryStatus::Completed);
     assert_eq!(stormed.embedding_count, baseline.embedding_count);
     assert_eq!(stormed.bindings, baseline.bindings);
+}
+
+#[test]
+fn serving_layer_quarantines_chaos_panics_per_tenant() {
+    let _serial = serial();
+    let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 2,
+            paused: true, // queue the poisoned request before arming
+            options: ExecOptions::batch()
+                .with_scheduler(Scheduler::Pool)
+                .with_threads(4),
+            ..ServeConfig::default()
+        },
+    );
+    let poisoned = server.submit_sparql("a", &paper_query_text()).unwrap();
+    let result = {
+        let _guard = fault::override_spec("1:pool-run=panic@1").unwrap();
+        with_quiet_chaos_panics(|| {
+            server.resume();
+            poisoned.wait()
+        })
+    };
+    match result {
+        Err(ServeError::Engine(EngineError::Internal { payload, .. })) => {
+            assert!(payload.contains("chaos"), "payload: {payload}")
+        }
+        other => panic!("expected a quarantined Internal error, got {other:?}"),
+    }
+
+    // Disarmed: the poisoned tenant AND a fresh tenant are served in full
+    // by the same server — the panic poisoned one ticket, not the engine,
+    // not the session, not the serving loop.
+    let again = server.submit_sparql("a", &paper_query_text()).unwrap();
+    let other = server.submit_sparql("b", &paper_query_text()).unwrap();
+    assert_eq!(
+        again.wait().unwrap().embedding_count,
+        PAPER_QUERY_EMBEDDINGS as u128
+    );
+    assert_eq!(
+        other.wait().unwrap().embedding_count,
+        PAPER_QUERY_EMBEDDINGS as u128
+    );
+    let report = server.shutdown();
+    assert_eq!(report.served_for("a"), 2, "the failed request counts too");
+    assert_eq!(report.served_for("b"), 1);
+    assert_eq!(report.rejected, 0);
+}
+
+#[test]
+fn serving_layer_survives_cache_chaos() {
+    let _serial = serial();
+    let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+    let baseline = engine
+        .execute(&paper_query_text(), &ExecOptions::new())
+        .unwrap();
+    // Panic inside cache insert/evict paths while a warm tenant repeats a
+    // query: every outcome is either correct or a typed error — and the
+    // shared plan store's poison-robust locks keep later requests working.
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    {
+        let _guard = fault::override_spec("3:cache-insert=panic@2").unwrap();
+        with_quiet_chaos_panics(|| {
+            for _ in 0..6 {
+                let ticket = server.submit_sparql("a", &paper_query_text()).unwrap();
+                match ticket.wait() {
+                    Ok(out) => assert_eq!(out.embedding_count, baseline.embedding_count),
+                    Err(ServeError::Engine(EngineError::Internal { .. })) => {}
+                    Err(other) => panic!("untyped failure under cache chaos: {other}"),
+                }
+            }
+        });
+    }
+    // Disarmed epilogue on the very same server and tenant session.
+    let clean = server.submit_sparql("a", &paper_query_text()).unwrap();
+    assert_eq!(
+        clean.wait().unwrap().embedding_count,
+        baseline.embedding_count
+    );
+    let report = server.shutdown();
+    assert_eq!(report.served_for("a"), 7);
 }
 
 #[test]

@@ -112,8 +112,8 @@ fn threads_option_is_accepted_by_all_engines() {
             "{}",
             engine.name()
         );
-        let mut a = seq.bindings.clone();
-        let mut b = par.bindings.clone();
+        let mut a = seq.bindings.to_vec();
+        let mut b = par.bindings.to_vec();
         a.sort();
         b.sort();
         assert_eq!(a, b, "{}", engine.name());
@@ -139,8 +139,8 @@ fn candidate_cache_capacity_never_changes_results() {
                 "{} capacity {capacity}",
                 engine.name()
             );
-            let mut a = plain.bindings.clone();
-            let mut b = cached.bindings.clone();
+            let mut a = plain.bindings.to_vec();
+            let mut b = cached.bindings.to_vec();
             a.sort();
             b.sort();
             assert_eq!(a, b, "{} capacity {capacity}", engine.name());
@@ -180,8 +180,8 @@ fn batch_knob_matrix_matches_one_shot_execution() {
                     "capacity {capacity}"
                 );
                 assert_eq!(batched.bindings.len(), solo.bindings.len());
-                let mut a = batched.bindings.clone();
-                let mut b = solo.bindings.clone();
+                let mut a = batched.bindings.to_vec();
+                let mut b = solo.bindings.to_vec();
                 a.sort();
                 b.sort();
                 assert_eq!(a, b, "capacity {capacity}");

@@ -82,7 +82,7 @@ fn reorder_patterns(query: &SelectQuery, seed: u64) -> SelectQuery {
 type Observed = (u128, bool, Vec<Box<str>>, Vec<Vec<Box<str>>>);
 
 fn normalized(outcome: &QueryOutcome) -> Observed {
-    let mut rows = outcome.bindings.clone();
+    let mut rows = outcome.bindings.to_vec();
     rows.sort();
     (
         outcome.embedding_count,
@@ -226,7 +226,7 @@ fn renamed_queries_share_plans_but_keep_their_headers() {
         batch.outcomes[1].as_ref().unwrap(),
     );
     assert_eq!(a.embedding_count, b.embedding_count);
-    let (mut rows_a, mut rows_b) = (a.bindings.clone(), b.bindings.clone());
+    let (mut rows_a, mut rows_b) = (a.bindings.to_vec(), b.bindings.to_vec());
     rows_a.sort();
     rows_b.sort();
     assert_eq!(rows_a, rows_b, "same answers under either spelling");

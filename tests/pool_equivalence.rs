@@ -44,7 +44,7 @@ fn dense_graph(seed: u64) -> RdfGraph {
 type Fingerprint = (u128, bool, Vec<Box<str>>, Vec<Vec<Box<str>>>);
 
 fn normalized(outcome: &QueryOutcome) -> Fingerprint {
-    let mut rows = outcome.bindings.clone();
+    let mut rows = outcome.bindings.to_vec();
     rows.sort();
     (
         outcome.embedding_count,

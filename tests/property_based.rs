@@ -134,7 +134,7 @@ proptest! {
         let engine = AmberEngine::from_triples(&triples);
         let query = "SELECT DISTINCT ?a WHERE { ?a <http://t/p1> ?b . }";
         let outcome = engine.execute(query, &ExecOptions::new()).unwrap();
-        let mut rows = outcome.bindings.clone();
+        let mut rows = outcome.bindings.to_vec();
         rows.sort();
         let before = rows.len();
         rows.dedup();

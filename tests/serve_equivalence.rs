@@ -1,0 +1,280 @@
+//! Differential tests for the concurrent serving layer: N client threads
+//! pushing mixed tenant streams through one [`Server`] must produce
+//! results bit-identical to executing every stream sequentially, cache-free,
+//! on a private engine session — whatever the interleaving, whatever the
+//! cache state, however many serving workers overlap on the shared
+//! execution pool.
+
+use amber::{AmberEngine, ExecOptions, QueryOutcome};
+use amber_datagen::synthetic::{self, SyntheticConfig};
+use amber_datagen::{GeneratedQuery, QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_multigraph::RdfGraph;
+use amber_serve::{ServeConfig, ServeError, Server, Ticket};
+use amber_sparql::{Projection, SelectQuery, TermPattern};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn dense_graph(seed: u64) -> RdfGraph {
+    let config = SyntheticConfig {
+        entity_namespace: "http://serve/e/".into(),
+        predicate_namespace: "http://serve/p/".into(),
+        entities_per_scale: 120,
+        resource_predicates: 6,
+        literal_predicates: 3,
+        mean_out_degree: 6.0,
+        attachment_bias: 0.8,
+        predicate_skew: 1.0,
+        attribute_probability: 0.4,
+        max_attributes: 3,
+        literal_values: 10,
+    };
+    RdfGraph::from_triples(&synthetic::generate(&config, seed))
+}
+
+/// Rename every variable `x` → `t<salt>_x`: alpha-equivalent spellings,
+/// the cross-tenant plan-sharing case.
+fn rename_vars(query: &SelectQuery, salt: u64) -> SelectQuery {
+    let rename = |name: &str| -> Box<str> { format!("t{salt}_{name}").into() };
+    let term = |t: &TermPattern| match t {
+        TermPattern::Variable(v) => TermPattern::Variable(rename(v)),
+        constant => constant.clone(),
+    };
+    SelectQuery {
+        projection: match &query.projection {
+            Projection::Star => Projection::Star,
+            Projection::Variables(vars) => {
+                Projection::Variables(vars.iter().map(|v| rename(v)).collect())
+            }
+        },
+        distinct: query.distinct,
+        patterns: query
+            .patterns
+            .iter()
+            .map(|p| amber_sparql::TriplePattern {
+                subject: term(&p.subject),
+                predicate: term(&p.predicate),
+                object: term(&p.object),
+            })
+            .collect(),
+    }
+}
+
+/// Observable fingerprint: count, timeout flag, headers, order-normalized
+/// rows.
+type Observed = (u128, bool, Vec<Box<str>>, Vec<Vec<Box<str>>>);
+
+fn normalized(outcome: &QueryOutcome) -> Observed {
+    let mut rows = outcome.bindings.to_vec();
+    rows.sort();
+    (
+        outcome.embedding_count,
+        outcome.timed_out(),
+        outcome.variables.clone(),
+        rows,
+    )
+}
+
+/// One tenant's request stream: originals, renamed twins (shared plans),
+/// and verbatim repeats (result-cache hits), shuffled per tenant.
+fn tenant_stream(base: &[GeneratedQuery], tenant_salt: u64) -> Vec<SelectQuery> {
+    let mut stream = Vec::new();
+    for generated in base {
+        let q = &generated.query;
+        stream.push(q.clone());
+        stream.push(rename_vars(q, tenant_salt));
+        stream.push(q.clone()); // verbatim repeat
+    }
+    let mut rng = StdRng::seed_from_u64(tenant_salt ^ 0xA5A5);
+    stream.shuffle(&mut rng);
+    stream
+}
+
+/// Serve every tenant's stream concurrently (one client thread per tenant)
+/// and require each tenant's results to equal a sequential, cache-free
+/// execution of its stream.
+fn assert_serving_matches_sequential(
+    engine: &Arc<AmberEngine>,
+    streams: &[(String, Vec<SelectQuery>)],
+    workers: usize,
+) {
+    let bare = ExecOptions::new().with_max_results(200);
+    let expected: Vec<Vec<Observed>> = streams
+        .iter()
+        .map(|(_, queries)| {
+            queries
+                .iter()
+                .map(|q| {
+                    normalized(
+                        &engine
+                            .execute_parsed(q, &bare)
+                            .expect("sequential execution succeeds"),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    let server = Server::start(
+        Arc::clone(engine),
+        ServeConfig {
+            workers,
+            queue_capacity: 4096,
+            options: ExecOptions::batch().with_max_results(200),
+            ..ServeConfig::default()
+        },
+    );
+    let observed: Vec<Vec<Observed>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = streams
+            .iter()
+            .map(|(tenant, queries)| {
+                let server = &server;
+                scope.spawn(move || {
+                    // Submit the whole stream first (tickets preserve the
+                    // tenant's order), then redeem.
+                    let tickets: Vec<Ticket> = queries
+                        .iter()
+                        .map(|q| server.submit(tenant, q.clone()).expect("admitted"))
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|t| normalized(&t.wait().expect("served")))
+                        .collect::<Vec<Observed>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let report = server.shutdown();
+
+    for ((tenant, queries), (got, want)) in streams.iter().zip(observed.iter().zip(&expected)) {
+        assert_eq!(
+            got, want,
+            "tenant {tenant}: concurrent serving diverged from sequential execution"
+        );
+        assert_eq!(report.served_for(tenant), queries.len() as u64);
+    }
+    assert_eq!(report.rejected, 0, "the queue was sized for the workload");
+    assert_eq!(
+        report.plan_stats.result_hit_copied_bytes, 0,
+        "result-cache hits must serve shared rows: {:?}",
+        report.plan_stats
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole property: mixed multi-tenant streams served
+    /// concurrently are observationally identical to sequential cache-free
+    /// execution.
+    #[test]
+    fn concurrent_serving_equals_sequential_execution(
+        graph_seed in 0u64..300,
+        workload_seed in 0u64..300,
+        star_size in 3usize..6,
+        complex_size in 4usize..6,
+    ) {
+        let rdf = Arc::new(dense_graph(graph_seed));
+        let engine = Arc::new(AmberEngine::from_graph(Arc::clone(&rdf)));
+
+        let mut generator = WorkloadGenerator::new(&rdf, workload_seed);
+        let mut base = generator.generate_many(&WorkloadConfig::new(QueryShape::Star, star_size), 2);
+        let mut complex_config = WorkloadConfig::new(QueryShape::Complex, complex_size);
+        complex_config.constant_iri_probability = 0.4;
+        base.extend(generator.generate_many(&complex_config, 2));
+        prop_assume!(!base.is_empty());
+
+        let streams: Vec<(String, Vec<SelectQuery>)> = (0..3u64)
+            .map(|t| (format!("tenant-{t}"), tenant_stream(&base, t)))
+            .collect();
+        assert_serving_matches_sequential(&engine, &streams, 3);
+    }
+}
+
+#[test]
+fn admission_control_rejects_beyond_capacity_and_serves_the_rest() {
+    let rdf = Arc::new(dense_graph(7));
+    let engine = Arc::new(AmberEngine::from_graph(Arc::clone(&rdf)));
+    let mut generator = WorkloadGenerator::new(&rdf, 77);
+    let base = generator.generate_many(&WorkloadConfig::new(QueryShape::Star, 4), 1);
+    assert!(!base.is_empty());
+    let query = base[0].query.clone();
+
+    let capacity = 4;
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 2,
+            queue_capacity: capacity,
+            paused: true, // deterministic: the queue fills before any dispatch
+            ..ServeConfig::default()
+        },
+    );
+    let accepted: Vec<Ticket> = (0..capacity)
+        .map(|i| {
+            server
+                .submit(&format!("tenant-{}", i % 2), query.clone())
+                .expect("under capacity")
+        })
+        .collect();
+    // The queue is full: the next submission is rejected immediately, with
+    // the typed error, without blocking and without losing earlier work.
+    match server.submit("tenant-0", query.clone()) {
+        Err(ServeError::Overloaded { capacity: c }) => assert_eq!(c, capacity),
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    server.resume();
+    let baseline = engine
+        .execute_parsed(&query, &ExecOptions::new())
+        .expect("baseline");
+    for ticket in accepted {
+        let outcome = ticket.wait().expect("accepted requests are served");
+        assert_eq!(outcome.embedding_count, baseline.embedding_count);
+    }
+    let report = server.shutdown();
+    assert_eq!(report.served(), capacity as u64);
+    assert_eq!(report.rejected, 1);
+}
+
+#[test]
+fn tenants_share_one_plan_store_but_not_their_failures() {
+    let rdf = Arc::new(dense_graph(21));
+    let engine = Arc::new(AmberEngine::from_graph(Arc::clone(&rdf)));
+    let mut generator = WorkloadGenerator::new(&rdf, 2121);
+    let base = generator.generate_many(&WorkloadConfig::new(QueryShape::Complex, 4), 1);
+    assert!(!base.is_empty());
+    let query = base[0].query.clone();
+
+    let before = engine.shared_plan_stats();
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    // A stale prepared plan from a *different* engine fails only its own
+    // ticket; the tenant keeps serving afterwards.
+    let foreign = AmberEngine::from_graph(dense_graph(22));
+    let stale = foreign.prepare(&query).expect("prepares on its own engine");
+    let poisoned = engine.execute_prepared(&stale, &ExecOptions::new());
+    assert!(poisoned.is_err(), "stale plans are rejected, not executed");
+
+    for tenant in ["a", "b", "c"] {
+        let ticket = server.submit(tenant, query.clone()).expect("admitted");
+        ticket.wait().expect("served");
+    }
+    let report = server.shutdown();
+    if amber::plan_cache_enabled() {
+        let shared = report.shared_plans;
+        assert_eq!(
+            shared.misses - before.misses,
+            1,
+            "one derivation serves every tenant: {shared:?}"
+        );
+        assert!(
+            shared.hits >= before.hits + 2,
+            "the other tenants hit the shared store: {shared:?}"
+        );
+    }
+    for tenant in ["a", "b", "c"] {
+        assert_eq!(report.served_for(tenant), 1);
+    }
+}

@@ -47,8 +47,8 @@ fn turtle_and_ntriples_loads_agree() {
         .unwrap();
     assert_eq!(a.embedding_count, 2);
     assert_eq!(a.embedding_count, b.embedding_count);
-    let mut rows_a = a.bindings.clone();
-    let mut rows_b = b.bindings.clone();
+    let mut rows_a = a.bindings.to_vec();
+    let mut rows_b = b.bindings.to_vec();
     rows_a.sort();
     rows_b.sort();
     assert_eq!(rows_a, rows_b);

@@ -343,6 +343,28 @@ fn check_serve(checks: &mut Vec<Check>, baseline: &Json, fresh: &Json) {
                     false,
                 );
             }
+            // Request-lifecycle counters (the request_lifecycle entry):
+            // exact deterministic replays — shed volume, breaker trips and
+            // fast-fails, governor-driven degradation. Hardware-independent
+            // by construction (zero budgets and byte quotas, not timing).
+            for metric in [
+                "deadline_shed",
+                "breaker_trips",
+                "breaker_fast_fails",
+                "governor_degradation_steps",
+                "governed_dispatches",
+            ] {
+                check_metric(
+                    checks,
+                    "BENCH_serve.json",
+                    key,
+                    metric,
+                    base,
+                    new,
+                    Direction::Deterministic,
+                    false,
+                );
+            }
         },
     );
 }

@@ -26,15 +26,16 @@
 //!
 //! Usage: `cargo run --release -p amber_bench --bin bench_serve [out.json]`
 
-use amber::{AmberEngine, ExecOptions};
+use amber::{AmberEngine, ExecOptions, QueryStatus};
 use amber_datagen::synthetic::{self, SyntheticConfig};
 use amber_datagen::{QueryShape, WorkloadConfig, WorkloadGenerator};
 use amber_multigraph::RdfGraph;
-use amber_serve::{ServeConfig, Server, Ticket};
+use amber_serve::{BreakerConfig, ServeConfig, ServeError, Server, SubmitOptions, Ticket};
 use amber_sparql::SelectQuery;
 use amber_util::Stopwatch;
 use std::fmt::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 const HEAVY_REQUESTS: usize = 60;
 const LIGHT_TENANTS: usize = 3;
@@ -103,6 +104,7 @@ fn run_fairness(queries: &[SelectQuery]) -> FairnessResult {
             paused: true,
             record_dispatch: true,
             options: ExecOptions::batch().with_max_results(100),
+            ..ServeConfig::default()
         },
     );
     let mut tickets: Vec<Ticket> = Vec::new();
@@ -209,6 +211,151 @@ fn run_concurrent(queries: &[SelectQuery]) -> ConcurrentResult {
     }
 }
 
+struct LifecycleResult {
+    deadline_shed: u64,
+    shed_engine_queries: u64,
+    shed_engine_nodes: u64,
+    breaker_trips: u64,
+    breaker_fast_fails: u64,
+    governor_degradation_steps: u64,
+    governed_dispatches: u64,
+}
+
+/// Deterministic request-lifecycle replay: shed rate under expired
+/// deadlines (with the zero-engine-work assertion), breaker trip and
+/// fast-fail counts under consecutive hard failures, and governor-driven
+/// degradation under a starvation-level global memory budget. All counts
+/// are exact and hardware-independent.
+fn run_lifecycle(queries: &[SelectQuery]) -> LifecycleResult {
+    let engine = Arc::new(AmberEngine::from_graph(dense_graph(11)));
+
+    // (a) Deadline shedding: a paused single dispatcher queues 10
+    // zero-budget requests (their budget expires while queued) alongside
+    // 5 unbudgeted ones; on resume the expired requests are shed with the
+    // typed error and zero engine-side work.
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 1,
+            paused: true,
+            options: ExecOptions::batch().with_max_results(100),
+            ..ServeConfig::default()
+        },
+    );
+    let doomed: Vec<Ticket> = (0..10)
+        .map(|i| {
+            server
+                .submit_with(
+                    "deadline",
+                    queries[i % queries.len()].clone(),
+                    SubmitOptions::new().with_budget(Duration::ZERO),
+                )
+                .expect("admitted")
+        })
+        .collect();
+    let healthy: Vec<Ticket> = (0..5)
+        .map(|i| {
+            server
+                .submit("healthy", queries[i % queries.len()].clone())
+                .expect("admitted")
+        })
+        .collect();
+    server.resume();
+    for ticket in doomed {
+        assert!(
+            matches!(ticket.wait(), Err(ServeError::DeadlineExpired { .. })),
+            "zero-budget requests must shed typed"
+        );
+    }
+    for ticket in healthy {
+        ticket.wait().expect("served");
+    }
+    let shed_report = server.shutdown();
+    let shed_tenant = shed_report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "deadline")
+        .expect("shed tenant reported");
+
+    // (b) Breaker trips: two consecutive zero-timeout requests (each a
+    // deterministic `TimedOut`) trip a threshold-2 breaker; the next three
+    // submissions fast-fail without queueing.
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_secs(3600),
+            }),
+            options: ExecOptions::batch().with_max_results(100),
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..2 {
+        let ticket = server
+            .submit_with(
+                "noisy",
+                queries[i % queries.len()].clone(),
+                SubmitOptions::new().with_timeout(Duration::ZERO),
+            )
+            .expect("admitted");
+        assert!(ticket.wait().expect("typed partial").timed_out());
+    }
+    for _ in 0..3 {
+        assert!(
+            matches!(
+                server.submit("noisy", queries[0].clone()),
+                Err(ServeError::CircuitOpen { .. })
+            ),
+            "a tripped breaker fast-fails"
+        );
+    }
+    let breaker_report = server.shutdown();
+
+    // (c) Governor degradation: a 1-byte global budget forces every
+    // dispatch through the per-query degradation ladder to a typed
+    // `BudgetExceeded` partial.
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 1,
+            memory_budget: Some(1),
+            options: ExecOptions::batch().with_max_results(100),
+            ..ServeConfig::default()
+        },
+    );
+    for i in 0..2 {
+        let ticket = server
+            .submit("governed", queries[i % queries.len()].clone())
+            .expect("admitted");
+        assert_eq!(
+            ticket.wait().expect("typed partial").status,
+            QueryStatus::BudgetExceeded,
+            "a starved quota degrades to a typed partial"
+        );
+    }
+    let governor_report = server.shutdown();
+    let governed_tenant = governor_report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "governed")
+        .expect("governed tenant reported");
+
+    LifecycleResult {
+        deadline_shed: shed_report.deadline_shed,
+        shed_engine_queries: shed_tenant.queries_executed,
+        shed_engine_nodes: shed_tenant.pool.total_nodes(),
+        breaker_trips: breaker_report.breaker_trips,
+        breaker_fast_fails: breaker_report.breaker_fast_fails,
+        governor_degradation_steps: governed_tenant.pool.degradation_steps,
+        governed_dispatches: governor_report
+            .governor
+            .expect("governor configured")
+            .governed_dispatches,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -219,6 +366,7 @@ fn main() {
 
     let fairness = run_fairness(&queries);
     let concurrent = run_concurrent(&queries);
+    let lifecycle = run_lifecycle(&queries);
 
     let mut json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"commit\": \"{}\",\n  \"unit\": \"ratios / bytes / ms\",\n  \
@@ -226,7 +374,9 @@ fn main() {
          dispatch on a deterministic single-dispatcher replay (round-robin ~0.56, FIFO ~0.0); \
          shared_plan_misses is pinned to the distinct-query count (one derivation serves every \
          tenant); result_hit_copied_bytes is the runtime zero-copy gauge and must stay 0; \
-         wall-clock is logged, not gated\",\n  \"serving\": [\n",
+         request_lifecycle counts are exact deterministic replays (shed rate with zero engine \
+         work, breaker trip/fast-fail, governor degradation); wall-clock is logged, not \
+         gated\",\n  \"serving\": [\n",
         amber_bench::report::git_sha(),
     );
     let _ = writeln!(
@@ -248,11 +398,25 @@ fn main() {
     let _ = writeln!(
         json,
         "    {{\"name\": \"concurrent_streams\", \"tenants\": {}, \"requests\": {}, \
-         \"wall_ms\": {:.3}, \"result_hit_copied_bytes\": {}}}",
+         \"wall_ms\": {:.3}, \"result_hit_copied_bytes\": {}}},",
         concurrent.tenants,
         concurrent.requests,
         concurrent.wall_ms,
         concurrent.result_hit_copied_bytes,
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"request_lifecycle\", \"deadline_shed\": {}, \
+         \"shed_engine_queries\": {}, \"shed_engine_nodes\": {}, \"breaker_trips\": {}, \
+         \"breaker_fast_fails\": {}, \"governor_degradation_steps\": {}, \
+         \"governed_dispatches\": {}}}",
+        lifecycle.deadline_shed,
+        lifecycle.shed_engine_queries,
+        lifecycle.shed_engine_nodes,
+        lifecycle.breaker_trips,
+        lifecycle.breaker_fast_fails,
+        lifecycle.governor_degradation_steps,
+        lifecycle.governed_dispatches,
     );
     json.push_str("  ]\n}\n");
 
@@ -287,4 +451,30 @@ fn main() {
             fairness.result_hit_rate,
         );
     }
+    // Request-lifecycle gates: exact replays, so exact assertions.
+    assert_eq!(
+        lifecycle.deadline_shed, 10,
+        "every zero-budget request must be shed with DeadlineExpired"
+    );
+    assert_eq!(
+        lifecycle.shed_engine_queries, 0,
+        "shed requests must not execute queries"
+    );
+    assert_eq!(
+        lifecycle.shed_engine_nodes, 0,
+        "shed requests must not visit search-tree nodes"
+    );
+    assert_eq!(lifecycle.breaker_trips, 1, "threshold-2 replay trips once");
+    assert_eq!(
+        lifecycle.breaker_fast_fails, 3,
+        "every post-trip submission fast-fails"
+    );
+    assert!(
+        lifecycle.governor_degradation_steps >= 1,
+        "a 1-byte global budget must drive the degradation ladder"
+    );
+    assert_eq!(
+        lifecycle.governed_dispatches, 2,
+        "every dispatch under a global budget is governed"
+    );
 }

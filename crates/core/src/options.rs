@@ -241,6 +241,25 @@ impl ExecOptions {
         self
     }
 
+    /// Builder: *tighten* the timeout to at most `limit` — keeps an
+    /// existing tighter timeout, replaces a looser (or absent) one. This
+    /// is the combinator a scheduling layer uses to hand a request's
+    /// *remaining* admission-to-answer budget to execution without ever
+    /// loosening a configured per-query limit.
+    pub fn tighten_timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(self.timeout.map_or(limit, |t| t.min(limit)));
+        self
+    }
+
+    /// Builder: *tighten* the memory budget to at most `bytes` — keeps an
+    /// existing smaller budget, replaces a larger (or absent) one. Used by
+    /// server-wide governance to impose a per-tenant quota on top of any
+    /// per-query budget.
+    pub fn tighten_memory_budget(mut self, bytes: usize) -> Self {
+        self.memory_budget = Some(self.memory_budget.map_or(bytes, |b| b.min(bytes)));
+        self
+    }
+
     /// Builder: bound search-state memory to `bytes` (see
     /// [`Self::memory_budget`]).
     pub fn with_memory_budget(mut self, bytes: usize) -> Self {
@@ -314,6 +333,32 @@ mod tests {
         assert_eq!(o.memory_budget, Some(1 << 20));
         token.cancel();
         assert!(o.cancel.as_ref().is_some_and(CancelToken::is_cancelled));
+    }
+
+    #[test]
+    fn tighten_only_ever_shrinks() {
+        // Absent limits are installed...
+        let o = ExecOptions::new()
+            .tighten_timeout(Duration::from_secs(5))
+            .tighten_memory_budget(1 << 20);
+        assert_eq!(o.timeout, Some(Duration::from_secs(5)));
+        assert_eq!(o.memory_budget, Some(1 << 20));
+        // ...looser existing limits are replaced...
+        let o = ExecOptions::new()
+            .with_timeout(Duration::from_secs(60))
+            .with_memory_budget(1 << 30)
+            .tighten_timeout(Duration::from_secs(1))
+            .tighten_memory_budget(4096);
+        assert_eq!(o.timeout, Some(Duration::from_secs(1)));
+        assert_eq!(o.memory_budget, Some(4096));
+        // ...and tighter existing limits survive.
+        let o = ExecOptions::new()
+            .with_timeout(Duration::from_millis(1))
+            .with_memory_budget(64)
+            .tighten_timeout(Duration::from_secs(60))
+            .tighten_memory_budget(1 << 30);
+        assert_eq!(o.timeout, Some(Duration::from_millis(1)));
+        assert_eq!(o.memory_budget, Some(64));
     }
 
     #[test]

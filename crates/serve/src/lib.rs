@@ -20,22 +20,42 @@
 //! * **admission control** — the server holds at most
 //!   [`ServeConfig::queue_capacity`] queued requests; beyond that,
 //!   [`Server::submit`] fails *immediately* with the typed
-//!   [`ServeError::Overloaded`] instead of buffering unboundedly or
-//!   blocking the client;
-//! * **fair dispatch** — queued tenants are served round-robin (one
-//!   request per turn), so a tenant with a deep backlog cannot starve
-//!   light interactive tenants behind it;
+//!   [`ServeError::Overloaded`] — carrying the observed queue depth and a
+//!   retry-after hint derived from the recent service rate (pair it with
+//!   [`amber_util::jittered_backoff`] on the client) — instead of
+//!   buffering unboundedly or blocking the client;
+//! * **deadline propagation** — [`Server::submit_with`] accepts a total
+//!   admission-to-answer budget ([`SubmitOptions::budget`]); queue wait is
+//!   charged against it, a request whose budget expires while still queued
+//!   is shed with the typed [`ServeError::DeadlineExpired`] *without any
+//!   engine work*, and only the *remaining* budget is handed to the
+//!   engine as its execution timeout;
+//! * **per-tenant circuit breakers** — with [`ServeConfig::breaker`] set,
+//!   a tenant whose requests keep failing hard (quarantined panics or
+//!   timeouts) trips into fast-fail ([`ServeError::CircuitOpen`]) instead
+//!   of consuming pool time; after a cooldown, half-open probes readmit
+//!   one request at a time (see [`breaker`]);
+//! * **server-wide memory governance** — [`ServeConfig::memory_budget`]
+//!   partitions a global byte budget into per-tenant quotas that feed each
+//!   query's own `MemoryGovernor` degradation ladder (see [`governor`]);
 //! * **panic and failure isolation** — a query that fails (or panics; the
 //!   engine quarantines panics into typed
 //!   [`EngineError::Internal`](amber::EngineError) values) poisons only
 //!   its own [`Ticket`]; the tenant's session and every other tenant keep
-//!   serving. All serving-layer locks recover from poisoning
+//!   serving. The serving loop itself is also a chaos surface: the
+//!   `serve-admit`, `serve-dispatch` and `serve-drain` fault points
+//!   (`AMBER_CHAOS`, see `amber_util::fault`) inject panics, delays and
+//!   spurious allocation failures into admission, dispatch and drain, and
+//!   all serving-layer locks recover from poisoning
 //!   (`PoisonError::into_inner`) rather than propagating it;
 //! * **graceful drain** — [`Server::shutdown`] stops admission, serves
 //!   everything already queued, joins the workers, and returns a
-//!   [`ServeReport`] with per-tenant counts and the aggregated cache
-//!   statistics (including the zero-copy counter
+//!   [`ServeReport`] with per-tenant counts, breaker and shed statistics,
+//!   and the aggregated cache statistics (including the zero-copy counter
 //!   `result_hit_copied_bytes`, which the serving benchmark pins at 0).
+//!   [`Server::shutdown_now`] instead revokes: queued requests are
+//!   answered with [`ServeError::ShuttingDown`] and in-flight work is
+//!   cancelled through each request's [`CancelToken`].
 //!
 //! ```
 //! use amber::AmberEngine;
@@ -55,15 +75,26 @@
 //! assert_eq!(report.served(), 1);
 //! ```
 
+pub mod breaker;
+pub mod governor;
+
+pub use breaker::{BreakerConfig, BreakerReport, BreakerState, TripCause};
+pub use governor::{GovernorReport, ServerGovernor};
+
 use amber::{
-    AmberEngine, CacheStats, EngineError, ExecOptions, PlanCacheStats, QueryOutcome, QuerySession,
-    SharedPlanStats,
+    AmberEngine, CacheStats, CancelToken, EngineError, ExecOptions, PlanCacheStats, PoolStats,
+    QueryOutcome, QuerySession, QueryStatus, SharedPlanStats,
 };
 use amber_sparql::SelectQuery;
+use amber_util::fault::{self, FaultPoint};
+use amber_util::timing::Budget;
+use breaker::{Admission, Breaker};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -83,6 +114,14 @@ pub struct ServeConfig {
     /// Record the tenant of every dispatch, in order, for the
     /// [`ServeReport`] — the observable fairness is asserted on this.
     pub record_dispatch: bool,
+    /// Per-tenant circuit breakers (see [`breaker`]); `None` disables
+    /// them (every submission is admitted regardless of failure history).
+    pub breaker: Option<BreakerConfig>,
+    /// Server-wide memory budget in bytes, partitioned into equal
+    /// per-tenant quotas that *tighten* each query's
+    /// `ExecOptions::memory_budget` (see [`governor`]); `None` leaves
+    /// memory governance entirely per-query.
+    pub memory_budget: Option<usize>,
     /// Execution options for every request; also sizes each tenant's
     /// session caches. Defaults to [`ExecOptions::batch`] (plan + result
     /// caches on — a serving deployment is exactly the repeated-query
@@ -97,25 +136,87 @@ impl Default for ServeConfig {
             queue_capacity: 256,
             paused: false,
             record_dispatch: false,
+            breaker: None,
+            memory_budget: None,
             options: ExecOptions::batch(),
         }
     }
 }
 
+/// Per-request submission options ([`Server::submit_with`]).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SubmitOptions {
+    /// Total admission-to-answer budget. Queue wait is charged against
+    /// it: a request still queued when the budget expires is shed with
+    /// [`ServeError::DeadlineExpired`] (zero engine work), and a request
+    /// that dispatches hands only the *remaining* budget to the engine as
+    /// its execution timeout.
+    pub budget: Option<Duration>,
+    /// Per-request execution timeout, tightening (never loosening) the
+    /// server-wide [`ServeConfig::options`] timeout. Unlike
+    /// [`budget`](Self::budget), the clock starts at dispatch, not at
+    /// admission.
+    pub timeout: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Options with no budget and no per-request timeout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the total admission-to-answer [`budget`](Self::budget).
+    pub fn with_budget(mut self, total: Duration) -> Self {
+        self.budget = Some(total);
+        self
+    }
+
+    /// Set the per-request execution [`timeout`](Self::timeout).
+    pub fn with_timeout(mut self, limit: Duration) -> Self {
+        self.timeout = Some(limit);
+        self
+    }
+}
+
 /// Typed serving-layer failure. Engine failures pass through; the serving
-/// layer adds only admission outcomes.
+/// layer adds admission and lifecycle outcomes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// The query was dispatched and the engine failed it (parse error,
     /// quarantined panic, cancellation, …).
     Engine(EngineError),
-    /// Rejected at admission: the server already holds `capacity` queued
-    /// requests. Back off and retry; nothing was enqueued.
+    /// The request's [`SubmitOptions::budget`] expired while it was still
+    /// queued: it was shed before any engine work. `waited` is the queue
+    /// wait actually observed (≥ `budget`).
+    DeadlineExpired {
+        /// The admission-to-answer budget the request was submitted with.
+        budget: Duration,
+        /// How long the request had waited when it was shed.
+        waited: Duration,
+    },
+    /// Rejected at admission: this tenant's circuit breaker is open after
+    /// consecutive hard failures. Nothing was enqueued; retry after
+    /// `retry_after` (jittered — see [`amber_util::jittered_backoff`]).
+    CircuitOpen {
+        /// The kind of consecutive hard failure that tripped the breaker.
+        cause: TripCause,
+        /// Remaining breaker cooldown at rejection time.
+        retry_after: Duration,
+    },
+    /// Rejected at admission: the server already holds `queued` requests
+    /// of a `capacity`-bounded queue. Nothing was enqueued; back off and
+    /// retry (the hint is derived from the recently observed service
+    /// rate — jitter it with [`amber_util::jittered_backoff`]).
     Overloaded {
         /// The configured [`ServeConfig::queue_capacity`].
         capacity: usize,
+        /// Requests queued at rejection time.
+        queued: usize,
+        /// Estimated time until the queue has drained one slot.
+        retry_after: Duration,
     },
-    /// Rejected because the server is draining for shutdown.
+    /// Rejected because the server is draining for shutdown, or revoked by
+    /// [`Server::shutdown_now`] while still queued.
     ShuttingDown,
 }
 
@@ -123,8 +224,24 @@ impl fmt::Display for ServeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
-            ServeError::Overloaded { capacity } => {
-                write!(f, "server overloaded: {capacity} requests already queued")
+            ServeError::DeadlineExpired { budget, waited } => write!(
+                f,
+                "deadline expired in queue: waited {waited:?} of a {budget:?} budget"
+            ),
+            ServeError::CircuitOpen { cause, retry_after } => write!(
+                f,
+                "circuit open after consecutive {cause}; retry in {retry_after:?}"
+            ),
+            ServeError::Overloaded {
+                capacity,
+                queued,
+                retry_after,
+            } => {
+                write!(
+                    f,
+                    "server overloaded: {queued} of {capacity} queue slots in use; \
+                     retry in ~{retry_after:?}"
+                )
             }
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
         }
@@ -167,7 +284,8 @@ impl fmt::Debug for Ticket {
 impl Ticket {
     /// Block until the request completes and take its result. Each
     /// accepted request completes exactly once — even across shutdown,
-    /// since drain serves the whole backlog before the workers exit.
+    /// since drain serves (or [`shutdown_now`](Server::shutdown_now)
+    /// revokes) the whole backlog before the workers exit.
     pub fn wait(self) -> Result<QueryOutcome, ServeError> {
         let mut slot = self
             .inner
@@ -187,10 +305,19 @@ impl Ticket {
     }
 }
 
-/// A queued request (tenant is the queue key, so only query + ticket).
+/// A queued request (tenant is the queue key).
 struct Request {
     query: SelectQuery,
     ticket: Arc<TicketInner>,
+    /// The admission-to-answer budget, clocked from admission.
+    budget: Option<Budget>,
+    /// Per-request execution timeout (clocked from dispatch).
+    timeout: Option<Duration>,
+    /// Revocation handle, installed into the engine's options at dispatch
+    /// so [`Server::shutdown_now`] can cancel in-flight work.
+    cancel: CancelToken,
+    /// This request is its tenant's single half-open breaker probe.
+    probe: bool,
 }
 
 /// Per-tenant serving state.
@@ -207,6 +334,14 @@ struct TenantState {
     busy: bool,
     /// Requests completed (successfully or with an engine error).
     served: u64,
+    /// Requests shed with [`ServeError::DeadlineExpired`] (never
+    /// executed, not counted in `served`).
+    shed: u64,
+    /// This tenant's circuit breaker (inert unless
+    /// [`ServeConfig::breaker`] is set).
+    breaker: Breaker,
+    /// The in-flight request's cancel token, for `shutdown_now`.
+    inflight_cancel: Option<CancelToken>,
 }
 
 /// Dispatcher state under the one serving-layer mutex.
@@ -222,6 +357,30 @@ struct DispatchState {
     draining: bool,
     rejected: u64,
     dispatch_order: Vec<Arc<str>>,
+    /// EWMA of executed-request service time in nanoseconds (0 until the
+    /// first completion); feeds the `Overloaded` retry-after hint.
+    service_ewma_ns: u64,
+    /// Serving-layer invariant violations recovered instead of panicking
+    /// (stale rotation entries after lock-poison recovery).
+    internal_faults: u64,
+    /// `serve-drain` chaos panics trapped on the workers' drain path.
+    drain_faults: u64,
+}
+
+impl DispatchState {
+    /// Estimated time until one queue slot frees up, from the recent
+    /// service rate: `ewma × (queued + 1) / workers`, with a 1 ms default
+    /// before any completion has been observed.
+    fn retry_after(&self, workers: usize) -> Duration {
+        const DEFAULT_SERVICE_NS: u64 = 1_000_000;
+        let per_request = if self.service_ewma_ns == 0 {
+            DEFAULT_SERVICE_NS
+        } else {
+            self.service_ewma_ns
+        };
+        let pending = (self.queued as u64).saturating_add(1);
+        Duration::from_nanos(per_request.saturating_mul(pending) / workers.max(1) as u64)
+    }
 }
 
 struct ServerShared {
@@ -236,6 +395,26 @@ impl ServerShared {
     }
 }
 
+/// Everything one serving worker needs (cloned per worker at start).
+struct WorkerContext {
+    engine: Arc<AmberEngine>,
+    shared: Arc<ServerShared>,
+    options: ExecOptions,
+    record_dispatch: bool,
+    breaker: Option<BreakerConfig>,
+    governor: Option<Arc<ServerGovernor>>,
+}
+
+/// One dispatch acquired off the rotation.
+struct Dispatch {
+    tenant: Arc<str>,
+    request: Request,
+    session: Option<QuerySession>,
+    /// Tenants known to the server at dispatch time (the governor's
+    /// partition denominator).
+    tenant_count: usize,
+}
+
 /// A running serving layer over one shared engine. Submission is `&self`
 /// (share the server across client threads with `std::thread::scope` or an
 /// `Arc`); shutdown consumes the server, so no submission can race the
@@ -245,6 +424,8 @@ pub struct Server {
     shared: Arc<ServerShared>,
     workers: Vec<JoinHandle<()>>,
     config: ServeConfig,
+    governor: Option<Arc<ServerGovernor>>,
+    worker_count: usize,
 }
 
 impl Server {
@@ -260,19 +441,29 @@ impl Server {
                 draining: false,
                 rejected: 0,
                 dispatch_order: Vec::new(),
+                service_ewma_ns: 0,
+                internal_faults: 0,
+                drain_faults: 0,
             }),
             work_cv: Condvar::new(),
         });
+        let governor = config
+            .memory_budget
+            .map(|b| Arc::new(ServerGovernor::new(b)));
         let worker_count = config.workers.max(1);
         let workers = (0..worker_count)
             .map(|id| {
-                let shared = Arc::clone(&shared);
-                let engine = Arc::clone(&engine);
-                let options = config.options.clone();
-                let record_dispatch = config.record_dispatch;
+                let ctx = WorkerContext {
+                    engine: Arc::clone(&engine),
+                    shared: Arc::clone(&shared),
+                    options: config.options.clone(),
+                    record_dispatch: config.record_dispatch,
+                    breaker: config.breaker.clone(),
+                    governor: governor.clone(),
+                };
                 std::thread::Builder::new()
                     .name(format!("amber-serve-{id}"))
-                    .spawn(move || serve_loop(&engine, &shared, &options, record_dispatch))
+                    .spawn(move || serve_loop(&ctx))
                     .expect("spawn serving worker")
             })
             .collect();
@@ -281,38 +472,86 @@ impl Server {
             shared,
             workers,
             config,
+            governor,
+            worker_count,
         }
     }
 
-    /// Submit one parsed query for `tenant`. Returns a [`Ticket`]
-    /// immediately on admission; rejects with
-    /// [`ServeError::Overloaded`] when the queue is full. Requests of one
-    /// tenant complete in submission order; requests of different tenants
-    /// are scheduled round-robin.
+    /// Submit one parsed query for `tenant` with default
+    /// [`SubmitOptions`] (no budget, no per-request timeout). Returns a
+    /// [`Ticket`] immediately on admission; rejects with the typed
+    /// [`ServeError::Overloaded`] / [`ServeError::CircuitOpen`] without
+    /// enqueueing anything. Requests of one tenant complete in submission
+    /// order; requests of different tenants are scheduled round-robin.
     pub fn submit(&self, tenant: &str, query: SelectQuery) -> Result<Ticket, ServeError> {
+        self.submit_with(tenant, query, SubmitOptions::default())
+    }
+
+    /// [`submit`](Self::submit) with per-request lifecycle options: a
+    /// total admission-to-answer budget and/or an execution timeout.
+    pub fn submit_with(
+        &self,
+        tenant: &str,
+        query: SelectQuery,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
+        // Serve-admission chaos point: a panic here becomes a typed
+        // admission error (nothing enqueued); an alloc-fail signal is
+        // spurious overload, exercised below.
+        let signal = match catch_unwind(|| fault::inject(FaultPoint::ServeAdmit)) {
+            Ok(signal) => signal,
+            Err(payload) => {
+                return Err(ServeError::Engine(EngineError::Internal {
+                    task: "serve admission".to_string(),
+                    payload: payload_text(payload.as_ref()),
+                }))
+            }
+        };
+        // The budget clock starts at admission — queue wait is charged.
+        let budget = opts.budget.map(Budget::starting_now);
         let mut state = self.shared.lock();
         if state.draining {
             return Err(ServeError::ShuttingDown);
         }
-        if state.queued >= self.config.queue_capacity {
+        if signal.alloc_fail || state.queued >= self.config.queue_capacity {
             state.rejected += 1;
             return Err(ServeError::Overloaded {
                 capacity: self.config.queue_capacity,
+                queued: state.queued,
+                retry_after: state.retry_after(self.worker_count),
             });
         }
-        let inner = Arc::new(TicketInner {
-            slot: Mutex::new(None),
-            done: Condvar::new(),
-        });
         let key: Arc<str> = match state.tenants.keys().find(|k| ***k == *tenant) {
             Some(existing) => Arc::clone(existing),
             None => Arc::from(tenant),
         };
         let entry = state.tenants.entry(Arc::clone(&key)).or_default();
+        // Breaker admission runs after the capacity check so a fast-fail
+        // never consumes a queue slot and an overload never burns the
+        // single half-open probe.
+        let probe = if self.config.breaker.is_some() {
+            match entry.breaker.admit(Instant::now()) {
+                Admission::Admit => false,
+                Admission::Probe => true,
+                Admission::FastFail { cause, retry_after } => {
+                    return Err(ServeError::CircuitOpen { cause, retry_after });
+                }
+            }
+        } else {
+            false
+        };
+        let inner = Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        });
         let was_idle = entry.queue.is_empty() && !entry.busy;
         entry.queue.push_back(Request {
             query,
             ticket: Arc::clone(&inner),
+            budget,
+            timeout: opts.timeout,
+            cancel: CancelToken::new(),
+            probe,
         });
         state.queued += 1;
         if was_idle {
@@ -326,8 +565,18 @@ impl Server {
     /// Parse SPARQL text and [`submit`](Self::submit) it. Parse errors are
     /// reported synchronously (nothing is enqueued for them).
     pub fn submit_sparql(&self, tenant: &str, sparql: &str) -> Result<Ticket, ServeError> {
+        self.submit_sparql_with(tenant, sparql, SubmitOptions::default())
+    }
+
+    /// Parse SPARQL text and [`submit_with`](Self::submit_with) it.
+    pub fn submit_sparql_with(
+        &self,
+        tenant: &str,
+        sparql: &str,
+        opts: SubmitOptions,
+    ) -> Result<Ticket, ServeError> {
         let query = amber_sparql::parse_select(sparql).map_err(EngineError::from)?;
-        self.submit(tenant, query)
+        self.submit_with(tenant, query, opts)
     }
 
     /// Pause dispatch: admitted requests queue up but are not started.
@@ -361,6 +610,50 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        self.build_report()
+    }
+
+    /// Revoke instead of draining: stop admission, answer every *queued*
+    /// request with [`ServeError::ShuttingDown`] without executing it,
+    /// cancel in-flight requests through their [`CancelToken`]s (they
+    /// complete with partial results and `QueryStatus::Cancelled`), join
+    /// the workers, and report.
+    pub fn shutdown_now(mut self) -> ServeReport {
+        let revoked = {
+            let mut state = self.shared.lock();
+            state.draining = true;
+            state.paused = false;
+            let now = Instant::now();
+            let mut revoked = Vec::new();
+            for tenant in state.tenants.values_mut() {
+                while let Some(request) = tenant.queue.pop_front() {
+                    if request.probe {
+                        // The probe never ran; let the next submission
+                        // (of a restarted server sharing the breaker
+                        // history — or simply the bookkeeping) re-probe.
+                        tenant.breaker.probe_aborted(now);
+                    }
+                    revoked.push(request.ticket);
+                }
+                if let Some(cancel) = &tenant.inflight_cancel {
+                    cancel.cancel();
+                }
+            }
+            state.queued = 0;
+            state.rotation.clear();
+            revoked
+        };
+        self.shared.work_cv.notify_all();
+        for ticket in revoked {
+            answer(&ticket, Err(ServeError::ShuttingDown));
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.build_report()
+    }
+
+    fn build_report(&self) -> ServeReport {
         let state = self.shared.lock();
         let mut tenants: Vec<TenantReport> = state
             .tenants
@@ -368,11 +661,19 @@ impl Server {
             .map(|(name, t)| TenantReport {
                 tenant: name.to_string(),
                 served: t.served,
+                deadline_shed: t.shed,
+                queries_executed: t.session.as_ref().map_or(0, |s| s.queries_executed()),
                 plan_stats: t
                     .session
                     .as_ref()
                     .map(|s| s.plan_stats())
                     .unwrap_or_default(),
+                pool: t
+                    .session
+                    .as_ref()
+                    .map(|s| s.pool_stats().clone())
+                    .unwrap_or_default(),
+                breaker: t.breaker.report(),
             })
             .collect();
         tenants.sort_by(|a, b| a.tenant.cmp(&b.tenant));
@@ -383,11 +684,17 @@ impl Server {
             aggregate.result_hit_copied_bytes += tenant.plan_stats.result_hit_copied_bytes;
         }
         ServeReport {
-            tenants,
             rejected: state.rejected,
+            deadline_shed: tenants.iter().map(|t| t.deadline_shed).sum(),
+            breaker_trips: tenants.iter().map(|t| t.breaker.trips).sum(),
+            breaker_fast_fails: tenants.iter().map(|t| t.breaker.fast_fails).sum(),
+            internal_faults: state.internal_faults,
+            drain_faults: state.drain_faults,
+            governor: self.governor.as_ref().map(|g| g.report()),
             plan_stats: aggregate,
             shared_plans: self.engine.shared_plan_stats(),
             dispatch_order: state.dispatch_order.iter().map(|t| t.to_string()).collect(),
+            tenants,
         }
     }
 }
@@ -422,83 +729,237 @@ fn accumulate_cache(total: &mut CacheStats, extra: &CacheStats) {
     total.result_bytes += extra.result_bytes;
 }
 
+/// Render a trapped panic payload as text (`panic!` literals and formatted
+/// messages; placeholder otherwise), mirroring the engine's quarantine.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Complete one ticket.
+fn answer(ticket: &TicketInner, result: Result<QueryOutcome, ServeError>) {
+    let mut slot = ticket.slot.lock().unwrap_or_else(PoisonError::into_inner);
+    *slot = Some(result);
+    drop(slot);
+    ticket.done.notify_all();
+}
+
+/// How one completion moves the tenant's breaker.
+enum BreakerVerdict {
+    /// Successful completion: close.
+    Success,
+    /// Hard failure: count toward (or cause) a trip.
+    Failure(TripCause),
+    /// The server's own throttling (shed, cancelled, budget-exceeded) or
+    /// a synchronous failure class the breaker ignores.
+    Neutral,
+}
+
+fn classify(result: &Result<QueryOutcome, ServeError>) -> BreakerVerdict {
+    match result {
+        Ok(outcome) => match outcome.status {
+            QueryStatus::Completed => BreakerVerdict::Success,
+            QueryStatus::TimedOut => BreakerVerdict::Failure(TripCause::TimedOut),
+            QueryStatus::Cancelled | QueryStatus::BudgetExceeded => BreakerVerdict::Neutral,
+        },
+        Err(ServeError::Engine(EngineError::Internal { .. })) => {
+            BreakerVerdict::Failure(TripCause::Internal)
+        }
+        Err(_) => BreakerVerdict::Neutral,
+    }
+}
+
 /// The request loop each serving worker runs: pick the next tenant off the
-/// rotation, take its session, execute outside the lock, hand the session
-/// back, answer the ticket.
-fn serve_loop(
-    engine: &AmberEngine,
-    shared: &ServerShared,
-    options: &ExecOptions,
-    record_dispatch: bool,
-) {
+/// rotation, take its session, shed or execute outside the lock, hand the
+/// session back, answer the ticket.
+fn serve_loop(ctx: &WorkerContext) {
     loop {
-        // Acquire one dispatch (or exit once the drain is complete).
-        let (tenant, request, session) = {
-            let mut state = shared.lock();
-            loop {
-                if state.draining && state.queued == 0 {
-                    return;
-                }
-                if !state.paused {
-                    if let Some(tenant) = state.rotation.pop_front() {
-                        let entry = state
-                            .tenants
-                            .get_mut(&tenant)
-                            .expect("rotation entries have tenant state");
-                        let request = entry
-                            .queue
-                            .pop_front()
-                            .expect("rotation entries have queued work");
-                        entry.busy = true;
-                        let session = entry.session.take();
-                        state.queued -= 1;
-                        if record_dispatch {
-                            state.dispatch_order.push(Arc::clone(&tenant));
+        let Some(dispatch) = acquire_dispatch(ctx) else {
+            // Drain complete. The serve-drain chaos point injects panics
+            // into this exit path; they are trapped and counted — the
+            // drain has already answered every ticket and must finish.
+            if catch_unwind(|| fault::inject(FaultPoint::ServeDrain)).is_err() {
+                ctx.shared.lock().drain_faults += 1;
+            }
+            return;
+        };
+        let Dispatch {
+            tenant,
+            request,
+            mut session,
+            tenant_count,
+        } = dispatch;
+
+        // Deadline shed: a request whose budget expired while queued is
+        // answered with the typed error and does ZERO engine work — no
+        // session is created, no node is visited.
+        let shed_as = request
+            .budget
+            .filter(|b| b.expired())
+            .map(|b| ServeError::DeadlineExpired {
+                budget: b.total(),
+                waited: b.waited(),
+            });
+        let (result, service_ns) = match shed_as {
+            Some(err) => (Err(err), None),
+            None => {
+                // Per-request options: the remaining admission budget and
+                // the per-request timeout tighten the base timeout, the
+                // governor quota tightens the memory budget, and the
+                // cancel token makes the dispatch revocable. A
+                // `serve-dispatch` alloc-fail signal zeroes the memory
+                // budget — spurious exhaustion driving the degradation
+                // ladder.
+                let signal = match catch_unwind(|| fault::inject(FaultPoint::ServeDispatch)) {
+                    Ok(signal) => Ok(signal),
+                    Err(payload) => Err(ServeError::Engine(EngineError::Internal {
+                        task: "serve dispatch".to_string(),
+                        payload: payload_text(payload.as_ref()),
+                    })),
+                };
+                match signal {
+                    Err(err) => (Err(err), Some(0)),
+                    Ok(signal) => {
+                        let mut options = ctx.options.clone();
+                        if let Some(b) = request.budget {
+                            options =
+                                options.tighten_timeout(b.remaining().unwrap_or(Duration::ZERO));
                         }
-                        break (tenant, request, session);
+                        if let Some(limit) = request.timeout {
+                            options = options.tighten_timeout(limit);
+                        }
+                        if let Some(governor) = &ctx.governor {
+                            options = options.tighten_memory_budget(governor.quota(tenant_count));
+                            governor.record_governed();
+                        }
+                        if signal.alloc_fail {
+                            options = options.tighten_memory_budget(0);
+                        }
+                        options = options.with_cancel(request.cancel.clone());
+                        let sess =
+                            session.get_or_insert_with(|| ctx.engine.create_session(&options));
+                        let started = Instant::now();
+                        // Execute outside the serving lock — this is where
+                        // concurrent tenants actually overlap. The engine
+                        // quarantines its own panics into typed `Internal`
+                        // errors; this trap catches the serving layer's.
+                        let result = match catch_unwind(AssertUnwindSafe(|| {
+                            ctx.engine
+                                .execute_in_session(&request.query, &options, sess)
+                        })) {
+                            Ok(r) => r.map_err(ServeError::Engine),
+                            Err(payload) => Err(ServeError::Engine(EngineError::Internal {
+                                task: "serve dispatch".to_string(),
+                                payload: payload_text(payload.as_ref()),
+                            })),
+                        };
+                        let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        (result, Some(elapsed))
                     }
                 }
-                state = shared
-                    .work_cv
-                    .wait(state)
-                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
 
-        // Execute outside the serving lock — this is where concurrent
-        // tenants actually overlap. A panic inside the engine is already
-        // quarantined into a typed `Internal` error; the session survives.
-        let mut session = session.unwrap_or_else(|| engine.create_session(options));
-        let result = engine
-            .execute_in_session(&request.query, options, &mut session)
-            .map_err(ServeError::Engine);
-
-        // Hand the session back and re-enter the rotation before
-        // answering, so a client chaining requests observes its tenant
-        // ready for the next one.
+        // Hand the session back, record the outcome, and re-enter the
+        // rotation before answering, so a client chaining requests
+        // observes its tenant ready for the next one. Breaker bookkeeping
+        // also happens before the answer: a client that saw a hard
+        // failure observes the breaker already moved.
         {
-            let mut state = shared.lock();
-            let entry = state
-                .tenants
-                .get_mut(&tenant)
-                .expect("tenant state outlives its dispatches");
-            entry.session = Some(session);
-            entry.busy = false;
-            entry.served += 1;
-            if !entry.queue.is_empty() {
-                state.rotation.push_back(Arc::clone(&tenant));
+            let mut state = ctx.shared.lock();
+            if let Some(ns) = service_ns {
+                state.service_ewma_ns = if state.service_ewma_ns == 0 {
+                    ns
+                } else {
+                    (3 * state.service_ewma_ns + ns) / 4
+                };
+            }
+            match state.tenants.get_mut(&tenant) {
+                Some(entry) => {
+                    entry.session = session;
+                    entry.inflight_cancel = None;
+                    entry.busy = false;
+                    if service_ns.is_some() {
+                        entry.served += 1;
+                    } else {
+                        entry.shed += 1;
+                    }
+                    if let Some(cfg) = &ctx.breaker {
+                        let now = Instant::now();
+                        match classify(&result) {
+                            BreakerVerdict::Success => entry.breaker.record_success(),
+                            BreakerVerdict::Failure(cause) => {
+                                entry.breaker.record_failure(cfg, cause, now)
+                            }
+                            BreakerVerdict::Neutral => {
+                                if request.probe {
+                                    entry.breaker.probe_aborted(now);
+                                }
+                            }
+                        }
+                    }
+                    if !entry.queue.is_empty() {
+                        state.rotation.push_back(Arc::clone(&tenant));
+                    }
+                }
+                // Tenant state vanished (recovered lock poisoning): count
+                // the invariant violation instead of panicking; the ticket
+                // below is still answered.
+                None => state.internal_faults += 1,
             }
         }
-        shared.work_cv.notify_all();
+        ctx.shared.work_cv.notify_all();
 
-        let mut slot = request
-            .ticket
-            .slot
-            .lock()
+        answer(&request.ticket, result);
+    }
+}
+
+/// Block until one dispatch is available (or the drain completes: `None`).
+fn acquire_dispatch(ctx: &WorkerContext) -> Option<Dispatch> {
+    let mut state = ctx.shared.lock();
+    loop {
+        if state.draining && state.queued == 0 {
+            return None;
+        }
+        if !state.paused {
+            if let Some(tenant) = state.rotation.pop_front() {
+                // Poison-robust: a stale rotation entry (possible after a
+                // recovered poisoned lock left state mid-mutation) is
+                // counted and skipped, never unwrapped.
+                let Some(entry) = state.tenants.get_mut(&tenant) else {
+                    state.internal_faults += 1;
+                    continue;
+                };
+                let Some(request) = entry.queue.pop_front() else {
+                    state.internal_faults += 1;
+                    continue;
+                };
+                entry.busy = true;
+                entry.inflight_cancel = Some(request.cancel.clone());
+                let session = entry.session.take();
+                state.queued -= 1;
+                if ctx.record_dispatch {
+                    state.dispatch_order.push(Arc::clone(&tenant));
+                }
+                let tenant_count = state.tenants.len();
+                return Some(Dispatch {
+                    tenant,
+                    request,
+                    session,
+                    tenant_count,
+                });
+            }
+        }
+        state = ctx
+            .shared
+            .work_cv
+            .wait(state)
             .unwrap_or_else(PoisonError::into_inner);
-        *slot = Some(result);
-        drop(slot);
-        request.ticket.done.notify_all();
     }
 }
 
@@ -507,21 +968,48 @@ fn serve_loop(
 pub struct TenantReport {
     /// The tenant's identifier as passed to [`Server::submit`].
     pub tenant: String,
-    /// Requests completed for this tenant (including engine errors;
-    /// admission rejections are *not* served and count in
-    /// [`ServeReport::rejected`]).
+    /// Requests completed (including engine errors; admission rejections
+    /// are *not* served and count in [`ServeReport::rejected`], deadline
+    /// sheds count in [`deadline_shed`](Self::deadline_shed)).
     pub served: u64,
+    /// Requests shed with [`ServeError::DeadlineExpired`] after their
+    /// budget expired in the queue — answered, never executed.
+    pub deadline_shed: u64,
+    /// Queries the tenant's session actually executed (the zero-work
+    /// assertion for shed requests: shed-only tenants report 0).
+    pub queries_executed: u64,
     /// The tenant session's plan/result cache counters.
     pub plan_stats: PlanCacheStats,
+    /// The tenant session's execution-pool counters (node visits,
+    /// trapped panics, cancellations, memory-governor degradation steps).
+    pub pool: PoolStats,
+    /// The tenant's circuit-breaker counters and final state.
+    pub breaker: BreakerReport,
 }
 
-/// What a drained [`Server`] observed, returned by [`Server::shutdown`].
+/// What a drained [`Server`] observed, returned by [`Server::shutdown`]
+/// and [`Server::shutdown_now`].
 #[derive(Debug, Clone)]
 pub struct ServeReport {
     /// Per-tenant breakdown, sorted by tenant name.
     pub tenants: Vec<TenantReport>,
     /// Requests rejected at admission ([`ServeError::Overloaded`]).
     pub rejected: u64,
+    /// Requests shed with [`ServeError::DeadlineExpired`] across all
+    /// tenants.
+    pub deadline_shed: u64,
+    /// Circuit-breaker trips across all tenants.
+    pub breaker_trips: u64,
+    /// Submissions fast-failed with [`ServeError::CircuitOpen`] across
+    /// all tenants.
+    pub breaker_fast_fails: u64,
+    /// Serving-layer invariant violations recovered instead of panicking.
+    pub internal_faults: u64,
+    /// `serve-drain` chaos panics trapped on the drain path.
+    pub drain_faults: u64,
+    /// Server-wide memory governance counters (`None` without
+    /// [`ServeConfig::memory_budget`]).
+    pub governor: Option<GovernorReport>,
     /// All tenants' plan/result cache counters summed — includes
     /// `result_hit_copied_bytes`, the zero-copy regression gauge.
     pub plan_stats: PlanCacheStats,
@@ -541,10 +1029,21 @@ impl ServeReport {
 
     /// The served count of one tenant (0 if never seen).
     pub fn served_for(&self, tenant: &str) -> u64 {
-        self.tenants
-            .iter()
-            .find(|t| t.tenant == tenant)
-            .map_or(0, |t| t.served)
+        self.tenant(tenant).map_or(0, |t| t.served)
+    }
+
+    /// The deadline-shed count of one tenant (0 if never seen).
+    pub fn shed_for(&self, tenant: &str) -> u64 {
+        self.tenant(tenant).map_or(0, |t| t.deadline_shed)
+    }
+
+    /// One tenant's breaker counters (`None` if never seen).
+    pub fn breaker_for(&self, tenant: &str) -> Option<BreakerReport> {
+        self.tenant(tenant).map(|t| t.breaker)
+    }
+
+    fn tenant(&self, tenant: &str) -> Option<&TenantReport> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 }
 
@@ -579,7 +1078,7 @@ mod tests {
     }
 
     #[test]
-    fn overload_rejects_typed_and_immediately() {
+    fn overload_rejects_typed_with_depth_and_retry_hint() {
         let engine = demo_engine();
         let server = Server::start(
             Arc::clone(&engine),
@@ -592,8 +1091,20 @@ mod tests {
         );
         let t1 = server.submit_sparql("a", CHAIN).unwrap();
         let t2 = server.submit_sparql("b", EDGE).unwrap();
-        let rejected = server.submit_sparql("c", EDGE);
-        assert_eq!(rejected.err(), Some(ServeError::Overloaded { capacity: 2 }));
+        match server.submit_sparql("c", EDGE) {
+            Err(ServeError::Overloaded {
+                capacity,
+                queued,
+                retry_after,
+            }) => {
+                assert_eq!(capacity, 2);
+                assert_eq!(queued, 2, "the observed depth rides along");
+                // Paused server, no completions yet: the hint falls back
+                // to 1 ms per request; 3 pending over 1 worker → 3 ms.
+                assert_eq!(retry_after, Duration::from_millis(3));
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
         server.resume();
         assert!(t1.wait().is_ok());
         assert!(t2.wait().is_ok());
@@ -601,6 +1112,191 @@ mod tests {
         assert_eq!(report.rejected, 1);
         assert_eq!(report.served(), 2);
         assert_eq!(report.served_for("c"), 0);
+    }
+
+    #[test]
+    fn queue_expired_requests_shed_with_zero_engine_work() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                paused: true, // guarantee queue wait: the budget expires queued
+                ..ServeConfig::default()
+            },
+        );
+        let doomed = server
+            .submit_sparql_with("a", CHAIN, SubmitOptions::new().with_budget(Duration::ZERO))
+            .unwrap();
+        let healthy = server.submit_sparql("b", EDGE).unwrap();
+        server.resume();
+        match doomed.wait() {
+            Err(ServeError::DeadlineExpired { budget, waited: _ }) => {
+                assert_eq!(budget, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExpired, got {other:?}"),
+        }
+        assert_eq!(healthy.wait().unwrap().embedding_count, 1);
+        let report = server.shutdown();
+        assert_eq!(report.deadline_shed, 1);
+        assert_eq!(report.shed_for("a"), 1);
+        assert_eq!(report.served_for("a"), 0, "shed requests are not served");
+        let a = report.tenants.iter().find(|t| t.tenant == "a").unwrap();
+        assert_eq!(a.queries_executed, 0, "a shed request executes nothing");
+        assert_eq!(a.pool.total_nodes(), 0, "and visits zero nodes");
+    }
+
+    #[test]
+    fn remaining_budget_bounds_execution_as_a_timeout() {
+        let engine = demo_engine();
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        // A generous budget dispatches normally and completes.
+        let ok = server
+            .submit_sparql_with(
+                "a",
+                CHAIN,
+                SubmitOptions::new().with_budget(Duration::from_secs(60)),
+            )
+            .unwrap();
+        assert_eq!(ok.wait().unwrap().status, QueryStatus::Completed);
+        // A zero per-request timeout dispatches but times out immediately
+        // (deterministically: the deadline fires on its first poll). A
+        // fresh tenant, so no warm result cache short-circuits execution.
+        let slow = server
+            .submit_sparql_with(
+                "b",
+                CHAIN,
+                SubmitOptions::new().with_timeout(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(slow.wait().unwrap().status, QueryStatus::TimedOut);
+        let report = server.shutdown();
+        assert_eq!(report.served_for("a"), 1);
+        assert_eq!(report.served_for("b"), 1);
+        assert_eq!(report.deadline_shed, 0);
+    }
+
+    #[test]
+    fn breaker_trips_fast_fails_and_isolates_tenants() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                breaker: Some(BreakerConfig {
+                    failure_threshold: 2,
+                    cooldown: Duration::from_secs(3600),
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        // Two consecutive zero-timeout requests → two TimedOut outcomes →
+        // the breaker trips (bookkeeping lands before the ticket answer,
+        // so the order below is deterministic).
+        for _ in 0..2 {
+            let t = server
+                .submit_sparql_with(
+                    "a",
+                    CHAIN,
+                    SubmitOptions::new().with_timeout(Duration::ZERO),
+                )
+                .unwrap();
+            assert_eq!(t.wait().unwrap().status, QueryStatus::TimedOut);
+        }
+        match server.submit_sparql("a", CHAIN) {
+            Err(ServeError::CircuitOpen { cause, retry_after }) => {
+                assert_eq!(cause, TripCause::TimedOut);
+                assert!(retry_after <= Duration::from_secs(3600));
+            }
+            other => panic!("expected CircuitOpen, got {other:?}"),
+        }
+        // The neighbor tenant is unaffected.
+        let b = server.submit_sparql("b", EDGE).unwrap();
+        assert_eq!(b.wait().unwrap().embedding_count, 1);
+        let report = server.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_fast_fails, 1);
+        let a = report.breaker_for("a").unwrap();
+        assert_eq!(a.state, BreakerState::Open);
+        assert_eq!(report.breaker_for("b").unwrap().state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_success_recloses_the_breaker() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                breaker: Some(BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::ZERO, // half-open on the next submit
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let t = server
+            .submit_sparql_with(
+                "a",
+                CHAIN,
+                SubmitOptions::new().with_timeout(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(t.wait().unwrap().status, QueryStatus::TimedOut);
+        // The zero cooldown admits the next submission as the probe; it
+        // succeeds and the breaker closes again.
+        let probe = server.submit_sparql("a", CHAIN).unwrap();
+        assert_eq!(probe.wait().unwrap().status, QueryStatus::Completed);
+        let report = server.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_for("a").unwrap().state, BreakerState::Closed);
+    }
+
+    #[test]
+    fn global_memory_budget_degrades_through_the_governor_ladder() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                memory_budget: Some(1), // 1 byte: every query walks the full ladder
+                ..ServeConfig::default()
+            },
+        );
+        let t = server.submit_sparql("a", CHAIN).unwrap();
+        assert_eq!(t.wait().unwrap().status, QueryStatus::BudgetExceeded);
+        let report = server.shutdown();
+        let governor = report.governor.expect("governor configured");
+        assert_eq!(governor.total_budget, 1);
+        assert_eq!(governor.peak_tenants, 1);
+        assert!(governor.governed_dispatches >= 1);
+        let a = report.tenants.iter().find(|t| t.tenant == "a").unwrap();
+        assert!(
+            a.pool.degradation_steps >= 1,
+            "the quota drives the per-query ladder: {:?}",
+            a.pool
+        );
+    }
+
+    #[test]
+    fn shutdown_now_revokes_the_queue_typed() {
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                paused: true, // the backlog never dispatches
+                ..ServeConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| server.submit_sparql("a", CHAIN).unwrap())
+            .collect();
+        let report = server.shutdown_now();
+        for ticket in tickets {
+            assert!(matches!(ticket.wait(), Err(ServeError::ShuttingDown)));
+        }
+        assert_eq!(report.served(), 0, "nothing executed");
+        assert_eq!(report.deadline_shed, 0);
     }
 
     #[test]

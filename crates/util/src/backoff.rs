@@ -1,0 +1,96 @@
+//! Deterministic jittered exponential backoff for overload retries.
+//!
+//! The serving layer's typed rejections ([`Overloaded`], [`CircuitOpen`])
+//! carry a retry-after hint; clients that retry on a hint alone
+//! synchronize into waves (every shed client comes back at the same
+//! instant and overloads the server again). [`jittered_backoff`] spreads
+//! the retries: exponential growth from a base delay, capped, with a
+//! deterministic per-attempt jitter in the `[delay/2, delay]` band
+//! ("decorrelated half-jitter"). Determinism — the jitter derives from a
+//! caller-supplied seed via SplitMix64, not wall-clock entropy — keeps
+//! retry schedules reproducible in tests and replays.
+//!
+//! [`Overloaded`]: https://docs.rs
+//! [`CircuitOpen`]: https://docs.rs
+
+use crate::fault::splitmix64;
+use std::time::Duration;
+
+/// The retry delay for `attempt` (0-based): `base << attempt`, capped at
+/// `cap`, then jittered into `[delay/2, delay]` using `seed ^ attempt`.
+///
+/// A zero `base` yields zero delays (the caller opted out of waiting);
+/// `cap` below `base` clamps everything to `cap`.
+pub fn jittered_backoff(base: Duration, cap: Duration, attempt: u32, seed: u64) -> Duration {
+    if base.is_zero() {
+        return Duration::ZERO;
+    }
+    let exp = base
+        .checked_mul(1u32.checked_shl(attempt.min(31)).unwrap_or(u32::MAX))
+        .unwrap_or(cap)
+        .min(cap);
+    let nanos = exp.as_nanos().min(u128::from(u64::MAX)) as u64;
+    if nanos == 0 {
+        return Duration::ZERO;
+    }
+    // Uniform in [nanos/2, nanos]: half the delay is deterministic spread.
+    let half = nanos / 2;
+    let jitter = splitmix64(seed ^ u64::from(attempt)) % (nanos - half + 1);
+    Duration::from_nanos(half + jitter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: Duration = Duration::from_millis(10);
+    const CAP: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn stays_within_the_jitter_band() {
+        for attempt in 0..12 {
+            let exp = BASE
+                .checked_mul(1 << attempt.min(31))
+                .unwrap_or(CAP)
+                .min(CAP);
+            let d = jittered_backoff(BASE, CAP, attempt, 42);
+            assert!(d <= exp, "attempt {attempt}: {d:?} > {exp:?}");
+            assert!(d >= exp / 2, "attempt {attempt}: {d:?} < {:?}", exp / 2);
+        }
+    }
+
+    #[test]
+    fn is_deterministic_per_seed_and_attempt() {
+        for attempt in 0..8 {
+            assert_eq!(
+                jittered_backoff(BASE, CAP, attempt, 7),
+                jittered_backoff(BASE, CAP, attempt, 7)
+            );
+        }
+        // Different seeds decorrelate (at least one attempt differs).
+        assert!((0..8)
+            .any(|a| { jittered_backoff(BASE, CAP, a, 7) != jittered_backoff(BASE, CAP, a, 8) }));
+    }
+
+    #[test]
+    fn caps_and_zero_base() {
+        assert!(jittered_backoff(BASE, CAP, 63, 1) <= CAP);
+        assert_eq!(
+            jittered_backoff(Duration::ZERO, CAP, 3, 1),
+            Duration::ZERO,
+            "zero base opts out of waiting"
+        );
+        // cap < base clamps to cap.
+        let tiny_cap = Duration::from_millis(1);
+        assert!(jittered_backoff(BASE, tiny_cap, 0, 1) <= tiny_cap);
+    }
+
+    #[test]
+    fn attempts_grow_until_the_cap() {
+        // Compare band minima (delay/2 lower bounds), which grow
+        // monotonically until the cap flattens them.
+        let floor = |attempt: u32| BASE.checked_mul(1 << attempt).unwrap_or(CAP).min(CAP) / 2;
+        assert!(floor(4) > floor(0));
+        assert_eq!(floor(20), CAP / 2, "deep attempts are capped");
+    }
+}

@@ -2,9 +2,10 @@
 //!
 //! The engine threads named injection points through its hot paths — the
 //! matcher candidate loop, pool task spawn/steal/run, cache insert/evict,
-//! and index probes. Each point calls [`inject`], which is an inlined
-//! one-atomic-load no-op unless the harness is armed, so production builds
-//! pay (measurably) nothing for the instrumentation.
+//! index probes, and the serving loop (admission, dispatch, drain). Each
+//! point calls [`inject`], which is an inlined one-atomic-load no-op unless
+//! the harness is armed, so production builds pay (measurably) nothing for
+//! the instrumentation.
 //!
 //! Arming happens in one of two ways:
 //!
@@ -23,6 +24,7 @@
 //! clause      = [<point> "="] <kind> ["@" <rate>]
 //! point       = "matcher-candidate" | "pool-spawn" | "pool-steal"
 //!             | "pool-run" | "cache-insert" | "cache-evict" | "index-probe"
+//!             | "serve-admit" | "serve-dispatch" | "serve-drain"
 //! kind        = "panic" | "delay" | "alloc-fail" | "storm"
 //! rate        = positive integer: fire once per <rate> visits on average
 //! ```
@@ -37,7 +39,9 @@
 //! * `delay` — a short scheduling perturbation (spin + yield), answer
 //!   preserving by construction.
 //! * `alloc-fail` — returns a spurious allocation-failure [`Signal`]; the
-//!   memory governor treats it as budget exhaustion and degrades.
+//!   memory governor treats it as budget exhaustion and degrades, and the
+//!   serving layer's admission point treats it as spurious overload (a
+//!   typed rejection, nothing enqueued).
 //! * `storm` — returns a storm [`Signal`]; the matcher split hook and the
 //!   pool's steal path treat it as "force a split / steal minimally",
 //!   provoking maximal task churn. Answer preserving (the deterministic
@@ -68,6 +72,16 @@ pub enum FaultPoint {
     CacheEvict,
     /// An index probe (OTIL / attribute / signature lookup).
     IndexProbe,
+    /// Serving-layer admission (`Server::submit`), before anything is
+    /// enqueued. A panic here surfaces as a typed admission error; an
+    /// `alloc-fail` signal is treated as spurious overload.
+    ServeAdmit,
+    /// A serving worker acquiring one dispatch, after the request leaves
+    /// the queue and before any engine work.
+    ServeDispatch,
+    /// A serving worker's drain-exit path during shutdown. Panics here are
+    /// trapped and counted — the drain must complete regardless.
+    ServeDrain,
 }
 
 impl FaultPoint {
@@ -81,6 +95,9 @@ impl FaultPoint {
             FaultPoint::CacheInsert => "cache-insert",
             FaultPoint::CacheEvict => "cache-evict",
             FaultPoint::IndexProbe => "index-probe",
+            FaultPoint::ServeAdmit => "serve-admit",
+            FaultPoint::ServeDispatch => "serve-dispatch",
+            FaultPoint::ServeDrain => "serve-drain",
         }
     }
 
@@ -93,6 +110,9 @@ impl FaultPoint {
             "cache-insert" => FaultPoint::CacheInsert,
             "cache-evict" => FaultPoint::CacheEvict,
             "index-probe" => FaultPoint::IndexProbe,
+            "serve-admit" => FaultPoint::ServeAdmit,
+            "serve-dispatch" => FaultPoint::ServeDispatch,
+            "serve-drain" => FaultPoint::ServeDrain,
             _ => return None,
         })
     }
@@ -108,6 +128,9 @@ impl FaultPoint {
             FaultPoint::CacheInsert => 0x85EB_CA77_C2B2_AE63,
             FaultPoint::CacheEvict => 0xFF51_AFD7_ED55_8CCD,
             FaultPoint::IndexProbe => 0xC4CE_B9FE_1A85_EC53,
+            FaultPoint::ServeAdmit => 0xD6E8_FEB8_6659_FD93,
+            FaultPoint::ServeDispatch => 0xA3AA_ACE1_0367_5F1B,
+            FaultPoint::ServeDrain => 0x5851_F42D_4C95_7F2D,
         }
     }
 }
@@ -235,7 +258,7 @@ static ACTIVE: RwLock<Option<Arc<ChaosSpec>>> = RwLock::new(None);
 /// Serializes [`override_spec`] scopes.
 static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -374,6 +397,13 @@ mod tests {
         assert_eq!(spec.rules[1].point, Some(FaultPoint::PoolSpawn));
         assert_eq!(spec.rules[2].rate, 1024, "default rate");
 
+        let serve =
+            ChaosSpec::parse("9:serve-admit=alloc-fail@1,serve-dispatch=delay,serve-drain=panic@2")
+                .unwrap();
+        assert_eq!(serve.rules[0].point, Some(FaultPoint::ServeAdmit));
+        assert_eq!(serve.rules[1].point, Some(FaultPoint::ServeDispatch));
+        assert_eq!(serve.rules[2].point, Some(FaultPoint::ServeDrain));
+
         for bad in [
             "no-seed-prefix",
             "x:delay",
@@ -418,6 +448,29 @@ mod tests {
         }
         // Guard dropped: back to the ambient configuration (no panic).
         let _ = inject(FaultPoint::MatcherCandidate);
+    }
+
+    #[test]
+    fn serve_point_salts_are_distinct() {
+        let points = [
+            FaultPoint::MatcherCandidate,
+            FaultPoint::PoolSpawn,
+            FaultPoint::PoolSteal,
+            FaultPoint::PoolRun,
+            FaultPoint::CacheInsert,
+            FaultPoint::CacheEvict,
+            FaultPoint::IndexProbe,
+            FaultPoint::ServeAdmit,
+            FaultPoint::ServeDispatch,
+            FaultPoint::ServeDrain,
+        ];
+        for (i, a) in points.iter().enumerate() {
+            assert_eq!(FaultPoint::parse(a.name()), Some(*a), "round-trip");
+            assert_eq!(a.salt() & 1, 1, "{} salt must be odd", a.name());
+            for b in &points[i + 1..] {
+                assert_ne!(a.salt(), b.salt(), "{} vs {}", a.name(), b.name());
+            }
+        }
     }
 
     #[test]

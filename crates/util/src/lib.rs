@@ -19,8 +19,11 @@
 //!   checkpoints as the deadline.
 //! * [`fault`] — the deterministic fault-injection harness
 //!   (`AMBER_CHAOS`), an inlined no-op unless armed.
+//! * [`backoff`] — deterministic jittered exponential backoff for clients
+//!   retrying typed overload rejections.
 //! * [`stats`] — summary statistics for the experiment harness.
 
+pub mod backoff;
 pub mod cancel;
 pub mod fault;
 pub mod fxhash;
@@ -30,8 +33,9 @@ pub mod sorted;
 pub mod stats;
 pub mod timing;
 
+pub use backoff::jittered_backoff;
 pub use cancel::CancelToken;
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use genmap::GenerationalMap;
 pub use heap_size::HeapSize;
-pub use timing::{Deadline, Stopwatch};
+pub use timing::{Budget, Deadline, Stopwatch};

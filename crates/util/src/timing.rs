@@ -38,6 +38,51 @@ impl Default for Stopwatch {
     }
 }
 
+/// An admission-to-answer time budget.
+///
+/// Unlike [`Deadline`], whose clock starts when execution starts, a
+/// `Budget` starts counting the moment a request is *admitted* — queue
+/// wait is charged against it. The serving layer sheds requests whose
+/// budget expired while queued (typed, before any engine work) and hands
+/// only the *remaining* slice to the execution deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budget {
+    admitted: Instant,
+    total: Duration,
+}
+
+impl Budget {
+    /// Start a `total` budget now (at admission).
+    pub fn starting_now(total: Duration) -> Self {
+        Self {
+            admitted: Instant::now(),
+            total,
+        }
+    }
+
+    /// The full admission-to-answer allowance.
+    pub fn total(&self) -> Duration {
+        self.total
+    }
+
+    /// Time already spent since admission (queue wait so far).
+    pub fn waited(&self) -> Duration {
+        self.admitted.elapsed()
+    }
+
+    /// The unspent slice, or `None` once the budget is exhausted. A zero
+    /// budget is exhausted from the start.
+    pub fn remaining(&self) -> Option<Duration> {
+        let waited = self.admitted.elapsed();
+        (waited < self.total).then(|| self.total - waited)
+    }
+
+    /// Whether the whole allowance has been consumed.
+    pub fn expired(&self) -> bool {
+        self.remaining().is_none()
+    }
+}
+
 /// A cooperative deadline polled from inner loops.
 ///
 /// Polling `Instant::now()` on every recursion step would dominate small
@@ -146,5 +191,31 @@ mod tests {
         for _ in 0..5000 {
             assert!(!d.exceeded());
         }
+    }
+
+    #[test]
+    fn zero_admission_budget_is_born_expired() {
+        let b = Budget::starting_now(Duration::ZERO);
+        assert!(b.expired());
+        assert_eq!(b.remaining(), None);
+        assert_eq!(b.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn generous_admission_budget_has_remaining_slice() {
+        let b = Budget::starting_now(Duration::from_secs(3600));
+        assert!(!b.expired());
+        let remaining = b.remaining().expect("not expired");
+        assert!(remaining <= Duration::from_secs(3600));
+        assert!(remaining > Duration::from_secs(3599));
+        assert!(b.waited() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn admission_budget_expires_as_queue_wait_accrues() {
+        let b = Budget::starting_now(Duration::from_millis(5));
+        std::thread::sleep(Duration::from_millis(10));
+        assert!(b.expired());
+        assert!(b.waited() >= Duration::from_millis(10));
     }
 }

@@ -48,6 +48,7 @@ fn with_quiet_chaos_panics<T>(f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Engine-side fault points, exercised through `execute_in_session`.
 const POINTS: [&str; 7] = [
     "matcher-candidate",
     "pool-spawn",
@@ -57,6 +58,9 @@ const POINTS: [&str; 7] = [
     "cache-evict",
     "index-probe",
 ];
+/// Serving-loop fault points, exercised through a [`Server`] (the engine
+/// proptest never reaches them; they get their own differential below).
+const SERVE_POINTS: [&str; 3] = ["serve-admit", "serve-dispatch", "serve-drain"];
 const KINDS: [&str; 4] = ["panic", "delay", "alloc-fail", "storm"];
 const RATES: [u64; 3] = [1, 7, 64];
 const SCHEDULERS: [Scheduler; 3] = [Scheduler::Auto, Scheduler::Pool, Scheduler::ForkPerChunk];
@@ -132,6 +136,191 @@ proptest! {
         prop_assert_eq!(clean.embedding_count, baseline.embedding_count);
         prop_assert_eq!(&clean.bindings, &baseline.bindings);
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The serving-loop differential: any fault kind at any serve point —
+    /// every submission either returns the bit-identical clean answer, a
+    /// typed partial, or a typed rejection/error; the server always
+    /// drains; and a fresh disarmed server serves correctly afterwards.
+    #[test]
+    fn serve_chaos_yields_answer_or_typed_rejection(
+        point in 0..SERVE_POINTS.len(),
+        kind in 0..KINDS.len(),
+        seed in 1..10_000u64,
+    ) {
+        let _serial = serial();
+        let (point, kind) = (SERVE_POINTS[point], KINDS[kind]);
+        let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+        let baseline = engine
+            .execute(&paper_query_text(), &ExecOptions::new())
+            .unwrap();
+        let spec = format!("{seed}:{point}={kind}@1");
+        // Plain asserts inside the armed closure (prop_assert cannot cross
+        // the closure boundary); a failure panics out through proptest.
+        let report = {
+            let _guard = fault::override_spec(&spec).expect("spec parses");
+            with_quiet_chaos_panics(|| {
+                let server = Server::start(
+                    Arc::clone(&engine),
+                    ServeConfig { workers: 2, ..ServeConfig::default() },
+                );
+                for _ in 0..4 {
+                    match server.submit_sparql("a", &paper_query_text()) {
+                        Ok(ticket) => match ticket.wait() {
+                            Ok(out) => match out.status {
+                                QueryStatus::Completed => assert_eq!(
+                                    out.embedding_count, baseline.embedding_count,
+                                    "wrong answer under {spec}"
+                                ),
+                                QueryStatus::BudgetExceeded => assert_eq!(
+                                    kind, "alloc-fail",
+                                    "only spurious exhaustion degrades ({spec})"
+                                ),
+                                other => panic!("unexpected status {other:?} under {spec}"),
+                            },
+                            Err(ServeError::Engine(EngineError::Internal { .. })) => {
+                                assert_eq!(kind, "panic", "typed Internal needs a panic ({spec})")
+                            }
+                            Err(other) => panic!("untyped ticket failure under {spec}: {other}"),
+                        },
+                        Err(ServeError::Engine(EngineError::Internal { task, .. })) => {
+                            assert_eq!(kind, "panic", "{spec}");
+                            assert_eq!(point, "serve-admit", "{spec}: failed in {task}");
+                        }
+                        Err(ServeError::Overloaded { queued, .. }) => {
+                            assert_eq!(kind, "alloc-fail", "{spec}");
+                            assert_eq!(point, "serve-admit", "{spec}");
+                            assert_eq!(queued, 0, "spurious, not real, overload ({spec})");
+                        }
+                        Err(other) => panic!("untyped rejection under {spec}: {other}"),
+                    }
+                }
+                // Shutdown inside the armed window: the drain must complete
+                // whatever fires (serve-drain panics are trapped).
+                server.shutdown()
+            })
+        };
+        if point == "serve-drain" && kind == "panic" {
+            prop_assert!(report.drain_faults >= 1, "trapped drain panics are counted");
+        }
+
+        // Disarmed epilogue: a fresh server over the same engine serves the
+        // query in full.
+        let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+        let clean = server.submit_sparql("a", &paper_query_text()).unwrap();
+        prop_assert_eq!(clean.wait().unwrap().embedding_count, baseline.embedding_count);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn serve_admit_alloc_fail_is_spurious_typed_overload() {
+    let _serial = serial();
+    let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+    let server = Server::start(Arc::clone(&engine), ServeConfig::default());
+    {
+        let _guard = fault::override_spec("5:serve-admit=alloc-fail@1").unwrap();
+        match server.submit_sparql("a", &paper_query_text()) {
+            Err(ServeError::Overloaded {
+                capacity,
+                queued,
+                retry_after,
+            }) => {
+                assert_eq!(capacity, ServeConfig::default().queue_capacity);
+                assert_eq!(queued, 0, "the queue was empty: the overload is injected");
+                assert!(retry_after > std::time::Duration::ZERO);
+            }
+            other => panic!("expected spurious Overloaded, got {other:?}"),
+        }
+    }
+    // Disarmed: the same server admits and serves normally.
+    let ok = server.submit_sparql("a", &paper_query_text()).unwrap();
+    assert_eq!(
+        ok.wait().unwrap().embedding_count,
+        PAPER_QUERY_EMBEDDINGS as u128
+    );
+    let report = server.shutdown();
+    assert_eq!(report.rejected, 1);
+    assert_eq!(report.served_for("a"), 1);
+}
+
+#[test]
+fn serve_drain_panics_are_trapped_and_counted() {
+    let _serial = serial();
+    let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        },
+    );
+    for _ in 0..2 {
+        let t = server.submit_sparql("a", &paper_query_text()).unwrap();
+        assert_eq!(
+            t.wait().unwrap().embedding_count,
+            PAPER_QUERY_EMBEDDINGS as u128
+        );
+    }
+    let report = {
+        let _guard = fault::override_spec("9:serve-drain=panic@1").unwrap();
+        with_quiet_chaos_panics(|| server.shutdown())
+    };
+    assert_eq!(report.served_for("a"), 2, "the drain still completed");
+    assert_eq!(
+        report.drain_faults, 2,
+        "each worker's drain-exit panic is trapped and counted"
+    );
+}
+
+#[test]
+fn serve_dispatch_panics_trip_the_tenant_breaker() {
+    let _serial = serial();
+    let engine = Arc::new(AmberEngine::from_graph(paper_graph()));
+    let baseline = engine
+        .execute(&paper_query_text(), &ExecOptions::new())
+        .unwrap();
+    let server = Server::start(
+        Arc::clone(&engine),
+        ServeConfig {
+            workers: 1,
+            breaker: Some(amber_serve::BreakerConfig {
+                failure_threshold: 2,
+                cooldown: std::time::Duration::from_secs(3600),
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    {
+        let _guard = fault::override_spec("1:serve-dispatch=panic@1").unwrap();
+        with_quiet_chaos_panics(|| {
+            for _ in 0..2 {
+                let t = server.submit_sparql("noisy", &paper_query_text()).unwrap();
+                assert!(matches!(
+                    t.wait(),
+                    Err(ServeError::Engine(EngineError::Internal { .. }))
+                ));
+            }
+        });
+    }
+    // Disarmed: the breaker is open with the Internal cause; healthy
+    // tenants still complete bit-identically.
+    match server.submit_sparql("noisy", &paper_query_text()) {
+        Err(ServeError::CircuitOpen { cause, .. }) => {
+            assert_eq!(cause, amber_serve::TripCause::Internal)
+        }
+        other => panic!("expected CircuitOpen, got {other:?}"),
+    }
+    let quiet = server.submit_sparql("quiet", &paper_query_text()).unwrap();
+    let outcome = quiet.wait().unwrap();
+    assert_eq!(outcome.embedding_count, baseline.embedding_count);
+    assert_eq!(outcome.bindings, baseline.bindings);
+    let report = server.shutdown();
+    assert_eq!(report.breaker_trips, 1);
+    assert!(report.breaker_fast_fails >= 1);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use amber::{AmberEngine, ExecOptions, QueryOutcome};
 use amber_datagen::synthetic::{self, SyntheticConfig};
 use amber_datagen::{GeneratedQuery, QueryShape, WorkloadConfig, WorkloadGenerator};
 use amber_multigraph::RdfGraph;
-use amber_serve::{ServeConfig, ServeError, Server, Ticket};
+use amber_serve::{ServeConfig, ServeError, Server, SubmitOptions, Ticket};
 use amber_sparql::{Projection, SelectQuery, TermPattern};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -192,6 +192,123 @@ proptest! {
             .collect();
         assert_serving_matches_sequential(&engine, &streams, 3);
     }
+
+    /// Deadline-annotated serving stays equivalent *modulo the typed
+    /// lifecycle outcomes*: every request either matches sequential
+    /// execution bit-for-bit, reports a typed partial (`TimedOut`), or is
+    /// shed with the typed `DeadlineExpired` — never a wrong answer, never
+    /// a lost ticket. Zero-budget requests are always shed, and a tenant
+    /// whose whole stream is shed does zero engine-side work.
+    #[test]
+    fn deadline_annotated_serving_is_equivalent_modulo_typed_shedding(
+        graph_seed in 0u64..300,
+        workload_seed in 0u64..300,
+        star_size in 3usize..6,
+    ) {
+        let rdf = Arc::new(dense_graph(graph_seed));
+        let engine = Arc::new(AmberEngine::from_graph(Arc::clone(&rdf)));
+        let mut generator = WorkloadGenerator::new(&rdf, workload_seed);
+        let base = generator.generate_many(&WorkloadConfig::new(QueryShape::Star, star_size), 3);
+        prop_assume!(!base.is_empty());
+
+        let bare = ExecOptions::new().with_max_results(200);
+        let expected: Vec<Observed> = base
+            .iter()
+            .map(|g| normalized(&engine.execute_parsed(&g.query, &bare).expect("sequential")))
+            .collect();
+
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 3,
+                queue_capacity: 4096,
+                options: ExecOptions::batch().with_max_results(200),
+                ..ServeConfig::default()
+            },
+        );
+        // Three annotated tenants submit the base workload concurrently:
+        // unbounded (no budget), generous (60 s — never expires in queue),
+        // and tight (5 ms — any typed outcome is legal). A fourth tenant
+        // submits everything with a zero budget: always shed.
+        let classes: [(&str, Option<std::time::Duration>); 4] = [
+            ("unbounded", None),
+            ("generous", Some(std::time::Duration::from_secs(60))),
+            ("tight", Some(std::time::Duration::from_millis(5))),
+            ("shed-only", Some(std::time::Duration::ZERO)),
+        ];
+        let outcomes: Vec<(usize, Vec<Result<QueryOutcome, ServeError>>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = classes
+                    .iter()
+                    .enumerate()
+                    .map(|(class_idx, (tenant, budget))| {
+                        let server = &server;
+                        let base = &base;
+                        scope.spawn(move || {
+                            let opts = budget.map_or_else(SubmitOptions::new, |b| {
+                                SubmitOptions::new().with_budget(b)
+                            });
+                            let tickets: Vec<Ticket> = base
+                                .iter()
+                                .map(|g| {
+                                    server
+                                        .submit_with(tenant, g.query.clone(), opts.clone())
+                                        .expect("admitted")
+                                })
+                                .collect();
+                            (class_idx, tickets.into_iter().map(Ticket::wait).collect())
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+        let report = server.shutdown();
+
+        for (class_idx, results) in &outcomes {
+            let (tenant, budget) = classes[*class_idx];
+            for (result, want) in results.iter().zip(&expected) {
+                match (tenant, result) {
+                    // No budget, or one that cannot expire in this test's
+                    // queue: bit-identical to sequential.
+                    ("unbounded" | "generous", Ok(outcome)) => {
+                        prop_assert_eq!(&normalized(outcome), want, "tenant {}", tenant);
+                    }
+                    // Tight budgets admit every typed outcome — but a
+                    // completed answer must still be the right answer.
+                    ("tight", Ok(outcome)) => {
+                        if !outcome.timed_out() {
+                            prop_assert_eq!(&normalized(outcome), want, "tenant {}", tenant);
+                        }
+                    }
+                    ("tight", Err(ServeError::DeadlineExpired { budget: b, .. })) => {
+                        prop_assert_eq!(*b, budget.unwrap());
+                    }
+                    ("shed-only", Err(ServeError::DeadlineExpired { budget: b, waited })) => {
+                        prop_assert_eq!(*b, std::time::Duration::ZERO);
+                        prop_assert!(*waited >= *b);
+                    }
+                    (_, other) => {
+                        prop_assert!(false, "tenant {}: unexpected outcome {:?}", tenant, other);
+                    }
+                }
+            }
+        }
+        // Zero-budget requests are always shed — and shed requests do zero
+        // engine-side work: the tenant's session never executed a query
+        // and never visited a node.
+        prop_assert_eq!(report.shed_for("shed-only"), base.len() as u64);
+        prop_assert_eq!(report.served_for("shed-only"), 0);
+        let shed_only = report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == "shed-only")
+            .expect("tenant reported");
+        prop_assert_eq!(shed_only.queries_executed, 0);
+        prop_assert_eq!(shed_only.pool.total_nodes(), 0);
+        prop_assert_eq!(report.shed_for("unbounded"), 0);
+        prop_assert_eq!(report.shed_for("generous"), 0);
+        prop_assert_eq!(report.rejected, 0);
+    }
 }
 
 #[test]
@@ -223,7 +340,15 @@ fn admission_control_rejects_beyond_capacity_and_serves_the_rest() {
     // The queue is full: the next submission is rejected immediately, with
     // the typed error, without blocking and without losing earlier work.
     match server.submit("tenant-0", query.clone()) {
-        Err(ServeError::Overloaded { capacity: c }) => assert_eq!(c, capacity),
+        Err(ServeError::Overloaded {
+            capacity: c,
+            queued,
+            retry_after,
+        }) => {
+            assert_eq!(c, capacity);
+            assert_eq!(queued, capacity, "the observed depth rides along");
+            assert!(retry_after > std::time::Duration::ZERO, "actionable hint");
+        }
         other => panic!("expected Overloaded, got {other:?}"),
     }
     server.resume();

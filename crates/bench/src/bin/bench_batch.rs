@@ -47,6 +47,14 @@ struct StreamResult {
     governed_ms: f64,
     /// `batch_ms / governed_ms`: ≥ 0.98 means the governor costs < 2%.
     governed_speedup: f64,
+    /// Batch with the telemetry registry forced on (counters, histograms,
+    /// per-query delta flushes all live).
+    obs_on_ms: f64,
+    /// The same batch with `AMBER_OBS=off` semantics forced — every
+    /// instrumentation site short-circuits on the gate check.
+    obs_off_ms: f64,
+    /// `obs_off_ms / obs_on_ms`: ≥ 0.97 means telemetry costs < 3%.
+    obs_speedup: f64,
     plan_hit_rate: f64,
     result_hit_rate: f64,
     cache_hit_rate: f64,
@@ -179,6 +187,8 @@ fn run_stream(
     let mut batch_plan_ms = f64::INFINITY;
     let mut batch_planonly_ms = f64::INFINITY;
     let mut governed_ms = f64::INFINITY;
+    let mut obs_on_ms = f64::INFINITY;
+    let mut obs_off_ms = f64::INFINITY;
     let mut batch = None;
     let mut batch_plan = None;
     for _ in 0..5 {
@@ -231,6 +241,24 @@ fn run_stream(
             stream.len(),
             "{name}: a 4 GiB budget must never degrade these streams"
         );
+
+        // Telemetry overhead cell: the same cached batch with the metric
+        // registry forced on vs forced off, back to back inside the same
+        // round so both modes see the same frequency/cache conditions.
+        {
+            let _on = amber_obs::force_enabled(true);
+            let sw = Stopwatch::start();
+            let instrumented = engine.execute_batch(&stream, &options);
+            obs_on_ms = obs_on_ms.min(sw.elapsed_ms());
+            assert_eq!(instrumented.stats.errors, 0, "{name}: obs-on batch errored");
+        }
+        {
+            let _off = amber_obs::force_enabled(false);
+            let sw = Stopwatch::start();
+            let dark = engine.execute_batch(&stream, &options);
+            obs_off_ms = obs_off_ms.min(sw.elapsed_ms());
+            assert_eq!(dark.stats.errors, 0, "{name}: obs-off batch errored");
+        }
     }
     let batch = batch.expect("at least one batch round ran");
     let batch_plan = batch_plan.expect("at least one plan round ran");
@@ -250,6 +278,9 @@ fn run_stream(
         plan_only_speedup: batch_ms / batch_planonly_ms,
         governed_ms,
         governed_speedup: batch_ms / governed_ms,
+        obs_on_ms,
+        obs_off_ms,
+        obs_speedup: obs_off_ms / obs_on_ms,
         plan_hit_rate: batch_plan.stats.plans.plans.hit_rate(),
         result_hit_rate: batch_plan.stats.plans.results.hit_rate(),
         cache_hit_rate: batch.stats.cache.hit_rate(),
@@ -306,9 +337,9 @@ fn main() {
             "    {{\"name\": \"{}\", \"distinct\": {}, \"repeats\": {}, \"queries\": {}, \
              \"sequential_ms\": {:.3}, \"batch_ms\": {:.3}, \"batch_nocache_ms\": {:.3}, \
              \"batch_plan_ms\": {:.3}, \"batch_planonly_ms\": {:.3}, \
-             \"governed_ms\": {:.3}, \
+             \"governed_ms\": {:.3}, \"obs_on_ms\": {:.3}, \"obs_off_ms\": {:.3}, \
              \"speedup\": {:.3}, \"plan_speedup\": {:.3}, \"plan_only_speedup\": {:.3}, \
-             \"governed_speedup\": {:.3}, \
+             \"governed_speedup\": {:.3}, \"obs_speedup\": {:.3}, \
              \"plan_hit_rate\": {:.4}, \"result_hit_rate\": {:.4}, \
              \"cache_hit_rate\": {:.4}, \"cache_entries\": {}, \
              \"cache_evictions\": {}, \"seed_hit_rate\": {:.4}, \"seed_entries\": {}, \
@@ -323,10 +354,13 @@ fn main() {
             r.batch_plan_ms,
             r.batch_planonly_ms,
             r.governed_ms,
+            r.obs_on_ms,
+            r.obs_off_ms,
             r.speedup,
             r.plan_speedup,
             r.plan_only_speedup,
             r.governed_speedup,
+            r.obs_speedup,
             r.plan_hit_rate,
             r.result_hit_rate,
             r.cache_hit_rate,
@@ -402,4 +436,22 @@ fn main() {
         constant_heavy.batch_ms,
         constant_heavy.governed_speedup,
     );
+
+    // PR-9 gate: the telemetry subsystem must stay near-free. Relaxed
+    // atomic counters plus one delta-flush per query were measured well
+    // inside the noise band; a ratio under 0.97 means instrumentation
+    // crept onto a hot path (per-node or per-embedding work) instead of
+    // staying at query and stage boundaries.
+    const OBS_FLOOR: f64 = 0.97;
+    for r in &results {
+        assert!(
+            r.obs_speedup >= OBS_FLOOR,
+            "{} telemetry overhead regressed: obs-on {:.3} ms vs obs-off {:.3} ms \
+             (ratio {:.3} < {OBS_FLOOR}) — instrumentation reached a per-node path",
+            r.name,
+            r.obs_on_ms,
+            r.obs_off_ms,
+            r.obs_speedup,
+        );
+    }
 }

@@ -356,6 +356,81 @@ fn run_lifecycle(queries: &[SelectQuery]) -> LifecycleResult {
     }
 }
 
+struct ObsResult {
+    requests: usize,
+    obs_on_ms: f64,
+    obs_off_ms: f64,
+    obs_speedup: f64,
+}
+
+/// One timed serving round: a single worker drains a repeat-heavy
+/// single-tenant stream (admission, queue-wait stamping, completion
+/// bookkeeping and the per-query registry flush all on the measured
+/// path). The result cache is off so every request *executes* — with it
+/// on, repeats answer in ~5 µs and the round collapses to a ~1 ms
+/// jitter-dominated microbenchmark of the fixed per-query flush against
+/// a no-op, not a measurement of telemetry on a serving workload.
+fn obs_round(engine: &Arc<AmberEngine>, queries: &[SelectQuery], requests: usize) -> f64 {
+    let server = Server::start(
+        Arc::clone(engine),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 4096,
+            options: ExecOptions::batch()
+                .with_result_cache(0)
+                .with_max_results(100),
+            ..ServeConfig::default()
+        },
+    );
+    let sw = Stopwatch::start();
+    let tickets: Vec<Ticket> = (0..requests)
+        .map(|i| {
+            server
+                .submit("obs", queries[i % queries.len()].clone())
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("served");
+    }
+    let ms = sw.elapsed().as_secs_f64() * 1e3;
+    let report = server.shutdown();
+    assert_eq!(report.served(), requests as u64, "obs round fully served");
+    ms
+}
+
+/// Telemetry overhead on the serving path: the identical replay with the
+/// metric registry forced on vs forced off, alternated over five rounds,
+/// best time per mode (the same protocol as `bench_batch`'s overhead
+/// cells — back-to-back alternation cancels frequency/cache drift).
+fn run_obs_overhead(queries: &[SelectQuery]) -> ObsResult {
+    const REQUESTS: usize = 200;
+    let engine = Arc::new(AmberEngine::from_graph(dense_graph(11)));
+    {
+        // Warm outside the measured window (thread pools, lazy indexes).
+        let _off = amber_obs::force_enabled(false);
+        obs_round(&engine, queries, REQUESTS);
+    }
+    let mut obs_on_ms = f64::INFINITY;
+    let mut obs_off_ms = f64::INFINITY;
+    for _ in 0..5 {
+        {
+            let _on = amber_obs::force_enabled(true);
+            obs_on_ms = obs_on_ms.min(obs_round(&engine, queries, REQUESTS));
+        }
+        {
+            let _off = amber_obs::force_enabled(false);
+            obs_off_ms = obs_off_ms.min(obs_round(&engine, queries, REQUESTS));
+        }
+    }
+    ObsResult {
+        requests: REQUESTS,
+        obs_on_ms,
+        obs_off_ms,
+        obs_speedup: obs_off_ms / obs_on_ms,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -367,6 +442,7 @@ fn main() {
     let fairness = run_fairness(&queries);
     let concurrent = run_concurrent(&queries);
     let lifecycle = run_lifecycle(&queries);
+    let obs = run_obs_overhead(&queries);
 
     let mut json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"commit\": \"{}\",\n  \"unit\": \"ratios / bytes / ms\",\n  \
@@ -409,7 +485,7 @@ fn main() {
         "    {{\"name\": \"request_lifecycle\", \"deadline_shed\": {}, \
          \"shed_engine_queries\": {}, \"shed_engine_nodes\": {}, \"breaker_trips\": {}, \
          \"breaker_fast_fails\": {}, \"governor_degradation_steps\": {}, \
-         \"governed_dispatches\": {}}}",
+         \"governed_dispatches\": {}}},",
         lifecycle.deadline_shed,
         lifecycle.shed_engine_queries,
         lifecycle.shed_engine_nodes,
@@ -417,6 +493,12 @@ fn main() {
         lifecycle.breaker_fast_fails,
         lifecycle.governor_degradation_steps,
         lifecycle.governed_dispatches,
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"obs_overhead\", \"requests\": {}, \"obs_on_ms\": {:.3}, \
+         \"obs_off_ms\": {:.3}, \"obs_speedup\": {:.3}}}",
+        obs.requests, obs.obs_on_ms, obs.obs_off_ms, obs.obs_speedup,
     );
     json.push_str("  ]\n}\n");
 
@@ -476,5 +558,16 @@ fn main() {
     assert_eq!(
         lifecycle.governed_dispatches, 2,
         "every dispatch under a global budget is governed"
+    );
+    // PR-9 gate: serving-layer telemetry (queue-depth gauge, queue-wait
+    // histogram, outcome counters, per-query registry flush) must stay
+    // under 3% — the same floor as bench_batch's obs cell.
+    assert!(
+        obs.obs_speedup >= 0.97,
+        "serving telemetry overhead regressed: obs-on {:.3} ms vs obs-off {:.3} ms \
+         (ratio {:.3} < 0.97)",
+        obs.obs_on_ms,
+        obs.obs_off_ms,
+        obs.obs_speedup,
     );
 }

@@ -185,6 +185,41 @@ impl AmberEngine {
         self.resolve_plan(query, canonical, fingerprint, true, session)
     }
 
+    /// Execute `query` with the session's flight recorder forced on and
+    /// return the outcome plus an `EXPLAIN ANALYZE`-style report: the
+    /// prepared-plan summary followed by the recorded span tree, cache
+    /// trail, and dispatch decisions (all through the
+    /// [`Explain`](crate::Explain) builder).
+    ///
+    /// The session's tracing knobs are restored afterwards. Under
+    /// `AMBER_OBS=off` no spans are captured and the report is the plan
+    /// summary alone.
+    pub fn explain_analyze(
+        &self,
+        query: &amber_sparql::SelectQuery,
+        options: &ExecOptions,
+        session: &mut QuerySession,
+    ) -> Result<(QueryOutcome, String), EngineError> {
+        let plan = self.prepare_in_session(query, session)?;
+        let (was_enabled, threshold) = session.flight_recorder().config();
+        session.configure_tracing(true, threshold);
+        let outcome = self.execute_prepared_in_session(&plan, options, session);
+        session.configure_tracing(was_enabled, threshold);
+        let outcome = outcome?;
+        let report = crate::explain::QueryPlan::explain_prepared(&plan, options);
+        let text = match session.flight_recorder().last() {
+            Some(trace) if amber_obs::obs_enabled() => {
+                crate::explain::Explain::analyze(&report, trace)
+            }
+            _ => {
+                let mut explain = crate::explain::Explain::new();
+                explain.plan(&report);
+                explain.render()
+            }
+        };
+        Ok((outcome, text))
+    }
+
     /// Plan-cache lookup-or-build with the canonicalization already done.
     /// `use_cache` additionally honors the *per-call* capacity knob: a
     /// call passing `plan_cache_capacity == 0` opts out of the session's
@@ -209,7 +244,7 @@ impl AmberEngine {
         if !use_cache {
             // Per-call opt-out: bypass both layers.
             plans.note_bypass();
-            return PreparedPlan::from_canonical(
+            let plan = Arc::new(PreparedPlan::from_canonical(
                 canonical,
                 fingerprint,
                 source,
@@ -217,11 +252,13 @@ impl AmberEngine {
                 &self.index,
                 token,
                 seeds,
-            )
-            .map(Arc::new);
+            )?);
+            session.recorder_mut().note_cache("plan:bypass");
+            return Ok(plan);
         }
         if plans.is_enabled() {
             if let Some(plan) = plans.lookup(fingerprint, &canonical, token) {
+                session.recorder_mut().note_cache("plan:hit");
                 return Ok(plan);
             }
             plans.note_miss();
@@ -234,6 +271,7 @@ impl AmberEngine {
             if plans.is_enabled() {
                 plans.insert(Arc::clone(&plan));
             }
+            session.recorder_mut().note_cache("plan:l2-hit");
             return Ok(plan);
         }
         let built = Arc::new(PreparedPlan::from_canonical(
@@ -249,6 +287,7 @@ impl AmberEngine {
             plans.insert(Arc::clone(&built));
         }
         self.plans.insert(Arc::clone(&built));
+        session.recorder_mut().note_cache("plan:build");
         Ok(built)
     }
 
@@ -337,6 +376,10 @@ impl AmberEngine {
         let sw = Stopwatch::start();
         session.bind_graph(self.graph_token());
         session.begin_query();
+        if session.recorder_mut().is_active() {
+            let label = format!("select[{} vars]", query.output_variables().len());
+            session.recorder_mut().begin(label);
+        }
         // Top-level panic quarantine: plan/prep construction (including
         // session seed probes) runs outside the matcher-level traps, so a
         // panic anywhere in this query must still poison only this query —
@@ -354,7 +397,7 @@ impl AmberEngine {
                 })
             }
         };
-        session.end_query();
+        session.end_query(outcome_status(&outcome), sw.elapsed());
         outcome
     }
 
@@ -373,6 +416,7 @@ impl AmberEngine {
         // source and run it, exactly the pre-PR-5 hot path (still the
         // default for one-shot `execute` calls).
         if effective_plan_capacity(options) == 0 && effective_result_capacity(options) == 0 {
+            let prep_sw = session.recorder_mut().is_recording().then(Stopwatch::start);
             let (plans, seeds) = session.plan_and_seed_caches();
             plans.note_bypass();
             let qg = QueryGraph::build(query, &self.rdf)?;
@@ -396,12 +440,28 @@ impl AmberEngine {
                     .collect()
             };
             session.result_cache_mut().note_bypass();
+            if let Some(s) = prep_sw {
+                let recorder = session.recorder_mut();
+                recorder.span("prepare", 0, s.elapsed());
+                recorder.note_cache("plan:bypass");
+                recorder.note_cache("result:bypass");
+            }
             return self.run_components(&qg, &components, variables, options, session, sw);
         }
 
+        let tracing = session.recorder_mut().is_recording();
+        let canon_sw = tracing.then(Stopwatch::start);
         let (canonical, fingerprint) = canonical_fingerprint(query);
+        if let Some(s) = canon_sw {
+            session.recorder_mut().span("canonicalize", 0, s.elapsed());
+            session.recorder_mut().set_fingerprint(fingerprint);
+        }
         let use_plan_cache = effective_plan_capacity(options) > 0;
+        let plan_sw = tracing.then(Stopwatch::start);
         let plan = self.resolve_plan(query, canonical, fingerprint, use_plan_cache, session)?;
+        if let Some(s) = plan_sw {
+            session.recorder_mut().span("plan", 0, s.elapsed());
+        }
         // The outcome always carries the *live caller's* variable names:
         // alpha-equivalent queries share one plan but keep their headers.
         let variables: Vec<Box<str>> = query
@@ -440,9 +500,11 @@ impl AmberEngine {
                 session
                     .result_cache_mut()
                     .record_serve(&cached.rows, &outcome.bindings);
+                session.recorder_mut().note_cache("result:hit");
                 return Ok(outcome);
             }
             session.result_cache_mut().note_miss();
+            session.recorder_mut().note_cache("result:miss");
         }
         let outcome = self.run_plan(plan, variables, options, session, sw)?;
         let shed = session.result_cache_shed();
@@ -453,15 +515,22 @@ impl AmberEngine {
             // rest of the query.
             results.shed();
         }
-        if !results_enabled || shed || !outcome.status.is_complete() {
+        let stored = if !results_enabled || shed || !outcome.status.is_complete() {
             // Partial outcomes (timeout, cancellation, blown budget) are
             // *bypassed*, never stored: a truncated count must not be
             // served to a repeat. Shedding bypasses too.
             results.note_bypass();
+            false
         } else {
             // Storing shares the outcome's row `Arc` — no deep copy.
             results.store(plan, options, &outcome);
-        }
+            true
+        };
+        session.recorder_mut().note_cache(if stored {
+            "result:store"
+        } else {
+            "result:bypass"
+        });
         Ok(outcome)
     }
 
@@ -492,6 +561,11 @@ impl AmberEngine {
         let sw = Stopwatch::start();
         session.bind_graph(self.graph_token());
         session.begin_query();
+        if session.recorder_mut().is_active() {
+            let label = format!("prepared {:#018x}", plan.fingerprint());
+            session.recorder_mut().begin(label);
+            session.recorder_mut().set_fingerprint(plan.fingerprint());
+        }
         // Same top-level quarantine as `execute_in_session`: a panic while
         // serving a prepared plan poisons only this execution.
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -513,7 +587,7 @@ impl AmberEngine {
                 })
             }
         };
-        session.end_query();
+        session.end_query(outcome_status(&outcome), sw.elapsed());
         outcome
     }
 
@@ -554,6 +628,7 @@ impl AmberEngine {
             return Ok(QueryOutcome::empty(variables, sw.elapsed()));
         }
 
+        let exec_sw = session.recorder_mut().is_recording().then(Stopwatch::start);
         let deadline = Deadline::new(options.timeout);
         // Enough retained solutions to materialize `max_results` rows: every
         // solution denotes at least one embedding. DISTINCT must keep
@@ -575,9 +650,15 @@ impl AmberEngine {
 
         let mut matches: Vec<ComponentMatch> = Vec::new();
         let mut abort: Option<Abort> = None;
-        for prep in components {
+        for (ci, prep) in components.iter().enumerate() {
             let matcher = ComponentMatcher::from_prep(qg, self.rdf.graph(), &self.index, prep);
+            let span_sw = exec_sw.as_ref().map(|_| Stopwatch::start());
             let result = run_component_in_session(&matcher, &config, options, session)?;
+            if let Some(s) = span_sw {
+                session
+                    .recorder_mut()
+                    .span(format!("component[{ci}]"), 1, s.elapsed());
+            }
             abort = abort.max(result.abort);
             let empty = result.count == 0;
             matches.push(result);
@@ -604,17 +685,33 @@ impl AmberEngine {
             total_count(&matches)
         };
 
+        if let Some(abort) = abort {
+            session.recorder_mut().set_abort(match abort {
+                Abort::TimedOut => "timed out",
+                Abort::Cancelled => "cancelled",
+                Abort::BudgetExceeded => "memory budget exhausted",
+            });
+        }
+
         let bindings = if options.count_only || partial || embedding_count == 0 {
             Bindings::default()
         } else {
-            Bindings::new(materialize_bindings(
+            let mat_sw = exec_sw.as_ref().map(|_| Stopwatch::start());
+            let bindings = Bindings::new(materialize_bindings(
                 qg,
                 &self.rdf,
                 &matches,
                 options.max_results,
                 qg.distinct(),
-            ))
+            ));
+            if let Some(s) = mat_sw {
+                session.recorder_mut().span("materialize", 1, s.elapsed());
+            }
+            bindings
         };
+        if let Some(s) = exec_sw {
+            session.recorder_mut().span("execute", 0, s.elapsed());
+        }
 
         Ok(QueryOutcome {
             status: match abort {
@@ -770,6 +867,14 @@ impl AmberEngine {
         stats.arena_peak_bytes = session.arena_peak_bytes();
         stats.elapsed = sw.elapsed();
         BatchOutcome { outcomes, stats }
+    }
+}
+
+/// The registry/flight-recorder status label for a finished query.
+fn outcome_status(outcome: &Result<QueryOutcome, EngineError>) -> &'static str {
+    match outcome {
+        Ok(o) => crate::telemetry::status_label(Ok(o.status)),
+        Err(_) => crate::telemetry::status_label(Err(())),
     }
 }
 

@@ -229,85 +229,150 @@ impl QueryPlan {
     }
 }
 
-impl fmt::Display for QueryPlan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+/// Line-oriented builder for every `EXPLAIN`-family diagnostic surface.
+///
+/// The chaos banner, the unsatisfiable/statically-empty verdicts, the
+/// fingerprint line, the per-component plan summary (including the
+/// dispatch decision), and the flight-recorder span tree all used to
+/// print from separate call sites; routing them through one builder
+/// keeps the output byte-stable and golden-testable.
+/// `QueryPlan`'s `Display` delegates here, and
+/// [`AmberEngine::explain_analyze`](crate::AmberEngine::explain_analyze)
+/// composes [`Self::plan`] with [`Self::span_tree`].
+#[derive(Debug, Default)]
+pub struct Explain {
+    out: String,
+}
+
+impl Explain {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The chaos banner, if fault injection is armed for this process.
+    pub fn chaos_banner(&mut self) -> &mut Self {
         if let Some(spec) = amber_util::fault::active_spec() {
-            writeln!(
-                f,
-                "CHAOS ACTIVE: {spec} (fault injection armed; see docs/robustness.md)"
-            )?;
+            self.out.push_str(&format!(
+                "CHAOS ACTIVE: {spec} (fault injection armed; see docs/robustness.md)\n"
+            ));
         }
-        if let Some(reason) = &self.unsatisfiable {
-            return writeln!(f, "UNSATISFIABLE: {reason}");
+        self
+    }
+
+    /// The fingerprint line (plan-cache key).
+    pub fn fingerprint(&mut self, fingerprint: u64) -> &mut Self {
+        self.out.push_str(&format!(
+            "plan fingerprint: {fingerprint:#018x} (plan-cache key; verbatim repeats are result-cacheable)\n"
+        ));
+        self
+    }
+
+    /// One component's dispatch decision as `EXPLAIN` spells it (also the
+    /// line the flight recorder captures per executed component).
+    pub fn dispatch_line(dispatch: &Dispatch) -> String {
+        match *dispatch {
+            Dispatch::Sequential => "sequential".to_string(),
+            Dispatch::Chunked { workers } => {
+                format!("parallel: fork-per-chunk, {workers} workers")
+            }
+            Dispatch::Pooled {
+                workers,
+                root_tasks,
+                split_depth,
+            } => format!(
+                "parallel: work-stealing pool, {workers} workers, \
+                 {root_tasks} root tasks, split depth {split_depth}"
+            ),
         }
-        if let Some(fingerprint) = self.fingerprint {
-            writeln!(
-                f,
-                "plan fingerprint: {fingerprint:#018x} (plan-cache key; verbatim repeats are result-cacheable)"
-            )?;
+    }
+
+    /// The full plan summary: banner, verdicts, fingerprint, components.
+    pub fn plan(&mut self, plan: &QueryPlan) -> &mut Self {
+        self.chaos_banner();
+        if let Some(reason) = &plan.unsatisfiable {
+            self.out.push_str(&format!("UNSATISFIABLE: {reason}\n"));
+            return self;
         }
-        if self.ground_checks > 0 {
-            writeln!(f, "ground checks: {}", self.ground_checks)?;
+        if let Some(fingerprint) = plan.fingerprint {
+            self.fingerprint(fingerprint);
         }
-        if self.failed_ground_check {
-            writeln!(
-                f,
+        if plan.ground_checks > 0 {
+            self.out
+                .push_str(&format!("ground checks: {}\n", plan.ground_checks));
+        }
+        if plan.failed_ground_check {
+            self.out.push_str(
                 "STATICALLY EMPTY: a ground (variable-free) pattern is absent from the data — \
-                 no component plans were built"
-            )?;
+                 no component plans were built\n",
+            );
         }
-        for (i, component) in self.components.iter().enumerate() {
-            writeln!(f, "component {i}:")?;
-            writeln!(
-                f,
-                "  core order: {} (seed candidates: {})",
+        for (i, component) in plan.components.iter().enumerate() {
+            self.out.push_str(&format!("component {i}:\n"));
+            self.out.push_str(&format!(
+                "  core order: {} (seed candidates: {})\n",
                 component.core_order.join(" → "),
                 component.initial_candidates
-            )?;
+            ));
             if component.cacheable_probes > 0 {
-                writeln!(
-                    f,
-                    "  cacheable probes: {} (candidate cache applies)",
+                self.out.push_str(&format!(
+                    "  cacheable probes: {} (candidate cache applies)\n",
                     component.cacheable_probes
-                )?;
+                ));
             }
-            match component.dispatch {
-                Dispatch::Sequential => {}
-                Dispatch::Chunked { workers } => {
-                    writeln!(f, "  parallel: fork-per-chunk, {workers} workers")?;
-                }
-                Dispatch::Pooled {
-                    workers,
-                    root_tasks,
-                    split_depth,
-                } => {
-                    writeln!(
-                        f,
-                        "  parallel: work-stealing pool, {workers} workers, \
-                         {root_tasks} root tasks, split depth {split_depth}"
-                    )?;
-                }
+            if component.dispatch != Dispatch::Sequential {
+                self.out
+                    .push_str(&format!("  {}\n", Self::dispatch_line(&component.dispatch)));
             }
             for (core, sats) in component.core_order.iter().zip(&component.satellites) {
                 if !sats.is_empty() {
-                    writeln!(f, "  satellites of ?{core}: {}", sats.join(", "))?;
+                    self.out
+                        .push_str(&format!("  satellites of ?{core}: {}\n", sats.join(", ")));
                 }
             }
             for c in &component.vertex_constraints {
                 if c.attributes > 0 || c.iri_constraints > 0 {
-                    write!(
-                        f,
+                    self.out.push_str(&format!(
                         "  ?{}: {} attribute(s), {} IRI constraint(s)",
                         c.variable, c.attributes, c.iri_constraints
-                    )?;
+                    ));
                     if let Some(n) = c.candidate_count {
-                        write!(f, " → {n} candidate(s)")?;
+                        self.out.push_str(&format!(" → {n} candidate(s)"));
                     }
-                    writeln!(f)?;
+                    self.out.push('\n');
                 }
             }
         }
-        Ok(())
+        self
+    }
+
+    /// The flight-recorder span tree of one executed query (the
+    /// `EXPLAIN ANALYZE` section).
+    pub fn span_tree(&mut self, trace: &amber_obs::QueryTrace) -> &mut Self {
+        self.out.push_str(&trace.render());
+        self
+    }
+
+    /// Compose a plan summary with an executed trace — the
+    /// `EXPLAIN ANALYZE`-style report.
+    pub fn analyze(plan: &QueryPlan, trace: &amber_obs::QueryTrace) -> String {
+        let mut explain = Explain::new();
+        explain.plan(plan);
+        explain.span_tree(trace);
+        explain.render()
+    }
+
+    /// The accumulated report text.
+    pub fn render(&self) -> String {
+        self.out.clone()
+    }
+}
+
+impl fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut explain = Explain::new();
+        explain.plan(self);
+        f.write_str(&explain.render())
     }
 }
 
@@ -418,6 +483,48 @@ mod tests {
                     .contains(&format!("CHAOS ACTIVE: {ambient}")))
             }
         }
+    }
+
+    #[test]
+    fn explain_analyze_appends_the_span_tree_golden() {
+        use crate::engine::AmberEngine;
+        let _on = amber_obs::force_enabled(true);
+        let engine = AmberEngine::from_graph(paper_graph());
+        let query = parse_select(&paper_query_text()).unwrap();
+        let options = ExecOptions::batch();
+        let mut session = engine.create_session(&options);
+        let (outcome, text) = engine
+            .explain_analyze(&query, &options, &mut session)
+            .unwrap();
+        assert_eq!(outcome.status, crate::result::QueryStatus::Completed);
+        // Plan section (identical to Display) followed by the recorded
+        // span tree — all through the one `Explain` builder.
+        assert!(text.contains("plan fingerprint: 0x"), "{text}");
+        assert!(text.contains("core order: X1 → X3 → X5"), "{text}");
+        assert!(text.contains("query \"prepared 0x"), "{text}");
+        assert!(text.contains("completed in"), "{text}");
+        assert!(text.contains("execute"), "{text}");
+        assert!(text.contains("component[0]"), "{text}");
+        assert!(text.contains("dispatch: sequential"), "{text}");
+        assert!(text.contains("caches:"), "{text}");
+        // The tracing knob is restored: a plain follow-up query records
+        // no new trace.
+        let before = session.flight_recorder().traces().count();
+        engine
+            .execute_in_session(&query, &options, &mut session)
+            .unwrap();
+        assert_eq!(session.flight_recorder().traces().count(), before);
+    }
+
+    #[test]
+    fn builder_composes_the_same_bytes_as_display() {
+        let rdf = paper_graph();
+        let index = IndexSet::build(&rdf);
+        let qg = QueryGraph::build(&parse_select(&paper_query_text()).unwrap(), &rdf).unwrap();
+        let plan = QueryPlan::explain(&qg, &rdf, &index);
+        let mut explain = Explain::new();
+        explain.plan(&plan);
+        assert_eq!(explain.render(), plan.to_string());
     }
 
     #[test]

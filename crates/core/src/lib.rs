@@ -47,11 +47,12 @@ pub mod plan;
 pub mod result;
 pub mod seeds;
 pub mod session;
+pub(crate) mod telemetry;
 
 pub use candidates::{CacheStats, CandidateCache};
 pub use engine::{AmberEngine, OfflineStats};
 pub use error::EngineError;
-pub use explain::QueryPlan;
+pub use explain::{Explain, QueryPlan};
 pub use governor::{MemoryGovernor, Pressure};
 pub use options::{ExecOptions, Scheduler};
 pub use parallel::{dispatch_for, Dispatch};

@@ -138,7 +138,12 @@ pub fn run_component_in_session(
     session: &mut QuerySession,
 ) -> Result<ComponentMatch, EngineError> {
     let initial = matcher.initial_candidates();
-    match dispatch_for(initial.len(), options) {
+    let dispatch = dispatch_for(initial.len(), options);
+    if session.recorder_mut().is_recording() {
+        let line = crate::explain::Explain::dispatch_line(&dispatch);
+        session.recorder_mut().note_dispatch(line);
+    }
+    match dispatch {
         Dispatch::Sequential => {
             // Arena/cache state abandoned mid-panic is only scratch memory:
             // every later run re-`prepare`s and rewrites it, so resuming

@@ -801,10 +801,12 @@ impl SharedPlanStore {
         match hit {
             Some(plan) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                crate::telemetry::note_shared_plan(true);
                 Some(plan)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
+                crate::telemetry::note_shared_plan(false);
                 None
             }
         }

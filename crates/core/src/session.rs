@@ -27,6 +27,8 @@ use crate::matcher::SearchArenas;
 use crate::plan::{PlanCache, PlanCacheStats, ResultCache};
 use crate::result::QueryOutcome;
 use crate::seeds::SeedCache;
+use crate::telemetry::{self, ObsBaseline};
+use amber_obs::FlightRecorder;
 use std::fmt;
 use std::time::Duration;
 
@@ -191,6 +193,13 @@ pub struct QuerySession {
     arena_reused_bytes: u64,
     /// High-water arena footprint across all cores.
     arena_peak_bytes: usize,
+    /// Per-query flight recorder: span timings, cache trail, dispatch
+    /// decisions, slow-query log. Off by default; see
+    /// [`Self::configure_tracing`].
+    recorder: FlightRecorder,
+    /// Stat baseline captured at query start when the `AMBER_OBS` gate is
+    /// on; `end_query` flushes `current − baseline` into the registry.
+    obs_base: Option<ObsBaseline>,
 }
 
 impl QuerySession {
@@ -212,6 +221,8 @@ impl QuerySession {
             result_shed: false,
             arena_reused_bytes: 0,
             arena_peak_bytes: 0,
+            recorder: FlightRecorder::default(),
+            obs_base: None,
         }
     }
 
@@ -267,6 +278,12 @@ impl QuerySession {
     ) {
         self.pool
             .record_run(stats, nodes_per_worker, critical_path_nodes);
+        if amber_obs::obs_enabled() {
+            // Per-run makespan, in hardware-independent node units.
+            telemetry::metrics()
+                .pool_makespan_nodes
+                .observe(critical_path_nodes);
+        }
     }
 
     /// Heap bytes currently retained by all arenas (main + workers).
@@ -319,18 +336,62 @@ impl QuerySession {
     }
 
     /// Bookkeeping at query start: account the warm arena bytes this query
-    /// inherits.
+    /// inherits and snapshot the stat baseline for the telemetry flush.
     pub(crate) fn begin_query(&mut self) {
         self.queries += 1;
         self.result_shed = false;
         self.arena_reused_bytes = self
             .arena_reused_bytes
             .saturating_add(self.arena_bytes() as u64);
+        self.obs_base = if amber_obs::obs_enabled() {
+            Some(ObsBaseline {
+                cache: self.cache_stats(),
+                seeds: self.seed_stats(),
+                plans: self.plan_stats(),
+                pool: self.pool.clone(),
+            })
+        } else {
+            None
+        };
     }
 
-    /// Bookkeeping at query end: track the arena high-water mark.
-    pub(crate) fn end_query(&mut self) {
+    /// Bookkeeping at query end: track the arena high-water mark, flush
+    /// this query's stat deltas into the metric registry, and close the
+    /// flight-recorder trace (if one is open) with the final status.
+    pub(crate) fn end_query(&mut self, status: &'static str, elapsed: Duration) {
         self.arena_peak_bytes = self.arena_peak_bytes.max(self.arena_bytes());
+        if let Some(base) = self.obs_base.take() {
+            telemetry::flush_query(
+                status,
+                elapsed,
+                &self.cache_stats().since(&base.cache),
+                &self.seed_stats().since(&base.seeds),
+                &self.plan_stats().since(&base.plans),
+                &self.pool.since(&base.pool),
+            );
+        }
+        if self.recorder.is_recording() {
+            self.recorder.end(status);
+        }
+    }
+
+    /// Turn the per-query flight recorder on/off and set its slow-query
+    /// threshold (`Some(Duration::ZERO)` logs every query; `None` logs
+    /// none). Capture additionally requires the process-wide `AMBER_OBS`
+    /// gate to be on.
+    pub fn configure_tracing(&mut self, enabled: bool, slow_threshold: Option<Duration>) {
+        self.recorder.configure(enabled, slow_threshold);
+    }
+
+    /// The session's flight recorder: completed query traces (ring
+    /// buffer) and the rendered slow-query log.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// Mutable recorder access for the engine's span capture.
+    pub(crate) fn recorder_mut(&mut self) -> &mut FlightRecorder {
+        &mut self.recorder
     }
 
     /// The sequential core.
@@ -367,6 +428,9 @@ impl QuerySession {
     /// inside the search.
     pub(crate) fn apply_governor(&mut self, governor: &MemoryGovernor) {
         self.pool.degradation_steps += governor.steps_taken();
+        for _ in 0..governor.steps_taken() {
+            self.recorder.note_degradation();
+        }
         if governor.shed_results() {
             self.result_shed = true;
         }

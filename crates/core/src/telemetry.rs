@@ -1,0 +1,187 @@
+//! Delta-flush bridge from the session's legacy stat structs into the
+//! process-wide `amber_obs` registry.
+//!
+//! Design: the hot path keeps accounting in the plain-`u64` session
+//! structs it always used ([`CacheStats`], [`PoolStats`], …) — zero new
+//! atomics per node or probe. Once per query,
+//! [`QuerySession::end_query`](crate::QuerySession) computes the
+//! query's `since`-deltas (the same helpers `drive_batch` uses) and
+//! adds them to registry counters here. Because the registry is
+//! *populated from* the legacy structs, the two views are derived from
+//! the same counters and can never disagree; `tests/obs_equivalence.rs`
+//! pins the exact agreement.
+//!
+//! Handles are resolved once per process (`OnceLock`) so a flush is a
+//! couple dozen relaxed `fetch_add`s — invisible next to even a
+//! result-cache-hit query (gated by the `obs_speedup` bench cells).
+
+use crate::candidates::CacheStats;
+use crate::plan::PlanCacheStats;
+use crate::result::QueryStatus;
+use crate::session::PoolStats;
+use amber_obs::{Counter, Gauge, Histogram};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// One cache layer's registry series (`candidate`, `seed`, `plan`,
+/// `result`).
+struct CacheFamily {
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    bypasses: Arc<Counter>,
+    evictions: Arc<Counter>,
+    entries: Arc<Gauge>,
+    bytes: Arc<Gauge>,
+}
+
+impl CacheFamily {
+    fn new(layer: &'static str) -> Self {
+        let l = [("cache", layer)];
+        Self {
+            hits: amber_obs::counter("amber_cache_hits_total", &l),
+            misses: amber_obs::counter("amber_cache_misses_total", &l),
+            bypasses: amber_obs::counter("amber_cache_bypasses_total", &l),
+            evictions: amber_obs::counter("amber_cache_evictions_total", &l),
+            entries: amber_obs::gauge("amber_cache_entries", &l),
+            bytes: amber_obs::gauge("amber_cache_bytes", &l),
+        }
+    }
+
+    /// Add a `since`-delta; the gauges carry the *current* state (that is
+    /// what [`CacheStats::since`] leaves in `entries`/`result_bytes`).
+    fn flush(&self, delta: &CacheStats) {
+        self.hits.add(delta.hits);
+        self.misses.add(delta.misses);
+        self.bypasses.add(delta.bypasses);
+        self.evictions.add(delta.evictions);
+        self.entries.set(delta.entries as i64);
+        self.bytes.set(delta.result_bytes as i64);
+    }
+}
+
+/// Every engine-layer registry handle, resolved once.
+pub(crate) struct EngineMetrics {
+    completed: Arc<Counter>,
+    timed_out: Arc<Counter>,
+    cancelled: Arc<Counter>,
+    budget_exceeded: Arc<Counter>,
+    error: Arc<Counter>,
+    latency_us: Arc<Histogram>,
+    candidate: CacheFamily,
+    seed: CacheFamily,
+    plan: CacheFamily,
+    result: CacheFamily,
+    hit_copied_bytes: Arc<Counter>,
+    shared_plan_hits: Arc<Counter>,
+    shared_plan_misses: Arc<Counter>,
+    pool_runs: Arc<Counter>,
+    pool_root_tasks: Arc<Counter>,
+    pool_split_tasks: Arc<Counter>,
+    pool_steals: Arc<Counter>,
+    pool_nodes: Arc<Counter>,
+    pool_trapped_panics: Arc<Counter>,
+    pool_cancellations: Arc<Counter>,
+    pool_degradation_steps: Arc<Counter>,
+    pub(crate) pool_makespan_nodes: Arc<Histogram>,
+}
+
+pub(crate) fn metrics() -> &'static EngineMetrics {
+    static METRICS: OnceLock<EngineMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| EngineMetrics {
+        completed: amber_obs::counter("amber_queries_total", &[("status", "completed")]),
+        timed_out: amber_obs::counter("amber_queries_total", &[("status", "timed_out")]),
+        cancelled: amber_obs::counter("amber_queries_total", &[("status", "cancelled")]),
+        budget_exceeded: amber_obs::counter(
+            "amber_queries_total",
+            &[("status", "budget_exceeded")],
+        ),
+        error: amber_obs::counter("amber_queries_total", &[("status", "error")]),
+        latency_us: amber_obs::histogram("amber_query_latency_us", &[]),
+        candidate: CacheFamily::new("candidate"),
+        seed: CacheFamily::new("seed"),
+        plan: CacheFamily::new("plan"),
+        result: CacheFamily::new("result"),
+        hit_copied_bytes: amber_obs::counter("amber_result_hit_copied_bytes_total", &[]),
+        shared_plan_hits: amber_obs::counter("amber_shared_plans_total", &[("event", "hit")]),
+        shared_plan_misses: amber_obs::counter("amber_shared_plans_total", &[("event", "miss")]),
+        pool_runs: amber_obs::counter("amber_pool_runs_total", &[]),
+        pool_root_tasks: amber_obs::counter("amber_pool_root_tasks_total", &[]),
+        pool_split_tasks: amber_obs::counter("amber_pool_split_tasks_total", &[]),
+        pool_steals: amber_obs::counter("amber_pool_steals_total", &[]),
+        pool_nodes: amber_obs::counter("amber_pool_nodes_total", &[]),
+        pool_trapped_panics: amber_obs::counter("amber_pool_trapped_panics_total", &[]),
+        pool_cancellations: amber_obs::counter("amber_pool_cancellations_total", &[]),
+        pool_degradation_steps: amber_obs::counter("amber_pool_degradation_steps_total", &[]),
+        pool_makespan_nodes: amber_obs::histogram("amber_pool_run_makespan_nodes", &[]),
+    })
+}
+
+/// The status label a query outcome flushes under (also the flight
+/// recorder's final status string).
+pub(crate) fn status_label(status: Result<QueryStatus, ()>) -> &'static str {
+    match status {
+        Ok(QueryStatus::Completed) => "completed",
+        Ok(QueryStatus::TimedOut) => "timed_out",
+        Ok(QueryStatus::Cancelled) => "cancelled",
+        Ok(QueryStatus::BudgetExceeded) => "budget_exceeded",
+        Err(()) => "error",
+    }
+}
+
+/// Baseline captured at `begin_query` (only when the gate is on); the
+/// flush at `end_query` adds `current − baseline` to the registry.
+#[derive(Debug)]
+pub(crate) struct ObsBaseline {
+    pub(crate) cache: CacheStats,
+    pub(crate) seeds: CacheStats,
+    pub(crate) plans: PlanCacheStats,
+    pub(crate) pool: PoolStats,
+}
+
+/// Add one finished query's deltas to the registry.
+pub(crate) fn flush_query(
+    status: &'static str,
+    elapsed: Duration,
+    cache: &CacheStats,
+    seeds: &CacheStats,
+    plans: &PlanCacheStats,
+    pool: &PoolStats,
+) {
+    let m = metrics();
+    let status_counter = match status {
+        "completed" => &m.completed,
+        "timed_out" => &m.timed_out,
+        "cancelled" => &m.cancelled,
+        "budget_exceeded" => &m.budget_exceeded,
+        _ => &m.error,
+    };
+    status_counter.inc();
+    m.latency_us.observe(elapsed.as_micros() as u64);
+    m.candidate.flush(cache);
+    m.seed.flush(seeds);
+    m.plan.flush(&plans.plans);
+    m.result.flush(&plans.results);
+    m.hit_copied_bytes.add(plans.result_hit_copied_bytes);
+    m.pool_runs.add(pool.runs);
+    m.pool_root_tasks.add(pool.root_tasks);
+    m.pool_split_tasks.add(pool.split_tasks);
+    m.pool_steals.add(pool.steals);
+    m.pool_nodes.add(pool.total_nodes());
+    m.pool_trapped_panics.add(pool.trapped_panics);
+    m.pool_cancellations.add(pool.cancellations);
+    m.pool_degradation_steps.add(pool.degradation_steps);
+}
+
+/// Live shared-plan-store events (cold path: only consulted on a session
+/// plan-cache miss).
+pub(crate) fn note_shared_plan(hit: bool) {
+    if !amber_obs::obs_enabled() {
+        return;
+    }
+    let m = metrics();
+    if hit {
+        m.shared_plan_hits.inc();
+    } else {
+        m.shared_plan_misses.inc();
+    }
+}

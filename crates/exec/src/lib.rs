@@ -276,6 +276,37 @@ impl PoolShared {
     }
 }
 
+/// Registry handles for the pool's own metrics, resolved once: the hot
+/// path only ever pays relaxed `fetch_add`s (see `docs/observability.md`).
+struct PoolMetrics {
+    runs: Arc<amber_obs::Counter>,
+    root_tasks: Arc<amber_obs::Counter>,
+    split_tasks: Arc<amber_obs::Counter>,
+    steals: Arc<amber_obs::Counter>,
+    run_tasks: Arc<amber_obs::Histogram>,
+    parked: Arc<amber_obs::Counter>,
+    roaming: Arc<amber_obs::Counter>,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        runs: amber_obs::counter("amber_exec_runs_total", &[]),
+        root_tasks: amber_obs::counter("amber_exec_root_tasks_total", &[]),
+        split_tasks: amber_obs::counter("amber_exec_split_tasks_total", &[]),
+        steals: amber_obs::counter("amber_exec_steals_total", &[]),
+        run_tasks: amber_obs::histogram("amber_exec_run_tasks", &[]),
+        parked: amber_obs::counter(
+            "amber_exec_worker_transitions_total",
+            &[("state", "parked")],
+        ),
+        roaming: amber_obs::counter(
+            "amber_exec_worker_transitions_total",
+            &[("state", "roaming")],
+        ),
+    })
+}
+
 /// Pool worker thread body: roam the run registry, claim a free slot on a
 /// run with queued work, work it dry, release the slot, repeat; park on
 /// the pool condvar when nothing anywhere needs help.
@@ -306,11 +337,21 @@ fn worker_main(shared: Arc<PoolShared>) {
         // under the lock, so it cannot be missed — we either see
         // `signals != seen` here or get notified while waiting.
         let mut sync = shared.lock_sync();
+        let mut parked = false;
         while !sync.shutdown && sync.signals == seen {
+            if !parked && amber_obs::obs_enabled() {
+                parked = true;
+                pool_metrics().parked.inc();
+            }
             sync = shared
                 .work_cv
                 .wait(sync)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+        if parked {
+            // The matching roaming transition, counted even on shutdown so
+            // the two series stay balanced.
+            pool_metrics().roaming.inc();
         }
         if sync.shutdown {
             return;
@@ -628,6 +669,14 @@ impl ExecPool {
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
         };
+        if amber_obs::obs_enabled() {
+            let m = pool_metrics();
+            m.runs.inc();
+            m.root_tasks.add(stats.root_tasks);
+            m.split_tasks.add(stats.split_tasks);
+            m.steals.add(stats.steals);
+            m.run_tasks.observe(stats.tasks());
+        }
         (stats, trapped)
     }
 }

@@ -204,13 +204,14 @@ impl Breaker {
     }
 
     /// A request of this tenant failed hard (quarantined panic or
-    /// timeout).
+    /// timeout). Returns `true` if this failure tripped the breaker open
+    /// (the caller feeds the live trip counter from it).
     pub(crate) fn record_failure(
         &mut self,
         config: &BreakerConfig,
         cause: TripCause,
         now: Instant,
-    ) {
+    ) -> bool {
         match &mut self.state {
             State::Closed { consecutive } => {
                 *consecutive += 1;
@@ -220,7 +221,9 @@ impl Breaker {
                         until: now + config.cooldown,
                         cause,
                     };
+                    return true;
                 }
+                false
             }
             State::HalfOpen { .. } => {
                 // The probe (or a straggler) failed: re-open with a fresh
@@ -230,10 +233,11 @@ impl Breaker {
                     until: now + config.cooldown,
                     cause,
                 };
+                true
             }
             // A straggler failing while already open changes nothing; the
             // cooldown keeps its original schedule.
-            State::Open { .. } => {}
+            State::Open { .. } => false,
         }
     }
 

@@ -85,6 +85,7 @@ use amber::{
     AmberEngine, CacheStats, CancelToken, EngineError, ExecOptions, PlanCacheStats, PoolStats,
     QueryOutcome, QuerySession, QueryStatus, SharedPlanStats,
 };
+use amber_obs::{Counter, Gauge, Histogram};
 use amber_sparql::SelectQuery;
 use amber_util::fault::{self, FaultPoint};
 use amber_util::timing::Budget;
@@ -92,9 +93,40 @@ use breaker::{Admission, Breaker};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Serving-layer registry handles, resolved once per process. All live
+/// updates are additionally gated on [`amber_obs::obs_enabled`] at the
+/// call sites, so `AMBER_OBS=off` costs one relaxed load per site.
+struct ServeMetrics {
+    /// `amber_serve_queue_depth` — admitted-not-yet-dispatched requests
+    /// (mirrors `DispatchState::queued`; updated under the serving lock).
+    queue_depth: Arc<Gauge>,
+    /// `amber_serve_queue_wait_us` — admission-to-dispatch wait.
+    queue_wait_us: Arc<Histogram>,
+    served: Arc<Counter>,
+    shed: Arc<Counter>,
+    rejected: Arc<Counter>,
+    fast_fails: Arc<Counter>,
+    revoked: Arc<Counter>,
+    breaker_trips: Arc<Counter>,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| ServeMetrics {
+        queue_depth: amber_obs::gauge("amber_serve_queue_depth", &[]),
+        queue_wait_us: amber_obs::histogram("amber_serve_queue_wait_us", &[]),
+        served: amber_obs::counter("amber_serve_requests_total", &[("outcome", "served")]),
+        shed: amber_obs::counter("amber_serve_requests_total", &[("outcome", "shed")]),
+        rejected: amber_obs::counter("amber_serve_requests_total", &[("outcome", "rejected")]),
+        fast_fails: amber_obs::counter("amber_serve_requests_total", &[("outcome", "fast_fail")]),
+        revoked: amber_obs::counter("amber_serve_requests_total", &[("outcome", "revoked")]),
+        breaker_trips: amber_obs::counter("amber_serve_breaker_trips_total", &[]),
+    })
+}
 
 /// Knobs of a [`Server`].
 #[derive(Debug, Clone)]
@@ -127,6 +159,16 @@ pub struct ServeConfig {
     /// caches on — a serving deployment is exactly the repeated-query
     /// workload they exist for).
     pub options: ExecOptions,
+    /// Enable each tenant session's flight recorder: per-query span
+    /// traces (parse → plan → per-component search → materialize) retained
+    /// in a bounded ring. No-op under `AMBER_OBS=off`. See
+    /// `docs/observability.md`.
+    pub trace: bool,
+    /// Slow-query threshold: with [`trace`](Self::trace) on, a query
+    /// whose wall time reaches this renders its full span tree into the
+    /// session's slow-query log (`Some(Duration::ZERO)` logs every query;
+    /// `None` logs none).
+    pub slow_query_threshold: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +181,8 @@ impl Default for ServeConfig {
             breaker: None,
             memory_budget: None,
             options: ExecOptions::batch(),
+            trace: false,
+            slow_query_threshold: None,
         }
     }
 }
@@ -309,6 +353,9 @@ impl Ticket {
 struct Request {
     query: SelectQuery,
     ticket: Arc<TicketInner>,
+    /// Admission instant — the `amber_serve_queue_wait_us` observation is
+    /// `dispatch − admitted`.
+    admitted: Instant,
     /// The admission-to-answer budget, clocked from admission.
     budget: Option<Budget>,
     /// Per-request execution timeout (clocked from dispatch).
@@ -403,6 +450,8 @@ struct WorkerContext {
     record_dispatch: bool,
     breaker: Option<BreakerConfig>,
     governor: Option<Arc<ServerGovernor>>,
+    trace: bool,
+    slow_query_threshold: Option<Duration>,
 }
 
 /// One dispatch acquired off the rotation.
@@ -460,6 +509,8 @@ impl Server {
                     record_dispatch: config.record_dispatch,
                     breaker: config.breaker.clone(),
                     governor: governor.clone(),
+                    trace: config.trace,
+                    slow_query_threshold: config.slow_query_threshold,
                 };
                 std::thread::Builder::new()
                     .name(format!("amber-serve-{id}"))
@@ -515,6 +566,9 @@ impl Server {
         }
         if signal.alloc_fail || state.queued >= self.config.queue_capacity {
             state.rejected += 1;
+            if amber_obs::obs_enabled() {
+                serve_metrics().rejected.inc();
+            }
             return Err(ServeError::Overloaded {
                 capacity: self.config.queue_capacity,
                 queued: state.queued,
@@ -534,6 +588,9 @@ impl Server {
                 Admission::Admit => false,
                 Admission::Probe => true,
                 Admission::FastFail { cause, retry_after } => {
+                    if amber_obs::obs_enabled() {
+                        serve_metrics().fast_fails.inc();
+                    }
                     return Err(ServeError::CircuitOpen { cause, retry_after });
                 }
             }
@@ -548,12 +605,16 @@ impl Server {
         entry.queue.push_back(Request {
             query,
             ticket: Arc::clone(&inner),
+            admitted: Instant::now(),
             budget,
             timeout: opts.timeout,
             cancel: CancelToken::new(),
             probe,
         });
         state.queued += 1;
+        if amber_obs::obs_enabled() {
+            serve_metrics().queue_depth.set(state.queued as i64);
+        }
         if was_idle {
             state.rotation.push_back(key);
         }
@@ -594,6 +655,32 @@ impl Server {
     /// Requests currently queued (admitted, not yet dispatched).
     pub fn queued(&self) -> usize {
         self.shared.lock().queued
+    }
+
+    /// A consistent snapshot of the process-wide metrics registry —
+    /// engine, cache, execution-pool, chaos, and serving-layer series —
+    /// renderable as Prometheus text
+    /// ([`render_prometheus`](amber_obs::MetricsSnapshot::render_prometheus))
+    /// or JSON ([`render_json`](amber_obs::MetricsSnapshot::render_json)).
+    /// Callable at any time, including mid-run; under `AMBER_OBS=off` the
+    /// engine/serve series simply stay at zero. See
+    /// `docs/observability.md` for the catalog.
+    pub fn metrics_snapshot(&self) -> amber_obs::MetricsSnapshot {
+        amber_obs::snapshot()
+    }
+
+    /// One tenant's rendered slow-query-log entries, oldest first (see
+    /// [`ServeConfig::slow_query_threshold`]). Empty if the tenant is
+    /// unknown, its session is mid-dispatch, or tracing is off.
+    pub fn slow_query_log(&self, tenant: &str) -> Vec<String> {
+        let state = self.shared.lock();
+        state
+            .tenants
+            .iter()
+            .find(|(key, _)| ***key == *tenant)
+            .and_then(|(_, t)| t.session.as_ref())
+            .map(|s| s.flight_recorder().slow_log().map(str::to_string).collect())
+            .unwrap_or_default()
     }
 
     /// Stop admission, serve everything already queued (resuming dispatch
@@ -641,6 +728,11 @@ impl Server {
             }
             state.queued = 0;
             state.rotation.clear();
+            if amber_obs::obs_enabled() {
+                let m = serve_metrics();
+                m.queue_depth.set(0);
+                m.revoked.add(revoked.len() as u64);
+            }
             revoked
         };
         self.shared.work_cv.notify_all();
@@ -841,8 +933,13 @@ fn serve_loop(ctx: &WorkerContext) {
                             options = options.tighten_memory_budget(0);
                         }
                         options = options.with_cancel(request.cancel.clone());
-                        let sess =
-                            session.get_or_insert_with(|| ctx.engine.create_session(&options));
+                        let sess = session.get_or_insert_with(|| {
+                            let mut sess = ctx.engine.create_session(&options);
+                            if ctx.trace || ctx.slow_query_threshold.is_some() {
+                                sess.configure_tracing(true, ctx.slow_query_threshold);
+                            }
+                            sess
+                        });
                         let started = Instant::now();
                         // Execute outside the serving lock — this is where
                         // concurrent tenants actually overlap. The engine
@@ -865,11 +962,21 @@ fn serve_loop(ctx: &WorkerContext) {
             }
         };
 
-        // Hand the session back, record the outcome, and re-enter the
-        // rotation before answering, so a client chaining requests
-        // observes its tenant ready for the next one. Breaker bookkeeping
-        // also happens before the answer: a client that saw a hard
-        // failure observes the breaker already moved.
+        // Completion-visibility contract (pinned by the
+        // `counters_are_visible_before_the_answer` regression test and
+        // documented in docs/observability.md): ALL bookkeeping for a
+        // request — session hand-back, served/shed counts, breaker
+        // movement, and the registry metrics fed from them — lands
+        // BEFORE `answer` publishes the result. A client that redeemed
+        // its ticket therefore never observes a counter lagging its own
+        // request: the tenant is ready for the next submission, a hard
+        // failure has already moved the breaker, and a metrics snapshot
+        // taken after `Ticket::wait` includes the request. (The
+        // engine-side registry flush happens even earlier, inside
+        // `execute_in_session` itself.) The only serve-side state that
+        // updates *outside* this pre-answer block is the `retry_after`
+        // service-rate EWMA input ordering across workers — a hint, not
+        // a counter.
         {
             let mut state = ctx.shared.lock();
             if let Some(ns) = service_ns {
@@ -884,17 +991,27 @@ fn serve_loop(ctx: &WorkerContext) {
                     entry.session = session;
                     entry.inflight_cancel = None;
                     entry.busy = false;
+                    let obs = amber_obs::obs_enabled();
                     if service_ns.is_some() {
                         entry.served += 1;
+                        if obs {
+                            serve_metrics().served.inc();
+                        }
                     } else {
                         entry.shed += 1;
+                        if obs {
+                            serve_metrics().shed.inc();
+                        }
                     }
                     if let Some(cfg) = &ctx.breaker {
                         let now = Instant::now();
                         match classify(&result) {
                             BreakerVerdict::Success => entry.breaker.record_success(),
                             BreakerVerdict::Failure(cause) => {
-                                entry.breaker.record_failure(cfg, cause, now)
+                                let tripped = entry.breaker.record_failure(cfg, cause, now);
+                                if tripped && obs {
+                                    serve_metrics().breaker_trips.inc();
+                                }
                             }
                             BreakerVerdict::Neutral => {
                                 if request.probe {
@@ -943,6 +1060,12 @@ fn acquire_dispatch(ctx: &WorkerContext) -> Option<Dispatch> {
                 entry.inflight_cancel = Some(request.cancel.clone());
                 let session = entry.session.take();
                 state.queued -= 1;
+                if amber_obs::obs_enabled() {
+                    let m = serve_metrics();
+                    m.queue_depth.set(state.queued as i64);
+                    m.queue_wait_us
+                        .observe(request.admitted.elapsed().as_micros() as u64);
+                }
                 if ctx.record_dispatch {
                     state.dispatch_order.push(Arc::clone(&tenant));
                 }
@@ -1411,6 +1534,84 @@ mod tests {
             stats.result_hit_copied_bytes, 0,
             "result-cache hits must serve shared rows, not copies"
         );
+    }
+
+    #[test]
+    fn counters_are_visible_before_the_answer() {
+        // Regression test for the completion-visibility contract
+        // documented on `serve_loop`: every counter a request moves —
+        // per-tenant served counts, breaker state, registry metrics —
+        // is already readable when `Ticket::wait` returns. A client
+        // never observes bookkeeping lagging its own request.
+        let _on = amber_obs::force_enabled(true);
+        let served_handle =
+            amber_obs::counter("amber_serve_requests_total", &[("outcome", "served")]);
+        let before = served_handle.get();
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                breaker: Some(BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::from_secs(3600),
+                }),
+                ..ServeConfig::default()
+            },
+        );
+        let t = server
+            .submit_sparql_with(
+                "a",
+                CHAIN,
+                SubmitOptions::new().with_timeout(Duration::ZERO),
+            )
+            .unwrap();
+        assert_eq!(t.wait().unwrap().status, QueryStatus::TimedOut);
+        // The breaker moved BEFORE the ticket answer, so the very next
+        // submission deterministically observes it open...
+        assert!(matches!(
+            server.submit_sparql("a", CHAIN),
+            Err(ServeError::CircuitOpen { .. })
+        ));
+        // ...and the registry moved before the answer too (monotonic
+        // counters: concurrent tests only ever add).
+        assert!(
+            served_handle.get() > before,
+            "served counter must include the redeemed request"
+        );
+        assert!(amber_obs::counter("amber_serve_breaker_trips_total", &[]).get() >= 1);
+        let report = server.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+    }
+
+    #[test]
+    fn slow_query_log_captures_the_span_tree() {
+        let _on = amber_obs::force_enabled(true);
+        let engine = demo_engine();
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                trace: true,
+                slow_query_threshold: Some(Duration::ZERO), // log every query
+                ..ServeConfig::default()
+            },
+        );
+        server.submit_sparql("a", CHAIN).unwrap().wait().unwrap();
+        // The session was handed back before the answer (same contract as
+        // above), so the log is already readable.
+        let log = server.slow_query_log("a");
+        assert_eq!(log.len(), 1, "threshold ZERO logs every query");
+        let entry = &log[0];
+        assert!(entry.contains("execute"), "span tree missing: {entry}");
+        assert!(entry.contains("component[0]"), "{entry}");
+        assert!(entry.contains("dispatch:"), "{entry}");
+        assert!(entry.contains("caches:"), "{entry}");
+        if amber::plan_cache_enabled() {
+            assert!(entry.contains("fingerprint 0x"), "{entry}");
+        }
+        let report = server.shutdown();
+        assert_eq!(report.served(), 1);
     }
 
     #[test]

@@ -392,12 +392,19 @@ fn check_serve(checks: &mut Vec<Check>, baseline: &Json, fresh: &Json) {
             // exact deterministic replays — shed volume, breaker trips and
             // fast-fails, governor-driven degradation. Hardware-independent
             // by construction (zero budgets and byte quotas, not timing).
+            // HTTP front-end counters (the http_overhead entry): served
+            // volume over the wire, result-cache hits for the repeat-heavy
+            // stream, and the copied-bytes gauge (also hard-asserted to 0
+            // inside bench_serve; wall times are logged, not gated).
             for metric in [
                 "deadline_shed",
                 "breaker_trips",
                 "breaker_fast_fails",
                 "governor_degradation_steps",
                 "governed_dispatches",
+                "http_served",
+                "http_result_hits",
+                "http_copied_bytes",
             ] {
                 check_metric(
                     checks,

@@ -23,17 +23,26 @@
 //!   against one engine, for the log only (shared CI hosts make wall-clock
 //!   a noise metric; correctness of the concurrent path is the
 //!   `serve_equivalence` suite's job).
+//! * **`http_overhead`** — the identical repeat-heavy stream submitted
+//!   directly vs round-tripped through one keep-alive loopback HTTP
+//!   connection (`POST /sparql`, JSON results). Wall times are logged;
+//!   the gates are deterministic: every request answered over the wire
+//!   and zero result bytes copied (the zero-copy pin extends through the
+//!   serializers).
 //!
 //! Usage: `cargo run --release -p amber_bench --bin bench_serve [out.json]`
 
 use amber::{AmberEngine, ExecOptions, QueryStatus};
 use amber_datagen::synthetic::{self, SyntheticConfig};
 use amber_datagen::{QueryShape, WorkloadConfig, WorkloadGenerator};
+use amber_http::{HttpConfig, HttpServer};
 use amber_multigraph::RdfGraph;
 use amber_serve::{BreakerConfig, ServeConfig, ServeError, Server, SubmitOptions, Ticket};
 use amber_sparql::SelectQuery;
 use amber_util::Stopwatch;
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -431,6 +440,119 @@ fn run_obs_overhead(queries: &[SelectQuery]) -> ObsResult {
     }
 }
 
+struct HttpResult {
+    requests: usize,
+    direct_ms: f64,
+    http_ms: f64,
+    http_served: u64,
+    http_result_hits: u64,
+    http_copied_bytes: u64,
+}
+
+/// Read one `Content-Length`-framed HTTP response and assert it is a 200.
+fn read_http_response(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut tmp).expect("response head");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end - 4]).expect("ASCII head");
+    assert!(
+        head.starts_with("HTTP/1.1 200 "),
+        "expected 200, got: {}",
+        head.lines().next().unwrap_or_default()
+    );
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("Content-Length present")
+        .trim()
+        .parse()
+        .expect("Content-Length parses");
+    while buf.len() < head_end + len {
+        let n = stream.read(&mut tmp).expect("response body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+}
+
+/// HTTP front-end overhead: the identical repeat-heavy single-tenant
+/// stream submitted directly vs round-tripped through one keep-alive
+/// loopback connection (`POST /sparql`, SPARQL JSON results). The direct
+/// round pipelines tickets where the HTTP round is strictly
+/// request/response, so the wall times bound the *worst-case* front-end
+/// cost; both are logged, not gated. The gates are the deterministic
+/// counters: every request served over the wire, repeats hitting the
+/// result cache, zero result bytes copied.
+fn run_http_overhead(queries: &[SelectQuery]) -> HttpResult {
+    const REQUESTS: usize = 100;
+    let texts: Vec<String> = queries.iter().map(amber_sparql::to_sparql).collect();
+    let serve_config = || ServeConfig {
+        workers: 2,
+        queue_capacity: 4096,
+        options: ExecOptions::batch().with_max_results(100),
+        ..ServeConfig::default()
+    };
+
+    // Direct submission: the in-process floor.
+    let engine = Arc::new(AmberEngine::from_graph(dense_graph(11)));
+    let server = Server::start(Arc::clone(&engine), serve_config());
+    let sw = Stopwatch::start();
+    let tickets: Vec<Ticket> = (0..REQUESTS)
+        .map(|i| {
+            server
+                .submit_sparql("direct", &texts[i % texts.len()])
+                .expect("admitted")
+        })
+        .collect();
+    for ticket in tickets {
+        ticket.wait().expect("served");
+    }
+    let direct_ms = sw.elapsed().as_secs_f64() * 1e3;
+    server.shutdown();
+
+    // The same stream over one keep-alive HTTP connection.
+    let engine = Arc::new(AmberEngine::from_graph(dense_graph(11)));
+    let server = Server::start(Arc::clone(&engine), serve_config());
+    let http = HttpServer::start(server, HttpConfig::default()).expect("bind loopback");
+    let mut stream = TcpStream::connect(http.local_addr()).expect("connect loopback");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("socket timeout");
+    stream.set_nodelay(true).expect("nodelay");
+    let sw = Stopwatch::start();
+    for i in 0..REQUESTS {
+        let text = &texts[i % texts.len()];
+        let request = format!(
+            "POST /sparql HTTP/1.1\r\nHost: bench\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{text}",
+            text.len()
+        );
+        stream.write_all(request.as_bytes()).expect("write request");
+        read_http_response(&mut stream);
+    }
+    let http_ms = sw.elapsed().as_secs_f64() * 1e3;
+    drop(stream);
+    let report = http.shutdown();
+
+    HttpResult {
+        requests: REQUESTS,
+        direct_ms,
+        http_ms,
+        http_served: report.served(),
+        http_result_hits: report.plan_stats.results.hits,
+        http_copied_bytes: report.plan_stats.result_hit_copied_bytes,
+    }
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -443,6 +565,7 @@ fn main() {
     let concurrent = run_concurrent(&queries);
     let lifecycle = run_lifecycle(&queries);
     let obs = run_obs_overhead(&queries);
+    let http = run_http_overhead(&queries);
 
     let mut json = format!(
         "{{\n  \"benchmark\": \"serve\",\n  \"commit\": \"{}\",\n  \"unit\": \"ratios / bytes / ms\",\n  \
@@ -451,8 +574,9 @@ fn main() {
          shared_plan_misses is pinned to the distinct-query count (one derivation serves every \
          tenant); result_hit_copied_bytes is the runtime zero-copy gauge and must stay 0; \
          request_lifecycle counts are exact deterministic replays (shed rate with zero engine \
-         work, breaker trip/fast-fail, governor degradation); wall-clock is logged, not \
-         gated\",\n  \"serving\": [\n",
+         work, breaker trip/fast-fail, governor degradation); http_overhead round-trips the \
+         same stream through one keep-alive loopback connection (served/copied-byte counters \
+         gated, wall times logged); wall-clock is logged, not gated\",\n  \"serving\": [\n",
         amber_bench::report::git_sha(),
     );
     let _ = writeln!(
@@ -497,8 +621,20 @@ fn main() {
     let _ = writeln!(
         json,
         "    {{\"name\": \"obs_overhead\", \"requests\": {}, \"obs_on_ms\": {:.3}, \
-         \"obs_off_ms\": {:.3}, \"obs_speedup\": {:.3}}}",
+         \"obs_off_ms\": {:.3}, \"obs_speedup\": {:.3}}},",
         obs.requests, obs.obs_on_ms, obs.obs_off_ms, obs.obs_speedup,
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"http_overhead\", \"requests\": {}, \"direct_ms\": {:.3}, \
+         \"http_ms\": {:.3}, \"http_served\": {}, \"http_result_hits\": {}, \
+         \"http_copied_bytes\": {}}}",
+        http.requests,
+        http.direct_ms,
+        http.http_ms,
+        http.http_served,
+        http.http_result_hits,
+        http.http_copied_bytes,
     );
     json.push_str("  ]\n}\n");
 
@@ -570,4 +706,23 @@ fn main() {
         obs.obs_off_ms,
         obs.obs_speedup,
     );
+    // HTTP front-end gates: every wire request answered, repeats hitting
+    // the result cache, and not one result byte copied on the way out.
+    assert_eq!(
+        http.http_served as usize, http.requests,
+        "the HTTP round must serve every request"
+    );
+    assert_eq!(
+        http.http_copied_bytes, 0,
+        "HTTP serving deep-copied result rows; the zero-copy pin must extend \
+         through the wire serializers"
+    );
+    if amber::plan_cache_enabled() {
+        assert!(
+            http.http_result_hits as usize >= http.requests / 2,
+            "a repeat-heavy HTTP stream should mostly hit the result cache: {} of {}",
+            http.http_result_hits,
+            http.requests,
+        );
+    }
 }

@@ -313,7 +313,7 @@ impl AmberEngine {
     /// [`Self::resolve_plan`]; this is what makes `execute_parsed` /
     /// `execute_prepared` cheap per call instead of building three caches
     /// each time.
-    fn transient_session(&self, options: &ExecOptions) -> QuerySession {
+    pub(crate) fn transient_session(&self, options: &ExecOptions) -> QuerySession {
         let mut session = QuerySession::new(options.candidate_cache_capacity);
         session.bind_graph(self.graph_token());
         session
@@ -336,26 +336,33 @@ impl AmberEngine {
     }
 
     /// Parse and execute SPARQL text.
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// `engine.run(&QueryRequest::sparql(text).with_options(options.clone()))`
+    /// is equivalent and returns the unified [`crate::Error`] taxonomy.
+    /// This wrapper stays for source compatibility.
     pub fn execute(
         &self,
         sparql: &str,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
-        let query = amber_sparql::parse_select(sparql)?;
-        self.execute_parsed(&query, options)
+        self.dispatch_once(&crate::QuerySource::Sparql(sparql), options)
     }
 
     /// Execute a parsed query (the online stage) with transient state: a
     /// fresh single-query session per call. Equivalent to
     /// [`Self::execute_in_session`] with a session that is dropped after
     /// one query.
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// `engine.run(&QueryRequest::parsed(query).with_options(options.clone()))`
+    /// is equivalent. This wrapper stays for source compatibility.
     pub fn execute_parsed(
         &self,
         query: &amber_sparql::SelectQuery,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
-        let mut session = self.transient_session(options);
-        self.execute_in_session(query, options, &mut session)
+        self.dispatch_once(&crate::QuerySource::Parsed(query), options)
     }
 
     /// Execute a parsed query against a long-lived session: the matcher
@@ -367,6 +374,10 @@ impl AmberEngine {
     /// prepared plan — or their whole completed outcome — instead of
     /// re-deriving it. Handing a session filled by a *different* engine is
     /// safe — its caches are cleared on first use here.
+    ///
+    /// *Prefer the unified entry point* — [`Self::run_in`] with
+    /// `QueryRequest::parsed(query)` is equivalent; this method remains
+    /// the internal implementation the dispatcher routes to.
     pub fn execute_in_session(
         &self,
         query: &amber_sparql::SelectQuery,
@@ -536,19 +547,26 @@ impl AmberEngine {
 
     /// Execute a prepared plan with transient state (a fresh single-query
     /// session). The plan must have been produced by *this* engine.
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// `engine.run(&QueryRequest::prepared(plan).with_options(options.clone()))`
+    /// is equivalent. This wrapper stays for source compatibility.
     pub fn execute_prepared(
         &self,
         plan: &Arc<PreparedPlan>,
         options: &ExecOptions,
     ) -> Result<QueryOutcome, EngineError> {
-        let mut session = self.transient_session(options);
-        self.execute_prepared_in_session(plan, options, &mut session)
+        self.dispatch_once(&crate::QuerySource::Prepared(plan), options)
     }
 
     /// Execute a prepared plan against a long-lived session (the serving
     /// loop of a prepared-statement workload: prepare once, execute per
     /// request). Outcome variables are the plan's source-query names; the
     /// session result cache applies when enabled.
+    ///
+    /// *Prefer the unified entry point* — [`Self::run_in`] with
+    /// `QueryRequest::prepared(plan)` is equivalent; this method remains
+    /// the internal implementation the dispatcher routes to.
     pub fn execute_prepared_in_session(
         &self,
         plan: &Arc<PreparedPlan>,
@@ -732,6 +750,10 @@ impl AmberEngine {
     /// across all queries of the batch, so repeated-workload streams stop
     /// paying per-query warm-up. Returns per-query outcomes in submission
     /// order plus aggregate statistics (cache hit rate, arena reuse).
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// [`Self::run_all`] over `QueryRequest::parsed` values is equivalent
+    /// (and can mix text, parsed and prepared sources in one batch).
     pub fn execute_batch(
         &self,
         queries: &[amber_sparql::SelectQuery],
@@ -755,6 +777,9 @@ impl AmberEngine {
     /// Parse-and-batch convenience: each text is parsed independently (a
     /// parse failure yields that query's `Err` entry without aborting the
     /// rest of the batch).
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// [`Self::run_all`] over `QueryRequest::sparql` values is equivalent.
     pub fn execute_batch_sparql(&self, sparql: &[&str], options: &ExecOptions) -> BatchOutcome {
         let mut session = self.create_session(options);
         let parsed: Vec<Result<amber_sparql::SelectQuery, EngineError>> = sparql
@@ -768,6 +793,10 @@ impl AmberEngine {
     /// prepared-statement serving loop in batch form. Plans prepared on a
     /// different engine yield per-query [`EngineError::StalePlan`] entries
     /// without aborting the rest.
+    ///
+    /// *Deprecated in favor of the unified entry point* —
+    /// [`Self::run_all`] over `QueryRequest::prepared` values is
+    /// equivalent.
     pub fn execute_batch_prepared(
         &self,
         plans: &[Arc<PreparedPlan>],
@@ -820,7 +849,7 @@ impl AmberEngine {
     /// runs `count` queries through `execute`, tallies per-outcome
     /// counters, and snapshots every session statistic so the report
     /// covers only *this batch's* share.
-    fn drive_batch(
+    pub(crate) fn drive_batch(
         &self,
         count: usize,
         options: &ExecOptions,

@@ -44,6 +44,7 @@ pub mod options;
 pub mod ordering;
 pub mod parallel;
 pub mod plan;
+pub mod request;
 pub mod result;
 pub mod seeds;
 pub mod session;
@@ -51,7 +52,7 @@ pub(crate) mod telemetry;
 
 pub use candidates::{CacheStats, CandidateCache};
 pub use engine::{AmberEngine, OfflineStats};
-pub use error::EngineError;
+pub use error::{EngineError, Error};
 pub use explain::{Explain, QueryPlan};
 pub use governor::{MemoryGovernor, Pressure};
 pub use options::{ExecOptions, Scheduler};
@@ -60,6 +61,7 @@ pub use plan::{
     plan_cache_enabled, PlanCache, PlanCacheStats, PreparedPlan, ResultCache, SharedPlanStats,
     SharedPlanStore,
 };
+pub use request::{QueryRequest, QuerySource};
 pub use result::{BindingRow, Bindings, QueryOutcome, QueryStatus, SparqlEngine};
 pub use seeds::SeedCache;
 pub use session::{BatchOutcome, BatchStats, PoolStats, QuerySession};

@@ -1,0 +1,1042 @@
+#![warn(missing_docs)]
+//! SPARQL HTTP/1.1 endpoint over the AMbER serving layer.
+//!
+//! A dependency-free, thread-per-connection front-end that exposes an
+//! [`amber_serve::Server`] on a TCP port:
+//!
+//! * `GET /sparql?query=…` and `POST /sparql` — the SPARQL Protocol
+//!   query operation (`application/x-www-form-urlencoded` and
+//!   `application/sparql-query` request bodies);
+//! * `GET /metrics` — the server's unified telemetry registry rendered
+//!   in Prometheus text exposition format;
+//! * content negotiation between SPARQL JSON
+//!   (`application/sparql-results+json`, the default) and TSV
+//!   (`text/tab-separated-values`) results — see [`results`];
+//! * per-connection tenant mapping through a configurable header
+//!   ([`HttpConfig::tenant_header`]);
+//! * a `timeout=` parameter (milliseconds) threaded into
+//!   [`SubmitOptions::with_budget`] — queue wait counts against it;
+//! * backpressure: admission rejections surface as `503` with a
+//!   `Retry-After` computed from the serving layer's service-rate EWMA,
+//!   queue sheds as `504` — the whole mapping comes from
+//!   [`amber::Error::status_code`], the one protocol table every
+//!   front-end shares.
+//!
+//! ```no_run
+//! use amber::AmberEngine;
+//! use amber_http::{HttpConfig, HttpServer};
+//! use amber_serve::{ServeConfig, Server};
+//! use std::sync::Arc;
+//!
+//! let engine = Arc::new(AmberEngine::load_ntriples("…").unwrap());
+//! let server = Server::start(engine, ServeConfig::default());
+//! let http = HttpServer::start(server, HttpConfig::default()).unwrap();
+//! println!("listening on http://{}", http.local_addr());
+//! // … later:
+//! let report = http.shutdown();
+//! assert_eq!(report.plan_stats.result_hit_copied_bytes, 0);
+//! ```
+//!
+//! See `docs/http.md` for the endpoint reference and the status-mapping
+//! table.
+
+pub mod results;
+
+pub use results::{sparql_json, sparql_tsv};
+
+use amber_obs::Counter;
+use amber_serve::{ServeReport, Server, SubmitOptions};
+use amber_util::http::{parse_form, parse_request_head, split_target, HttpParseError, RequestHead};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often a connection thread wakes from a blocked read to check the
+/// drain flag (also the granularity of [`HttpConfig::read_deadline`]).
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Front-end registry handles, resolved once per process (the underlying
+/// registry interns by name+labels; caching skips the intern lock).
+/// Updates are additionally gated on [`amber_obs::obs_enabled`].
+struct HttpMetrics {
+    sparql: Arc<Counter>,
+    metrics: Arc<Counter>,
+    other: Arc<Counter>,
+    ok: Arc<Counter>,
+    client_error: Arc<Counter>,
+    server_error: Arc<Counter>,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| HttpMetrics {
+        sparql: amber_obs::counter("amber_http_requests_total", &[("endpoint", "sparql")]),
+        metrics: amber_obs::counter("amber_http_requests_total", &[("endpoint", "metrics")]),
+        other: amber_obs::counter("amber_http_requests_total", &[("endpoint", "other")]),
+        ok: amber_obs::counter("amber_http_responses_total", &[("class", "2xx")]),
+        client_error: amber_obs::counter("amber_http_responses_total", &[("class", "4xx")]),
+        server_error: amber_obs::counter("amber_http_responses_total", &[("class", "5xx")]),
+    })
+}
+
+/// Knobs of an [`HttpServer`].
+#[derive(Debug, Clone)]
+pub struct HttpConfig {
+    /// Bind address; port `0` picks a free port (read it back through
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Request header naming the serving-layer tenant (ASCII
+    /// case-insensitive match).
+    pub tenant_header: String,
+    /// Tenant for requests without the header.
+    pub default_tenant: String,
+    /// Ceiling on the request head (request line + headers); beyond it
+    /// the request is answered `431`.
+    pub max_head_bytes: usize,
+    /// Ceiling on a request body; beyond it the request is answered
+    /// `413`.
+    pub max_body_bytes: usize,
+    /// How long a connection may take to deliver one full request after
+    /// its first byte; beyond it the request is answered `408` (enforced
+    /// at [`POLL_INTERVAL`] granularity).
+    pub read_deadline: Duration,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            tenant_header: "x-amber-tenant".to_string(),
+            default_tenant: "public".to_string(),
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1 << 20,
+            read_deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+/// State shared between the accept loop and every connection thread.
+struct Shared {
+    /// `None` only once [`HttpServer::shutdown`] has taken the server —
+    /// in-flight requests then answer `503 shutting down`. Tickets are
+    /// submitted under the lock but *waited on* outside it, so requests
+    /// execute concurrently.
+    server: Mutex<Option<Server>>,
+    draining: AtomicBool,
+    config: HttpConfig,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// The HTTP front-end: an accept thread plus one thread per live
+/// connection, all over one [`amber_serve::Server`].
+pub struct HttpServer {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl HttpServer {
+    /// Bind [`HttpConfig::addr`] and start serving `server` on it. The
+    /// `Server` is owned by the front-end from here on;
+    /// [`HttpServer::shutdown`] drains it and returns its
+    /// [`ServeReport`].
+    pub fn start(server: Server, config: HttpConfig) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(config.addr.as_str())?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            server: Mutex::new(Some(server)),
+            draining: AtomicBool::new(false),
+            config,
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::Builder::new()
+            .name("amber-http-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))?;
+        Ok(HttpServer {
+            shared,
+            accept: Some(accept),
+            addr,
+        })
+    }
+
+    /// The bound address (resolves the port when `addr` asked for `:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run `f` against the underlying [`Server`] (pause/resume, direct
+    /// submission, trace access…). `None` only during shutdown.
+    pub fn with_server<R>(&self, f: impl FnOnce(&Server) -> R) -> Option<R> {
+        let guard = self.shared.server.lock().unwrap_or_else(|e| e.into_inner());
+        guard.as_ref().map(f)
+    }
+
+    /// Graceful drain: stop accepting, let every in-flight request finish
+    /// and close idle keep-alive connections, then shut the serving layer
+    /// down (which drains its queue) and return its report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let conns =
+            std::mem::take(&mut *self.shared.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for conn in conns {
+            let _ = conn.join();
+        }
+        let server = self
+            .shared
+            .server
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take()
+            .expect("server is only taken by shutdown");
+        server.shutdown()
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.draining.load(Ordering::SeqCst) {
+            // The shutdown wake-up (or a client racing it) — stop.
+            return;
+        }
+        if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+            continue;
+        }
+        // Responses are written as two small bursts (head, body); without
+        // NODELAY, Nagle against delayed ACKs costs ~40 ms per exchange.
+        let _ = stream.set_nodelay(true);
+        let conn_shared = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("amber-http-conn".to_string())
+            .spawn(move || handle_connection(stream, conn_shared));
+        if let Ok(handle) = handle {
+            let mut conns = shared.conns.lock().unwrap_or_else(|e| e.into_inner());
+            conns.retain(|c| !c.is_finished());
+            conns.push(handle);
+        }
+    }
+}
+
+/// What one poll-interval read attempt produced.
+enum ReadStep {
+    /// New bytes were appended to the buffer.
+    Progress,
+    /// The peer closed (or the socket failed) — abandon the connection.
+    Closed,
+    /// A partially received request outlived the read deadline.
+    Deadline,
+    /// The connection is idle (no request bytes) and the server is
+    /// draining — close it.
+    DrainIdle,
+}
+
+/// Block (at [`POLL_INTERVAL`] granularity) until more request bytes
+/// arrive, the connection dies, the drain flag trips on an idle
+/// connection, or a partial request exceeds the read deadline.
+fn read_step(
+    stream: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    shared: &Shared,
+    started: &mut Option<Instant>,
+) -> ReadStep {
+    let mut tmp = [0u8; 4096];
+    loop {
+        match stream.read(&mut tmp) {
+            Ok(0) => return ReadStep::Closed,
+            Ok(n) => {
+                started.get_or_insert_with(Instant::now);
+                buf.extend_from_slice(&tmp[..n]);
+                return ReadStep::Progress;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if buf.is_empty() && shared.draining.load(Ordering::SeqCst) {
+                    return ReadStep::DrainIdle;
+                }
+                if let Some(started) = started {
+                    if started.elapsed() >= shared.config.read_deadline {
+                        return ReadStep::Deadline;
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return ReadStep::Closed,
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        // Phase 1: accumulate one full request head.
+        let mut started: Option<Instant> = (!buf.is_empty()).then(Instant::now);
+        let (head, consumed) = loop {
+            match parse_request_head(&buf, shared.config.max_head_bytes) {
+                Ok(Some(parsed)) => break parsed,
+                Ok(None) => {}
+                Err(e) => {
+                    let status = match e {
+                        HttpParseError::HeadTooLarge => 431,
+                        HttpParseError::UnsupportedVersion => 505,
+                        _ => 400,
+                    };
+                    respond_and_count(&mut stream, &Response::error(status, &e.to_string()), false);
+                    return;
+                }
+            }
+            match read_step(&mut stream, &mut buf, &shared, &mut started) {
+                ReadStep::Progress => {}
+                ReadStep::Closed | ReadStep::DrainIdle => return,
+                ReadStep::Deadline => {
+                    respond_and_count(
+                        &mut stream,
+                        &Response::error(408, "request not received in time"),
+                        false,
+                    );
+                    return;
+                }
+            }
+        };
+        // Phase 2: the declared body.
+        let body_len = match head.content_length() {
+            Ok(len) => len.unwrap_or(0),
+            Err(e) => {
+                respond_and_count(&mut stream, &Response::error(400, &e.to_string()), false);
+                return;
+            }
+        };
+        if body_len > shared.config.max_body_bytes {
+            respond_and_count(
+                &mut stream,
+                &Response::error(413, "request body too large"),
+                false,
+            );
+            return;
+        }
+        while buf.len() < consumed + body_len {
+            match read_step(&mut stream, &mut buf, &shared, &mut started) {
+                ReadStep::Progress => {}
+                ReadStep::Closed | ReadStep::DrainIdle => return,
+                ReadStep::Deadline => {
+                    respond_and_count(
+                        &mut stream,
+                        &Response::error(408, "request body not received in time"),
+                        false,
+                    );
+                    return;
+                }
+            }
+        }
+        // Phase 3: dispatch and answer.
+        let response = handle_request(&shared, &head, &buf[consumed..consumed + body_len]);
+        let close = head.wants_close() || shared.draining.load(Ordering::SeqCst);
+        respond_and_count(&mut stream, &response, !close);
+        if close {
+            return;
+        }
+        buf.drain(..consumed + body_len);
+    }
+}
+
+/// One response, ready to write.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+    extra: Vec<(&'static str, String)>,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Response {
+            status: 200,
+            content_type,
+            body,
+            extra: Vec::new(),
+        }
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: format!("{message}\n"),
+            extra: Vec::new(),
+        }
+    }
+
+    fn with_header(mut self, name: &'static str, value: String) -> Self {
+        self.extra.push((name, value));
+        self
+    }
+
+    /// Fold any unified-taxonomy failure into its wire form: the status
+    /// from [`amber::Error::status_code`], a `Retry-After` (whole
+    /// seconds, rounded up) when [`amber::Error::retry_after`] carries a
+    /// hint, the `Display` text as the body.
+    fn from_error(e: &amber::Error) -> Self {
+        let mut response = Response::error(e.status_code(), &e.to_string());
+        if let Some(hint) = e.retry_after() {
+            let secs = hint.as_secs() + u64::from(hint.subsec_nanos() > 0);
+            response = response.with_header("Retry-After", secs.max(1).to_string());
+        }
+        response
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        406 => "Not Acceptable",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        415 => "Unsupported Media Type",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+fn respond_and_count(stream: &mut TcpStream, response: &Response, keep_alive: bool) {
+    if amber_obs::obs_enabled() {
+        let metrics = http_metrics();
+        match response.status {
+            200..=299 => metrics.ok.inc(),
+            400..=499 => metrics.client_error.inc(),
+            _ => metrics.server_error.inc(),
+        }
+    }
+    let _ = write_response(stream, response, keep_alive);
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut head = String::with_capacity(160);
+    let _ = write!(
+        head,
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
+        response.status,
+        reason_phrase(response.status),
+        response.content_type,
+        response.body.len(),
+    );
+    for (name, value) in &response.extra {
+        let _ = write!(head, "{name}: {value}\r\n");
+    }
+    let _ = write!(
+        head,
+        "Connection: {}\r\n\r\n",
+        if keep_alive { "keep-alive" } else { "close" }
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()
+}
+
+fn handle_request(shared: &Shared, head: &RequestHead, body: &[u8]) -> Response {
+    let (path, raw_query) = split_target(&head.target);
+    let obs = amber_obs::obs_enabled();
+    match path {
+        "/sparql" => {
+            if obs {
+                http_metrics().sparql.inc();
+            }
+            sparql_endpoint(shared, head, raw_query, body)
+        }
+        "/metrics" => {
+            if obs {
+                http_metrics().metrics.inc();
+            }
+            metrics_endpoint(shared, head)
+        }
+        _ => {
+            if obs {
+                http_metrics().other.inc();
+            }
+            Response::error(404, "no such resource (try /sparql or /metrics)")
+        }
+    }
+}
+
+/// The negotiated result serialization.
+enum Format {
+    Json,
+    Tsv,
+}
+
+/// First supported media type in the `Accept` header wins (q-values are
+/// ignored); no header (or a wildcard) means JSON; nothing supported
+/// means `None` → 406.
+fn negotiate(accept: Option<&str>) -> Option<Format> {
+    let Some(accept) = accept else {
+        return Some(Format::Json);
+    };
+    for part in accept.split(',') {
+        let media = part
+            .split(';')
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_ascii_lowercase();
+        match media.as_str() {
+            "application/sparql-results+json" | "application/json" | "*/*" | "application/*" => {
+                return Some(Format::Json)
+            }
+            "text/tab-separated-values" | "text/*" => return Some(Format::Tsv),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn sparql_endpoint(
+    shared: &Shared,
+    head: &RequestHead,
+    raw_query: Option<&str>,
+    body: &[u8],
+) -> Response {
+    // Parameters come from the URL's query string for every method, plus
+    // the body for `POST` with a form body. A direct
+    // `application/sparql-query` body *is* the query.
+    let mut params = raw_query.map(parse_form).unwrap_or_default();
+    let mut direct_query: Option<&str> = None;
+    match head.method.as_str() {
+        "GET" => {}
+        "POST" => {
+            let Ok(text) = std::str::from_utf8(body) else {
+                return Response::error(400, "request body is not UTF-8");
+            };
+            match head.media_type().as_deref() {
+                Some("application/x-www-form-urlencoded") => params.extend(parse_form(text)),
+                Some("application/sparql-query") => direct_query = Some(text),
+                _ => {
+                    return Response::error(
+                        415,
+                        "POST /sparql takes application/x-www-form-urlencoded \
+                         or application/sparql-query",
+                    )
+                }
+            }
+        }
+        _ => {
+            return Response::error(405, "use GET or POST")
+                .with_header("Allow", "GET, POST".to_string())
+        }
+    }
+    let query = match direct_query {
+        Some(text) => text,
+        None => match params.iter().find(|(k, _)| k == "query") {
+            Some((_, v)) => v.as_str(),
+            None => return Response::error(400, "missing required `query` parameter"),
+        },
+    };
+    let mut opts = SubmitOptions::new();
+    if let Some((_, raw)) = params.iter().find(|(k, _)| k == "timeout") {
+        match raw.parse::<u64>() {
+            Ok(ms) if ms > 0 => opts = opts.with_budget(Duration::from_millis(ms)),
+            _ => {
+                return Response::error(400, "`timeout` must be a positive integer (milliseconds)")
+            }
+        }
+    }
+    let Some(format) = negotiate(head.header("accept")) else {
+        return Response::error(
+            406,
+            "supported result formats: application/sparql-results+json, \
+             text/tab-separated-values",
+        );
+    };
+    let tenant = head
+        .header(&shared.config.tenant_header)
+        .filter(|t| !t.is_empty())
+        .unwrap_or(&shared.config.default_tenant);
+
+    // Submit under the lock, wait outside it: requests run concurrently.
+    let submitted = {
+        let guard = shared.server.lock().unwrap_or_else(|e| e.into_inner());
+        match guard.as_ref() {
+            Some(server) => server.submit_sparql_with(tenant, query, opts),
+            None => return Response::from_error(&amber::Error::ShuttingDown),
+        }
+    };
+    match submitted.and_then(|ticket| ticket.wait()) {
+        Ok(outcome) => match format {
+            Format::Json => Response::ok(
+                "application/sparql-results+json",
+                results::sparql_json(&outcome),
+            ),
+            Format::Tsv => Response::ok(
+                "text/tab-separated-values; charset=utf-8",
+                results::sparql_tsv(&outcome),
+            ),
+        },
+        Err(e) => Response::from_error(&amber::Error::from(e)),
+    }
+}
+
+fn metrics_endpoint(shared: &Shared, head: &RequestHead) -> Response {
+    if head.method != "GET" {
+        return Response::error(405, "use GET").with_header("Allow", "GET".to_string());
+    }
+    let guard = shared.server.lock().unwrap_or_else(|e| e.into_inner());
+    match guard.as_ref() {
+        Some(server) => Response::ok(
+            "text/plain; version=0.0.4",
+            server.metrics_snapshot().render_prometheus(),
+        ),
+        None => Response::from_error(&amber::Error::ShuttingDown),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber::AmberEngine;
+    use amber_serve::ServeConfig;
+    use std::net::Shutdown;
+
+    const DATA: &str = r#"
+<http://e/a> <http://e/p> <http://e/b> .
+<http://e/b> <http://e/p> <http://e/c> .
+<http://e/b> <http://e/q> "hi there"@en .
+"#;
+    const EDGE: &str = "SELECT ?x ?y WHERE { ?x <http://e/p> ?y . }";
+
+    fn start_http(serve: ServeConfig, http: HttpConfig) -> HttpServer {
+        let engine = Arc::new(AmberEngine::load_ntriples(DATA).unwrap());
+        HttpServer::start(Server::start(engine, serve), http).unwrap()
+    }
+
+    fn start_default() -> HttpServer {
+        start_http(ServeConfig::default(), HttpConfig::default())
+    }
+
+    /// Read one `Content-Length`-framed response off the stream.
+    fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, String) {
+        let mut buf = Vec::new();
+        let mut tmp = [0u8; 1024];
+        let head_end = loop {
+            if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break i + 4;
+            }
+            let n = stream.read(&mut tmp).expect("response head");
+            assert!(n > 0, "connection closed before a response arrived");
+            buf.extend_from_slice(&tmp[..n]);
+        };
+        let head = String::from_utf8(buf[..head_end - 4].to_vec()).unwrap();
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .unwrap()
+            .split(' ')
+            .nth(1)
+            .unwrap()
+            .parse()
+            .unwrap();
+        let headers: Vec<(String, String)> = lines
+            .map(|l| {
+                let (k, v) = l.split_once(':').unwrap();
+                (k.trim().to_ascii_lowercase(), v.trim().to_string())
+            })
+            .collect();
+        let len: usize = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| v.parse().unwrap())
+            .unwrap_or(0);
+        while buf.len() < head_end + len {
+            let n = stream.read(&mut tmp).expect("response body");
+            assert!(n > 0, "connection closed mid-body");
+            buf.extend_from_slice(&tmp[..n]);
+        }
+        let body = String::from_utf8(buf[head_end..head_end + len].to_vec()).unwrap();
+        (status, headers, body)
+    }
+
+    fn send(addr: SocketAddr, request: &str) -> (u16, Vec<(String, String)>, String) {
+        send_bytes(addr, request.as_bytes())
+    }
+
+    fn send_bytes(addr: SocketAddr, request: &[u8]) -> (u16, Vec<(String, String)>, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(request).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        read_response(&mut stream)
+    }
+
+    fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    #[test]
+    fn get_returns_sparql_json() {
+        let http = start_default();
+        let (status, headers, body) = send(
+            http.local_addr(),
+            "GET /sparql?query=SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fe%2Fp%3E%20%3Fy%20.%20%7D HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            header(&headers, "content-type"),
+            Some("application/sparql-results+json")
+        );
+        assert!(
+            body.starts_with("{\"head\":{\"vars\":[\"x\",\"y\"]}"),
+            "{body}"
+        );
+        assert!(
+            body.contains("{\"type\":\"uri\",\"value\":\"http://e/a\"}")
+                && body.contains("{\"type\":\"uri\",\"value\":\"http://e/c\"}"),
+            "{body}"
+        );
+    }
+
+    #[test]
+    fn post_bodies_urlencoded_and_direct() {
+        let http = start_default();
+        let form = "query=SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fe%2Fp%3E%20%3Fy%20.%20%7D";
+        let (status, _, form_body) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{form}",
+                form.len()
+            ),
+        );
+        assert_eq!(status, 200, "{form_body}");
+        let (status, _, direct_body) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                EDGE.len()
+            ),
+        );
+        assert_eq!(status, 200, "{direct_body}");
+        assert_eq!(
+            form_body, direct_body,
+            "both POST bodies run the same query"
+        );
+    }
+
+    #[test]
+    fn accept_negotiates_tsv() {
+        let http = start_default();
+        let (status, headers, body) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nAccept: text/tab-separated-values\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                EDGE.len()
+            ),
+        );
+        assert_eq!(status, 200, "{body}");
+        assert_eq!(
+            header(&headers, "content-type"),
+            Some("text/tab-separated-values; charset=utf-8")
+        );
+        assert!(body.starts_with("?x\t?y\n"), "{body}");
+        assert!(body.contains("<http://e/a>\t<http://e/b>"), "{body}");
+        assert!(body.contains("<http://e/b>\t<http://e/c>"), "{body}");
+        http.shutdown();
+    }
+
+    #[test]
+    fn tenant_header_routes_to_that_tenant() {
+        let http = start_default();
+        let (status, _, _) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nX-Amber-Tenant: alice\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                EDGE.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        let (status, _, _) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                EDGE.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        let report = http.shutdown();
+        assert_eq!(report.served_for("alice"), 1);
+        assert_eq!(report.served_for("public"), 1);
+    }
+
+    #[test]
+    fn protocol_errors_are_mapped() {
+        let http = start_default();
+        let addr = http.local_addr();
+        // Missing query.
+        let (status, _, body) = send(addr, "GET /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 400, "{body}");
+        assert!(body.contains("query"), "{body}");
+        // Unparseable SPARQL → engine parse error → 400.
+        let (status, _, _) = send(addr, "GET /sparql?query=nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 400);
+        // Bad timeout value.
+        let (status, _, body) = send(
+            addr,
+            "GET /sparql?query=x&timeout=soon HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("timeout"), "{body}");
+        // Unsupported method.
+        let (status, headers, _) = send(addr, "PUT /sparql HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 405);
+        assert_eq!(header(&headers, "allow"), Some("GET, POST"));
+        // Unknown path.
+        let (status, _, _) = send(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 404);
+        // Unsupported POST media type.
+        let (status, _, _) = send(
+            addr,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: text/plain\r\nContent-Length: 1\r\n\r\nx",
+        );
+        assert_eq!(status, 415);
+        // Unsatisfiable Accept.
+        let (status, _, _) = send(
+            addr,
+            "GET /sparql?query=x HTTP/1.1\r\nHost: t\r\nAccept: application/xml\r\n\r\n",
+        );
+        assert_eq!(status, 406);
+        http.shutdown();
+    }
+
+    #[test]
+    fn malformed_heads_are_rejected_with_typed_statuses() {
+        let http = start_default();
+        let addr = http.local_addr();
+        let (status, _, _) = send(addr, "garbage\r\n\r\n");
+        assert_eq!(status, 400);
+        let (status, _, _) = send(addr, "GET / HTTP/2.0\r\nHost: t\r\n\r\n");
+        assert_eq!(status, 505);
+        let huge = format!("GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n", "a".repeat(10_000));
+        let (status, _, _) = send(addr, &huge);
+        assert_eq!(status, 431);
+        let (status, _, _) = send(
+            addr,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: nope\r\n\r\n",
+        );
+        assert_eq!(status, 400);
+        let (status, _, _) = send(
+            addr,
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Length: 99999999\r\n\r\n",
+        );
+        assert_eq!(status, 413);
+        http.shutdown();
+    }
+
+    #[test]
+    fn slow_requests_answer_408() {
+        let http = start_http(
+            ServeConfig::default(),
+            HttpConfig {
+                read_deadline: Duration::from_millis(300),
+                ..HttpConfig::default()
+            },
+        );
+        let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.write_all(b"GET /spar").unwrap(); // …and never finish
+        let (status, _, _) = read_response(&mut stream);
+        assert_eq!(status, 408);
+        http.shutdown();
+    }
+
+    #[test]
+    fn overload_maps_to_503_with_retry_after() {
+        let http = start_http(
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                paused: true,
+                ..ServeConfig::default()
+            },
+            HttpConfig::default(),
+        );
+        // Fill the only queue slot while dispatch is paused.
+        let pending = http
+            .with_server(|s| s.submit_sparql("filler", EDGE))
+            .unwrap()
+            .unwrap();
+        let (status, headers, body) = send(
+            http.local_addr(),
+            "GET /sparql?query=SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fe%2Fp%3E%20%3Fy%20.%20%7D HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 503, "{body}");
+        assert!(
+            header(&headers, "retry-after")
+                .and_then(|v| v.parse::<u64>().ok())
+                .is_some_and(|v| v >= 1),
+            "missing Retry-After: {headers:?}"
+        );
+        assert!(body.contains("overloaded"), "{body}");
+        http.with_server(|s| s.resume());
+        pending.wait().unwrap();
+        http.shutdown();
+    }
+
+    #[test]
+    fn timeout_parameter_is_a_budget() {
+        let http = start_http(
+            ServeConfig {
+                workers: 1,
+                paused: true,
+                ..ServeConfig::default()
+            },
+            HttpConfig::default(),
+        );
+        // Paused dispatch: a 1ms budget expires in the queue → 504.
+        let addr = http.local_addr();
+        let client = std::thread::spawn(move || {
+            send(
+                addr,
+                "GET /sparql?query=SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fe%2Fp%3E%20%3Fy%20.%20%7D&timeout=1 HTTP/1.1\r\nHost: t\r\n\r\n",
+            )
+        });
+        std::thread::sleep(Duration::from_millis(100));
+        http.with_server(|s| s.resume());
+        let (status, _, body) = client.join().unwrap();
+        assert_eq!(status, 504, "{body}");
+        assert!(body.contains("deadline"), "{body}");
+        http.shutdown();
+    }
+
+    #[test]
+    fn metrics_endpoint_renders_the_unified_registry() {
+        let _obs = amber_obs::force_enabled(true);
+        let http = start_default();
+        let (status, _, _) = send(
+            http.local_addr(),
+            &format!(
+                "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                EDGE.len()
+            ),
+        );
+        assert_eq!(status, 200);
+        let (status, headers, body) = send(
+            http.local_addr(),
+            "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(
+            header(&headers, "content-type"),
+            Some("text/plain; version=0.0.4")
+        );
+        assert!(body.contains("amber_serve_requests_total"), "{body}");
+        assert!(
+            body.contains("amber_http_requests_total{endpoint=\"sparql\"}"),
+            "{body}"
+        );
+        // Same renderer as the embedded snapshot.
+        let direct = http
+            .with_server(|s| s.metrics_snapshot().render_prometheus())
+            .unwrap();
+        assert!(direct.contains("amber_http_requests_total"));
+        let (status, _, _) = send(
+            http.local_addr(),
+            "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n",
+        );
+        assert_eq!(status, 405);
+        http.shutdown();
+    }
+
+    #[test]
+    fn keep_alive_serves_sequential_requests() {
+        let http = start_default();
+        let mut stream = TcpStream::connect(http.local_addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let request = format!(
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+            EDGE.len()
+        );
+        stream.write_all(request.as_bytes()).unwrap();
+        let (status, headers, first) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+        stream.write_all(request.as_bytes()).unwrap();
+        let (status, _, second) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(first, second);
+        // Third request asks to close; the server honors it.
+        let closing = format!(
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+            EDGE.len()
+        );
+        stream.write_all(closing.as_bytes()).unwrap();
+        let (status, headers, _) = read_response(&mut stream);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("close"));
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "server must close after Connection: close");
+        http.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_idle_connections_and_pins_zero_copies() {
+        let http = start_default();
+        // Same query twice: the second answer is a verbatim result-cache
+        // hit served over the wire without copying a row.
+        for _ in 0..2 {
+            let (status, _, _) = send(
+                http.local_addr(),
+                &format!(
+                    "POST /sparql HTTP/1.1\r\nHost: t\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{EDGE}",
+                    EDGE.len()
+                ),
+            );
+            assert_eq!(status, 200);
+        }
+        // Leave an idle keep-alive connection open: drain must not hang.
+        let idle = TcpStream::connect(http.local_addr()).unwrap();
+        let report = http.shutdown();
+        drop(idle);
+        assert_eq!(report.served_for("public"), 2);
+        assert!(
+            report.plan_stats.results.hits >= 1,
+            "second request should hit the result cache: {:?}",
+            report.plan_stats
+        );
+        assert_eq!(
+            report.plan_stats.result_hit_copied_bytes, 0,
+            "serving over HTTP must not copy result rows"
+        );
+    }
+}

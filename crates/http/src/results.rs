@@ -1,0 +1,285 @@
+//! SPARQL query-results serialization: the SPARQL 1.1 Query Results JSON
+//! format and the TSV format.
+//!
+//! Both serializers stream straight off the outcome's `Arc`-shared
+//! [`Bindings`](amber::Bindings) rows — they borrow every term and never
+//! call `to_vec()`, so serving a cached result copies **zero** result
+//! bytes (the serving layer's `result_hit_copied_bytes == 0` pin extends
+//! through the wire format).
+//!
+//! Bound terms arrive in the engine's dictionary surface form:
+//!
+//! * literals start with `"` and keep their N-Triples escaping, followed
+//!   by an optional `@lang` or `^^<datatype-iri>` suffix;
+//! * blank nodes are `_:label`;
+//! * everything else is a bare IRI.
+
+use amber::QueryOutcome;
+use amber_util::http::json_escape_into;
+
+/// One classified dictionary term, borrowing from the binding row.
+enum Term<'a> {
+    Iri(&'a str),
+    BNode(&'a str),
+    Literal {
+        /// The body between the quotes, still N-Triples-escaped.
+        body: &'a str,
+        lang: Option<&'a str>,
+        datatype: Option<&'a str>,
+    },
+}
+
+/// Split a dictionary surface form into IRI / blank node / literal.
+fn classify(term: &str) -> Term<'_> {
+    if let Some(label) = term.strip_prefix("_:") {
+        return Term::BNode(label);
+    }
+    let Some(after) = term.strip_prefix('"') else {
+        return Term::Iri(term);
+    };
+    // Find the closing quote, honoring backslash escapes. The scan only
+    // ever stops on ASCII bytes, so the slice below stays on char
+    // boundaries even through multi-byte text.
+    let bytes = after.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => break,
+            _ => i += 1,
+        }
+    }
+    let body = &after[..i.min(after.len())];
+    let suffix = after.get(i + 1..).unwrap_or("");
+    let (lang, datatype) = if let Some(l) = suffix.strip_prefix('@') {
+        (Some(l), None)
+    } else if let Some(dt) = suffix.strip_prefix("^^<").and_then(|s| s.strip_suffix('>')) {
+        (None, Some(dt))
+    } else {
+        (None, None)
+    };
+    Term::Literal {
+        body,
+        lang,
+        datatype,
+    }
+}
+
+/// Undo the N-Triples string escapes (`\" \\ \n \r \t`) the dictionary
+/// stores literal bodies with, producing the raw value.
+fn unescape_literal(body: &str) -> String {
+    let mut out = String::with_capacity(body.len());
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('t') => out.push('\t'),
+            Some(c) => out.push(c), // \" and \\ (and anything else, verbatim)
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// Serialize an outcome as SPARQL 1.1 Query Results JSON
+/// (`application/sparql-results+json`):
+///
+/// ```json
+/// {"head":{"vars":["x"]},"results":{"bindings":[
+///   {"x":{"type":"uri","value":"http://example/a"}}
+/// ]}}
+/// ```
+pub fn sparql_json(outcome: &QueryOutcome) -> String {
+    let mut out = String::with_capacity(64 + outcome.bindings.len() * 64);
+    out.push_str("{\"head\":{\"vars\":[");
+    for (i, var) in outcome.variables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        json_escape_into(&mut out, var);
+        out.push('"');
+    }
+    out.push_str("]},\"results\":{\"bindings\":[");
+    for (ri, row) in outcome.bindings.iter().enumerate() {
+        if ri > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        for (ci, (var, term)) in outcome.variables.iter().zip(row.iter()).enumerate() {
+            if ci > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            json_escape_into(&mut out, var);
+            out.push_str("\":");
+            json_term_into(&mut out, term);
+        }
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+fn json_term_into(out: &mut String, term: &str) {
+    match classify(term) {
+        Term::Iri(iri) => {
+            out.push_str("{\"type\":\"uri\",\"value\":\"");
+            json_escape_into(out, iri);
+            out.push_str("\"}");
+        }
+        Term::BNode(label) => {
+            out.push_str("{\"type\":\"bnode\",\"value\":\"");
+            json_escape_into(out, label);
+            out.push_str("\"}");
+        }
+        Term::Literal {
+            body,
+            lang,
+            datatype,
+        } => {
+            out.push_str("{\"type\":\"literal\",\"value\":\"");
+            json_escape_into(out, &unescape_literal(body));
+            out.push('"');
+            if let Some(lang) = lang {
+                out.push_str(",\"xml:lang\":\"");
+                json_escape_into(out, lang);
+                out.push('"');
+            }
+            if let Some(dt) = datatype {
+                out.push_str(",\"datatype\":\"");
+                json_escape_into(out, dt);
+                out.push('"');
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Serialize an outcome as SPARQL 1.1 Query Results TSV
+/// (`text/tab-separated-values`): a `?var`-header line, then one row per
+/// binding with terms in N-Triples syntax. Literals and blank nodes are
+/// already in that syntax in the dictionary (tabs/newlines arrive
+/// pre-escaped), so they pass through verbatim; IRIs gain their `<>`.
+pub fn sparql_tsv(outcome: &QueryOutcome) -> String {
+    let mut out = String::with_capacity(16 + outcome.bindings.len() * 48);
+    for (i, var) in outcome.variables.iter().enumerate() {
+        if i > 0 {
+            out.push('\t');
+        }
+        out.push('?');
+        out.push_str(var);
+    }
+    out.push('\n');
+    for row in &outcome.bindings {
+        for (i, term) in row.iter().enumerate() {
+            if i > 0 {
+                out.push('\t');
+            }
+            match classify(term) {
+                Term::Iri(iri) => {
+                    out.push('<');
+                    out.push_str(iri);
+                    out.push('>');
+                }
+                Term::BNode(_) | Term::Literal { .. } => out.push_str(term),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber::{Bindings, QueryStatus};
+    use std::time::Duration;
+
+    fn outcome(vars: &[&str], rows: &[&[&str]]) -> QueryOutcome {
+        QueryOutcome {
+            status: QueryStatus::Completed,
+            embedding_count: rows.len() as u128,
+            variables: vars.iter().map(|v| Box::from(*v)).collect(),
+            bindings: rows
+                .iter()
+                .map(|row| row.iter().map(|t| Box::from(*t)).collect())
+                .collect::<Bindings>(),
+            elapsed: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn json_golden_bytes() {
+        let o = outcome(
+            &["s", "o"],
+            &[
+                &["http://x/a", "\"hi\"@en"],
+                &["_:b0", "\"1\"^^<http://www.w3.org/2001/XMLSchema#integer>"],
+                &["http://x/b", "\"line\\nbreak \\\"q\\\"\""],
+            ],
+        );
+        assert_eq!(
+            sparql_json(&o),
+            concat!(
+                "{\"head\":{\"vars\":[\"s\",\"o\"]},\"results\":{\"bindings\":[",
+                "{\"s\":{\"type\":\"uri\",\"value\":\"http://x/a\"},",
+                "\"o\":{\"type\":\"literal\",\"value\":\"hi\",\"xml:lang\":\"en\"}},",
+                "{\"s\":{\"type\":\"bnode\",\"value\":\"b0\"},",
+                "\"o\":{\"type\":\"literal\",\"value\":\"1\",",
+                "\"datatype\":\"http://www.w3.org/2001/XMLSchema#integer\"}},",
+                "{\"s\":{\"type\":\"uri\",\"value\":\"http://x/b\"},",
+                "\"o\":{\"type\":\"literal\",\"value\":\"line\\nbreak \\\"q\\\"\"}}",
+                "]}}"
+            )
+        );
+    }
+
+    #[test]
+    fn tsv_golden_bytes() {
+        let o = outcome(
+            &["s", "o"],
+            &[&["http://x/a", "\"hi\"@en"], &["_:b0", "\"tab\\there\""]],
+        );
+        assert_eq!(
+            sparql_tsv(&o),
+            "?s\t?o\n<http://x/a>\t\"hi\"@en\n_:b0\t\"tab\\there\"\n"
+        );
+    }
+
+    #[test]
+    fn empty_results_keep_their_shape() {
+        let o = outcome(&["x"], &[]);
+        assert_eq!(
+            sparql_json(&o),
+            "{\"head\":{\"vars\":[\"x\"]},\"results\":{\"bindings\":[]}}"
+        );
+        assert_eq!(sparql_tsv(&o), "?x\n");
+    }
+
+    #[test]
+    fn malformed_literals_degrade_instead_of_panicking() {
+        // An unterminated stored literal (cannot come out of the parser,
+        // but the serializer must not index out of bounds on it).
+        let o = outcome(&["x"], &[&["\"dangling"]]);
+        assert!(sparql_json(&o).contains("dangling"));
+        assert!(sparql_tsv(&o).contains("dangling"));
+    }
+
+    #[test]
+    fn serialization_borrows_the_shared_rows() {
+        let o = outcome(&["x"], &[&["http://x/a"]]);
+        let clone = o.clone();
+        let _ = sparql_json(&o);
+        let _ = sparql_tsv(&o);
+        assert!(
+            o.bindings.shares_rows(&clone.bindings),
+            "serializers must not detach the shared row allocation"
+        );
+    }
+}

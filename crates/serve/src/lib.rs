@@ -201,10 +201,16 @@ pub struct SubmitOptions {
     /// [`budget`](Self::budget), the clock starts at dispatch, not at
     /// admission.
     pub timeout: Option<Duration>,
+    /// Force the tenant session's flight recorder on for this one request
+    /// (span tree retained in the session's trace ring), even when the
+    /// server-wide [`ServeConfig::trace`] is off. The session's tracing
+    /// configuration is restored after the request. No-op under
+    /// `AMBER_OBS=off`.
+    pub tracing: bool,
 }
 
 impl SubmitOptions {
-    /// Options with no budget and no per-request timeout.
+    /// Options with no budget, no per-request timeout, no forced tracing.
     pub fn new() -> Self {
         Self::default()
     }
@@ -218,6 +224,12 @@ impl SubmitOptions {
     /// Set the per-request execution [`timeout`](Self::timeout).
     pub fn with_timeout(mut self, limit: Duration) -> Self {
         self.timeout = Some(limit);
+        self
+    }
+
+    /// Set per-request [`tracing`](Self::tracing).
+    pub fn with_tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
         self
     }
 }
@@ -300,6 +312,37 @@ impl From<EngineError> for ServeError {
     }
 }
 
+impl From<ServeError> for amber::Error {
+    /// Fold a serving-layer failure into the unified [`amber::Error`]
+    /// taxonomy, which carries the wire mapping
+    /// ([`status_code`](amber::Error::status_code) /
+    /// [`retry_after`](amber::Error::retry_after)) every front-end
+    /// shares. The structured [`TripCause`] is rendered to text (the
+    /// engine crate cannot name serving-layer types).
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Engine(e) => amber::Error::Engine(e),
+            ServeError::DeadlineExpired { budget, waited } => {
+                amber::Error::DeadlineExpired { budget, waited }
+            }
+            ServeError::CircuitOpen { cause, retry_after } => amber::Error::CircuitOpen {
+                cause: cause.to_string(),
+                retry_after,
+            },
+            ServeError::Overloaded {
+                capacity,
+                queued,
+                retry_after,
+            } => amber::Error::Overloaded {
+                capacity,
+                queued,
+                retry_after,
+            },
+            ServeError::ShuttingDown => amber::Error::ShuttingDown,
+        }
+    }
+}
+
 /// One accepted request's completion slot.
 struct TicketInner {
     slot: Mutex<Option<Result<QueryOutcome, ServeError>>>,
@@ -365,6 +408,9 @@ struct Request {
     cancel: CancelToken,
     /// This request is its tenant's single half-open breaker probe.
     probe: bool,
+    /// Force the session's flight recorder on for this dispatch
+    /// ([`SubmitOptions::tracing`]); restored afterwards.
+    tracing: bool,
 }
 
 /// Per-tenant serving state.
@@ -610,6 +656,7 @@ impl Server {
             timeout: opts.timeout,
             cancel: CancelToken::new(),
             probe,
+            tracing: opts.tracing,
         });
         state.queued += 1;
         if amber_obs::obs_enabled() {
@@ -681,6 +728,22 @@ impl Server {
             .and_then(|(_, t)| t.session.as_ref())
             .map(|s| s.flight_recorder().slow_log().map(str::to_string).collect())
             .unwrap_or_default()
+    }
+
+    /// One tenant's most recent recorded span trace, rendered (see
+    /// [`SubmitOptions::with_tracing`] and [`ServeConfig::trace`]). `None`
+    /// if the tenant is unknown, its session is mid-dispatch, or nothing
+    /// was traced. The completion-visibility contract applies: a trace of
+    /// a request is readable as soon as its ticket is redeemed.
+    pub fn last_trace(&self, tenant: &str) -> Option<String> {
+        let state = self.shared.lock();
+        state
+            .tenants
+            .iter()
+            .find(|(key, _)| ***key == *tenant)
+            .and_then(|(_, t)| t.session.as_ref())
+            .and_then(|s| s.flight_recorder().last())
+            .map(|trace| trace.render())
     }
 
     /// Stop admission, serve everything already queued (resuming dispatch
@@ -940,6 +1003,18 @@ fn serve_loop(ctx: &WorkerContext) {
                             }
                             sess
                         });
+                        // Per-request tracing ([`SubmitOptions::tracing`]):
+                        // force the recorder on for this dispatch only and
+                        // restore the session's own configuration after.
+                        let restore_tracing = if request.tracing {
+                            let (was_enabled, threshold) = sess.flight_recorder().config();
+                            if !was_enabled {
+                                sess.configure_tracing(true, threshold);
+                            }
+                            Some((was_enabled, threshold))
+                        } else {
+                            None
+                        };
                         let started = Instant::now();
                         // Execute outside the serving lock — this is where
                         // concurrent tenants actually overlap. The engine
@@ -955,6 +1030,9 @@ fn serve_loop(ctx: &WorkerContext) {
                                 payload: payload_text(payload.as_ref()),
                             })),
                         };
+                        if let Some((was_enabled, threshold)) = restore_tracing {
+                            sess.configure_tracing(was_enabled, threshold);
+                        }
                         let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
                         (result, Some(elapsed))
                     }
@@ -1612,6 +1690,82 @@ mod tests {
         }
         let report = server.shutdown();
         assert_eq!(report.served(), 1);
+    }
+
+    #[test]
+    fn per_request_tracing_records_and_restores() {
+        let _on = amber_obs::force_enabled(true);
+        let engine = demo_engine();
+        // Server-wide tracing OFF: only the traced request may record.
+        let server = Server::start(
+            Arc::clone(&engine),
+            ServeConfig {
+                workers: 1,
+                ..ServeConfig::default()
+            },
+        );
+        server.submit_sparql("a", CHAIN).unwrap().wait().unwrap();
+        assert_eq!(
+            server.last_trace("a"),
+            None,
+            "untraced requests must not record"
+        );
+        let t = server
+            .submit_sparql_with("a", CHAIN, SubmitOptions::new().with_tracing(true))
+            .unwrap();
+        t.wait().unwrap();
+        let trace = server.last_trace("a").expect("traced request recorded");
+        assert!(
+            trace.contains("select[3 vars]"),
+            "span tree missing: {trace}"
+        );
+        // The knob is per-request: the next untraced request leaves the
+        // ring untouched (the restore happened).
+        server.submit_sparql("a", EDGE).unwrap().wait().unwrap();
+        let after = server.last_trace("a").expect("ring still holds the trace");
+        assert_eq!(
+            after, trace,
+            "tracing must have been restored off after the traced request"
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn serve_errors_fold_into_the_unified_taxonomy() {
+        // Admission rejections → amber::Error with the shared wire
+        // mapping, no serving-specific match arms needed downstream.
+        let e: amber::Error = ServeError::Overloaded {
+            capacity: 8,
+            queued: 8,
+            retry_after: Duration::from_millis(9),
+        }
+        .into();
+        assert_eq!(e.status_code(), 503);
+        assert_eq!(e.retry_after(), Some(Duration::from_millis(9)));
+
+        let e: amber::Error = ServeError::CircuitOpen {
+            cause: TripCause::TimedOut,
+            retry_after: Duration::from_secs(2),
+        }
+        .into();
+        assert_eq!(e.status_code(), 503);
+        assert_eq!(e.retry_after(), Some(Duration::from_secs(2)));
+        assert!(e.to_string().contains("timeouts") || e.to_string().contains("timed out"));
+
+        let e: amber::Error = ServeError::DeadlineExpired {
+            budget: Duration::from_millis(1),
+            waited: Duration::from_millis(4),
+        }
+        .into();
+        assert_eq!(e.status_code(), 504);
+        assert_eq!(e.retry_after(), None);
+
+        let e: amber::Error = ServeError::ShuttingDown.into();
+        assert_eq!(e.status_code(), 503);
+
+        let parse = amber_sparql::parse_select("nope").unwrap_err();
+        let e: amber::Error = ServeError::Engine(EngineError::Sparql(parse)).into();
+        assert_eq!(e.status_code(), 400);
     }
 
     #[test]

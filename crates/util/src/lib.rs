@@ -22,6 +22,8 @@
 //! * [`backoff`] — deterministic jittered exponential backoff for clients
 //!   retrying typed overload rejections.
 //! * [`stats`] — summary statistics for the experiment harness.
+//! * [`http`] — minimal HTTP/1.1 request parsing and SPARQL-results
+//!   escaping, the protocol substrate of the `amber_http` front-end.
 
 pub mod backoff;
 pub mod cancel;
@@ -29,6 +31,7 @@ pub mod fault;
 pub mod fxhash;
 pub mod genmap;
 pub mod heap_size;
+pub mod http;
 pub mod sorted;
 pub mod stats;
 pub mod timing;

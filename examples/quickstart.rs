@@ -7,8 +7,30 @@
 //! Uses the paper's running example (Fig. 1a data, Fig. 2a query) so the
 //! output can be checked against §5 of the paper: exactly two embeddings,
 //! differing only in `?X0`.
+//!
+//! Queries go through the unified entry point: build a
+//! [`QueryRequest`] (from SPARQL text, a parsed AST, or a prepared
+//! plan), tune it with the builder knobs, hand it to
+//! [`AmberEngine::run`].
+//!
+//! The same engine serves over HTTP — start it on a port:
+//!
+//! ```sh
+//! cargo run --release -p amber_http --bin amber_serve_http data.nt 127.0.0.1:7878
+//! ```
+//!
+//! and query it with plain curl (see `docs/http.md` for the endpoint
+//! reference):
+//!
+//! ```sh
+//! curl 'http://127.0.0.1:7878/sparql' \
+//!   --data-urlencode 'query=SELECT ?x ?y WHERE { ?x <http://e/p> ?y . }'
+//! curl -H 'Accept: text/tab-separated-values' \
+//!   'http://127.0.0.1:7878/sparql?query=…&timeout=500'
+//! curl 'http://127.0.0.1:7878/metrics'
+//! ```
 
-use amber::{AmberEngine, ExecOptions};
+use amber::{AmberEngine, QueryRequest};
 use amber_multigraph::paper;
 use rdf_model::{write_ntriples, PrefixMap};
 
@@ -36,7 +58,7 @@ fn main() {
     println!("Query:\n{query}\n");
 
     let outcome = engine
-        .execute(&query, &ExecOptions::new())
+        .run(&QueryRequest::sparql(&query))
         .expect("query executes");
 
     println!(

@@ -15,6 +15,7 @@
 pub use amber;
 pub use amber_baselines as baselines;
 pub use amber_datagen as datagen;
+pub use amber_http as http;
 pub use amber_index as index;
 pub use amber_multigraph as multigraph;
 pub use amber_serve as serve;

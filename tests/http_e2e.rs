@@ -1,0 +1,175 @@
+//! End-to-end smoke over the HTTP front-end: a real TCP client runs
+//! queries through `GET /sparql` and `POST /sparql`, receives
+//! spec-shaped SPARQL JSON and TSV bodies byte-identical to the in-process
+//! serializers over the same engine, observes backpressure as
+//! `503 + Retry-After`, scrapes `/metrics`, and the graceful drain pins
+//! the zero-copy counter at 0.
+
+use amber::{AmberEngine, QueryRequest};
+use amber_http::{results, HttpConfig, HttpServer};
+use amber_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+const DATA: &str = r#"
+<http://z/a> <http://z/follows> <http://z/b> .
+<http://z/b> <http://z/follows> <http://z/c> .
+<http://z/c> <http://z/follows> <http://z/a> .
+<http://z/a> <http://z/likes> <http://z/c> .
+"#;
+const QUERY: &str = "SELECT ?x ?y WHERE { ?x <http://z/follows> ?y . }";
+const QUERY_ENC: &str =
+    "SELECT%20%3Fx%20%3Fy%20WHERE%20%7B%20%3Fx%20%3Chttp%3A%2F%2Fz%2Ffollows%3E%20%3Fy%20.%20%7D";
+
+fn read_response(stream: &mut TcpStream) -> (u16, Vec<(String, String)>, String) {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut tmp).expect("response head");
+        assert!(n > 0, "connection closed before a response arrived");
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8(buf[..head_end - 4].to_vec()).unwrap();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split(' ')
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .map(|l| {
+            let (k, v) = l.split_once(':').unwrap();
+            (k.trim().to_ascii_lowercase(), v.trim().to_string())
+        })
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse().unwrap())
+        .unwrap_or(0);
+    while buf.len() < head_end + len {
+        let n = stream.read(&mut tmp).expect("response body");
+        assert!(n > 0, "connection closed mid-body");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    (
+        status,
+        headers,
+        String::from_utf8(buf[head_end..head_end + len].to_vec()).unwrap(),
+    )
+}
+
+fn send(addr: SocketAddr, request: &str) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    read_response(&mut stream)
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn http_round_trip_matches_the_embedded_engine() {
+    let engine = Arc::new(AmberEngine::load_ntriples(DATA).unwrap());
+    let http = HttpServer::start(
+        Server::start(Arc::clone(&engine), ServeConfig::default()),
+        HttpConfig::default(),
+    )
+    .unwrap();
+    let addr = http.local_addr();
+
+    // The unified facade is the reference: the wire bodies must be
+    // byte-identical to serializing engine.run() in-process.
+    let reference = engine.run(&QueryRequest::sparql(QUERY)).unwrap();
+    assert_eq!(reference.embedding_count, 3);
+
+    let (status, headers, body) = send(
+        addr,
+        &format!("GET /sparql?query={QUERY_ENC} HTTP/1.1\r\nHost: t\r\n\r\n"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("application/sparql-results+json")
+    );
+    assert_eq!(body, results::sparql_json(&reference));
+
+    let (status, headers, body) = send(
+        addr,
+        &format!(
+            "POST /sparql HTTP/1.1\r\nHost: t\r\nAccept: text/tab-separated-values\r\nContent-Type: application/sparql-query\r\nContent-Length: {}\r\n\r\n{QUERY}",
+            QUERY.len()
+        ),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(
+        header(&headers, "content-type"),
+        Some("text/tab-separated-values; charset=utf-8")
+    );
+    assert_eq!(body, results::sparql_tsv(&reference));
+
+    // /metrics serves the unified registry.
+    let (status, _, metrics) = send(addr, "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200);
+    if amber_obs::obs_enabled() {
+        assert!(metrics.contains("amber_http_requests_total"), "{metrics}");
+    }
+
+    let report = http.shutdown();
+    assert_eq!(report.served_for("public"), 2);
+    assert_eq!(
+        report.plan_stats.result_hit_copied_bytes, 0,
+        "HTTP serving must extend the zero-copy pin to the wire"
+    );
+}
+
+#[test]
+fn backpressure_surfaces_as_503_with_retry_after() {
+    let engine = Arc::new(AmberEngine::load_ntriples(DATA).unwrap());
+    let http = HttpServer::start(
+        Server::start(
+            engine,
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 1,
+                paused: true,
+                ..ServeConfig::default()
+            },
+        ),
+        HttpConfig::default(),
+    )
+    .unwrap();
+    let pending = http
+        .with_server(|s| s.submit_sparql("filler", QUERY))
+        .unwrap()
+        .unwrap();
+    let (status, headers, body) = send(
+        http.local_addr(),
+        &format!("GET /sparql?query={QUERY_ENC} HTTP/1.1\r\nHost: t\r\n\r\n"),
+    );
+    assert_eq!(status, 503, "{body}");
+    let retry: u64 = header(&headers, "retry-after")
+        .expect("503 carries Retry-After")
+        .parse()
+        .expect("Retry-After is whole seconds");
+    assert!(retry >= 1);
+    http.with_server(|s| s.resume());
+    pending.wait().unwrap();
+    http.shutdown();
+}
